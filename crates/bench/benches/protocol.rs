@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the decentralized synchronization protocol — the
+//! "one or two writes in private memory per dependency" claim of §3.3,
+//! measured operation by operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rio_core::protocol::{
+    declare_read, declare_write, get_read, get_write, terminate_read, terminate_write,
+    LocalDataState, Poison, SharedDataState,
+};
+use rio_core::WaitStrategy;
+use rio_stf::{DataId, DataStore, TaskId};
+
+fn bench_declares(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/declare");
+    g.bench_function("declare_read", |b| {
+        let mut local = LocalDataState::default();
+        b.iter(|| {
+            declare_read(black_box(&mut local));
+        });
+    });
+    g.bench_function("declare_write", |b| {
+        let mut local = LocalDataState::default();
+        let mut id = 1u64;
+        b.iter(|| {
+            declare_write(black_box(&mut local), TaskId(id));
+            id += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_get_terminate_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/owner-cycle");
+    // The owner's fast path: get (no wait) + terminate, read and write.
+    g.bench_function("get+terminate_read", |b| {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        b.iter(|| {
+            black_box(get_read(&shared, &local, WaitStrategy::SpinYield, &poison));
+            terminate_read(&shared, &mut local, WaitStrategy::SpinYield);
+        });
+    });
+    g.bench_function("get+terminate_write", |b| {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let mut id = 1u64;
+        b.iter(|| {
+            black_box(get_write(&shared, &local, WaitStrategy::SpinYield, &poison));
+            terminate_write(&shared, &mut local, TaskId(id), WaitStrategy::SpinYield);
+            id += 1;
+        });
+    });
+    // Park-mode terminate includes the wake path (lock + notify).
+    g.bench_function("get+terminate_write_park", |b| {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let mut id = 1u64;
+        b.iter(|| {
+            black_box(get_write(&shared, &local, WaitStrategy::Park, &poison));
+            terminate_write(&shared, &mut local, TaskId(id), WaitStrategy::Park);
+            id += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_store_guards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/guards");
+    let store = DataStore::from_vec(vec![0u64; 4]);
+    g.bench_function("read_guard", |b| {
+        b.iter(|| {
+            let v = store.read(DataId(1));
+            black_box(*v);
+        });
+    });
+    g.bench_function("write_guard", |b| {
+        b.iter(|| {
+            let mut v = store.write(DataId(1));
+            *v += 1;
+            black_box(&mut v);
+        });
+    });
+    g.bench_function("unchecked_read", |b| {
+        b.iter(|| {
+            // Safety: single-threaded bench, no writer active.
+            let v = unsafe { store.get_unchecked(DataId(1)) };
+            black_box(*v);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_declares, bench_get_terminate_cycle, bench_store_guards
+}
+criterion_main!(benches);

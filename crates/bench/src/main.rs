@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <subcommand> [options]
+//!
+//! Subcommands:
+//!   fig2        exec time vs tile size, tiled DGEMM, centralized runtime
+//!   fig3        sequential DGEMM kernel efficiency vs tile size
+//!   fig4        efficiency decomposition, matmul, centralized runtime
+//!   fig6        wall time vs task size, independent tasks, both runtimes
+//!   fig7        2^k independent tasks per worker vs worker count
+//!   fig8        efficiency decomposition vs task size (--exp 1..4)
+//!   table1      model checking STF & Run-In-Order on LU flows
+//!   protocol    model checking the Algorithm-1/2 micro-step protocol
+//!   patterns    Task-Bench dependence-pattern sweep on both runtimes
+//!   walks       randomized-walk protocol checking at scale
+//!   mapping     mapping-quality sweep on the LU DAG
+//!   costmodel   validate cost models (1) and (2)
+//!   all         run everything
+//!
+//! Options:
+//!   --threads N      thread count (default 4)
+//!   --tasks N        task count for synthetic experiments (default 2048)
+//!   --reps N         repetitions per point (default 3)
+//!   --exp N          fig8 experiment number (default: all four)
+//!   --n N            matrix size for fig2/3/4 (default 384)
+//!   --tpw N          fig7 tasks per worker (default 8192)
+//!   --workers LIST   fig7 worker counts, comma-separated (default 1,2,4,8)
+//!   --csv            CSV output
+//!   --quick          reduced sweeps
+//! ```
+
+use rio_bench::figures::{self, Options};
+
+fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .map(|w| w[1].parse().unwrap_or_else(|_| panic!("bad value for {key}")))
+        .unwrap_or(default)
+}
+
+fn parse_list(args: &[String], key: &str, default: &[usize]) -> Vec<usize> {
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .map(|w| {
+            w[1].split(',')
+                .map(|x| x.parse().unwrap_or_else(|_| panic!("bad value for {key}")))
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+
+    let opt = Options {
+        threads: parse_usize(&args, "--threads", 4),
+        tasks: parse_usize(&args, "--tasks", 2048),
+        reps: parse_usize(&args, "--reps", 3),
+        csv: args.iter().any(|a| a == "--csv"),
+        quick: args.iter().any(|a| a == "--quick"),
+    };
+    let n = parse_usize(&args, "--n", 384);
+    let tpw = parse_usize(&args, "--tpw", 8192);
+    let workers = parse_list(&args, "--workers", &[1, 2, 4, 8]);
+    let exp = parse_usize(&args, "--exp", 0);
+
+    match cmd {
+        "fig2" => {
+            figures::fig2(&opt, n);
+        }
+        "fig3" => {
+            figures::fig3(&opt, n);
+        }
+        "fig4" => {
+            figures::fig4(&opt, n);
+        }
+        "fig6" => {
+            figures::fig6(&opt);
+        }
+        "fig7" => {
+            figures::fig7(&opt, tpw, &workers);
+        }
+        "fig8" => {
+            if exp == 0 {
+                for e in 1..=4 {
+                    figures::fig8(&opt, e);
+                }
+            } else {
+                figures::fig8(&opt, exp);
+            }
+        }
+        "table1" => {
+            figures::table1(&opt);
+        }
+        "protocol" => {
+            figures::protocol_table(&opt);
+        }
+        "patterns" => {
+            figures::patterns(&opt);
+        }
+        "walks" => {
+            figures::walks(&opt);
+        }
+        "mapping" => {
+            figures::mapping_quality(&opt);
+        }
+        "costmodel" => {
+            figures::costmodel(&opt);
+        }
+        "all" => {
+            figures::table1(&opt);
+            figures::protocol_table(&opt);
+            figures::fig3(&opt, n);
+            figures::fig2(&opt, n);
+            figures::fig4(&opt, n);
+            figures::fig6(&opt);
+            figures::fig7(&opt, tpw, &workers);
+            for e in 1..=4 {
+                figures::fig8(&opt, e);
+            }
+            figures::costmodel(&opt);
+            figures::patterns(&opt);
+            figures::mapping_quality(&opt);
+            figures::walks(&opt);
+        }
+        _ => {
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick");
+            std::process::exit(if cmd == "help" || cmd == "--help" { 0 } else { 2 });
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-task runtime nodes: the task storage of the centralized model.
+//!
+//! Unlike RIO — whose synchronization state is O(data objects) — the
+//! centralized model keeps one node per task: a pending-predecessor
+//! counter and an outgoing successor list, space linear in the number of
+//! (in-flight) tasks. This is exactly the storage cost §3.1 attributes to
+//! out-of-order execution.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+/// Completion-side state of one node, guarded by a small mutex so that the
+/// master registering a successor cannot race the worker completing the
+/// task.
+#[derive(Debug, Default)]
+pub struct NodeLinks {
+    /// Has the task finished executing?
+    pub done: bool,
+    /// Flow indices of registered successors (waiting on this node).
+    pub succs: Vec<u32>,
+}
+
+/// One task's runtime node.
+#[derive(Debug)]
+pub struct TaskNode {
+    /// Number of unfinished predecessors **plus one submission sentinel**:
+    /// the node becomes ready when this drops to zero, and the sentinel
+    /// prevents it from happening before the master finished wiring the
+    /// node's dependencies.
+    remaining: AtomicU32,
+    /// Successor bookkeeping.
+    pub links: Mutex<NodeLinks>,
+}
+
+impl TaskNode {
+    /// A fresh node holding the submission sentinel.
+    pub fn new() -> TaskNode {
+        TaskNode {
+            remaining: AtomicU32::new(1),
+            links: Mutex::new(NodeLinks::default()),
+        }
+    }
+
+    /// Allocates nodes for `n` tasks.
+    pub fn new_table(n: usize) -> Box<[TaskNode]> {
+        (0..n).map(|_| TaskNode::new()).collect()
+    }
+
+    /// Registers one more unfinished predecessor.
+    #[inline]
+    pub fn add_pending(&self) {
+        self.remaining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops one pending count (predecessor finished, or the submission
+    /// sentinel). Returns `true` when the node just became ready.
+    #[inline]
+    pub fn release_one(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Current pending count (diagnostics only).
+    pub fn pending(&self) -> u32 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for TaskNode {
+    fn default() -> Self {
+        TaskNode::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_prevents_premature_readiness() {
+        let n = TaskNode::new();
+        assert_eq!(n.pending(), 1);
+        // Master wires 2 predecessors...
+        n.add_pending();
+        n.add_pending();
+        // ...predecessors finish early...
+        assert!(!n.release_one());
+        assert!(!n.release_one());
+        // ...only the sentinel drop makes it ready.
+        assert!(n.release_one());
+    }
+
+    #[test]
+    fn ready_without_predecessors() {
+        let n = TaskNode::new();
+        assert!(n.release_one(), "sentinel drop readies a source task");
+    }
+
+    #[test]
+    fn links_record_successors() {
+        let n = TaskNode::new();
+        {
+            let mut l = n.links.lock();
+            assert!(!l.done);
+            l.succs.push(7);
+        }
+        let mut l = n.links.lock();
+        l.done = true;
+        assert_eq!(std::mem::take(&mut l.succs), vec![7]);
+    }
+
+    #[test]
+    fn table_allocates_fresh_nodes() {
+        let t = TaskNode::new_table(3);
+        assert_eq!(t.len(), 3);
+        for n in t.iter() {
+            assert_eq!(n.pending(), 1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Incremental dependency tracking — the master thread's consistency
+//! management.
+//!
+//! As the master unrolls the flow it maintains, per data object, the
+//! *last writer* and the *readers since that write*. Feeding one task's
+//! access list through [`DepTracker::predecessors_of`] yields exactly the
+//! task's direct dependencies under the STF hazard rules (R-after-W,
+//! W-after-W, W-after-R). This is the per-task work — together with node
+//! allocation and dispatch — that makes up the centralized model's
+//! `t_r,centralized` in cost model (1).
+
+use rio_stf::task::TaskDesc;
+
+/// Per-data hazard state, maintained by the master only (no
+/// synchronization: dependency *discovery* is centralized by design).
+#[derive(Debug, Clone, Default)]
+struct DataHazards {
+    /// Flow index of the last write submitted on this object.
+    last_writer: Option<u32>,
+    /// Flow indices of reads submitted since that write.
+    readers_since: Vec<u32>,
+}
+
+/// Incremental dependency tracker over `num_data` objects.
+#[derive(Debug)]
+pub struct DepTracker {
+    data: Vec<DataHazards>,
+    /// Scratch buffer reused across tasks (no per-task allocation).
+    scratch: Vec<u32>,
+    /// Total dependency edges discovered so far.
+    edges: u64,
+}
+
+impl DepTracker {
+    /// Creates a tracker for `num_data` data objects.
+    pub fn new(num_data: usize) -> DepTracker {
+        DepTracker {
+            data: vec![DataHazards::default(); num_data],
+            scratch: Vec::with_capacity(16),
+            edges: 0,
+        }
+    }
+
+    /// Computes the direct predecessors (flow indices, deduplicated) of
+    /// `task`, then records `task`'s accesses for subsequent queries.
+    ///
+    /// Must be called once per task, in flow order.
+    pub fn predecessors_of(&mut self, task: &TaskDesc) -> &[u32] {
+        self.scratch.clear();
+        let idx = task.id.index() as u32;
+        for a in &task.accesses {
+            let h = &self.data[a.data.index()];
+            if let Some(w) = h.last_writer {
+                self.scratch.push(w);
+            }
+            if a.mode.writes() {
+                self.scratch.extend_from_slice(&h.readers_since);
+            }
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.edges += self.scratch.len() as u64;
+
+        for a in &task.accesses {
+            let h = &mut self.data[a.data.index()];
+            if a.mode.writes() {
+                h.last_writer = Some(idx);
+                h.readers_since.clear();
+            }
+            if a.mode.reads() {
+                h.readers_since.push(idx);
+            }
+        }
+        &self.scratch
+    }
+
+    /// Total dependency edges discovered so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::deps::DepGraph;
+    use rio_stf::{Access, DataId, TaskGraph, TaskId};
+
+    fn d(i: u32) -> DataId {
+        DataId(i)
+    }
+
+    /// The incremental tracker must agree with the batch derivation.
+    #[test]
+    fn matches_batch_dep_graph() {
+        let mut b = TaskGraph::builder(4);
+        for i in 0..50u32 {
+            match i % 4 {
+                0 => b.task(&[Access::write(d(i % 3))], 1, "w"),
+                1 => b.task(&[Access::read(d(i % 3)), Access::write(d(3))], 1, "rw"),
+                2 => b.task(&[Access::read(d(3))], 1, "r"),
+                _ => b.task(&[Access::read_write(d(1))], 1, "u"),
+            };
+        }
+        let g = b.build();
+        let batch = DepGraph::derive(&g);
+        let mut tracker = DepTracker::new(g.num_data());
+        for t in g.tasks() {
+            let incremental: Vec<u32> = tracker.predecessors_of(t).to_vec();
+            let expected: Vec<u32> = batch.preds(t.id).iter().map(|p| p.index() as u32).collect();
+            assert_eq!(incremental, expected, "task {}", t.id);
+        }
+        assert_eq!(tracker.edges(), batch.num_edges() as u64);
+    }
+
+    #[test]
+    fn no_accesses_no_predecessors() {
+        let mut b = TaskGraph::builder(0);
+        b.task(&[], 1, "ind");
+        b.task(&[], 1, "ind");
+        let g = b.build();
+        let mut tracker = DepTracker::new(0);
+        assert!(tracker.predecessors_of(g.task(TaskId(1))).is_empty());
+        assert!(tracker.predecessors_of(g.task(TaskId(2))).is_empty());
+        assert_eq!(tracker.edges(), 0);
+    }
+
+    #[test]
+    fn raw_war_waw_ordering() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(d(0))], 1, "w1"); // idx 0
+        b.task(&[Access::read(d(0))], 1, "r"); // idx 1 <- w1
+        b.task(&[Access::write(d(0))], 1, "w2"); // idx 2 <- w1, r
+        let g = b.build();
+        let mut tracker = DepTracker::new(1);
+        assert!(tracker.predecessors_of(g.task(TaskId(1))).is_empty());
+        assert_eq!(tracker.predecessors_of(g.task(TaskId(2))), &[0]);
+        assert_eq!(tracker.predecessors_of(g.task(TaskId(3))), &[0, 1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime configuration.
+
+use crate::wait::WaitStrategy;
+
+/// Configuration of a RIO execution.
+#[derive(Debug, Clone)]
+pub struct RioConfig {
+    /// Number of worker threads. All of them unroll the full flow; each
+    /// executes only its mapped tasks. Must be ≥ 1.
+    pub workers: usize,
+    /// How `get_read`/`get_write` wait for dependencies.
+    pub wait: WaitStrategy,
+    /// When `true`, workers timestamp task execution and waiting so the
+    /// report can feed the efficiency decomposition (`rio-metrics`). Costs
+    /// two monotonic-clock reads per executed task plus two per blocking
+    /// wait; disable for peak-overhead measurements.
+    pub measure_time: bool,
+    /// In debug-style runs, verify at join time that every worker unrolled
+    /// the same flow (same task count and access checksum) — assumption 2
+    /// of §3.4. Cheap (one u64 hash fold per declared access).
+    pub check_determinism: bool,
+    /// Record one `(task, start, end)` span per executed task (relative to
+    /// run start, in nanoseconds) into the worker reports, so the run can
+    /// be audited with [`rio_stf::validate::validate_spans`] afterwards.
+    /// Costs two clock reads and one `Vec` push per executed task.
+    pub record_spans: bool,
+}
+
+impl RioConfig {
+    /// A configuration with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> RioConfig {
+        RioConfig {
+            workers,
+            ..RioConfig::default()
+        }
+    }
+
+    /// Sets the wait strategy (builder style).
+    pub fn wait(mut self, wait: WaitStrategy) -> RioConfig {
+        self.wait = wait;
+        self
+    }
+
+    /// Enables/disables time measurement (builder style).
+    pub fn measure_time(mut self, on: bool) -> RioConfig {
+        self.measure_time = on;
+        self
+    }
+
+    /// Enables/disables the determinism check (builder style).
+    pub fn check_determinism(mut self, on: bool) -> RioConfig {
+        self.check_determinism = on;
+        self
+    }
+
+    /// Enables/disables span recording (builder style).
+    pub fn record_spans(mut self, on: bool) -> RioConfig {
+        self.record_spans = on;
+        self
+    }
+
+    /// Panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "RIO needs at least one worker");
+    }
+}
+
+impl Default for RioConfig {
+    fn default() -> Self {
+        RioConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            wait: WaitStrategy::default(),
+            measure_time: true,
+            check_determinism: cfg!(debug_assertions),
+            record_spans: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_workers_sets_count() {
+        let c = RioConfig::with_workers(4);
+        assert_eq!(c.workers, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        RioConfig::with_workers(0).validate();
+    }
+
+    #[test]
+    fn builder_style() {
+        let c = RioConfig::with_workers(2)
+            .wait(WaitStrategy::Spin)
+            .measure_time(false)
+            .check_determinism(true);
+        assert_eq!(c.wait, WaitStrategy::Spin);
+        assert!(!c.measure_time);
+        assert!(c.check_determinism);
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let c = RioConfig::default();
+        assert!(c.workers >= 1);
+    }
+}

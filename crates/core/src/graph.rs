@@ -1,0 +1,533 @@
+//! Decentralized in-order execution of a *recorded* task graph
+//! (Algorithm 1, generalized from one access per task to access lists).
+//!
+//! This entry point mirrors how the paper's evaluation runs: the task
+//! graphs are real (matmul, LU, …) while the task bodies are supplied as a
+//! kernel closure — synthetic counters for the benchmarks, real
+//! linear-algebra kernels for the examples.
+//!
+//! Every worker thread walks the full flow. For each task it evaluates the
+//! mapping; if the task is its own it acquires each declared access
+//! (`get_read`/`get_write`), runs the kernel, and releases
+//! (`terminate_read`/`terminate_write`); otherwise it merely declares the
+//! accesses in its private state — the whole per-task cost of somebody
+//! else's task.
+
+use std::time::{Duration, Instant};
+
+use rio_stf::{Mapping, TaskDesc, TaskGraph, WorkerId};
+
+use crate::config::RioConfig;
+use crate::protocol::{
+    declare_read, declare_write, get_read, get_write, terminate_read, terminate_write,
+    LocalDataState, Poison, SharedDataState,
+};
+use crate::report::{ExecReport, OpCounts, WorkerReport};
+
+/// Shared panic slot: the first task-body panic's payload, re-thrown at
+/// the end of the run.
+pub(crate) type PanicSlot = parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>;
+
+/// Executes `graph` with `cfg.workers` decentralized in-order workers.
+///
+/// `kernel(worker, task)` is invoked exactly once per task, on the worker
+/// the `mapping` designates, only after all of the task's dependencies
+/// have been performed; conflicting invocations never overlap.
+///
+/// # Panics
+/// If the mapping designates a worker `>= cfg.workers`, or `cfg` is
+/// invalid.
+pub fn execute_graph<M, K>(cfg: &RioConfig, graph: &TaskGraph, mapping: &M, kernel: K) -> ExecReport
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    cfg.validate();
+    let shared = SharedDataState::new_table(graph.num_data());
+    let kernel = &kernel;
+    let shared = &shared;
+    let poison = &Poison::new();
+    let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
+
+    let start = Instant::now();
+    let workers = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let me = WorkerId::from_index(w);
+                    worker_loop(
+                        cfg, graph, mapping, shared, kernel, me, None, poison, panic_slot, start,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    if let Some(payload) = panic_slot.lock().take() {
+        std::panic::resume_unwind(payload);
+    }
+    ExecReport {
+        wall: start.elapsed(),
+        workers,
+    }
+}
+
+/// The per-worker flow loop shared by [`execute_graph`] and the pruned
+/// variant: when `visit` is `Some`, only the listed flow indices are
+/// walked (they must include every task whose accesses this worker needs
+/// to register — see [`crate::pruning`]).
+///
+/// Panic safety: the kernel runs under `catch_unwind`; the first panic
+/// arms `poison` (waking every parked worker), stores its payload in
+/// `panic_slot`, and every worker abandons the flow at its next protocol
+/// step. The caller re-throws the payload after joining.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn worker_loop<M, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    mapping: &M,
+    shared: &[SharedDataState],
+    kernel: &K,
+    me: WorkerId,
+    visit: Option<&[u32]>,
+    poison: &Poison,
+    panic_slot: &PanicSlot,
+    epoch: Instant,
+) -> WorkerReport
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    let mut locals = vec![LocalDataState::default(); graph.num_data()];
+    let mut ops = OpCounts::default();
+    let mut task_time = Duration::ZERO;
+    let mut idle_time = Duration::ZERO;
+    let mut tasks_executed = 0u64;
+    let mut tasks_visited = 0u64;
+    let mut spans = Vec::new();
+    let wait = cfg.wait;
+    let measure = cfg.measure_time;
+    let record = cfg.record_spans;
+
+    let loop_start = Instant::now();
+    // Returns `false` when the run is poisoned and the worker must stop.
+    let mut step = |t: &TaskDesc| -> bool {
+        tasks_visited += 1;
+        let executor = mapping.worker_of(t.id, cfg.workers);
+        debug_assert!(
+            executor.index() < cfg.workers,
+            "mapping sent {} to non-existent {executor}",
+            t.id
+        );
+        if executor == me {
+            // Acquire every declared access, in declaration order. The
+            // waits are pure condition polls (no resource is held), so no
+            // acquisition order can deadlock.
+            for a in &t.accesses {
+                ops.gets += 1;
+                let s = &shared[a.data.index()];
+                let l = &locals[a.data.index()];
+                let wait_start = if measure { Some(Instant::now()) } else { None };
+                let polls = if a.mode.writes() {
+                    get_write(s, l, wait, poison)
+                } else {
+                    get_read(s, l, wait, poison)
+                };
+                if polls > 0 {
+                    ops.waits += 1;
+                    ops.poll_loops += polls;
+                    if let Some(t0) = wait_start {
+                        idle_time += t0.elapsed();
+                    }
+                }
+                if poison.armed() {
+                    return false;
+                }
+            }
+
+            let body = std::panic::AssertUnwindSafe(|| kernel(me, t));
+            let span_start = if record {
+                epoch.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            let outcome = if measure {
+                let t0 = Instant::now();
+                let r = std::panic::catch_unwind(body);
+                task_time += t0.elapsed();
+                r
+            } else {
+                std::panic::catch_unwind(body)
+            };
+            if record {
+                spans.push(rio_stf::validate::Span {
+                    task: t.id,
+                    start: span_start,
+                    end: epoch.elapsed().as_nanos() as u64,
+                });
+            }
+            if let Err(payload) = outcome {
+                let mut slot = panic_slot.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                poison.arm_and_wake(shared);
+                return false;
+            }
+            tasks_executed += 1;
+
+            for a in &t.accesses {
+                ops.terminates += 1;
+                let s = &shared[a.data.index()];
+                let l = &mut locals[a.data.index()];
+                if a.mode.writes() {
+                    terminate_write(s, l, t.id, wait);
+                } else {
+                    terminate_read(s, l, wait);
+                }
+            }
+        } else {
+            // Not ours: one or two private writes per access, nothing else.
+            for a in &t.accesses {
+                ops.declares += 1;
+                let l = &mut locals[a.data.index()];
+                if a.mode.writes() {
+                    declare_write(l, t.id);
+                } else {
+                    declare_read(l);
+                }
+            }
+        }
+        true
+    };
+
+    match visit {
+        None => {
+            for t in graph.tasks() {
+                if !step(t) {
+                    break;
+                }
+            }
+        }
+        Some(indices) => {
+            let tasks = graph.tasks();
+            for &i in indices {
+                if !step(&tasks[i as usize]) {
+                    break;
+                }
+            }
+        }
+    }
+
+    WorkerReport {
+        worker: me,
+        tasks_executed,
+        tasks_visited,
+        task_time,
+        idle_time,
+        loop_time: loop_start.elapsed(),
+        ops,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::WaitStrategy;
+    use rio_stf::validate::{validate_spans, Span};
+    use rio_stf::{Access, DataId, DataStore, RoundRobin, TableMapping, TaskId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    fn cfg(workers: usize) -> RioConfig {
+        RioConfig::with_workers(workers).wait(WaitStrategy::Park)
+    }
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..100 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let count = AtomicU64::new(0);
+        let report = execute_graph(&cfg(3), &g, &RoundRobin, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(report.tasks_executed(), 100);
+        assert_eq!(report.num_workers(), 3);
+        // Every worker visited the whole flow.
+        for w in &report.workers {
+            assert_eq!(w.tasks_visited, 100);
+        }
+    }
+
+    #[test]
+    fn respects_the_mapping() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..10 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let m = TableMapping::from_fn(10, |i| WorkerId::from_index(usize::from(i >= 7)));
+        let report = execute_graph(&cfg(2), &g, &m, |_, _| {});
+        assert_eq!(report.workers[0].tasks_executed, 7);
+        assert_eq!(report.workers[1].tasks_executed, 3);
+    }
+
+    #[test]
+    fn chain_across_workers_produces_sequential_result() {
+        // A single counter incremented by 1000 tasks alternating workers:
+        // any missed synchronization loses increments.
+        let n = 1000u64;
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64]);
+        execute_graph(&cfg(4), &g, &RoundRobin, |_, t| {
+            let mut v = store.write(DataId(0));
+            *v += 1;
+            let _ = t;
+        });
+        assert_eq!(store.into_vec(), vec![n]);
+    }
+
+    #[test]
+    fn reader_fanout_sees_the_written_value() {
+        // T1 writes 42; T2..T9 read and check; T10 overwrites.
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        for _ in 0..8 {
+            b.task(&[Access::read(DataId(0))], 1, "r");
+        }
+        b.task(&[Access::write(DataId(0))], 1, "w2");
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64]);
+        let seen = AtomicU64::new(0);
+        execute_graph(&cfg(3), &g, &RoundRobin, |_, t| match t.kind {
+            "w" => *store.write(DataId(0)) = 42,
+            "r" => {
+                assert_eq!(*store.read(DataId(0)), 42);
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            "w2" => *store.write(DataId(0)) = 7,
+            _ => unreachable!(),
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
+        assert_eq!(store.into_vec(), vec![7]);
+    }
+
+    #[test]
+    fn recorded_spans_are_sequentially_consistent() {
+        // Random-ish dependency mesh over 4 data objects, spans audited by
+        // the STF validator.
+        let mut b = TaskGraph::builder(4);
+        for i in 0..200u32 {
+            let r = DataId(i % 4);
+            let w = DataId((i / 2) % 4);
+            if r == w {
+                b.task(&[Access::read_write(w)], 1, "rw");
+            } else {
+                b.task(&[Access::read(r), Access::write(w)], 1, "mix");
+            }
+        }
+        let g = b.build();
+        let spans = Mutex::new(Vec::new());
+        let epoch = Instant::now();
+        execute_graph(&cfg(3), &g, &RoundRobin, |_, t| {
+            let start = epoch.elapsed().as_nanos() as u64;
+            // A tiny body so spans have width.
+            std::hint::black_box(0u64);
+            let end = epoch.elapsed().as_nanos() as u64 + 1;
+            spans.lock().unwrap().push(Span {
+                task: t.id,
+                start,
+                end,
+            });
+        });
+        let spans = spans.into_inner().unwrap();
+        assert_eq!(spans.len(), 200);
+        validate_spans(&g, &spans).expect("RIO execution violated STF semantics");
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..50 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let order = Mutex::new(Vec::new());
+        let report = execute_graph(&cfg(1), &g, &RoundRobin, |_, t| {
+            order.lock().unwrap().push(t.id);
+        });
+        let order = order.into_inner().unwrap();
+        let expected: Vec<_> = (0..50).map(TaskId::from_index).collect();
+        assert_eq!(order, expected, "one worker executes in flow order");
+        // A single worker never waits on anyone.
+        assert_eq!(report.total_ops().waits, 0);
+        assert_eq!(report.total_ops().declares, 0);
+    }
+
+    #[test]
+    fn all_wait_strategies_agree_on_results() {
+        for wait in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinYield,
+            WaitStrategy::Park,
+        ] {
+            let mut b = TaskGraph::builder(2);
+            for i in 0..100u32 {
+                b.task(&[Access::read_write(DataId(i % 2))], 1, "inc");
+            }
+            let g = b.build();
+            let store = DataStore::from_vec(vec![0u64, 0]);
+            let c = RioConfig::with_workers(2).wait(wait);
+            execute_graph(&c, &g, &RoundRobin, |_, t| {
+                let d = t.accesses[0].data;
+                *store.write(d) += 1;
+            });
+            assert_eq!(store.into_vec(), vec![50, 50], "strategy {wait}");
+        }
+    }
+
+    #[test]
+    fn op_counts_match_the_flow_shape() {
+        // 2 workers, 10 tasks each with 1 RW access, round-robin: each
+        // worker gets 5 tasks (5 gets + 5 terminates) and declares the
+        // other 5.
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..10 {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        let g = b.build();
+        let report = execute_graph(&cfg(2), &g, &RoundRobin, |_, _| {});
+        for w in &report.workers {
+            assert_eq!(w.ops.gets, 5);
+            assert_eq!(w.ops.terminates, 5);
+            assert_eq!(w.ops.declares, 5);
+        }
+    }
+
+    #[test]
+    fn measure_time_accumulates_task_time() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..4 {
+            b.task(&[], 1, "sleep");
+        }
+        let g = b.build();
+        let c = RioConfig::with_workers(1).measure_time(true);
+        let report = execute_graph(&c, &g, &RoundRobin, |_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(report.cumulative_task_time() >= Duration::from_millis(8));
+        assert!(report.workers[0].loop_time >= report.workers[0].task_time);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = TaskGraph::builder(0).build();
+        let report = execute_graph(&cfg(2), &g, &RoundRobin, |_, _| unreachable!());
+        assert_eq!(report.tasks_executed(), 0);
+    }
+
+    #[test]
+    fn write_only_access_is_exclusive() {
+        // Writers on the same datum from different workers must serialize;
+        // the DataStore guard would panic otherwise.
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..100 {
+            b.task(&[Access::write(DataId(0))], 1, "w");
+        }
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64]);
+        execute_graph(&cfg(4), &g, &RoundRobin, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(store.into_vec(), vec![100]);
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+    use crate::wait::WaitStrategy;
+    use rio_stf::{Access, DataId, RoundRobin};
+
+    /// A panicking task body must propagate without stranding workers that
+    /// are blocked waiting on its (now never-published) completion.
+    #[test]
+    fn task_panic_propagates_and_unblocks_waiters() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..20 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        for wait in [WaitStrategy::SpinYield, WaitStrategy::Park] {
+            let cfg = RioConfig::with_workers(3).wait(wait);
+            let result = std::panic::catch_unwind(|| {
+                execute_graph(&cfg, &g, &RoundRobin, |_, t| {
+                    if t.id.0 == 5 {
+                        panic!("task 5 exploded");
+                    }
+                });
+            });
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "task 5 exploded", "strategy {wait}");
+        }
+    }
+
+    /// The first panic wins; tasks after it on the panicking chain never
+    /// execute.
+    #[test]
+    fn tasks_after_the_panic_point_do_not_run() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..50 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let highest = AtomicU64::new(0);
+        let cfg = RioConfig::with_workers(2).wait(WaitStrategy::Park);
+        let _ = std::panic::catch_unwind(|| {
+            execute_graph(&cfg, &g, &RoundRobin, |_, t| {
+                if t.id.0 == 10 {
+                    panic!("boom");
+                }
+                highest.fetch_max(t.id.0, Ordering::Relaxed);
+            });
+        });
+        // The RW chain serializes execution, so nothing past T10 ran.
+        assert!(highest.load(Ordering::Relaxed) < 10);
+    }
+
+    /// Pruned execution propagates panics the same way.
+    #[test]
+    fn pruned_execution_propagates_panics() {
+        let g = {
+            let mut b = TaskGraph::builder(8);
+            for i in 0..40u32 {
+                b.task(&[Access::read_write(DataId(i % 8))], 1, "t");
+            }
+            b.build()
+        };
+        let cfg = RioConfig::with_workers(2);
+        let result = std::panic::catch_unwind(|| {
+            crate::execute_graph_pruned(&cfg, &g, &RoundRobin, |_, t| {
+                if t.id.0 == 7 {
+                    panic!("pruned boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

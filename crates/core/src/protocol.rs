@@ -1,0 +1,479 @@
+//! The decentralized data-synchronization protocol (paper §3.4,
+//! Algorithms 1 & 2).
+//!
+//! Each runtime-managed data object is a pair of states:
+//!
+//! * a **shared** state ([`SharedDataState`]), written only by workers that
+//!   *execute* tasks on the object: `nb_reads_since_write` (reads
+//!   *performed* since the last performed write) and `last_executed_write`
+//!   (id of the last write *performed*);
+//! * a **private** state per worker ([`LocalDataState`]): `nb_reads_since_write`
+//!   (reads *encountered* in the flow since the last encountered write) and
+//!   `last_registered_write` (id of the last write *encountered*).
+//!
+//! Every worker unrolls the whole flow. For a task mapped elsewhere it only
+//! calls [`declare_read`]/[`declare_write`] — one or two private writes, the
+//! entire per-task overhead of a non-local task. For its own tasks it calls
+//! [`get_read`]/[`get_write`] (blocking until the private view matches the
+//! shared state), runs the body, then [`terminate_read`]/[`terminate_write`]
+//! (which publish to the shared state *and* update the private view, per
+//! Algorithm 2 lines 26 and 32).
+//!
+//! ## Why this is correct (informally)
+//!
+//! A read is safe once every flow-earlier write has been performed:
+//! `local.last_registered_write == shared.last_executed_write`. A write
+//! additionally needs every flow-earlier read since that write to be
+//! performed: `local.nb_reads_since_write == shared.nb_reads_since_write`.
+//! The shared `last_executed_write` can never "skip past" the value a
+//! waiter expects: a later write W₂ itself waits for all accesses
+//! registered before it, including the waiter's task. The formal version of
+//! this argument is checked by `rio-mc` (refinement of the STF spec).
+//!
+//! ## Memory ordering
+//!
+//! `terminate_write` resets `nb_reads_since_write` with a relaxed store
+//! *before* publishing `last_executed_write` with `Release`; `get_*` loads
+//! `last_executed_write` with `Acquire`. Observing the expected write id
+//! therefore also makes the reset — and the task body's data writes —
+//! visible. `terminate_read` publishes with `Release` so that a writer that
+//! acquires the matching reader count is ordered after the read body.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+use rio_stf::TaskId;
+
+use crate::wait::WaitStrategy;
+
+/// Run-wide abort flag. When a task body panics, the executing worker
+/// *arms* the poison and wakes every parked waiter; other workers observe
+/// it inside their `get_*` waits (and between tasks) and unwind instead of
+/// blocking forever on dependencies that will never be satisfied.
+#[derive(Debug, Default)]
+pub struct Poison(AtomicBool);
+
+impl Poison {
+    /// A fresh, un-armed poison flag.
+    pub fn new() -> Poison {
+        Poison(AtomicBool::new(false))
+    }
+
+    /// Arms the flag. Idempotent.
+    #[cold]
+    pub fn arm(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has a sibling worker failed?
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Arms the flag and wakes every worker parked on any data object of
+    /// `table` so they can observe it.
+    #[cold]
+    pub fn arm_and_wake(&self, table: &[SharedDataState]) {
+        self.arm();
+        for shared in table {
+            shared.wake_all();
+        }
+    }
+}
+
+/// Private, per-worker view of one data object. Two plain integers — the
+/// "one or two writes in private memory per dependency" of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalDataState {
+    /// Reads encountered in the flow since the last encountered write.
+    pub nb_reads_since_write: u64,
+    /// Id of the last write operation encountered in the flow.
+    pub last_registered_write: TaskId,
+}
+
+impl Default for LocalDataState {
+    fn default() -> Self {
+        LocalDataState {
+            nb_reads_since_write: 0,
+            last_registered_write: TaskId::NONE,
+        }
+    }
+}
+
+/// Shared, synchronized state of one data object: two integers plus the
+/// parking facility used by [`WaitStrategy::Park`]. Padded to its own cache
+/// lines — this is the only memory the protocol contends on.
+#[repr(align(128))]
+pub struct SharedDataState {
+    /// Reads *performed* since the last performed write.
+    nb_reads_since_write: AtomicU64,
+    /// Id of the last write *performed* (`TaskId::NONE` initially).
+    last_executed_write: AtomicU64,
+    /// Parking lot for blocked `get_*` calls (Park strategy only).
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Default for SharedDataState {
+    fn default() -> Self {
+        SharedDataState {
+            nb_reads_since_write: AtomicU64::new(0),
+            last_executed_write: AtomicU64::new(TaskId::NONE.0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedDataState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedDataState")
+            .field(
+                "nb_reads_since_write",
+                &self.nb_reads_since_write.load(Ordering::Relaxed),
+            )
+            .field(
+                "last_executed_write",
+                &self.last_executed_write.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl SharedDataState {
+    /// Allocates shared states for `n` data objects.
+    pub fn new_table(n: usize) -> Box<[SharedDataState]> {
+        (0..n).map(|_| SharedDataState::default()).collect()
+    }
+
+    /// Snapshot of `(nb_reads_since_write, last_executed_write)` for tests
+    /// and diagnostics.
+    pub fn snapshot(&self) -> (u64, TaskId) {
+        (
+            self.nb_reads_since_write.load(Ordering::Acquire),
+            TaskId(self.last_executed_write.load(Ordering::Acquire)),
+        )
+    }
+
+    /// Wakes every worker parked on this object.
+    #[cold]
+    fn wake_all(&self) {
+        // Taking (and immediately releasing) the lock guarantees that any
+        // waiter which checked the condition before our state update is
+        // either already inside `cond.wait` (and will receive the notify)
+        // or will re-check after acquiring the lock and see the update.
+        drop(self.lock.lock());
+        self.cond.notify_all();
+    }
+
+    /// Waits until `cond()` holds, according to `strategy`. Returns the
+    /// number of polls performed (0 = fast path, condition already true).
+    #[inline]
+    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn() -> bool) -> u64 {
+        if cond() {
+            return 0;
+        }
+        let mut polls: u64 = 0;
+        // Short pure-spin phase common to all strategies.
+        while polls < u64::from(WaitStrategy::SPIN_LIMIT) {
+            std::hint::spin_loop();
+            polls += 1;
+            if cond() {
+                return polls;
+            }
+        }
+        match strategy {
+            WaitStrategy::Spin => loop {
+                std::hint::spin_loop();
+                polls += 1;
+                if cond() {
+                    return polls;
+                }
+            },
+            WaitStrategy::SpinYield => loop {
+                std::thread::yield_now();
+                polls += 1;
+                if cond() {
+                    return polls;
+                }
+            },
+            WaitStrategy::Park => {
+                let mut guard = self.lock.lock();
+                loop {
+                    if cond() {
+                        return polls;
+                    }
+                    self.cond.wait(&mut guard);
+                    polls += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Declares (without executing) a read encountered in the flow
+/// (Algorithm 2, `declare_read`). One private write.
+#[inline]
+pub fn declare_read(local: &mut LocalDataState) {
+    local.nb_reads_since_write += 1;
+}
+
+/// Declares (without executing) a write encountered in the flow
+/// (Algorithm 2, `declare_write`). Two private writes.
+#[inline]
+pub fn declare_write(local: &mut LocalDataState, task: TaskId) {
+    local.nb_reads_since_write = 0;
+    local.last_registered_write = task;
+}
+
+/// Blocks until the data object may be read by the current task
+/// (Algorithm 2, `get_read`): every flow-earlier write must have been
+/// performed. Returns the number of polls (0 = no waiting).
+#[inline]
+pub fn get_read(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    strategy: WaitStrategy,
+    poison: &Poison,
+) -> u64 {
+    let expected = local.last_registered_write.0;
+    shared.wait_until(strategy, || {
+        shared.last_executed_write.load(Ordering::Acquire) == expected || poison.armed()
+    })
+}
+
+/// Blocks until the data object may be written by the current task
+/// (Algorithm 2, `get_write`): every flow-earlier write *and read* must
+/// have been performed. Returns the number of polls (0 = no waiting).
+#[inline]
+pub fn get_write(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    strategy: WaitStrategy,
+    poison: &Poison,
+) -> u64 {
+    let expected_write = local.last_registered_write.0;
+    let expected_reads = local.nb_reads_since_write;
+    shared.wait_until(strategy, || {
+        // Order matters: acquiring the expected `last_executed_write` makes
+        // the matching epoch's `nb_reads_since_write` (reset included)
+        // visible, so the equality below cannot observe a stale epoch.
+        (shared.last_executed_write.load(Ordering::Acquire) == expected_write
+            && shared.nb_reads_since_write.load(Ordering::Acquire) == expected_reads)
+            || poison.armed()
+    })
+}
+
+/// Publishes a performed read (Algorithm 2, `terminate_read`) and updates
+/// the executing worker's private view.
+#[inline]
+pub fn terminate_read(
+    shared: &SharedDataState,
+    local: &mut LocalDataState,
+    strategy: WaitStrategy,
+) {
+    shared.nb_reads_since_write.fetch_add(1, Ordering::Release);
+    if strategy == WaitStrategy::Park {
+        shared.wake_all();
+    }
+    declare_read(local);
+}
+
+/// Publishes a performed write (Algorithm 2, `terminate_write`) and updates
+/// the executing worker's private view.
+#[inline]
+pub fn terminate_write(
+    shared: &SharedDataState,
+    local: &mut LocalDataState,
+    task: TaskId,
+    strategy: WaitStrategy,
+) {
+    // Reset the reader count *before* the Release publication of the write
+    // id: observers that acquire the new id also observe the reset.
+    shared.nb_reads_since_write.store(0, Ordering::Relaxed);
+    shared.last_executed_write.store(task.0, Ordering::Release);
+    if strategy == WaitStrategy::Park {
+        shared.wake_all();
+    }
+    declare_write(local, task);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const S: WaitStrategy = WaitStrategy::SpinYield;
+
+    fn ok() -> Poison {
+        Poison::new()
+    }
+
+    #[test]
+    fn initial_states_agree() {
+        let shared = SharedDataState::default();
+        let local = LocalDataState::default();
+        assert_eq!(shared.snapshot(), (0, TaskId::NONE));
+        assert_eq!(local.last_registered_write, TaskId::NONE);
+        // A read of never-written data is immediately ready.
+        assert_eq!(get_read(&shared, &local, S, &ok()), 0);
+        // So is a write.
+        assert_eq!(get_write(&shared, &local, S, &ok()), 0);
+    }
+
+    #[test]
+    fn declare_read_counts_and_write_resets() {
+        let mut local = LocalDataState::default();
+        declare_read(&mut local);
+        declare_read(&mut local);
+        assert_eq!(local.nb_reads_since_write, 2);
+        declare_write(&mut local, TaskId(7));
+        assert_eq!(local.nb_reads_since_write, 0);
+        assert_eq!(local.last_registered_write, TaskId(7));
+    }
+
+    #[test]
+    fn terminate_updates_both_shared_and_local() {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+
+        terminate_write(&shared, &mut local, TaskId(1), S);
+        assert_eq!(shared.snapshot(), (0, TaskId(1)));
+        assert_eq!(local.last_registered_write, TaskId(1));
+
+        terminate_read(&shared, &mut local, S);
+        assert_eq!(shared.snapshot(), (1, TaskId(1)));
+        assert_eq!(local.nb_reads_since_write, 1);
+    }
+
+    #[test]
+    fn single_worker_wrw_sequence_never_waits() {
+        // One worker owning every task never waits: its private view always
+        // matches the shared state it itself produced.
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+
+        assert_eq!(get_write(&shared, &local, S, &ok()), 0);
+        terminate_write(&shared, &mut local, TaskId(1), S);
+
+        assert_eq!(get_read(&shared, &local, S, &ok()), 0);
+        terminate_read(&shared, &mut local, S);
+
+        assert_eq!(get_write(&shared, &local, S, &ok()), 0);
+        terminate_write(&shared, &mut local, TaskId(3), S);
+
+        assert_eq!(shared.snapshot(), (0, TaskId(3)));
+    }
+
+    #[test]
+    fn read_waits_for_the_registered_write() {
+        // Worker B registered A's write T1, then owns a read T2.
+        let shared = Arc::new(SharedDataState::default());
+
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1)); // B registers A's write
+
+        let s = Arc::clone(&shared);
+        let a = std::thread::spawn(move || {
+            let mut local_a = LocalDataState::default();
+            // A owns T1: ready immediately (no prior accesses).
+            assert_eq!(get_write(&s, &local_a, S, &ok()), 0);
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            terminate_write(&s, &mut local_a, TaskId(1), S);
+        });
+
+        // B's get_read must block until A terminates.
+        get_read(&shared, &local_b, S, &ok());
+        assert_eq!(shared.snapshot().1, TaskId(1));
+        a.join().unwrap();
+    }
+
+    #[test]
+    fn write_waits_for_all_registered_reads() {
+        // Flow: T1 = A reads, T2 = B reads, T3 = C writes.
+        // C registered both reads; its get_write must see both terminate.
+        let shared = Arc::new(SharedDataState::default());
+
+        let mut local_c = LocalDataState::default();
+        declare_read(&mut local_c);
+        declare_read(&mut local_c);
+
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let s = Arc::clone(&shared);
+            readers.push(std::thread::spawn(move || {
+                let mut local = LocalDataState::default();
+                assert_eq!(get_read(&s, &local, S, &ok()), 0);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                terminate_read(&s, &mut local, S);
+            }));
+        }
+
+        get_write(&shared, &local_c, S, &ok());
+        assert_eq!(shared.snapshot().0, 2, "both reads were performed");
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn park_strategy_blocks_and_wakes() {
+        let shared = Arc::new(SharedDataState::default());
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1));
+
+        let s = Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            get_read(&s, &local_b, WaitStrategy::Park, &ok());
+            s.snapshot().1
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
+        assert_eq!(waiter.join().unwrap(), TaskId(1));
+    }
+
+    #[test]
+    fn spin_strategy_also_completes() {
+        let shared = Arc::new(SharedDataState::default());
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1));
+
+        let s = Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            get_read(&s, &local_b, WaitStrategy::Spin, &ok());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Spin);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn reader_count_epoch_cannot_be_confused() {
+        // Epoch 1: two reads performed. A write resets. Epoch 2: two more
+        // reads. A writer expecting (write=T4, reads=2) must not be fooled
+        // by the epoch-1 count.
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+
+        // Epoch 1 (performed by this same worker for simplicity).
+        terminate_read(&shared, &mut local, S);
+        terminate_read(&shared, &mut local, S);
+        terminate_write(&shared, &mut local, TaskId(4), S);
+        assert_eq!(shared.snapshot(), (0, TaskId(4)));
+
+        // Epoch 2.
+        terminate_read(&shared, &mut local, S);
+        terminate_read(&shared, &mut local, S);
+        assert_eq!(get_write(&shared, &local, S, &ok()), 0);
+        assert_eq!(shared.snapshot(), (2, TaskId(4)));
+    }
+
+    #[test]
+    fn shared_state_is_cache_line_padded() {
+        assert!(std::mem::align_of::<SharedDataState>() >= 128);
+    }
+}

@@ -1,0 +1,71 @@
+//! Wait strategies for the blocking `get_read` / `get_write` operations.
+//!
+//! The protocol's `get_*` routines "may require … potentially waiting for
+//! other threads" (§3.4). *How* to wait is an execution-model knob with a
+//! real performance trade-off, so it is configurable and benchmarked
+//! (`bench/ablation`):
+//!
+//! * [`WaitStrategy::Spin`] — busy-poll with `spin_loop` hints. Lowest
+//!   wake-up latency; burns a hardware thread while waiting. Only sensible
+//!   when workers ≤ cores and waits are short.
+//! * [`WaitStrategy::SpinYield`] — spin briefly, then `yield_now` between
+//!   polls. Keeps latency low while letting the OS run somebody else;
+//!   a good default on oversubscribed machines.
+//! * [`WaitStrategy::Park`] — spin briefly, then block on the data object's
+//!   mutex + condvar (the paper's prototype "uses mutexes for
+//!   synchronization"). Zero CPU while blocked, which also makes idle time
+//!   directly observable from CPU-time accounting, exactly like the paper's
+//!   measurement methodology (§5.1).
+
+/// How a worker waits inside `get_read` / `get_write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitStrategy {
+    /// Pure busy-wait.
+    Spin,
+    /// Busy-wait with `std::thread::yield_now` between polls after a short
+    /// pure-spin phase.
+    SpinYield,
+    /// Short spin, then block on the per-data condition variable until a
+    /// `terminate_*` wakes us.
+    Park,
+}
+
+impl WaitStrategy {
+    /// Number of pure-spin polls before escalating (yield or park).
+    pub(crate) const SPIN_LIMIT: u32 = 64;
+}
+
+impl Default for WaitStrategy {
+    /// [`WaitStrategy::Park`]: the paper's choice, and the only strategy
+    /// that stays live when workers outnumber hardware threads.
+    fn default() -> Self {
+        WaitStrategy::Park
+    }
+}
+
+impl std::fmt::Display for WaitStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WaitStrategy::Spin => "spin",
+            WaitStrategy::SpinYield => "spin-yield",
+            WaitStrategy::Park => "park",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_park() {
+        assert_eq!(WaitStrategy::default(), WaitStrategy::Park);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(WaitStrategy::Spin.to_string(), "spin");
+        assert_eq!(WaitStrategy::SpinYield.to_string(), "spin-yield");
+        assert_eq!(WaitStrategy::Park.to_string(), "park");
+    }
+}

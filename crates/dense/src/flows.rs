@@ -1,0 +1,364 @@
+//! STF task flows for the tiled algorithms, runnable on any runtime of the
+//! workspace (RIO or centralized) with *real* linear-algebra kernels.
+//!
+//! Each flow bundles:
+//!
+//! * the recorded [`TaskGraph`] (the dependency structure the paper's
+//!   Experiments 3 and 4 use),
+//! * per-task metadata (which tiles, which kernel),
+//! * a kernel closure factory over a [`DataStore`] of tiles,
+//! * an *owner-computes*, 2-D block-cyclic [`TableMapping`] — the "proper
+//!   task mapping supplied by the programmer" the decentralized model
+//!   requires (§3.2, citing ScaLAPACK-style distributions).
+
+use rio_stf::mapping::block_cyclic_owner;
+use rio_stf::{Access, DataId, DataStore, TableMapping, TaskDesc, TaskGraph, WorkerId};
+
+use crate::gemm::{dgemm, gemm_flops};
+use crate::lu::{gemm_update, getrf_inplace, trsm_left_lower, trsm_right_upper};
+use crate::matrix::Matrix;
+use crate::tiled::TileLayout;
+
+// ---------------------------------------------------------------------
+// Tiled GEMM
+// ---------------------------------------------------------------------
+
+/// Tiled matrix multiplication `C = A · B` as an STF flow.
+///
+/// Data objects: `A` tiles at base 0, `B` tiles at base `t²`, `C` tiles at
+/// base `2t²`. Tasks: one GEMM accumulation per `(i, j, k)` triple,
+/// submitted `k`-outermost so each `C` tile's chain appears in dependency
+/// order.
+pub struct GemmFlow {
+    /// The recorded flow.
+    pub graph: TaskGraph,
+    /// Tile geometry.
+    pub layout: TileLayout,
+    /// `(i, j, k)` per task, indexed by flow position.
+    meta: Vec<(u32, u32, u32)>,
+}
+
+/// Builds the tiled-GEMM flow for a `grid × grid` tile grid of
+/// `tile × tile` tiles.
+pub fn tiled_gemm_flow(grid: usize, tile: usize) -> GemmFlow {
+    let layout = TileLayout::new(grid, tile);
+    let t2 = layout.num_tiles();
+    let mut b = TaskGraph::builder(3 * t2);
+    let mut meta = Vec::with_capacity(grid * grid * grid);
+    let flops = gemm_flops(tile, tile, tile);
+    for k in 0..grid {
+        for j in 0..grid {
+            for i in 0..grid {
+                let a = layout.data_id(0, i, k);
+                let bb = layout.data_id(t2, k, j);
+                let c = layout.data_id(2 * t2, i, j);
+                b.task(
+                    &[Access::read(a), Access::read(bb), Access::read_write(c)],
+                    flops,
+                    "gemm",
+                );
+                meta.push((i as u32, j as u32, k as u32));
+            }
+        }
+    }
+    GemmFlow {
+        graph: b.build(),
+        layout,
+        meta,
+    }
+}
+
+impl GemmFlow {
+    /// Builds the tile store: `A` and `B` split into tiles, `C` zeroed.
+    ///
+    /// # Panics
+    /// If `a`/`b` are not `matrix_size × matrix_size`.
+    pub fn make_store(&self, a: &Matrix, b: &Matrix) -> DataStore<Matrix> {
+        let mut tiles = self.layout.split(a);
+        tiles.extend(self.layout.split(b));
+        let z = Matrix::zeros(self.layout.tile, self.layout.tile);
+        tiles.extend(std::iter::repeat_with(|| z.clone()).take(self.layout.num_tiles()));
+        DataStore::from_vec(tiles)
+    }
+
+    /// Real-compute kernel over `store`: `C(i,j) += A(i,k) · B(k,j)`.
+    pub fn kernel<'s>(
+        &'s self,
+        store: &'s DataStore<Matrix>,
+    ) -> impl Fn(WorkerId, &TaskDesc) + Sync + 's {
+        let t2 = self.layout.num_tiles();
+        move |_, t: &TaskDesc| {
+            let (i, j, k) = self.meta[t.id.index()];
+            let (i, j, k) = (i as usize, j as usize, k as usize);
+            let a = store.read(self.layout.data_id(0, i, k));
+            let b = store.read(self.layout.data_id(t2, k, j));
+            let mut c = store.write(self.layout.data_id(2 * t2, i, j));
+            dgemm(1.0, &a, &b, 1.0, &mut c);
+        }
+    }
+
+    /// Owner-computes mapping: task `(i, j, k)` runs on the 2-D
+    /// block-cyclic owner of `C(i, j)`.
+    pub fn owner_mapping(&self, workers: usize) -> TableMapping {
+        TableMapping::new(
+            self.meta
+                .iter()
+                .map(|&(i, j, _)| block_cyclic_owner(i as usize, j as usize, workers))
+                .collect(),
+        )
+    }
+
+    /// Extracts the product matrix `C` from the store after a run.
+    pub fn extract_c(&self, store: &DataStore<Matrix>) -> Matrix {
+        let t2 = self.layout.num_tiles();
+        let tiles: Vec<Matrix> = (0..t2)
+            .map(|x| store.read(DataId::from_index(2 * t2 + x)).clone())
+            .collect();
+        self.layout.assemble(&tiles)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tiled LU
+// ---------------------------------------------------------------------
+
+/// Which tile kernel a LU task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LuOp {
+    /// Factorize the diagonal tile `(k, k)`.
+    Getrf { k: u32 },
+    /// `A(k, j) ← L(A(k,k))⁻¹ · A(k, j)`.
+    TrsmL { k: u32, j: u32 },
+    /// `A(i, k) ← A(i, k) · U(A(k,k))⁻¹`.
+    TrsmR { k: u32, i: u32 },
+    /// `A(i, j) ← A(i, j) − A(i, k) · A(k, j)`.
+    Gemm { k: u32, i: u32, j: u32 },
+}
+
+/// Tiled LU factorization without pivoting as an STF flow
+/// (the paper's Experiment 4 dependency graph).
+pub struct LuFlow {
+    /// The recorded flow.
+    pub graph: TaskGraph,
+    /// Tile geometry.
+    pub layout: TileLayout,
+    ops: Vec<LuOp>,
+}
+
+/// Builds the tiled-LU flow for a `grid × grid` tile grid of `tile × tile`
+/// tiles.
+pub fn tiled_lu_flow(grid: usize, tile: usize) -> LuFlow {
+    let layout = TileLayout::new(grid, tile);
+    let mut b = TaskGraph::builder(layout.num_tiles());
+    let mut ops = Vec::new();
+    let flops = gemm_flops(tile, tile, tile); // order-of-magnitude hint
+    let id = |i: usize, j: usize| layout.data_id(0, i, j);
+    for k in 0..grid {
+        b.task(&[Access::read_write(id(k, k))], flops / 3, "getrf");
+        ops.push(LuOp::Getrf { k: k as u32 });
+        for j in k + 1..grid {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(k, j))],
+                flops / 2,
+                "trsm_l",
+            );
+            ops.push(LuOp::TrsmL {
+                k: k as u32,
+                j: j as u32,
+            });
+        }
+        for i in k + 1..grid {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(i, k))],
+                flops / 2,
+                "trsm_r",
+            );
+            ops.push(LuOp::TrsmR {
+                k: k as u32,
+                i: i as u32,
+            });
+        }
+        for j in k + 1..grid {
+            for i in k + 1..grid {
+                b.task(
+                    &[
+                        Access::read(id(i, k)),
+                        Access::read(id(k, j)),
+                        Access::read_write(id(i, j)),
+                    ],
+                    flops,
+                    "gemm",
+                );
+                ops.push(LuOp::Gemm {
+                    k: k as u32,
+                    i: i as u32,
+                    j: j as u32,
+                });
+            }
+        }
+    }
+    LuFlow {
+        graph: b.build(),
+        layout,
+        ops,
+    }
+}
+
+impl LuFlow {
+    /// Splits the input matrix into the tile store.
+    pub fn make_store(&self, a: &Matrix) -> DataStore<Matrix> {
+        DataStore::from_vec(self.layout.split(a))
+    }
+
+    /// Real-compute kernel over `store`.
+    pub fn kernel<'s>(
+        &'s self,
+        store: &'s DataStore<Matrix>,
+    ) -> impl Fn(WorkerId, &TaskDesc) + Sync + 's {
+        let id = |i: u32, j: u32| self.layout.data_id(0, i as usize, j as usize);
+        move |_, t: &TaskDesc| match self.ops[t.id.index()] {
+            LuOp::Getrf { k } => getrf_inplace(&mut store.write(id(k, k))),
+            LuOp::TrsmL { k, j } => {
+                let dkk = store.read(id(k, k));
+                trsm_left_lower(&dkk, &mut store.write(id(k, j)));
+            }
+            LuOp::TrsmR { k, i } => {
+                let dkk = store.read(id(k, k));
+                trsm_right_upper(&dkk, &mut store.write(id(i, k)));
+            }
+            LuOp::Gemm { k, i, j } => {
+                let aik = store.read(id(i, k));
+                let akj = store.read(id(k, j));
+                gemm_update(&aik, &akj, &mut store.write(id(i, j)));
+            }
+        }
+    }
+
+    /// Owner-computes mapping: each task runs on the 2-D block-cyclic
+    /// owner of the tile it *modifies*.
+    pub fn owner_mapping(&self, workers: usize) -> TableMapping {
+        TableMapping::new(
+            self.ops
+                .iter()
+                .map(|op| {
+                    let (i, j) = match *op {
+                        LuOp::Getrf { k } => (k, k),
+                        LuOp::TrsmL { k, j } => (k, j),
+                        LuOp::TrsmR { k, i } => (i, k),
+                        LuOp::Gemm { i, j, .. } => (i, j),
+                    };
+                    block_cyclic_owner(i as usize, j as usize, workers)
+                })
+                .collect(),
+        )
+    }
+
+    /// Reassembles the factored matrix from the store after a run.
+    pub fn extract(&self, store: &DataStore<Matrix>) -> Matrix {
+        let tiles: Vec<Matrix> = (0..self.layout.num_tiles())
+            .map(|x| store.read(DataId::from_index(x)).clone())
+            .collect();
+        self.layout.assemble(&tiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::sequential::run_graph;
+
+    #[test]
+    fn gemm_flow_shape() {
+        let f = tiled_gemm_flow(3, 4);
+        assert_eq!(f.graph.len(), 27, "t³ gemm tasks");
+        assert_eq!(f.graph.num_data(), 27, "3·t² tiles");
+        assert!(f.graph.validate().is_ok());
+        let stats = f.graph.stats();
+        assert_eq!(stats.critical_path_tasks, 3, "each C tile chains k steps");
+    }
+
+    #[test]
+    fn gemm_flow_sequential_execution_computes_the_product() {
+        let f = tiled_gemm_flow(3, 5);
+        let n = f.layout.matrix_size();
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        let store = f.make_store(&a, &b);
+        let kernel = f.kernel(&store);
+        run_graph(&f.graph, |t| kernel(WorkerId(0), f.graph.task(t)));
+        let c = f.extract_c(&store);
+        assert!(c.max_abs_diff(&a.matmul_naive(&b)) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_mapping_covers_all_workers() {
+        let f = tiled_gemm_flow(4, 2);
+        for workers in [1, 2, 3, 4, 6] {
+            let m = f.owner_mapping(workers);
+            assert!(m.validate(workers));
+            let load = m.load(workers);
+            assert!(
+                load.iter().all(|&l| l > 0),
+                "{workers} workers: load {load:?} has an idle worker"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_flow_shape() {
+        // t=3: per k, 1 getrf + 2(t-1-k)... total = sum_k 1 + 2(t-1-k) + (t-1-k)^2.
+        let f = tiled_lu_flow(3, 4);
+        let expected: usize = (0..3).map(|k| 1 + 2 * (2 - k) + (2 - k) * (2 - k)).sum();
+        assert_eq!(f.graph.len(), expected);
+        assert!(f.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn lu_flow_sequential_execution_factorizes() {
+        let f = tiled_lu_flow(3, 6);
+        let n = f.layout.matrix_size();
+        let a = Matrix::random_diag_dominant(n, 99);
+        let store = f.make_store(&a);
+        let kernel = f.kernel(&store);
+        run_graph(&f.graph, |t| kernel(WorkerId(0), f.graph.task(t)));
+        let factored = f.extract(&store);
+
+        let mut reference = a.clone();
+        getrf_inplace(&mut reference);
+        assert!(factored.max_abs_diff(&reference) < 1e-11);
+    }
+
+    #[test]
+    fn lu_mapping_is_valid() {
+        let f = tiled_lu_flow(4, 2);
+        for workers in [1, 2, 4] {
+            assert!(f.owner_mapping(workers).validate(workers));
+        }
+    }
+
+    #[test]
+    fn block_cyclic_owner_is_deterministic_and_bounded() {
+        for w in 1..9 {
+            for i in 0..6 {
+                for j in 0..6 {
+                    let o = block_cyclic_owner(i, j, w);
+                    assert!(o.index() < w);
+                    assert_eq!(o, block_cyclic_owner(i, j, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_cyclic_uses_all_workers_on_large_grids() {
+        for w in [2, 3, 4, 6, 8] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..8 {
+                for j in 0..8 {
+                    seen.insert(block_cyclic_owner(i, j, w));
+                }
+            }
+            assert_eq!(seen.len(), w, "{w} workers all own some tile");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Cache-blocked sequential DGEMM (the MKL stand-in for Figures 2–4).
+//!
+//! `C ← α·A·B + β·C`, column-major. The kernel uses classic three-level
+//! loop blocking (`MC × KC × NC` panels) with a column-major-friendly
+//! innermost loop that LLVM auto-vectorizes. It is intentionally a *plain
+//! good* kernel, not a peak one: what the figures need is the *shape* of
+//! its efficiency curve — high on large matrices where panels stay in
+//! cache and get amortized, degraded on small tiles where the blocking is
+//! pure overhead and cache reuse disappears. That degradation is the
+//! granularity-efficiency term `e_g` of §2.3.
+
+use crate::matrix::Matrix;
+
+/// Panel height (rows of A kept hot in L2).
+const MC: usize = 128;
+/// Panel depth (shared dimension slab kept hot in L1).
+const KC: usize = 128;
+/// Panel width (columns of B per outer sweep).
+const NC: usize = 128;
+
+/// `C ← α·A·B + β·C` (column-major, f64).
+///
+/// # Panics
+/// On dimension mismatch.
+pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions must agree");
+    assert_eq!(c.rows(), m, "C rows must match A rows");
+    assert_eq!(c.cols(), n, "C cols must match B cols");
+
+    if beta != 1.0 {
+        for x in c.as_mut_slice() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+
+    // Three-level blocking: jc (NC) -> pc (KC) -> ic (MC), then a
+    // j/p-ordered micro sweep with a contiguous AXPY over C's column.
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mb = MC.min(m - ic);
+                for j in jc..jc + nb {
+                    let c_col = &mut cv[j * m + ic..j * m + ic + mb];
+                    for p in pc..pc + kb {
+                        let scale = alpha * bv[p + j * k];
+                        if scale == 0.0 {
+                            continue;
+                        }
+                        let a_col = &av[p * m + ic..p * m + ic + mb];
+                        // Contiguous AXPY over the C column: vectorizes.
+                        for (cij, aip) in c_col.iter_mut().zip(a_col) {
+                            *cij += scale * aip;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Floating-point operations of an `m × k` by `k × n` multiply-accumulate.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let d = a.max_abs_diff(b);
+        assert!(d < tol, "max diff {d} exceeds {tol}");
+    }
+
+    #[test]
+    fn matches_naive_on_small_sizes() {
+        for (m, n, k) in [(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 3, 9), (16, 16, 16)] {
+            let a = Matrix::random(m, k, 1);
+            let b = Matrix::random(k, n, 2);
+            let expected = a.matmul_naive(&b);
+            let mut c = Matrix::zeros(m, n);
+            dgemm(1.0, &a, &b, 0.0, &mut c);
+            assert_close(&c, &expected, 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_block_boundaries() {
+        // Sizes straddling MC/KC/NC = 128.
+        for (m, n, k) in [(127, 129, 128), (130, 67, 200), (256, 128, 64)] {
+            let a = Matrix::random(m, k, 3);
+            let b = Matrix::random(k, n, 4);
+            let expected = a.matmul_naive(&b);
+            let mut c = Matrix::zeros(m, n);
+            dgemm(1.0, &a, &b, 0.0, &mut c);
+            assert_close(&c, &expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = Matrix::random(8, 8, 5);
+        let b = Matrix::random(8, 8, 6);
+        let c0 = Matrix::random(8, 8, 7);
+
+        // C = 2*A*B + 3*C0
+        let mut c = c0.clone();
+        dgemm(2.0, &a, &b, 3.0, &mut c);
+
+        let mut expected = a.matmul_naive(&b);
+        for j in 0..8 {
+            for i in 0..8 {
+                expected[(i, j)] = 2.0 * expected[(i, j)] + 3.0 * c0[(i, j)];
+            }
+        }
+        assert_close(&c, &expected, 1e-12);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = Matrix::identity(4);
+        let b = Matrix::random(4, 4, 9);
+        let mut c = Matrix::from_fn(4, 4, |_, _| f64::MAX / 4.0);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        assert_close(&c, &b, 1e-15);
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let a = Matrix::random(4, 4, 1);
+        let b = Matrix::random(4, 4, 2);
+        let c0 = Matrix::random(4, 4, 3);
+        let mut c = c0.clone();
+        dgemm(0.0, &a, &b, 0.5, &mut c);
+        let mut expected = c0;
+        for x in expected.as_mut_slice() {
+            *x *= 0.5;
+        }
+        assert_close(&c, &expected, 1e-15);
+    }
+
+    #[test]
+    fn accumulation_is_exact_for_integers() {
+        // Integer-valued inputs keep f64 arithmetic exact: C += A*B twice.
+        let a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut c = Matrix::zeros(3, 3);
+        dgemm(1.0, &a, &b, 1.0, &mut c);
+        dgemm(1.0, &a, &b, 1.0, &mut c);
+        let mut expected = a.matmul_naive(&b);
+        for x in expected.as_mut_slice() {
+            *x *= 2.0;
+        }
+        assert_eq!(c.max_abs_diff(&expected), 0.0);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let mut c = Matrix::zeros(0, 0);
+        dgemm(1.0, &a, &b, 0.0, &mut c); // must not panic
+    }
+}

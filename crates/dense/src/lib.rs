@@ -1,0 +1,32 @@
+//! # rio-dense — dense linear-algebra substrate
+//!
+//! The paper's kernel-level experiments (Figs. 2–4) use the Intel MKL
+//! DGEMM; its evaluation workloads use the dependency graphs of tiled
+//! matrix multiplication and tiled LU factorization. This crate is the
+//! stand-in substrate, built from scratch:
+//!
+//! * [`matrix`] — a column-major `f64` [`Matrix`] with reference
+//!   (naive) multiplication and error norms for verification;
+//! * [`gemm`] — a cache-blocked sequential DGEMM whose efficiency degrades
+//!   at small tile sizes, the property Figures 2–3 measure;
+//! * [`lu`] — unblocked in-place LU factorization without pivoting plus
+//!   the three tile kernels of the tiled algorithm (`getrf`, `trsm_left`,
+//!   `trsm_right`) and reconstruction-based verification;
+//! * [`tiled`] — tile layout: an `n × n` matrix as a grid of contiguous
+//!   `b × b` tiles, each tile a data object;
+//! * [`flows`] — STF task-flow builders: tiled GEMM and tiled LU as
+//!   [`TaskGraph`](rio_stf::TaskGraph)s plus real-compute kernels over a
+//!   [`DataStore`](rio_stf::DataStore) of tiles, runnable on *any* runtime
+//!   in this workspace.
+
+pub mod flows;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod tiled;
+
+pub use flows::{tiled_gemm_flow, tiled_lu_flow, GemmFlow, LuFlow};
+pub use gemm::{dgemm, gemm_flops};
+pub use lu::{getrf_inplace, trsm_left_lower, trsm_right_upper};
+pub use matrix::Matrix;
+pub use tiled::TileLayout;

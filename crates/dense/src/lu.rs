@@ -1,0 +1,261 @@
+//! LU factorization without pivoting: the unblocked kernel and the tile
+//! operations of the tiled algorithm (the paper's Experiment 4 workload).
+//!
+//! The tiled right-looking algorithm over an `t × t` grid of tiles is:
+//!
+//! ```text
+//! for k in 0..t:
+//!     getrf(A[k][k])                                   # RW A[k][k]
+//!     for j in k+1..t: trsm_left (A[k][k], A[k][j])    # R  A[k][k], RW A[k][j]
+//!     for i in k+1..t: trsm_right(A[k][k], A[i][k])    # R  A[k][k], RW A[i][k]
+//!     for i,j in k+1..t: gemm(A[i][k], A[k][j], A[i][j]) # R, R, RW
+//! ```
+//!
+//! No pivoting means the inputs must have nonsingular leading minors;
+//! [`crate::Matrix::random_diag_dominant`] generates suitable test data.
+
+use crate::gemm::dgemm;
+use crate::matrix::Matrix;
+
+/// In-place unblocked LU factorization without pivoting.
+///
+/// On return, the strictly-lower part of `a` holds `L` (unit diagonal
+/// implied) and the upper triangle holds `U`.
+///
+/// # Panics
+/// If `a` is not square, or a zero (non-finite) pivot is hit.
+pub fn getrf_inplace(a: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "LU needs a square matrix");
+    for k in 0..n {
+        let pivot = a[(k, k)];
+        assert!(
+            pivot.is_finite() && pivot != 0.0,
+            "zero/non-finite pivot at step {k}: LU without pivoting failed"
+        );
+        for i in k + 1..n {
+            a[(i, k)] /= pivot;
+        }
+        for j in k + 1..n {
+            let u = a[(k, j)];
+            if u == 0.0 {
+                continue;
+            }
+            for i in k + 1..n {
+                let l = a[(i, k)];
+                a[(i, j)] -= l * u;
+            }
+        }
+    }
+}
+
+/// Solves `L · X = B` in place of `b`, with `L` the unit-lower triangle of
+/// `lu` — the "row panel" update `A[k][j] ← L(A[k][k])⁻¹ · A[k][j]`.
+pub fn trsm_left_lower(lu: &Matrix, b: &mut Matrix) {
+    let n = lu.rows();
+    assert_eq!(n, lu.cols());
+    assert_eq!(b.rows(), n);
+    for j in 0..b.cols() {
+        for k in 0..n {
+            let x = b[(k, j)];
+            if x == 0.0 {
+                continue;
+            }
+            for i in k + 1..n {
+                let l = lu[(i, k)];
+                b[(i, j)] -= l * x;
+            }
+        }
+    }
+}
+
+/// Solves `X · U = B` in place of `b`, with `U` the upper triangle of
+/// `lu` — the "column panel" update `A[i][k] ← A[i][k] · U(A[k][k])⁻¹`.
+pub fn trsm_right_upper(lu: &Matrix, b: &mut Matrix) {
+    let n = lu.rows();
+    assert_eq!(n, lu.cols());
+    assert_eq!(b.cols(), n);
+    for k in 0..n {
+        let pivot = lu[(k, k)];
+        for i in 0..b.rows() {
+            b[(i, k)] /= pivot;
+        }
+        for j in k + 1..n {
+            let u = lu[(k, j)];
+            if u == 0.0 {
+                continue;
+            }
+            for i in 0..b.rows() {
+                let x = b[(i, k)];
+                b[(i, j)] -= x * u;
+            }
+        }
+    }
+}
+
+/// The trailing update `C ← C − A·B` used by the tiled algorithm.
+pub fn gemm_update(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    dgemm(-1.0, a, b, 1.0, c);
+}
+
+/// Reconstructs `L · U` from a factored matrix (unit-lower `L`, upper `U`)
+/// for verification.
+pub fn lu_reconstruct(factored: &Matrix) -> Matrix {
+    let n = factored.rows();
+    let mut l = Matrix::identity(n);
+    let mut u = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            if i > j {
+                l[(i, j)] = factored[(i, j)];
+            } else {
+                u[(i, j)] = factored[(i, j)];
+            }
+        }
+    }
+    l.matmul_naive(&u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_of_identity_is_identity() {
+        let mut a = Matrix::identity(5);
+        getrf_inplace(&mut a);
+        assert!(a.max_abs_diff(&Matrix::identity(5)) < 1e-15);
+    }
+
+    #[test]
+    fn lu_reconstructs_the_input() {
+        for n in [1, 2, 3, 8, 17, 32] {
+            let a = Matrix::random_diag_dominant(n, 42 + n as u64);
+            let mut f = a.clone();
+            getrf_inplace(&mut f);
+            let back = lu_reconstruct(&f);
+            let rel = back.max_abs_diff(&a) / a.frobenius().max(1.0);
+            assert!(rel < 1e-12, "n={n}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn known_2x2_factorization() {
+        // A = [4 3; 6 3] => L = [1 0; 1.5 1], U = [4 3; 0 -1.5]
+        let mut a = Matrix::from_fn(2, 2, |i, j| [[4.0, 3.0], [6.0, 3.0]][i][j]);
+        getrf_inplace(&mut a);
+        assert!((a[(1, 0)] - 1.5).abs() < 1e-15);
+        assert!((a[(0, 0)] - 4.0).abs() < 1e-15);
+        assert!((a[(0, 1)] - 3.0).abs() < 1e-15);
+        assert!((a[(1, 1)] + 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero/non-finite pivot")]
+    fn singular_leading_minor_panics() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0; // a11 = 0: needs pivoting
+        getrf_inplace(&mut a);
+    }
+
+    #[test]
+    fn trsm_left_solves_unit_lower_systems() {
+        let a = Matrix::random_diag_dominant(6, 9);
+        let mut f = a.clone();
+        getrf_inplace(&mut f);
+        let b0 = Matrix::random(6, 3, 11);
+        let mut x = b0.clone();
+        trsm_left_lower(&f, &mut x);
+        // L * x must equal b0.
+        let mut l = Matrix::identity(6);
+        for j in 0..6 {
+            for i in j + 1..6 {
+                l[(i, j)] = f[(i, j)];
+            }
+        }
+        assert!(l.matmul_naive(&x).max_abs_diff(&b0) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_right_solves_upper_systems() {
+        let a = Matrix::random_diag_dominant(6, 13);
+        let mut f = a.clone();
+        getrf_inplace(&mut f);
+        let b0 = Matrix::random(3, 6, 15);
+        let mut x = b0.clone();
+        trsm_right_upper(&f, &mut x);
+        // x * U must equal b0.
+        let mut u = Matrix::zeros(6, 6);
+        for j in 0..6 {
+            for i in 0..=j {
+                u[(i, j)] = f[(i, j)];
+            }
+        }
+        assert!(x.matmul_naive(&u).max_abs_diff(&b0) < 1e-12);
+    }
+
+    #[test]
+    fn tiled_lu_matches_unblocked_lu() {
+        // Run the tiled algorithm *sequentially* with the tile kernels and
+        // compare against the unblocked factorization of the full matrix.
+        let t = 3; // tile grid
+        let b = 8; // tile size
+        let n = t * b;
+        let a = Matrix::random_diag_dominant(n, 77);
+
+        // Tile the matrix.
+        let mut tiles: Vec<Vec<Matrix>> = (0..t)
+            .map(|i| (0..t).map(|j| a.block(i * b, j * b, b, b)).collect())
+            .collect();
+
+        for k in 0..t {
+            let (head, tail) = tiles.split_at_mut(k + 1);
+            let row_k = &mut head[k];
+            getrf_inplace(&mut row_k[k]);
+            let (diag, right) = row_k.split_at_mut(k + 1);
+            let dkk = &diag[k];
+            for blk in right.iter_mut() {
+                trsm_left_lower(dkk, blk);
+            }
+            for row in tail.iter_mut() {
+                trsm_right_upper(dkk, &mut row[k]);
+            }
+            for row in tail.iter_mut() {
+                let (left, rest) = row.split_at_mut(k + 1);
+                let aik = &left[k];
+                for (jj, blk) in rest.iter_mut().enumerate() {
+                    let akj = &head[k][k + 1 + jj];
+                    gemm_update(aik, akj, blk);
+                }
+            }
+        }
+
+        // Reassemble and compare.
+        let mut tiled = Matrix::zeros(n, n);
+        for (i, row) in tiles.iter().enumerate() {
+            for (j, blk) in row.iter().enumerate() {
+                tiled.set_block(i * b, j * b, blk);
+            }
+        }
+        let mut full = a.clone();
+        getrf_inplace(&mut full);
+        assert!(
+            tiled.max_abs_diff(&full) < 1e-11,
+            "tiled and unblocked LU must agree"
+        );
+    }
+
+    #[test]
+    fn gemm_update_subtracts_product() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut c = Matrix::zeros(3, 3);
+        gemm_update(&a, &b, &mut c);
+        let mut expected = b.clone();
+        for x in expected.as_mut_slice() {
+            *x = -*x;
+        }
+        assert_eq!(c.max_abs_diff(&expected), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Column-major dense matrices.
+//!
+//! Minimal but complete: construction, element access, naive reference
+//! multiplication (the verification oracle for the blocked kernel and the
+//! tiled algorithms), and error norms.
+
+/// A dense column-major `f64` matrix.
+///
+/// Element `(i, j)` lives at `data[i + j * rows]` — the LAPACK/BLAS
+/// convention, so the blocked kernel walks columns contiguously.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { data, rows, cols }
+    }
+
+    /// Deterministic pseudo-random matrix in `(-1, 1)` (xorshift64*; no
+    /// external RNG dependency needed for test data).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (v >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+    }
+
+    /// A diagonally-dominant pseudo-random matrix: guaranteed to admit an
+    /// LU factorization without pivoting (every leading minor is
+    /// nonsingular), which is what the paper's LU-without-pivoting
+    /// workload assumes.
+    pub fn random_diag_dominant(n: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::random(n, n, seed);
+        for i in 0..n {
+            m[(i, i)] += n as f64;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable column-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Naive triple-loop product `self * other` (verification oracle).
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            for k in 0..self.cols {
+                let b = other[(k, j)];
+                if b == 0.0 {
+                    continue;
+                }
+                for i in 0..self.rows {
+                    out[(i, j)] += self[(i, k)] * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Copies the `rows × cols` block at `(r0, c0)` out of `self`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Writes `block` into `self` at `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols);
+        for j in 0..block.cols {
+            for i in 0..block.rows {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert_eq!(z.frobenius(), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert!((i.frobenius() - 3f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        // data = [ (0,0), (1,0), (0,1), (1,1), (0,2), (1,2) ]
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::random(5, 5, 42);
+        let i = Matrix::identity(5);
+        assert!(a.matmul_naive(&i).max_abs_diff(&a) < 1e-15);
+        assert!(i.matmul_naive(&a).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_fn(2, 2, |i, j| [[1.0, 2.0], [3.0, 4.0]][i][j]);
+        let b = Matrix::from_fn(2, 2, |i, j| [[5.0, 6.0], [7.0, 8.0]][i][j]);
+        let c = a.matmul_naive(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn rectangular_matmul_dimensions() {
+        let a = Matrix::random(3, 5, 1);
+        let b = Matrix::random(5, 2, 2);
+        let c = a.matmul_naive(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Matrix::random(10, 10, 7);
+        let b = Matrix::random(10, 10, 7);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(a.as_slice().iter().all(|x| x.abs() < 1.0));
+        let c = Matrix::random(10, 10, 8);
+        assert!(a.max_abs_diff(&c) > 0.0, "different seeds differ");
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let a = Matrix::random(6, 6, 3);
+        let blk = a.block(2, 3, 3, 2);
+        assert_eq!(blk[(0, 0)], a[(2, 3)]);
+        let mut b = Matrix::zeros(6, 6);
+        b.set_block(2, 3, &blk);
+        assert_eq!(b[(4, 4)], a[(4, 4)]);
+        assert_eq!(b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn diag_dominant_has_large_diagonal() {
+        let m = Matrix::random_diag_dominant(8, 5);
+        for i in 0..8 {
+            let off: f64 = (0..8).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            assert!(m[(i, i)].abs() > off, "row {i} must be dominant");
+        }
+    }
+}

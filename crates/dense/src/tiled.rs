@@ -1,0 +1,155 @@
+//! Tile layout: an `n × n` matrix as a grid of contiguous `b × b` tiles.
+//!
+//! Each tile becomes one runtime-managed data object; the layout maps tile
+//! coordinates to [`DataId`]s and converts between full matrices and tile
+//! vectors (in `DataId` order) for use with a
+//! [`DataStore`](rio_stf::DataStore).
+
+use rio_stf::DataId;
+
+use crate::matrix::Matrix;
+
+/// Grid geometry of a tiled square matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileLayout {
+    /// Tiles per side of the grid.
+    pub grid: usize,
+    /// Rows/columns per tile.
+    pub tile: usize,
+}
+
+impl TileLayout {
+    /// A `grid × grid` grid of `tile × tile` tiles.
+    pub fn new(grid: usize, tile: usize) -> TileLayout {
+        assert!(grid > 0 && tile > 0);
+        TileLayout { grid, tile }
+    }
+
+    /// Chooses the layout for an `n × n` matrix cut in `tile`-sized tiles.
+    ///
+    /// # Panics
+    /// If `tile` does not divide `n`.
+    pub fn for_matrix(n: usize, tile: usize) -> TileLayout {
+        assert!(
+            tile > 0 && n.is_multiple_of(tile),
+            "tile size {tile} must divide the matrix size {n}"
+        );
+        TileLayout::new(n / tile, tile)
+    }
+
+    /// Full matrix dimension.
+    pub fn matrix_size(&self) -> usize {
+        self.grid * self.tile
+    }
+
+    /// Number of tiles (= number of data objects).
+    pub fn num_tiles(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// Data object of tile `(i, j)` (row, column of the grid), with an
+    /// optional `base` offset so several tiled matrices can share one
+    /// store (A at base 0, B at base `num_tiles()`, …).
+    #[inline]
+    pub fn data_id(&self, base: usize, i: usize, j: usize) -> DataId {
+        debug_assert!(i < self.grid && j < self.grid);
+        DataId::from_index(base + i + j * self.grid)
+    }
+
+    /// Inverse of [`TileLayout::data_id`] with base 0.
+    #[inline]
+    pub fn coords(&self, id: DataId) -> (usize, usize) {
+        let x = id.index();
+        (x % self.grid, x / self.grid)
+    }
+
+    /// Cuts `m` into tiles, in `DataId` order (column-major over the grid).
+    pub fn split(&self, m: &Matrix) -> Vec<Matrix> {
+        assert_eq!(m.rows(), self.matrix_size());
+        assert_eq!(m.cols(), self.matrix_size());
+        let mut tiles = Vec::with_capacity(self.num_tiles());
+        for j in 0..self.grid {
+            for i in 0..self.grid {
+                tiles.push(m.block(i * self.tile, j * self.tile, self.tile, self.tile));
+            }
+        }
+        tiles
+    }
+
+    /// Reassembles tiles (in `DataId` order) into a full matrix.
+    pub fn assemble(&self, tiles: &[Matrix]) -> Matrix {
+        assert_eq!(tiles.len(), self.num_tiles());
+        let n = self.matrix_size();
+        let mut m = Matrix::zeros(n, n);
+        for j in 0..self.grid {
+            for i in 0..self.grid {
+                m.set_block(i * self.tile, j * self.tile, &tiles[i + j * self.grid]);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let l = TileLayout::for_matrix(12, 4);
+        assert_eq!(l.grid, 3);
+        assert_eq!(l.matrix_size(), 12);
+        assert_eq!(l.num_tiles(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_tile_rejected() {
+        TileLayout::for_matrix(10, 3);
+    }
+
+    #[test]
+    fn data_id_round_trip() {
+        let l = TileLayout::new(4, 2);
+        for i in 0..4 {
+            for j in 0..4 {
+                let id = l.data_id(0, i, j);
+                assert_eq!(l.coords(id), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn base_offsets_do_not_collide() {
+        let l = TileLayout::new(2, 2);
+        let a_ids: Vec<_> = (0..2)
+            .flat_map(|i| (0..2).map(move |j| l.data_id(0, i, j)))
+            .collect();
+        let b_ids: Vec<_> = (0..2)
+            .flat_map(|i| (0..2).map(move |j| l.data_id(4, i, j)))
+            .collect();
+        for a in &a_ids {
+            assert!(!b_ids.contains(a));
+        }
+    }
+
+    #[test]
+    fn split_assemble_round_trip() {
+        let l = TileLayout::for_matrix(12, 3);
+        let m = Matrix::random(12, 12, 21);
+        let tiles = l.split(&m);
+        assert_eq!(tiles.len(), 16);
+        let back = l.assemble(&tiles);
+        assert_eq!(back.max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn split_order_matches_data_ids() {
+        let l = TileLayout::for_matrix(4, 2);
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 10 + j) as f64);
+        let tiles = l.split(&m);
+        // Tile (1, 0) is at DataId index 1 (column-major grid).
+        let t10 = &tiles[l.data_id(0, 1, 0).index()];
+        assert_eq!(t10[(0, 0)], m[(2, 0)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The tiled-LU task flows used as model-checking inputs (Table 1).
+//!
+//! The paper checks both specifications "on a STF program emulating a LU
+//! matrix factorization" over rectangular tile grids of `rows × cols`
+//! blocks — sizes 2×2, 3×2 and 3×3 — with two workers. This module
+//! generates those flows (right-looking LU without pivoting, generalized
+//! to rectangular grids) and a 2-worker mapping.
+
+use rio_stf::mapping::block_cyclic_owner;
+use rio_stf::{Access, DataId, TableMapping, TaskGraph, WorkerId};
+
+/// The tiled-LU flow over a `rows × cols` tile grid.
+pub fn graph(rows: usize, cols: usize) -> TaskGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |i: usize, j: usize| DataId::from_index(i + j * rows);
+    let mut b = TaskGraph::builder(rows * cols);
+    for k in 0..rows.min(cols) {
+        b.task(&[Access::read_write(id(k, k))], 1, "getrf");
+        for j in k + 1..cols {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(k, j))],
+                1,
+                "trsm_l",
+            );
+        }
+        for i in k + 1..rows {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(i, k))],
+                1,
+                "trsm_r",
+            );
+        }
+        for j in k + 1..cols {
+            for i in k + 1..rows {
+                b.task(
+                    &[
+                        Access::read(id(i, k)),
+                        Access::read(id(k, j)),
+                        Access::read_write(id(i, j)),
+                    ],
+                    1,
+                    "gemm",
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Number of tasks of the `rows × cols` model.
+pub fn task_count(rows: usize, cols: usize) -> usize {
+    (0..rows.min(cols))
+        .map(|k| {
+            let ri = rows - 1 - k;
+            let rj = cols - 1 - k;
+            1 + ri + rj + ri * rj
+        })
+        .sum()
+}
+
+/// Owner-computes 2-D block-cyclic mapping for the model, aligned with the
+/// modified tile (task order must match [`graph`]).
+pub fn mapping(rows: usize, cols: usize, workers: usize) -> TableMapping {
+    let mut table: Vec<WorkerId> = Vec::with_capacity(task_count(rows, cols));
+    for k in 0..rows.min(cols) {
+        table.push(block_cyclic_owner(k, k, workers));
+        for j in k + 1..cols {
+            table.push(block_cyclic_owner(k, j, workers));
+        }
+        for i in k + 1..rows {
+            table.push(block_cyclic_owner(i, k, workers));
+        }
+        for j in k + 1..cols {
+            for i in k + 1..rows {
+                table.push(block_cyclic_owner(i, j, workers));
+            }
+        }
+    }
+    TableMapping::new(table)
+}
+
+/// The three grid sizes of Table 1.
+pub const TABLE1_SIZES: [(usize, usize); 3] = [(2, 2), (3, 2), (3, 3)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_for_table1_sizes() {
+        assert_eq!(task_count(2, 2), 5);
+        assert_eq!(task_count(3, 2), 8);
+        assert_eq!(task_count(3, 3), 14);
+        for &(r, c) in &TABLE1_SIZES {
+            assert_eq!(graph(r, c).len(), task_count(r, c));
+        }
+    }
+
+    #[test]
+    fn graphs_are_well_formed() {
+        for &(r, c) in &TABLE1_SIZES {
+            assert!(graph(r, c).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_have_no_out_of_range_tiles() {
+        let g = graph(3, 2);
+        for t in g.tasks() {
+            for a in &t.accesses {
+                assert!(a.data.index() < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_lengths_match() {
+        for &(r, c) in &TABLE1_SIZES {
+            let m = mapping(r, c, 2);
+            assert_eq!(m.len(), task_count(r, c));
+            assert!(m.validate(2));
+        }
+    }
+
+    #[test]
+    fn one_by_one_is_a_single_getrf() {
+        let g = graph(1, 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.tasks()[0].kind, "getrf");
+    }
+}

@@ -1,0 +1,458 @@
+//! Exhaustive model checking of the *implementation algorithm* —
+//! Algorithms 1 and 2 themselves, at the granularity of individual
+//! `get_*`/`terminate_*` micro-steps.
+//!
+//! The [`crate::rio_spec`] module checks the paper's *abstract*
+//! Run-In-Order model (atomic task start/finish). This module goes one
+//! level down and models what `rio-core` actually executes:
+//!
+//! * every worker walks the full flow in order;
+//! * a task mapped elsewhere is one private-bookkeeping step;
+//! * an owned task is a sequence of micro-steps — one blocking *get* per
+//!   declared access (guarded by the counter conditions of Algorithm 2),
+//!   the body, then one *terminate* per access — each interleavable with
+//!   every other worker's micro-steps.
+//!
+//! A key observation makes the state space tractable: **the entire
+//! protocol state is a deterministic function of the workers' control
+//! points.** Each worker's private counters depend only on how far it has
+//! walked (declares and terminates happen at fixed points of its walk),
+//! and the shared counters depend only on the *set* of performed
+//! terminates — concurrent terminates on one object are commutative
+//! (only compatible readers can ever terminate concurrently, and
+//! `fetch_add` commutes). So a state is just `Vec<(pos, step)>`.
+//!
+//! Checked properties, over every reachable interleaving:
+//!
+//! * **hold-race freedom** — between a passed `get` and the matching
+//!   `terminate`, a worker *holds* the object; no two workers may ever
+//!   hold one object in conflicting modes;
+//! * **body-start consistency** — when a body starts (all gets passed),
+//!   every flow-earlier conflicting access on each of its objects has
+//!   been terminated (the per-datum sequential-consistency order);
+//! * **deadlock freedom / termination** — every non-final reachable state
+//!   has a successor (the transition relation strictly advances control
+//!   points, so the graph is acyclic and this implies termination).
+//!
+//! This is the single-threaded-logic analogue of what `loom` would test,
+//! with the memory-model side covered separately: the implementation's
+//! Release/Acquire pairs establish the happens-before edges the
+//! sequentially-consistent model assumes (see `rio-core::protocol` docs).
+
+use rio_stf::{AccessMode, Mapping, RoundRobin, TaskGraph, TaskId};
+
+use crate::explorer::{explore, ExploreReport, TransitionSystem};
+
+/// Control point of one worker: the flow index it is processing and its
+/// micro-step within that task.
+///
+/// For a task with `k` accesses owned by this worker:
+/// * `step = 0` — about to issue the first `get` (or the whole task is a
+///   single private step when mapped elsewhere / `k = 0`);
+/// * `step = 1..=k` — the first `step` gets have passed (at `step = k`
+///   the body runs);
+/// * `step = k+1..=2k-1` — the first `step − k` terminates are done;
+/// * the final terminate normalizes to `(pos + 1, 0)`.
+pub type ControlPoint = (u16, u16);
+
+/// The protocol-level transition system.
+pub struct ProtocolSpec<'g> {
+    graph: &'g TaskGraph,
+    workers: usize,
+    /// Task index → owner worker.
+    owner: Vec<usize>,
+}
+
+/// Derived view of one worker's private counters for one data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LocalView {
+    nb_reads_since_write: u32,
+    last_registered_write: u64,
+}
+
+impl<'g> ProtocolSpec<'g> {
+    /// Builds the system for `graph`, `workers` workers and `mapping`.
+    pub fn new<M: Mapping + ?Sized>(
+        graph: &'g TaskGraph,
+        workers: usize,
+        mapping: &M,
+    ) -> ProtocolSpec<'g> {
+        assert!(workers > 0);
+        assert!(graph.len() < u16::MAX as usize);
+        let owner = graph
+            .tasks()
+            .iter()
+            .map(|t| mapping.worker_of(t.id, workers).index())
+            .collect();
+        ProtocolSpec {
+            graph,
+            workers,
+            owner,
+        }
+    }
+
+    fn accesses_of(&self, task_idx: usize) -> &[rio_stf::Access] {
+        &self.graph.tasks()[task_idx].accesses
+    }
+
+    /// Has worker `w` (at `state[w]`) performed the `acc_idx`-th terminate
+    /// of task `task_idx`?
+    fn terminate_done(&self, state: &[ControlPoint], task_idx: usize, acc_idx: usize) -> bool {
+        let w = self.owner[task_idx];
+        let (pos, step) = state[w];
+        let pos = pos as usize;
+        if pos > task_idx {
+            return true; // task fully completed
+        }
+        if pos < task_idx {
+            return false;
+        }
+        let k = self.accesses_of(task_idx).len();
+        let step = step as usize;
+        step > k && (step - k) > acc_idx
+    }
+
+    /// The shared counters of data object `d`, derived from the performed
+    /// terminates: `(nb_reads_since_write, last_executed_write)`.
+    fn shared_view(&self, state: &[ControlPoint], d: rio_stf::DataId) -> (u32, u64) {
+        let mut last_write = TaskId::NONE.0;
+        let mut reads_since = 0u32;
+        for (ti, t) in self.graph.tasks().iter().enumerate() {
+            for (ai, a) in t.accesses.iter().enumerate() {
+                if a.data != d || !self.terminate_done(state, ti, ai) {
+                    continue;
+                }
+                if a.mode.writes() {
+                    last_write = t.id.0;
+                    reads_since = 0;
+                } else {
+                    reads_since += 1;
+                }
+            }
+        }
+        (reads_since, last_write)
+    }
+
+    /// Worker `w`'s private counters for object `d`, derived from its
+    /// control point. Declares of non-owned tasks happen when the worker
+    /// passes them; the owner's own registrations happen at each
+    /// terminate (Algorithm 2 lines 26/32).
+    fn local_view(&self, state: &[ControlPoint], w: usize, d: rio_stf::DataId) -> LocalView {
+        let (pos, step) = state[w];
+        let pos = pos as usize;
+        let mut v = LocalView::default();
+        let mut register = |mode: AccessMode, id: u64| {
+            if mode.writes() {
+                v.nb_reads_since_write = 0;
+                v.last_registered_write = id;
+            } else {
+                v.nb_reads_since_write += 1;
+            }
+        };
+        for (ti, t) in self.graph.tasks().iter().enumerate().take(pos) {
+            // Fully processed tasks: declared (non-owned) or terminated
+            // (owned) — both register every access.
+            let _ = ti;
+            for a in &t.accesses {
+                if a.data == d {
+                    register(a.mode, t.id.0);
+                }
+            }
+        }
+        // Current task: only its performed terminates are registered (and
+        // only when this worker owns it; a non-owned task registers
+        // atomically when passed, handled above).
+        if pos < self.graph.len() && self.owner[pos] == w {
+            let t = &self.graph.tasks()[pos];
+            let k = t.accesses.len();
+            let step = step as usize;
+            if step > k {
+                for a in t.accesses.iter().take(step - k) {
+                    if a.data == d {
+                        register(a.mode, t.id.0);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The Algorithm-2 guard of the `acc_idx`-th `get` of the task at
+    /// `state[w].0`.
+    fn get_ready(&self, state: &[ControlPoint], w: usize, acc_idx: usize) -> bool {
+        let pos = state[w].0 as usize;
+        let a = self.accesses_of(pos)[acc_idx];
+        let local = self.local_view(state, w, a.data);
+        let (s_reads, s_write) = self.shared_view(state, a.data);
+        if a.mode.writes() {
+            s_write == local.last_registered_write
+                && s_reads == local.nb_reads_since_write
+        } else {
+            s_write == local.last_registered_write
+        }
+    }
+
+    /// Objects currently *held* by worker `w` (gotten, not yet
+    /// terminated), with their modes.
+    fn holds(&self, state: &[ControlPoint], w: usize) -> Vec<rio_stf::Access> {
+        let (pos, step) = state[w];
+        let pos = pos as usize;
+        if pos >= self.graph.len() || self.owner[pos] != w {
+            return Vec::new();
+        }
+        let accesses = self.accesses_of(pos);
+        let k = accesses.len();
+        let step = step as usize;
+        if step == 0 {
+            Vec::new()
+        } else if step <= k {
+            accesses[..step].to_vec()
+        } else {
+            accesses[step - k..].to_vec()
+        }
+    }
+
+    /// Body-start consistency: every flow-earlier conflicting access on
+    /// each object of task `pos` has been terminated.
+    fn body_start_consistent(&self, state: &[ControlPoint], pos: usize) -> bool {
+        let t = &self.graph.tasks()[pos];
+        for a in &t.accesses {
+            for (ti, other) in self.graph.tasks().iter().enumerate().take(pos) {
+                for (ai, oa) in other.accesses.iter().enumerate() {
+                    if oa.data == a.data
+                        && a.mode.conflicts_with(oa.mode)
+                        && !self.terminate_done(state, ti, ai)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl TransitionSystem for ProtocolSpec<'_> {
+    type State = Vec<ControlPoint>;
+
+    fn initial(&self) -> Self::State {
+        vec![(0, 0); self.workers]
+    }
+
+    fn successors(&self, state: &Self::State, out: &mut Vec<Self::State>) {
+        let n = self.graph.len();
+        for w in 0..self.workers {
+            let (pos, step) = state[w];
+            let posu = pos as usize;
+            if posu >= n {
+                continue;
+            }
+            let k = self.accesses_of(posu).len();
+            let owned = self.owner[posu] == w;
+            let mut next = state.clone();
+            if !owned || k == 0 {
+                // One private step: declares (or an access-free body).
+                next[w] = (pos + 1, 0);
+                out.push(next);
+                continue;
+            }
+            let stepu = step as usize;
+            if stepu < k {
+                // Next blocking get.
+                if self.get_ready(state, w, stepu) {
+                    next[w] = (pos, step + 1);
+                    out.push(next);
+                }
+            } else if stepu < 2 * k - 1 {
+                // Next terminate (not the last).
+                next[w] = (pos, step + 1);
+                out.push(next);
+            } else {
+                // Final terminate completes the task.
+                next[w] = (pos + 1, 0);
+                out.push(next);
+            }
+        }
+    }
+
+    fn invariant(&self, state: &Self::State) -> Result<(), String> {
+        // Hold-race freedom across workers.
+        for w1 in 0..self.workers {
+            let h1 = self.holds(state, w1);
+            if h1.is_empty() {
+                continue;
+            }
+            for w2 in w1 + 1..self.workers {
+                for a2 in self.holds(state, w2) {
+                    if let Some(a1) = h1.iter().find(|a| a.data == a2.data) {
+                        if a1.mode.conflicts_with(a2.mode) {
+                            return Err(format!(
+                                "protocol race: workers {w1} and {w2} both hold {} ({} vs {})",
+                                a1.data, a1.mode, a2.mode
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Body-start consistency for every worker currently in its body.
+        for w in 0..self.workers {
+            let (pos, step) = state[w];
+            let posu = pos as usize;
+            if posu < self.graph.len() && self.owner[posu] == w {
+                let k = self.accesses_of(posu).len();
+                if k > 0 && step as usize == k && !self.body_start_consistent(state, posu) {
+                    return Err(format!(
+                        "consistency violation: task {} started its body before an \
+                         earlier conflicting access terminated",
+                        self.graph.tasks()[posu].id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn is_final(&self, state: &Self::State) -> bool {
+        let n = self.graph.len() as u16;
+        state.iter().all(|&(pos, step)| pos == n && step == 0)
+    }
+}
+
+/// Exhaustively checks the implementation protocol on `graph` with
+/// `workers` workers and a round-robin mapping.
+pub fn explore_protocol(graph: &TaskGraph, workers: usize) -> ExploreReport {
+    explore(&ProtocolSpec::new(graph, workers, &RoundRobin))
+}
+
+/// Exhaustively checks the implementation protocol with an explicit
+/// mapping.
+pub fn explore_protocol_with<M: Mapping + ?Sized>(
+    graph: &TaskGraph,
+    workers: usize,
+    mapping: &M,
+) -> ExploreReport {
+    explore(&ProtocolSpec::new(graph, workers, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId, TableMapping, WorkerId};
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rw_chain_is_race_free_and_terminates() {
+        for workers in [1, 2, 3] {
+            let g = chain(4);
+            let r = explore_protocol(&g, workers);
+            assert!(r.ok(), "{workers} workers: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn write_then_parallel_reads_then_write() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        let g = b.build();
+        for workers in [2, 3] {
+            let r = explore_protocol(&g, workers);
+            assert!(r.ok(), "{:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn multi_access_tasks_interleave_safely() {
+        // Tasks with 2–3 accesses stress the per-access micro-steps.
+        let mut b = TaskGraph::builder(3);
+        b.task(&[Access::write(DataId(0)), Access::write(DataId(1))], 1, "w01");
+        b.task(
+            &[
+                Access::read(DataId(0)),
+                Access::read(DataId(1)),
+                Access::write(DataId(2)),
+            ],
+            1,
+            "r01w2",
+        );
+        b.task(&[Access::read(DataId(2)), Access::read_write(DataId(0))], 1, "r2u0");
+        b.task(&[Access::read_write(DataId(1))], 1, "u1");
+        let g = b.build();
+        for workers in [2, 3] {
+            let r = explore_protocol(&g, workers);
+            assert!(r.ok(), "{workers}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn lu_models_pass_the_protocol_check() {
+        for (rows, cols) in [(2, 2), (3, 2)] {
+            let g = crate::lu_model::graph(rows, cols);
+            let m = crate::lu_model::mapping(rows, cols, 2);
+            let r = explore_protocol_with(&g, 2, &m);
+            assert!(r.ok(), "LU {rows}x{cols}: {:?}", r.violations);
+            assert!(r.distinct > 10, "micro-steps expand the state space");
+        }
+    }
+
+    #[test]
+    fn protocol_explores_more_states_than_the_abstract_model() {
+        let g = crate::lu_model::graph(2, 2);
+        let m = crate::lu_model::mapping(2, 2, 2);
+        let abstract_r = crate::rio_spec::explore_rio_with(&g, 2, &m);
+        let proto_r = explore_protocol_with(&g, 2, &m);
+        assert!(
+            proto_r.distinct > abstract_r.distinct,
+            "micro-step granularity must refine the abstract model ({} vs {})",
+            proto_r.distinct,
+            abstract_r.distinct
+        );
+    }
+
+    #[test]
+    fn adversarial_single_owner_mapping_terminates() {
+        let g = chain(3);
+        let m = TableMapping::new(vec![WorkerId(1); 3]);
+        let r = explore_protocol_with(&g, 2, &m);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn independent_tasks_full_interleaving() {
+        let mut b = TaskGraph::builder(2);
+        b.task(&[Access::write(DataId(0))], 1, "a");
+        b.task(&[Access::write(DataId(1))], 1, "b");
+        b.task(&[Access::read(DataId(0))], 1, "c");
+        b.task(&[Access::read(DataId(1))], 1, "d");
+        let g = b.build();
+        let r = explore_protocol(&g, 2);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    /// A deliberately broken variant: if terminates were counted as reads
+    /// *before* the body, races would appear. We emulate a subtle bug by
+    /// checking that the *correct* spec would catch an artificial race
+    /// state through its invariant.
+    #[test]
+    fn invariant_detects_a_constructed_race() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w1");
+        b.task(&[Access::write(DataId(0))], 1, "w2");
+        let g = b.build();
+        let spec = ProtocolSpec::new(&g, 2, &RoundRobin);
+        // Both workers "hold" their write (step = k = 1): a race state
+        // that correct executions never reach.
+        let bad = vec![(0u16, 1u16), (1u16, 1u16)];
+        assert!(spec.invariant(&bad).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The Run-In-Order specification (Appendix B.2) as an explicit transition
+//! system, plus the mechanical refinement check against the STF spec.
+//!
+//! Differences from the STF system, mirroring the TLA⁺ module:
+//!
+//! * tasks are partitioned up front among workers by a deterministic
+//!   `Mapping`;
+//! * an idle worker may only start the **first** (lowest flow id) of its
+//!   own pending tasks — the in-order restriction;
+//! * readiness quantifies over *non-terminated* flow-earlier tasks, which
+//!   is the same set as STF's `pending ∪ active` (each task is in exactly
+//!   one of pending/active/terminated), making the refinement hold.
+
+use rio_stf::{Mapping, RoundRobin, TaskGraph};
+
+use crate::explorer::{explore, ExploreReport, TransitionSystem};
+use crate::stf_spec::{data_race_freedom, StfSpec, MAX_TASKS};
+
+/// A state of the Run-In-Order system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RioState {
+    /// Per-worker bitset of pending task indices.
+    pub pending: Vec<u64>,
+    /// Per-worker active task index, or `-1` when idle.
+    pub active: Vec<i16>,
+    /// Bitset of terminated task indices.
+    pub terminated: u64,
+}
+
+impl RioState {
+    /// Tasks not yet terminated and not active: union of worker pendings.
+    pub fn pending_union(&self) -> u64 {
+        self.pending.iter().fold(0, |acc, &b| acc | b)
+    }
+
+    /// Tasks in play (pending or active), i.e. not terminated.
+    pub fn in_play(&self) -> u64 {
+        let mut bits = self.pending_union();
+        for &a in &self.active {
+            if a >= 0 {
+                bits |= 1u64 << a;
+            }
+        }
+        bits
+    }
+}
+
+/// The Run-In-Order transition system.
+pub struct RioSpec<'g> {
+    graph: &'g TaskGraph,
+    workers: usize,
+    /// Task index → worker index, fixed by the mapping.
+    assignment: Vec<usize>,
+}
+
+impl<'g> RioSpec<'g> {
+    /// Builds the system with an explicit mapping.
+    pub fn new<M: Mapping + ?Sized>(graph: &'g TaskGraph, workers: usize, mapping: &M) -> RioSpec<'g> {
+        assert!(
+            graph.len() <= MAX_TASKS,
+            "the model checker's bitset encoding handles at most {MAX_TASKS} tasks"
+        );
+        assert!(workers > 0);
+        let assignment = graph
+            .tasks()
+            .iter()
+            .map(|t| mapping.worker_of(t.id, workers).index())
+            .collect();
+        RioSpec {
+            graph,
+            workers,
+            assignment,
+        }
+    }
+
+    /// `TaskReady(t)` with the quantification over non-terminated tasks.
+    fn task_ready(&self, in_play: u64, t_idx: usize) -> bool {
+        // Identical predicate to the STF spec over the in-play set.
+        StfSpec::new(self.graph, self.workers).task_ready(in_play, &self.graph.tasks()[t_idx])
+    }
+}
+
+impl TransitionSystem for RioSpec<'_> {
+    type State = RioState;
+
+    fn initial(&self) -> RioState {
+        let mut pending = vec![0u64; self.workers];
+        for (t_idx, &w) in self.assignment.iter().enumerate() {
+            pending[w] |= 1u64 << t_idx;
+        }
+        RioState {
+            pending,
+            active: vec![-1; self.workers],
+            terminated: 0,
+        }
+    }
+
+    fn successors(&self, state: &RioState, out: &mut Vec<RioState>) {
+        let in_play = state.in_play();
+        for w in 0..self.workers {
+            if state.active[w] < 0 {
+                // In-order: only the worker's lowest pending task.
+                if state.pending[w] != 0 {
+                    let t_idx = state.pending[w].trailing_zeros() as usize;
+                    if self.task_ready(in_play, t_idx) {
+                        let mut next = state.clone();
+                        next.pending[w] &= !(1u64 << t_idx);
+                        next.active[w] = t_idx as i16;
+                        out.push(next);
+                    }
+                }
+            } else {
+                let mut next = state.clone();
+                next.terminated |= 1u64 << state.active[w];
+                next.active[w] = -1;
+                out.push(next);
+            }
+        }
+    }
+
+    fn invariant(&self, state: &RioState) -> Result<(), String> {
+        data_race_freedom(self.graph, &state.active, "Run-In-Order")
+    }
+
+    fn is_final(&self, state: &RioState) -> bool {
+        state.pending_union() == 0 && state.active.iter().all(|&a| a < 0)
+    }
+}
+
+/// Exhaustively checks the Run-In-Order model with a round-robin mapping
+/// (the default the paper's models use for 2 workers).
+pub fn explore_rio(graph: &TaskGraph, workers: usize) -> ExploreReport {
+    explore(&RioSpec::new(graph, workers, &RoundRobin))
+}
+
+/// Exhaustively checks the Run-In-Order model with an explicit mapping.
+pub fn explore_rio_with<M: Mapping + ?Sized>(
+    graph: &TaskGraph,
+    workers: usize,
+    mapping: &M,
+) -> ExploreReport {
+    explore(&RioSpec::new(graph, workers, mapping))
+}
+
+/// Outcome of the refinement check `RIO ⊆ STF`.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// `ExecuteTask` transitions verified against the STF readiness
+    /// predicate.
+    pub transitions_checked: u64,
+    /// Distinct RIO states visited.
+    pub states: u64,
+    /// Violations found (must be empty).
+    pub violations: Vec<String>,
+}
+
+impl RefinementReport {
+    /// Did the refinement hold everywhere?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Mechanically verifies that every `ExecuteTask` transition reachable in
+/// the Run-In-Order system is also permitted by the STF specification in
+/// the corresponding (mapped) state — the `Spec ⟹ STF!Spec` theorem of
+/// Appendix B.2, checked state-by-state.
+///
+/// (`TerminateTask` transitions map to STF `TerminateTask` transitions
+/// unconditionally, so only task starts need checking.)
+pub fn check_refinement<M: Mapping + ?Sized>(
+    graph: &TaskGraph,
+    workers: usize,
+    mapping: &M,
+) -> RefinementReport {
+    use std::collections::{HashSet, VecDeque};
+
+    let rio = RioSpec::new(graph, workers, mapping);
+    let stf = StfSpec::new(graph, workers);
+    let mut report = RefinementReport {
+        transitions_checked: 0,
+        states: 0,
+        violations: Vec::new(),
+    };
+
+    let mut seen: HashSet<RioState> = HashSet::new();
+    let mut frontier: VecDeque<RioState> = VecDeque::new();
+    let init = rio.initial();
+    seen.insert(init.clone());
+    frontier.push_back(init);
+
+    while let Some(state) = frontier.pop_front() {
+        report.states += 1;
+        let in_play = state.in_play();
+        // Enumerate transitions explicitly so we know which are starts.
+        for w in 0..workers {
+            if state.active[w] < 0 {
+                if state.pending[w] != 0 {
+                    let t_idx = state.pending[w].trailing_zeros() as usize;
+                    if rio.task_ready(in_play, t_idx) {
+                        report.transitions_checked += 1;
+                        // The mapped STF state has the same in-play set;
+                        // STF must also consider the task ready.
+                        let t = &graph.tasks()[t_idx];
+                        if !stf.task_ready(in_play, t) {
+                            report.violations.push(format!(
+                                "RIO starts {} in a state where STF forbids it",
+                                t.id
+                            ));
+                            if report.violations.len() >= 16 {
+                                return report;
+                            }
+                        }
+                        let mut next = state.clone();
+                        next.pending[w] &= !(1u64 << t_idx);
+                        next.active[w] = t_idx as i16;
+                        if seen.insert(next.clone()) {
+                            frontier.push_back(next);
+                        }
+                    }
+                }
+            } else {
+                let mut next = state.clone();
+                next.terminated |= 1u64 << state.active[w];
+                next.active[w] = -1;
+                if seen.insert(next.clone()) {
+                    frontier.push_back(next);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId, TableMapping, WorkerId};
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        b.build()
+    }
+
+    fn independent(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..n {
+            b.task(&[], 1, "t");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rio_explores_fewer_distinct_states_than_stf() {
+        // In-order execution restricts interleavings: Table 1 shows far
+        // fewer distinct states for Run-In-Order than for STF.
+        let g = independent(6);
+        let stf = crate::explore_stf(&g, 2);
+        let rio = explore_rio(&g, 2);
+        assert!(stf.ok() && rio.ok());
+        assert!(
+            rio.distinct < stf.distinct,
+            "rio {} vs stf {}",
+            rio.distinct,
+            stf.distinct
+        );
+    }
+
+    #[test]
+    fn chain_terminates_across_mappings() {
+        let g = chain(6);
+        for workers in [1, 2, 3] {
+            let r = explore_rio(&g, workers);
+            assert!(r.ok(), "chain with {workers} workers: {r:?}");
+        }
+    }
+
+    #[test]
+    fn in_order_restriction_is_enforced() {
+        // Two independent tasks on one worker: only T1 can start first.
+        let g = independent(2);
+        let all_on_w0 = TableMapping::new(vec![WorkerId(0), WorkerId(0)]);
+        let spec = RioSpec::new(&g, 2, &all_on_w0);
+        let mut succ = Vec::new();
+        spec.successors(&spec.initial(), &mut succ);
+        assert_eq!(succ.len(), 1, "only the first task may start");
+        assert_eq!(succ[0].active[0], 0);
+    }
+
+    #[test]
+    fn refinement_holds_on_chains_and_independents() {
+        for g in [chain(5), independent(5)] {
+            let r = check_refinement(&g, 2, &RoundRobin);
+            assert!(r.ok(), "{:?}", r.violations);
+            assert!(r.transitions_checked > 0);
+        }
+    }
+
+    #[test]
+    fn refinement_holds_on_a_mixed_mesh() {
+        let mut b = TaskGraph::builder(3);
+        for i in 0..9u32 {
+            let r = DataId(i % 3);
+            let w = DataId((i + 1) % 3);
+            b.task(&[Access::read(r), Access::write(w)], 1, "mix");
+        }
+        let g = b.build();
+        let r = check_refinement(&g, 2, &RoundRobin);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn adversarial_mapping_still_terminates() {
+        // All tasks of a chain on worker 1 of 3: the others idle forever
+        // but the system still reaches the terminal state.
+        let g = chain(4);
+        let m = TableMapping::new(vec![WorkerId(1); 4]);
+        let r = explore_rio_with(&g, 3, &m);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn deadlock_free_on_lu_like_fork_join() {
+        let mut b = TaskGraph::builder(3);
+        b.task(&[Access::write(DataId(0))], 1, "src");
+        b.task(&[Access::read(DataId(0)), Access::write(DataId(1))], 1, "l");
+        b.task(&[Access::read(DataId(0)), Access::write(DataId(2))], 1, "r");
+        b.task(
+            &[Access::read(DataId(1)), Access::read(DataId(2))],
+            1,
+            "join",
+        );
+        let g = b.build();
+        for workers in [1, 2, 3] {
+            assert!(explore_rio(&g, workers).ok());
+        }
+    }
+}

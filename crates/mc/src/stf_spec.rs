@@ -1,0 +1,252 @@
+//! The STF specification (Appendix B.1) as an explicit transition system.
+//!
+//! State: the set of *pending* tasks plus one optional *active* task per
+//! worker. Transitions: an idle worker may start any pending task whose
+//! `TaskReady` predicate holds (sequential consistency is encoded in the
+//! transition relation, exactly as in the TLA⁺ module); a busy worker may
+//! terminate its task. Invariant: `DataRaceFreedom`.
+
+use rio_stf::{TaskDesc, TaskGraph};
+
+use crate::explorer::{explore, ExploreReport, TransitionSystem};
+
+/// Maximum flow length the bitset state encoding supports.
+pub const MAX_TASKS: usize = 64;
+
+/// A state of the STF system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StfState {
+    /// Bitset of pending (not yet started) task indices.
+    pub pending: u64,
+    /// Per-worker active task index, or `-1` when idle.
+    pub active: Vec<i16>,
+}
+
+impl StfState {
+    /// Bitset of tasks in play (pending or active) — the quantification
+    /// domain of `ReadReady`/`WriteReady`.
+    pub fn in_play(&self) -> u64 {
+        let mut bits = self.pending;
+        for &a in &self.active {
+            if a >= 0 {
+                bits |= 1u64 << a;
+            }
+        }
+        bits
+    }
+}
+
+/// The STF transition system over a task flow and a worker count.
+pub struct StfSpec<'g> {
+    graph: &'g TaskGraph,
+    workers: usize,
+}
+
+impl<'g> StfSpec<'g> {
+    /// Builds the system.
+    ///
+    /// # Panics
+    /// If the flow exceeds [`MAX_TASKS`] tasks or `workers == 0`.
+    pub fn new(graph: &'g TaskGraph, workers: usize) -> StfSpec<'g> {
+        assert!(
+            graph.len() <= MAX_TASKS,
+            "the model checker's bitset encoding handles at most {MAX_TASKS} tasks"
+        );
+        assert!(workers > 0);
+        StfSpec { graph, workers }
+    }
+
+    /// `TaskReady(t)` of the specification: every data object `t` reads
+    /// must have no flow-earlier writer in play; every object it writes
+    /// must have no flow-earlier accessor in play.
+    pub fn task_ready(&self, in_play: u64, t: &TaskDesc) -> bool {
+        let t_idx = t.id.index();
+        let earlier = in_play & ((1u64 << t_idx) - 1);
+        let mut bits = earlier;
+        while bits != 0 {
+            let o_idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let other = &self.graph.tasks()[o_idx];
+            for a in &t.accesses {
+                if let Some(m) = other.mode_on(a.data) {
+                    if a.mode.writes() || m.writes() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// `DataRaceFreedom` over active tasks (shared by both specs).
+pub(crate) fn data_race_freedom(
+    graph: &TaskGraph,
+    active: &[i16],
+    label: &str,
+) -> Result<(), String> {
+    for (w1, &a1) in active.iter().enumerate() {
+        if a1 < 0 {
+            continue;
+        }
+        let t1 = &graph.tasks()[a1 as usize];
+        for &a2 in active.iter().skip(w1 + 1) {
+            if a2 < 0 {
+                continue;
+            }
+            let t2 = &graph.tasks()[a2 as usize];
+            if t1.conflicts_with(t2) {
+                return Err(format!(
+                    "{label}: data race between concurrently active {} and {}",
+                    t1.id, t2.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl TransitionSystem for StfSpec<'_> {
+    type State = StfState;
+
+    fn initial(&self) -> StfState {
+        let n = self.graph.len();
+        StfState {
+            pending: if n == 0 { 0 } else { (!0u64) >> (64 - n) },
+            active: vec![-1; self.workers],
+        }
+    }
+
+    fn successors(&self, state: &StfState, out: &mut Vec<StfState>) {
+        let in_play = state.in_play();
+        for w in 0..self.workers {
+            if state.active[w] < 0 {
+                // ExecuteTask(w, t) for every ready pending t.
+                let mut bits = state.pending;
+                while bits != 0 {
+                    let t_idx = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let t = &self.graph.tasks()[t_idx];
+                    if self.task_ready(in_play, t) {
+                        let mut next = state.clone();
+                        next.pending &= !(1u64 << t_idx);
+                        next.active[w] = t_idx as i16;
+                        out.push(next);
+                    }
+                }
+            } else {
+                // TerminateTask(w).
+                let mut next = state.clone();
+                next.active[w] = -1;
+                out.push(next);
+            }
+        }
+    }
+
+    fn invariant(&self, state: &StfState) -> Result<(), String> {
+        data_race_freedom(self.graph, &state.active, "STF")
+    }
+
+    fn is_final(&self, state: &StfState) -> bool {
+        state.pending == 0 && state.active.iter().all(|&a| a < 0)
+    }
+}
+
+/// Exhaustively checks the STF model of `graph` with `workers` workers.
+pub fn explore_stf(graph: &TaskGraph, workers: usize) -> ExploreReport {
+    explore(&StfSpec::new(graph, workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId};
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        b.build()
+    }
+
+    fn independent(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..n {
+            b.task(&[], 1, "t");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_state_space_is_linear() {
+        // A RW chain serializes: states are (k done, maybe 1 active).
+        let r = explore_stf(&chain(5), 2);
+        assert!(r.ok());
+        // Per step: (pending after k, active on w0) and (…, on w1), plus
+        // the all-idle states: distinct = 1 + 5·2 + 5 = 16.
+        assert_eq!(r.distinct, 16);
+    }
+
+    #[test]
+    fn independent_tasks_explode_combinatorially() {
+        let small = explore_stf(&independent(3), 2);
+        let large = explore_stf(&independent(6), 2);
+        assert!(small.ok() && large.ok());
+        assert!(large.distinct > 4 * small.distinct);
+    }
+
+    #[test]
+    fn single_worker_still_terminates() {
+        let r = explore_stf(&chain(4), 1);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn ready_predicate_blocks_earlier_writer() {
+        let g = chain(2);
+        let spec = StfSpec::new(&g, 2);
+        let init = spec.initial();
+        // With T1 pending, T2 (RW on the same datum) is not ready.
+        assert!(spec.task_ready(init.in_play(), g.task(rio_stf::TaskId(1))));
+        assert!(!spec.task_ready(init.in_play(), g.task(rio_stf::TaskId(2))));
+    }
+
+    #[test]
+    fn concurrent_reads_are_allowed() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        let g = b.build();
+        let spec = StfSpec::new(&g, 2);
+        // Both reads executable from the initial state.
+        let mut succ = Vec::new();
+        spec.successors(&spec.initial(), &mut succ);
+        // 2 workers × 2 ready tasks = 4 ExecuteTask successors.
+        assert_eq!(succ.len(), 4);
+        // And a state with both active passes the invariant.
+        let both = StfState {
+            pending: 0,
+            active: vec![0, 1],
+        };
+        assert!(spec.invariant(&both).is_ok());
+    }
+
+    #[test]
+    fn race_invariant_rejects_conflicting_actives() {
+        let g = chain(2);
+        let spec = StfSpec::new(&g, 2);
+        let bad = StfState {
+            pending: 0,
+            active: vec![0, 1], // both RW tasks on D0 active: race
+        };
+        assert!(spec.invariant(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_flow_is_immediately_final() {
+        let r = explore_stf(&independent(0), 2);
+        assert!(r.final_reached);
+        assert_eq!(r.distinct, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Randomized-walk checking: Monte-Carlo exploration for systems too
+//! large for exhaustive BFS.
+//!
+//! A walk starts at the initial state and repeatedly picks a uniformly
+//! random successor, checking the invariant at every step, until the
+//! system reaches a final state (success), dead-ends in a non-final state
+//! (deadlock), or exceeds the step bound. It proves nothing exhaustively,
+//! but — exactly like TLC's simulation mode — it extends the checkable
+//! problem sizes by orders of magnitude: the micro-step protocol model
+//! ([`crate::protocol_spec`]) has no task-count ceiling, so walks can
+//! exercise flows with *thousands* of tasks while BFS handles the small
+//! ones completely.
+//!
+//! The RNG is a self-contained xorshift so results are reproducible from
+//! the seed and the crate needs no extra dependencies.
+
+use crate::explorer::TransitionSystem;
+
+/// Outcome of a batch of random walks.
+#[derive(Debug, Clone)]
+pub struct WalkReport {
+    /// Walks that reached a final state.
+    pub completed: u64,
+    /// Walks that hit the step bound first (inconclusive).
+    pub truncated: u64,
+    /// Walks that dead-ended in a non-final state.
+    pub deadlocks: u64,
+    /// Total transitions taken across all walks.
+    pub steps: u64,
+    /// Invariant violations found (bounded at 16).
+    pub violations: Vec<String>,
+}
+
+impl WalkReport {
+    /// No violations and no deadlocks (truncations are inconclusive but
+    /// not failures).
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks == 0
+    }
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs `walks` random walks of at most `max_steps` transitions each.
+pub fn random_walks<S: TransitionSystem>(
+    sys: &S,
+    walks: u64,
+    max_steps: u64,
+    seed: u64,
+) -> WalkReport {
+    let mut report = WalkReport {
+        completed: 0,
+        truncated: 0,
+        deadlocks: 0,
+        steps: 0,
+        violations: Vec::new(),
+    };
+    let mut rng = seed | 1;
+    let mut succ = Vec::new();
+
+    'walks: for _ in 0..walks {
+        let mut state = sys.initial();
+        if let Err(v) = sys.invariant(&state) {
+            report.violations.push(v);
+            break 'walks;
+        }
+        for _ in 0..max_steps {
+            succ.clear();
+            sys.successors(&state, &mut succ);
+            if succ.is_empty() {
+                if sys.is_final(&state) {
+                    report.completed += 1;
+                } else {
+                    report.deadlocks += 1;
+                }
+                continue 'walks;
+            }
+            let pick = (xorshift(&mut rng) % succ.len() as u64) as usize;
+            state = succ.swap_remove(pick);
+            report.steps += 1;
+            if let Err(v) = sys.invariant(&state) {
+                report.violations.push(v);
+                if report.violations.len() >= 16 {
+                    break 'walks;
+                }
+                continue 'walks;
+            }
+        }
+        report.truncated += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol_spec::ProtocolSpec;
+    use rio_stf::RoundRobin;
+
+    #[test]
+    fn walks_complete_on_small_protocol_models() {
+        let g = crate::lu_model::graph(3, 3);
+        let m = crate::lu_model::mapping(3, 3, 2);
+        let spec = ProtocolSpec::new(&g, 2, &m);
+        let r = random_walks(&spec, 200, 10_000, 42);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.completed, 200, "every walk must terminate");
+        assert_eq!(r.truncated, 0);
+    }
+
+    #[test]
+    fn walks_scale_past_the_bfs_task_ceiling() {
+        // 8x8 LU = 204 tasks: far beyond the 64-task bitset limit of the
+        // abstract specs, and well beyond exhaustive micro-step BFS.
+        let g = crate::lu_model::graph(8, 8);
+        assert!(g.len() > 64);
+        let m = crate::lu_model::mapping(8, 8, 3);
+        let spec = ProtocolSpec::new(&g, 3, &m);
+        let r = random_walks(&spec, 25, 200_000, 7);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.completed, 25);
+    }
+
+    #[test]
+    fn walks_are_reproducible_from_the_seed() {
+        let g = crate::lu_model::graph(2, 2);
+        let spec = ProtocolSpec::new(&g, 2, &RoundRobin);
+        let a = random_walks(&spec, 50, 1000, 99);
+        let b = random_walks(&spec, 50, 1000, 99);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let g = crate::lu_model::graph(3, 3);
+        let spec = ProtocolSpec::new(&g, 2, &RoundRobin);
+        // Absurdly small step bound: walks cannot finish.
+        let r = random_walks(&spec, 10, 3, 1);
+        assert_eq!(r.truncated, 10);
+        assert_eq!(r.completed, 0);
+        assert!(r.ok(), "truncation is not a failure");
+    }
+
+    /// A toy system with a reachable deadlock: walks must find it
+    /// (eventually) and report it.
+    struct Trap;
+    impl TransitionSystem for Trap {
+        type State = u8;
+        fn initial(&self) -> u8 {
+            0
+        }
+        fn successors(&self, s: &u8, out: &mut Vec<u8>) {
+            if *s == 0 {
+                out.push(1); // dead end
+                out.push(2); // final
+            }
+        }
+        fn invariant(&self, _: &u8) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_final(&self, s: &u8) -> bool {
+            *s == 2
+        }
+    }
+
+    #[test]
+    fn deadlocks_are_detected_by_walks() {
+        let r = random_walks(&Trap, 64, 10, 5);
+        assert!(r.deadlocks > 0, "with 64 walks the trap must be hit");
+        assert!(!r.ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's analytic cost models (§3.3, equations 1 and 2).
+//!
+//! With `n` tasks of execution time `t_t(g)`, `w` task-executing workers
+//! and a per-task runtime cost `t_r`:
+//!
+//! * **centralized** (eq. 1): the master and the pool proceed in parallel;
+//!   whichever is slower bounds the run:
+//!   `t_p = max(n · t_r, n · t_t(g) / w)`;
+//! * **decentralized** (eq. 2): every worker unrolls the whole flow, so
+//!   management time *adds* to execution time:
+//!   `t_p = n · t_r + n · t_t(g) / w`.
+//!
+//! Equation 2 is "obviously worse … all things being equal" — the point of
+//! the paper being that `t_r,decentralized ≪ t_r,centralized` (private
+//! writes vs. node allocation + scheduling + dispatch), which
+//! [`fit_runtime_cost`] lets us quantify from measurements.
+
+use std::time::Duration;
+
+/// Equation (1): predicted wall time of the centralized model.
+pub fn centralized_time(n: u64, t_r: Duration, t_t: Duration, workers: u64) -> Duration {
+    let master = t_r * n as u32;
+    let pool = Duration::from_secs_f64(t_t.as_secs_f64() * n as f64 / workers as f64);
+    master.max(pool)
+}
+
+/// Equation (2): predicted wall time of the decentralized model.
+pub fn decentralized_time(n: u64, t_r: Duration, t_t: Duration, workers: u64) -> Duration {
+    let unroll = t_r * n as u32;
+    let exec = Duration::from_secs_f64(t_t.as_secs_f64() * n as f64 / workers as f64);
+    unroll + exec
+}
+
+/// Estimates the per-task runtime cost `t_r` from a measurement in the
+/// management-bound regime (tiny tasks, `t_t ≈ 0`): both models then
+/// predict `t_p ≈ n · t_r`, so `t_r ≈ t_p / n`.
+pub fn fit_runtime_cost(measured_wall: Duration, n: u64) -> Duration {
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(measured_wall.as_secs_f64() / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> Duration {
+        Duration::from_micros(x)
+    }
+
+    #[test]
+    fn centralized_is_master_bound_at_fine_grain() {
+        // t_r = 10µs, t_t = 1µs, 4 workers: master dominates.
+        let t = centralized_time(1000, us(10), us(1), 4);
+        assert_eq!(t, us(10_000));
+    }
+
+    #[test]
+    fn centralized_is_worker_bound_at_coarse_grain() {
+        // t_r = 1µs, t_t = 100µs, 4 workers.
+        let t = centralized_time(1000, us(1), us(100), 4);
+        assert_eq!(t, us(25_000));
+    }
+
+    #[test]
+    fn decentralized_always_pays_both_terms() {
+        let t = decentralized_time(1000, us(1), us(100), 4);
+        assert_eq!(t, us(26_000));
+    }
+
+    #[test]
+    fn equal_costs_make_decentralized_worse() {
+        // "Cost model (2) is obviously worse than model (1), all things
+        // being equal."
+        let (n, tr, tt, w) = (500, us(5), us(20), 8);
+        assert!(decentralized_time(n, tr, tt, w) >= centralized_time(n, tr, tt, w));
+    }
+
+    #[test]
+    fn cheaper_decentralized_t_r_flips_the_comparison_at_fine_grain() {
+        // The paper's argument: t_r,dec ≪ t_r,cen makes RIO win on small
+        // tasks. t_t = 2µs, 4 workers.
+        let n = 10_000;
+        let cen = centralized_time(n, us(10), us(2), 4); // master-bound
+        let dec = decentralized_time(n, Duration::from_nanos(100), us(2), 4);
+        assert!(dec < cen, "dec {dec:?} must beat cen {cen:?}");
+    }
+
+    #[test]
+    fn crossover_exists_at_coarse_grain() {
+        // With big tasks the max() in eq. 1 hides the master cost while
+        // eq. 2 still adds its (small) unrolling term: centralized wins.
+        let n = 1_000;
+        let tt = Duration::from_millis(1);
+        let cen = centralized_time(n, us(10), tt, 4);
+        let dec = decentralized_time(n, us(1), tt, 4);
+        assert!(cen <= dec);
+    }
+
+    #[test]
+    fn fit_recovers_t_r() {
+        let t_r = fit_runtime_cost(us(5_000), 1000);
+        assert_eq!(t_r, us(5));
+        assert_eq!(fit_runtime_cost(us(1), 0), Duration::ZERO);
+    }
+}

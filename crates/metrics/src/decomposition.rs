@@ -1,0 +1,210 @@
+//! The four-factor efficiency decomposition (§2.3).
+
+use std::time::Duration;
+
+/// The measured quadruple of one parallel run at granularity `g`.
+#[derive(Debug, Clone, Copy)]
+pub struct CumulativeTimes {
+    /// Number of threads `p` (for the centralized model this *includes*
+    /// the master: its time is runtime-management time).
+    pub threads: usize,
+    /// Wall-clock time `t_p(g)`.
+    pub wall: Duration,
+    /// Cumulative time spent executing tasks, `τ_{p,t}(g)`.
+    pub task: Duration,
+    /// Cumulative time spent idle waiting on dependencies, `τ_{p,i}(g)`.
+    pub idle: Duration,
+}
+
+impl CumulativeTimes {
+    /// Cumulative total `τ_p = p · t_p`.
+    pub fn total(&self) -> Duration {
+        self.wall * self.threads as u32
+    }
+
+    /// Cumulative runtime-management time `τ_{p,r} = τ_p − τ_{p,t} − τ_{p,i}`
+    /// (saturating: measurement skew can make the parts exceed the whole
+    /// by clock granularity).
+    pub fn runtime(&self) -> Duration {
+        self.total()
+            .saturating_sub(self.task)
+            .saturating_sub(self.idle)
+    }
+}
+
+/// The decomposition `e = e_g · e_l · e_p · e_r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decomposition {
+    /// Granularity efficiency `t / t(g)`: kernel slowdown from splitting.
+    pub e_g: f64,
+    /// Locality efficiency `t(g) / τ_{p,t}`: can exceed 1 when parallel
+    /// caches help.
+    pub e_l: f64,
+    /// Pipelining efficiency `τ_{p,t} / (τ_{p,t} + τ_{p,i})`.
+    pub e_p: f64,
+    /// Runtime efficiency `(τ_{p,t} + τ_{p,i}) / τ_p`.
+    pub e_r: f64,
+}
+
+impl Decomposition {
+    /// The overall parallel efficiency, `e = e_g · e_l · e_p · e_r`.
+    pub fn parallel_efficiency(&self) -> f64 {
+        self.e_g * self.e_l * self.e_p * self.e_r
+    }
+}
+
+fn ratio(num: Duration, den: Duration) -> f64 {
+    let (n, d) = (num.as_secs_f64(), den.as_secs_f64());
+    if d == 0.0 {
+        if n == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        n / d
+    }
+}
+
+/// Decomposes a run's efficiency.
+///
+/// * `t_best_seq` — execution time of the fastest sequential algorithm
+///   (`t` in the paper);
+/// * `t_seq_at_g` — sequential execution time when splitting into tasks of
+///   the measured granularity (`t(g)`);
+/// * `run` — the measured parallel quadruple.
+///
+/// For the paper's synthetic counter workloads `t == t(g)` (so `e_g = 1`)
+/// and `t(g) == τ_{p,t}` up to noise (so `e_l ≈ 1`), leaving `e_p` and
+/// `e_r` as the only meaningful factors — exactly the §5.1 setup.
+pub fn decompose(
+    t_best_seq: Duration,
+    t_seq_at_g: Duration,
+    run: &CumulativeTimes,
+) -> Decomposition {
+    let busy = run.task + run.idle;
+    Decomposition {
+        e_g: ratio(t_best_seq, t_seq_at_g),
+        e_l: ratio(t_seq_at_g, run.task),
+        e_p: ratio(run.task, busy),
+        e_r: ratio(busy, run.total()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn perfect_run_decomposes_to_all_ones() {
+        // 4 threads, wall 25ms, all time in tasks, sequential = 100ms.
+        let run = CumulativeTimes {
+            threads: 4,
+            wall: ms(25),
+            task: ms(100),
+            idle: ms(0),
+        };
+        let d = decompose(ms(100), ms(100), &run);
+        assert!((d.e_g - 1.0).abs() < 1e-12);
+        assert!((d.e_l - 1.0).abs() < 1e-12);
+        assert!((d.e_p - 1.0).abs() < 1e-12);
+        assert!((d.e_r - 1.0).abs() < 1e-12);
+        assert!((d.parallel_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_identity_holds() {
+        // e must equal t / (p · t_p) for any internally-consistent input.
+        let run = CumulativeTimes {
+            threads: 3,
+            wall: ms(60),
+            task: ms(90),
+            idle: ms(50),
+        };
+        let d = decompose(ms(70), ms(80), &run);
+        let direct = 70.0 / (3.0 * 60.0);
+        assert!((d.parallel_efficiency() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_time_lowers_pipelining() {
+        let run = CumulativeTimes {
+            threads: 2,
+            wall: ms(100),
+            task: ms(100),
+            idle: ms(100),
+        };
+        let d = decompose(ms(100), ms(100), &run);
+        assert!((d.e_p - 0.5).abs() < 1e-12);
+        assert!((d.e_r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedicated_master_caps_runtime_efficiency() {
+        // p=4, one thread pure management: τ_p = 4·t_p, busy = 3·t_p.
+        let run = CumulativeTimes {
+            threads: 4,
+            wall: ms(100),
+            task: ms(300),
+            idle: ms(0),
+        };
+        let d = decompose(ms(300), ms(300), &run);
+        assert!((d.e_r - 0.75).abs() < 1e-12, "(p-1)/p cap");
+    }
+
+    #[test]
+    fn kernel_degradation_shows_in_e_g() {
+        let run = CumulativeTimes {
+            threads: 1,
+            wall: ms(200),
+            task: ms(200),
+            idle: ms(0),
+        };
+        let d = decompose(ms(100), ms(200), &run);
+        assert!((d.e_g - 0.5).abs() < 1e-12);
+        assert!((d.e_l - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn super_linear_locality_can_exceed_one() {
+        let run = CumulativeTimes {
+            threads: 2,
+            wall: ms(40),
+            task: ms(80),
+            idle: ms(0),
+        };
+        // Sequential at g took 100ms but parallel caches made cumulative
+        // task time only 80ms.
+        let d = decompose(ms(100), ms(100), &run);
+        assert!(d.e_l > 1.0);
+    }
+
+    #[test]
+    fn runtime_component_accounts_for_the_rest() {
+        let run = CumulativeTimes {
+            threads: 2,
+            wall: ms(100),
+            task: ms(120),
+            idle: ms(30),
+        };
+        assert_eq!(run.total(), ms(200));
+        assert_eq!(run.runtime(), ms(50));
+    }
+
+    #[test]
+    fn zero_durations_do_not_divide_by_zero() {
+        let run = CumulativeTimes {
+            threads: 1,
+            wall: ms(0),
+            task: ms(0),
+            idle: ms(0),
+        };
+        let d = decompose(ms(0), ms(0), &run);
+        assert_eq!(d.e_g, 1.0);
+        assert_eq!(d.e_p, 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rio-metrics — the efficiency-decomposition methodology
+//!
+//! Implementation of §2.3 of the paper: the parallel efficiency of a
+//! runtime at granularity `g`,
+//!
+//! ```text
+//! e(g) = t / (p · t_p(g)),
+//! ```
+//!
+//! decomposed into a product of four attributable efficiencies
+//!
+//! ```text
+//! e = e_g · e_l · e_p · e_r
+//!
+//! e_g = t / t(g)                         granularity (kernel at size g)
+//! e_l = t(g) / τ_{p,t}                   locality (multi-threaded caches)
+//! e_p = τ_{p,t} / (τ_{p,t} + τ_{p,i})    pipelining (idle time)
+//! e_r = (τ_{p,t} + τ_{p,i}) / τ_p        runtime (management overhead)
+//! ```
+//!
+//! with `τ_p = p · t_p` the cumulative execution time, split into task
+//! time `τ_{p,t}`, idle time `τ_{p,i}` and runtime-management time
+//! `τ_{p,r}`.
+//!
+//! This crate is numbers-in, numbers-out — it does not depend on any
+//! runtime. Both `rio-core` and `rio-centralized` reports provide exactly
+//! the `(p, t_p, τ_{p,t}, τ_{p,i})` quadruple it consumes.
+//!
+//! Also here: the paper's two analytic cost models (§3.3, equations 1–2)
+//! in [`costmodel`], and a small fixed-width [`table`] renderer used by
+//! the benchmark harness to print paper-style rows.
+
+pub mod costmodel;
+pub mod decomposition;
+pub mod table;
+
+pub use costmodel::{centralized_time, decentralized_time, fit_runtime_cost};
+pub use decomposition::{decompose, CumulativeTimes, Decomposition};
+pub use table::Table;

@@ -1,0 +1,152 @@
+//! Fixed-width text tables (and CSV) for the benchmark harness.
+//!
+//! Deliberately tiny: headers, rows of strings, column auto-width,
+//! right-aligned numerics. Enough to print the paper-style series.
+
+/// A simple text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns; numeric-looking cells right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let width_of = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| width_of(h)).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(width_of(cell));
+            }
+        }
+        let numeric = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|ch| ch.is_ascii_digit() || "+-.eE%xµmsn ".contains(ch))
+        };
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate().take(cols) {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if numeric(cell) {
+                    out.push_str(&" ".repeat(widths[c] - cell.chars().count()));
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(widths[c] - cell.chars().count()));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        fmt_row(&mut out, &sep);
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting: the harness never emits commas in cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header + separator + 2 rows");
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Numeric column right-aligned: the widths line up.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b,c\nx,,\n");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new(["g", "e_p", "e_r"]);
+        t.row(["1024", "0.93", "0.87"]);
+        t.row(["2048", "0.97", "0.95"]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1024,0.93,0.87"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(["only", "headers"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Data access modes and the conflict relation they induce.
+//!
+//! Following the paper (§2.1), each task declares one access mode per data
+//! object it touches: read-only, write-only, or read-write. Sequential
+//! consistency is guaranteed by making every read happen after all previous
+//! writes, and every write happen after all previous reads *and* writes, in
+//! task-flow order.
+
+/// How a task accesses one data object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessMode {
+    /// Read-only access (`R` in the paper's specification).
+    Read,
+    /// Write-only access (`W`). The task promises not to observe the
+    /// previous value; runtimes may still conservatively treat this like
+    /// `ReadWrite` for ordering (both orderings below are identical).
+    Write,
+    /// Read-write access. Identical ordering constraints to [`AccessMode::Write`].
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Does this access observe the data? (`Read` and `ReadWrite`.)
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// Does this access modify the data? (`Write` and `ReadWrite`.)
+    ///
+    /// The synchronization protocols only distinguish *writers* (exclusive)
+    /// from *readers* (shared), so this predicate is the one that drives
+    /// ordering decisions everywhere.
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+
+    /// Can two accesses to the same data object run concurrently?
+    ///
+    /// Only `Read`/`Read` pairs are compatible; any pair involving a writer
+    /// conflicts. This is exactly the `DataRaceFreedom` predicate of the
+    /// paper's STF specification (Appendix B.1).
+    #[inline]
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        self.writes() || other.writes()
+    }
+
+    /// Short display label (`R`, `W`, `RW`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessMode::Read => "R",
+            AccessMode::Write => "W",
+            AccessMode::ReadWrite => "RW",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AccessMode::*;
+
+    #[test]
+    fn reads_and_writes_predicates() {
+        assert!(Read.reads() && !Read.writes());
+        assert!(!Write.reads() && Write.writes());
+        assert!(ReadWrite.reads() && ReadWrite.writes());
+    }
+
+    #[test]
+    fn conflict_relation_is_symmetric() {
+        let all = [Read, Write, ReadWrite];
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.conflicts_with(b), b.conflicts_with(a));
+            }
+        }
+    }
+
+    #[test]
+    fn only_read_read_is_compatible() {
+        assert!(!Read.conflicts_with(Read));
+        assert!(Read.conflicts_with(Write));
+        assert!(Read.conflicts_with(ReadWrite));
+        assert!(Write.conflicts_with(Write));
+        assert!(ReadWrite.conflicts_with(ReadWrite));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Read.label(), "R");
+        assert_eq!(Write.label(), "W");
+        assert_eq!(ReadWrite.label(), "RW");
+        assert_eq!(format!("{}", ReadWrite), "RW");
+    }
+}

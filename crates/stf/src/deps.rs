@@ -1,0 +1,248 @@
+//! Derivation of the implicit dependency DAG from a task flow.
+//!
+//! The STF model never asks the programmer for dependencies: they are
+//! deduced from the access order in the flow and the declared access modes
+//! (§2.1). The rules are the classic hazards:
+//!
+//! * **read-after-write** — a read depends on the last write before it;
+//! * **write-after-write** — a write depends on the last write before it;
+//! * **write-after-read** — a write depends on every read since that write.
+//!
+//! The resulting [`DepGraph`] is what a *centralized* runtime materializes
+//! at submission time. The decentralized runtime never builds it — that is
+//! precisely its advantage — but tests, schedulers, the model checker and
+//! the schedule validator all need it.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Explicit dependency DAG derived from a [`TaskGraph`].
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// `preds[i]` = direct predecessors of task `T(i+1)`, deduplicated,
+    /// ascending.
+    preds: Vec<Vec<TaskId>>,
+    /// `succs[i]` = direct successors of task `T(i+1)`, deduplicated,
+    /// ascending.
+    succs: Vec<Vec<TaskId>>,
+}
+
+impl DepGraph {
+    /// Derives the dependency DAG of `graph`.
+    pub fn derive(graph: &TaskGraph) -> DepGraph {
+        let n = graph.len();
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut last_writer: Vec<Option<TaskId>> = vec![None; graph.num_data()];
+        let mut readers_since: Vec<Vec<TaskId>> = vec![Vec::new(); graph.num_data()];
+
+        for t in graph.tasks() {
+            let i = t.id.index();
+            for a in &t.accesses {
+                let s = a.data.index();
+                // R-after-W and W-after-W: depend on the last writer.
+                if let Some(w) = last_writer[s] {
+                    preds[i].push(w);
+                }
+                // W-after-R: depend on every read since the last write.
+                if a.mode.writes() {
+                    preds[i].extend(readers_since[s].iter().copied());
+                }
+            }
+            preds[i].sort_unstable();
+            preds[i].dedup();
+            for a in &t.accesses {
+                let s = a.data.index();
+                if a.mode.writes() {
+                    last_writer[s] = Some(t.id);
+                    readers_since[s].clear();
+                }
+                if a.mode.reads() {
+                    readers_since[s].push(t.id);
+                }
+            }
+        }
+
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, ps) in preds.iter().enumerate() {
+            for p in ps {
+                succs[p.index()].push(TaskId::from_index(i));
+            }
+        }
+        DepGraph { preds, succs }
+    }
+
+    /// Direct predecessors of `task`.
+    #[inline]
+    pub fn preds(&self, task: TaskId) -> &[TaskId] {
+        &self.preds[task.index()]
+    }
+
+    /// Direct successors of `task`.
+    #[inline]
+    pub fn succs(&self, task: TaskId) -> &[TaskId] {
+        &self.succs[task.index()]
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Is the DAG empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// In-degree of every task (predecessor count), indexed by flow index.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.preds.iter().map(|p| p.len()).collect()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.preds.iter().map(|p| p.len()).sum()
+    }
+
+    /// Tasks with no predecessors (immediately ready).
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_empty())
+            .map(|(i, _)| TaskId::from_index(i))
+            .collect()
+    }
+
+    /// Checks the defining property of the derivation: every edge goes
+    /// from a smaller task id to a larger one (the DAG respects flow order,
+    /// hence is acyclic by construction).
+    pub fn edges_respect_flow_order(&self) -> bool {
+        self.preds
+            .iter()
+            .enumerate()
+            .all(|(i, ps)| ps.iter().all(|p| p.index() < i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DataId;
+    use crate::task::Access;
+
+    fn d(i: u32) -> DataId {
+        DataId(i)
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut b = TaskGraph::builder(1);
+        let w = b.task(&[Access::write(d(0))], 1, "w");
+        let r = b.task(&[Access::read(d(0))], 1, "r");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(r), &[w]);
+        assert_eq!(dg.succs(w), &[r]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut b = TaskGraph::builder(1);
+        let r = b.task(&[Access::read(d(0))], 1, "r");
+        let w = b.task(&[Access::write(d(0))], 1, "w");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(w), &[r]);
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut b = TaskGraph::builder(1);
+        let w1 = b.task(&[Access::write(d(0))], 1, "w");
+        let w2 = b.task(&[Access::write(d(0))], 1, "w");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(w2), &[w1]);
+    }
+
+    #[test]
+    fn concurrent_reads_share_a_writer_predecessor() {
+        let mut b = TaskGraph::builder(1);
+        let w = b.task(&[Access::write(d(0))], 1, "w");
+        let r1 = b.task(&[Access::read(d(0))], 1, "r");
+        let r2 = b.task(&[Access::read(d(0))], 1, "r");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(r1), &[w]);
+        assert_eq!(dg.preds(r2), &[w]);
+        assert!(
+            !dg.succs(r1).contains(&r2),
+            "two reads must not depend on each other"
+        );
+    }
+
+    #[test]
+    fn write_waits_for_all_readers_since_last_write() {
+        let mut b = TaskGraph::builder(1);
+        let w1 = b.task(&[Access::write(d(0))], 1, "w");
+        let r1 = b.task(&[Access::read(d(0))], 1, "r");
+        let r2 = b.task(&[Access::read(d(0))], 1, "r");
+        let w2 = b.task(&[Access::write(d(0))], 1, "w");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(w2), &[w1, r1, r2]);
+    }
+
+    #[test]
+    fn readers_reset_after_write() {
+        // r1 reads; w writes; w2 writes again: w2 must NOT depend on r1.
+        let mut b = TaskGraph::builder(1);
+        let r1 = b.task(&[Access::read(d(0))], 1, "r");
+        let w = b.task(&[Access::write(d(0))], 1, "w");
+        let w2 = b.task(&[Access::write(d(0))], 1, "w");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(w), &[r1]);
+        assert_eq!(dg.preds(w2), &[w], "readers-since-write was reset by w");
+    }
+
+    #[test]
+    fn dedup_multiple_hazards_through_one_pred() {
+        // t reads d0 and d1, both last written by the same task.
+        let mut b = TaskGraph::builder(2);
+        let w = b.task(&[Access::write(d(0)), Access::write(d(1))], 1, "w");
+        let t = b.task(&[Access::read(d(0)), Access::read(d(1))], 1, "r");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.preds(t), &[w], "duplicate edges must collapse");
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..16 {
+            b.task(&[], 1, "ind");
+        }
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.num_edges(), 0);
+        assert_eq!(dg.sources().len(), 16);
+    }
+
+    #[test]
+    fn edges_are_acyclic_by_construction() {
+        let mut b = TaskGraph::builder(3);
+        for i in 0..30u32 {
+            let x = d(i % 3);
+            let y = d((i + 1) % 3);
+            b.task(&[Access::read(x), Access::read_write(y)], 1, "mix");
+        }
+        let dg = DepGraph::derive(&b.build());
+        assert!(dg.edges_respect_flow_order());
+    }
+
+    #[test]
+    fn in_degrees_match_preds() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(d(0))], 1, "w");
+        b.task(&[Access::read(d(0))], 1, "r");
+        b.task(&[Access::write(d(0))], 1, "w");
+        let dg = DepGraph::derive(&b.build());
+        assert_eq!(dg.in_degrees(), vec![0, 1, 2]);
+        assert_eq!(dg.num_edges(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Strongly-typed identifiers for tasks, data objects and workers.
+//!
+//! The paper numbers tasks "in the order in which they appear in the control
+//! flow" (§3.4, assumption 1); that number is the *Task ID*. We reserve the
+//! value `0` as [`TaskId::NONE`] so that the decentralized protocol can use a
+//! plain integer for "no write registered yet" — real task ids therefore
+//! start at 1 and are dense.
+
+use std::fmt;
+
+/// Identifier of a task: its 1-based position in the sequential task flow.
+///
+/// `TaskId` is totally ordered by flow order, which is exactly the order
+/// used by sequential-consistency reasoning throughout the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// Sentinel used by the synchronization protocol for "no write yet".
+    ///
+    /// It is never the id of a real task.
+    pub const NONE: TaskId = TaskId(0);
+
+    /// First valid task id.
+    pub const FIRST: TaskId = TaskId(1);
+
+    /// Returns the id of the task submitted right after this one.
+    #[inline]
+    pub fn next(self) -> TaskId {
+        TaskId(self.0 + 1)
+    }
+
+    /// 0-based index of this task in the recorded flow.
+    ///
+    /// Panics in debug builds when called on [`TaskId::NONE`].
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!(self != TaskId::NONE, "TaskId::NONE has no flow index");
+        (self.0 - 1) as usize
+    }
+
+    /// Builds a task id from a 0-based flow index.
+    #[inline]
+    pub fn from_index(index: usize) -> TaskId {
+        TaskId(index as u64 + 1)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == TaskId::NONE {
+            write!(f, "T(none)")
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a runtime-managed data object (a "handle" in StarPU
+/// terminology). Dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u32);
+
+impl DataId {
+    /// 0-based index into per-data state tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a data id from a 0-based index.
+    #[inline]
+    pub fn from_index(index: usize) -> DataId {
+        DataId(index as u32)
+    }
+}
+
+impl fmt::Debug for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a worker thread (execution unit). Dense, 0-based.
+///
+/// `Default` is worker 0, matching zero-initialized report structures.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// 0-based index into per-worker state tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a worker id from a 0-based index.
+    #[inline]
+    pub fn from_index(index: usize) -> WorkerId {
+        WorkerId(index as u32)
+    }
+}
+
+impl fmt::Debug for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_ordering_follows_flow_order() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(TaskId::NONE < TaskId::FIRST);
+        assert_eq!(TaskId::FIRST.next(), TaskId(2));
+    }
+
+    #[test]
+    fn task_id_index_round_trip() {
+        for i in 0..100 {
+            assert_eq!(TaskId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no flow index")]
+    #[cfg(debug_assertions)]
+    fn task_id_none_has_no_index() {
+        let _ = TaskId::NONE.index();
+    }
+
+    #[test]
+    fn data_id_round_trip() {
+        for i in 0..100 {
+            assert_eq!(DataId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn worker_id_round_trip() {
+        for i in 0..100 {
+            assert_eq!(WorkerId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TaskId(3)), "T3");
+        assert_eq!(format!("{}", TaskId::NONE), "T(none)");
+        assert_eq!(format!("{}", DataId(7)), "D7");
+        assert_eq!(format!("{}", WorkerId(2)), "W2");
+    }
+}

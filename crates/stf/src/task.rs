@@ -1,0 +1,171 @@
+//! Task descriptors: the metadata a runtime needs about one task.
+//!
+//! A task is a pure function over runtime-managed data objects; for
+//! synchronization purposes the only thing that matters is *which* data it
+//! touches and *how* ([`Access`]). The actual computation is supplied
+//! separately (as a kernel closure) so the same recorded flow can be run
+//! with real kernels, synthetic kernels, or no kernels at all (model
+//! checking).
+
+use crate::access::AccessMode;
+use crate::ids::{DataId, TaskId};
+
+/// One declared access of a task: a data object plus its access mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// The data object accessed.
+    pub data: DataId,
+    /// How it is accessed.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(data: DataId, mode: AccessMode) -> Access {
+        Access { data, mode }
+    }
+
+    /// Read access to `data`.
+    #[inline]
+    pub fn read(data: DataId) -> Access {
+        Access::new(data, AccessMode::Read)
+    }
+
+    /// Write access to `data`.
+    #[inline]
+    pub fn write(data: DataId) -> Access {
+        Access::new(data, AccessMode::Write)
+    }
+
+    /// Read-write access to `data`.
+    #[inline]
+    pub fn read_write(data: DataId) -> Access {
+        Access::new(data, AccessMode::ReadWrite)
+    }
+}
+
+/// Metadata of one task in a recorded flow.
+///
+/// `TaskDesc` deliberately contains *no* executable payload: recorded graphs
+/// are pure dependency structures, reusable across runtimes, kernels and the
+/// model checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskDesc {
+    /// Position in the task flow (1-based, dense).
+    pub id: TaskId,
+    /// Declared accesses, at most one per data object.
+    pub accesses: Vec<Access>,
+    /// Cost hint in abstract "work units" (e.g. loop iterations of the
+    /// synthetic kernel). Zero means "unknown"; schedulers may use it, the
+    /// decentralized runtime ignores it.
+    pub cost: u64,
+    /// Optional human-readable kind tag (e.g. `"getrf"`, `"gemm"`), used by
+    /// reports and tests. Not interpreted by runtimes.
+    pub kind: &'static str,
+}
+
+impl TaskDesc {
+    /// Iterates over the data objects this task *writes* (exclusively).
+    pub fn writes(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.data)
+    }
+
+    /// Iterates over the data objects this task *reads* (shared).
+    pub fn reads(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.data)
+    }
+
+    /// Returns the declared mode on `data`, if any.
+    pub fn mode_on(&self, data: DataId) -> Option<AccessMode> {
+        self.accesses
+            .iter()
+            .find(|a| a.data == data)
+            .map(|a| a.mode)
+    }
+
+    /// Do this task and `other` conflict on at least one data object?
+    ///
+    /// Two tasks conflict when they access a common data object and at least
+    /// one of the two accesses writes. Conflicting tasks must be ordered by
+    /// any sequentially-consistent execution.
+    pub fn conflicts_with(&self, other: &TaskDesc) -> bool {
+        self.accesses.iter().any(|a| {
+            other
+                .mode_on(a.data)
+                .is_some_and(|m| a.mode.conflicts_with(m))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMode::*;
+
+    fn task(id: u64, accesses: Vec<Access>) -> TaskDesc {
+        TaskDesc {
+            id: TaskId(id),
+            accesses,
+            cost: 0,
+            kind: "test",
+        }
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert_eq!(Access::read(DataId(1)).mode, Read);
+        assert_eq!(Access::write(DataId(1)).mode, Write);
+        assert_eq!(Access::read_write(DataId(1)).mode, ReadWrite);
+    }
+
+    #[test]
+    fn reads_and_writes_iterators() {
+        let t = task(
+            1,
+            vec![
+                Access::read(DataId(0)),
+                Access::write(DataId(1)),
+                Access::read_write(DataId(2)),
+            ],
+        );
+        let reads: Vec<_> = t.reads().collect();
+        let writes: Vec<_> = t.writes().collect();
+        assert_eq!(reads, vec![DataId(0), DataId(2)]);
+        assert_eq!(writes, vec![DataId(1), DataId(2)]);
+    }
+
+    #[test]
+    fn mode_on_lookup() {
+        let t = task(1, vec![Access::read(DataId(3))]);
+        assert_eq!(t.mode_on(DataId(3)), Some(Read));
+        assert_eq!(t.mode_on(DataId(4)), None);
+    }
+
+    #[test]
+    fn conflict_requires_shared_data_and_a_writer() {
+        let r0 = task(1, vec![Access::read(DataId(0))]);
+        let r0b = task(2, vec![Access::read(DataId(0))]);
+        let w0 = task(3, vec![Access::write(DataId(0))]);
+        let w1 = task(4, vec![Access::write(DataId(1))]);
+
+        assert!(!r0.conflicts_with(&r0b), "read/read never conflicts");
+        assert!(r0.conflicts_with(&w0), "read/write on same data conflicts");
+        assert!(w0.conflicts_with(&r0), "conflict is symmetric");
+        assert!(!w0.conflicts_with(&w1), "disjoint data never conflicts");
+    }
+
+    #[test]
+    fn empty_access_task_conflicts_with_nothing() {
+        let none = task(1, vec![]);
+        let w0 = task(2, vec![Access::write(DataId(0))]);
+        assert!(!none.conflicts_with(&w0));
+        assert!(!w0.conflicts_with(&none));
+    }
+}

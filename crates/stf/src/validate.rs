@@ -1,0 +1,279 @@
+//! Validation of *observed* executions against the STF semantics.
+//!
+//! Runtimes in this workspace can record what they actually did — either a
+//! total completion order or per-task `(start, end)` intervals. This module
+//! checks such observations against the two properties the paper's formal
+//! specification demands of every execution (§4, Appendix B):
+//!
+//! * **sequential consistency** — every task runs after all flow-earlier
+//!   tasks it depends on;
+//! * **data-race freedom** — no two conflicting tasks overlap in time.
+//!
+//! These checks complement the model checker (`rio-mc`): the checker proves
+//! the *model* correct on small instances; this module audits *actual runs*
+//! at full scale.
+
+use crate::deps::DepGraph;
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// A violation found in an observed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// The observation does not contain every task exactly once.
+    NotAPermutation { missing: usize, duplicates: usize },
+    /// `task` completed before its dependency `dependency`.
+    DependencyOrder { task: TaskId, dependency: TaskId },
+    /// Conflicting tasks `first` and `second` overlapped in time.
+    RaceOverlap { first: TaskId, second: TaskId },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::NotAPermutation { missing, duplicates } => write!(
+                f,
+                "observed order is not a permutation of the flow ({missing} missing, {duplicates} duplicated)"
+            ),
+            ScheduleViolation::DependencyOrder { task, dependency } => {
+                write!(f, "{task} executed before its dependency {dependency}")
+            }
+            ScheduleViolation::RaceOverlap { first, second } => {
+                write!(f, "conflicting tasks {first} and {second} overlapped")
+            }
+        }
+    }
+}
+
+/// Checks that `order` — a completion order of all tasks — is sequentially
+/// consistent with `graph`: it must be a permutation of the flow that is a
+/// topological order of the implicit dependency DAG.
+pub fn validate_order(graph: &TaskGraph, order: &[TaskId]) -> Result<(), ScheduleViolation> {
+    let n = graph.len();
+    let mut position = vec![usize::MAX; n];
+    let mut duplicates = 0usize;
+    for (pos, &t) in order.iter().enumerate() {
+        if position[t.index()] != usize::MAX {
+            duplicates += 1;
+        }
+        position[t.index()] = pos;
+    }
+    let missing = position.iter().filter(|&&p| p == usize::MAX).count();
+    if missing > 0 || duplicates > 0 || order.len() != n {
+        return Err(ScheduleViolation::NotAPermutation {
+            missing,
+            duplicates,
+        });
+    }
+
+    let deps = DepGraph::derive(graph);
+    for t in graph.tasks() {
+        for &p in deps.preds(t.id) {
+            if position[p.index()] > position[t.id.index()] {
+                return Err(ScheduleViolation::DependencyOrder {
+                    task: t.id,
+                    dependency: p,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One observed task execution interval, in any monotonic unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The task.
+    pub task: TaskId,
+    /// Execution start (inclusive).
+    pub start: u64,
+    /// Execution end (exclusive). Must be `>= start`.
+    pub end: u64,
+}
+
+/// Checks per-task execution intervals for both sequential consistency
+/// (dependencies must *complete* before their dependents *start*) and
+/// data-race freedom (conflicting tasks must not overlap).
+///
+/// Complexity is `O(E + C)` where `E` are dependency edges and `C` are
+/// conflicting pairs sharing a data object — fine for test-sized runs.
+pub fn validate_spans(graph: &TaskGraph, spans: &[Span]) -> Result<(), ScheduleViolation> {
+    let n = graph.len();
+    let mut by_task: Vec<Option<Span>> = vec![None; n];
+    let mut duplicates = 0usize;
+    for s in spans {
+        if by_task[s.task.index()].is_some() {
+            duplicates += 1;
+        }
+        by_task[s.task.index()] = Some(*s);
+    }
+    let missing = by_task.iter().filter(|s| s.is_none()).count();
+    if missing > 0 || duplicates > 0 {
+        return Err(ScheduleViolation::NotAPermutation {
+            missing,
+            duplicates,
+        });
+    }
+    let span_of = |t: TaskId| by_task[t.index()].unwrap();
+
+    // Dependency order: pred.end <= succ.start.
+    let deps = DepGraph::derive(graph);
+    for t in graph.tasks() {
+        let st = span_of(t.id);
+        for &p in deps.preds(t.id) {
+            if span_of(p).end > st.start {
+                return Err(ScheduleViolation::DependencyOrder {
+                    task: t.id,
+                    dependency: p,
+                });
+            }
+        }
+    }
+
+    // Race freedom: walk each data object's access list; conflicting
+    // accesses are exactly (writer, anything) pairs on the same object.
+    // Any such pair is also a dependency-connected pair *unless* the
+    // accesses are both reads, so after the dependency check above the only
+    // remaining overlap risk is between accesses connected through a chain;
+    // we still check pairwise per object for defence in depth.
+    let mut accessors: Vec<Vec<(TaskId, bool)>> = vec![Vec::new(); graph.num_data()];
+    for t in graph.tasks() {
+        for a in &t.accesses {
+            accessors[a.data.index()].push((t.id, a.mode.writes()));
+        }
+    }
+    for list in &accessors {
+        for (i, &(t1, w1)) in list.iter().enumerate() {
+            for &(t2, w2) in &list[i + 1..] {
+                if !(w1 || w2) {
+                    continue; // read/read never conflicts
+                }
+                let (s1, s2) = (span_of(t1), span_of(t2));
+                let overlap = s1.start < s2.end && s2.start < s1.end;
+                if overlap {
+                    return Err(ScheduleViolation::RaceOverlap {
+                        first: t1,
+                        second: t2,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DataId;
+    use crate::task::Access;
+
+    fn chain3() -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.build()
+    }
+
+    #[test]
+    fn flow_order_is_always_valid() {
+        let g = chain3();
+        let order: Vec<_> = (0..3).map(TaskId::from_index).collect();
+        assert!(validate_order(&g, &order).is_ok());
+    }
+
+    #[test]
+    fn dependency_inversion_is_caught() {
+        let g = chain3();
+        let order = vec![TaskId(2), TaskId(1), TaskId(3)];
+        assert_eq!(
+            validate_order(&g, &order),
+            Err(ScheduleViolation::DependencyOrder {
+                task: TaskId(2),
+                dependency: TaskId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn independent_tasks_any_order_is_valid() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..4 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let order = vec![TaskId(4), TaskId(2), TaskId(1), TaskId(3)];
+        assert!(validate_order(&g, &order).is_ok());
+    }
+
+    #[test]
+    fn missing_task_is_caught() {
+        let g = chain3();
+        assert!(matches!(
+            validate_order(&g, &[TaskId(1), TaskId(2)]),
+            Err(ScheduleViolation::NotAPermutation { missing: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_task_is_caught() {
+        let g = chain3();
+        assert!(matches!(
+            validate_order(&g, &[TaskId(1), TaskId(1), TaskId(3)]),
+            Err(ScheduleViolation::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_spans_pass() {
+        let g = chain3();
+        let spans = vec![
+            Span { task: TaskId(1), start: 0, end: 10 },
+            Span { task: TaskId(2), start: 10, end: 20 },
+            Span { task: TaskId(3), start: 20, end: 30 },
+        ];
+        assert!(validate_spans(&g, &spans).is_ok());
+    }
+
+    #[test]
+    fn overlapping_conflicting_spans_fail() {
+        let g = chain3();
+        let spans = vec![
+            Span { task: TaskId(1), start: 0, end: 10 },
+            Span { task: TaskId(2), start: 5, end: 20 }, // overlaps the write
+            Span { task: TaskId(3), start: 20, end: 30 },
+        ];
+        assert!(validate_spans(&g, &spans).is_err());
+    }
+
+    #[test]
+    fn overlapping_reads_are_fine() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        let g = b.build();
+        let spans = vec![
+            Span { task: TaskId(1), start: 0, end: 10 },
+            Span { task: TaskId(2), start: 10, end: 30 },
+            Span { task: TaskId(3), start: 15, end: 25 }, // overlaps the other read
+        ];
+        assert!(validate_spans(&g, &spans).is_ok());
+    }
+
+    #[test]
+    fn span_dependency_must_complete_before_start() {
+        let g = chain3();
+        let spans = vec![
+            Span { task: TaskId(1), start: 0, end: 10 },
+            Span { task: TaskId(2), start: 9, end: 12 }, // starts before dep ends
+            Span { task: TaskId(3), start: 20, end: 30 },
+        ];
+        assert!(matches!(
+            validate_spans(&g, &spans),
+            Err(ScheduleViolation::DependencyOrder { .. })
+                | Err(ScheduleViolation::RaceOverlap { .. })
+        ));
+    }
+}

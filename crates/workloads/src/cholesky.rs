@@ -1,0 +1,135 @@
+//! Extension workload: the tiled Cholesky factorization DAG.
+//!
+//! Cholesky is the canonical case study for static schedules in the
+//! literature the paper cites (reference \[20\], "Are static schedules so bad? A case
+//! study on Cholesky factorization"), which makes it a natural extra
+//! benchmark for the decentralized in-order model. Only the lower
+//! triangle of tiles participates:
+//!
+//! ```text
+//! for k in 0..t:
+//!     potrf(A[k][k])                       # RW A[k][k]
+//!     for i in k+1..t: trsm(A[k][k], A[i][k])   # R, RW
+//!     for i in k+1..t:
+//!         syrk(A[i][k], A[i][i])            # R, RW
+//!         for j in k+1..i: gemm(A[i][k], A[j][k], A[i][j]) # R, R, RW
+//! ```
+
+use rio_stf::mapping::block_cyclic_owner;
+use rio_stf::{Access, DataId, TableMapping, TaskGraph, WorkerId};
+
+/// The tiled-Cholesky DAG over a `grid × grid` tile grid, cost hint `cost`.
+pub fn graph(grid: usize, cost: u64) -> TaskGraph {
+    let id = |i: usize, j: usize| DataId::from_index(i + j * grid);
+    let mut b = TaskGraph::builder(grid * grid);
+    for k in 0..grid {
+        b.task(&[Access::read_write(id(k, k))], cost / 3 + 1, "potrf");
+        for i in k + 1..grid {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(i, k))],
+                cost / 2 + 1,
+                "trsm",
+            );
+        }
+        for i in k + 1..grid {
+            b.task(
+                &[Access::read(id(i, k)), Access::read_write(id(i, i))],
+                cost / 2 + 1,
+                "syrk",
+            );
+            for j in k + 1..i {
+                b.task(
+                    &[
+                        Access::read(id(i, k)),
+                        Access::read(id(j, k)),
+                        Access::read_write(id(i, j)),
+                    ],
+                    cost,
+                    "gemm",
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Number of tasks for a given grid.
+pub fn task_count(grid: usize) -> usize {
+    (0..grid)
+        .map(|k| {
+            let r = grid - 1 - k;
+            1 + 2 * r + r * (r.saturating_sub(1)) / 2
+        })
+        .sum()
+}
+
+/// Owner-computes 2-D block-cyclic mapping aligned with the modified tile.
+pub fn mapping(grid: usize, workers: usize) -> TableMapping {
+    let mut table: Vec<WorkerId> = Vec::with_capacity(task_count(grid));
+    for k in 0..grid {
+        table.push(block_cyclic_owner(k, k, workers));
+        for i in k + 1..grid {
+            table.push(block_cyclic_owner(i, k, workers));
+        }
+        for i in k + 1..grid {
+            table.push(block_cyclic_owner(i, i, workers));
+            for j in k + 1..i {
+                table.push(block_cyclic_owner(i, j, workers));
+            }
+        }
+    }
+    TableMapping::new(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::deps::DepGraph;
+
+    #[test]
+    fn task_count_formula_matches_graph() {
+        for grid in 1..7 {
+            assert_eq!(graph(grid, 1).len(), task_count(grid), "grid {grid}");
+        }
+    }
+
+    #[test]
+    fn graph_is_well_formed() {
+        let g = graph(5, 9);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn trsm_depends_on_potrf() {
+        let g = graph(3, 1);
+        let dg = DepGraph::derive(&g);
+        // T1 = potrf(0); T2 = trsm(1,0) <- T1.
+        assert!(dg.preds(rio_stf::TaskId(2)).contains(&rio_stf::TaskId(1)));
+    }
+
+    #[test]
+    fn second_potrf_depends_on_first_syrk() {
+        let g = graph(2, 1);
+        // Flow: T1 potrf(0,0), T2 trsm(1,0), T3 syrk(1,1), T4 potrf(1,1).
+        let dg = DepGraph::derive(&g);
+        assert!(dg.preds(rio_stf::TaskId(4)).contains(&rio_stf::TaskId(3)));
+    }
+
+    #[test]
+    fn mapping_matches_and_validates() {
+        for grid in [2, 4, 6] {
+            for w in [1, 3, 4] {
+                let m = mapping(grid, w);
+                assert_eq!(m.len(), task_count(grid));
+                assert!(m.validate(w));
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_scales_with_grid() {
+        let a = graph(3, 1).stats().critical_path_tasks;
+        let b = graph(6, 1).stats().critical_path_tasks;
+        assert!(b > a);
+    }
+}

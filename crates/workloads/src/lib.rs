@@ -1,0 +1,32 @@
+//! # rio-workloads — the paper's synthetic evaluation workloads
+//!
+//! Generators for the four test cases of the performance evaluation (§5.1)
+//! plus two extensions, each yielding a recorded
+//! [`TaskGraph`](rio_stf::TaskGraph) and a recommended static mapping:
+//!
+//! | Experiment | Module | Dependency structure |
+//! |---|---|---|
+//! | 1 (Fig. 8 row 1, Figs. 6–7) | [`independent`] | none |
+//! | 2 (Fig. 8 row 2) | [`random_deps`] | 128 data objects, 2 random reads + 1 random write per task |
+//! | 3 (Fig. 8 row 3) | [`matmul`] | tiled matrix-multiplication DAG |
+//! | 4 (Fig. 8 row 4) | [`lu`] | tiled LU (no pivoting) DAG |
+//! | extension | [`cholesky`] | tiled Cholesky DAG |
+//! | extension | [`stencil`] | 1-D Jacobi sweep chain |
+//! | extension | [`taskbench`] | Task-Bench dependence patterns (trivial, no_comm, stencil_1d, fft, tree, random_nearest) |
+//!
+//! As in the paper (§5.1), the *task bodies* used with these graphs are
+//! synthetic — the [`counter`] kernel, whose granularity efficiency and
+//! locality efficiency are both 1 by construction — so that measurements
+//! isolate the two efficiencies under study, pipelining (`e_p`) and
+//! runtime (`e_r`).
+
+pub mod cholesky;
+pub mod counter;
+pub mod independent;
+pub mod lu;
+pub mod matmul;
+pub mod random_deps;
+pub mod stencil;
+pub mod taskbench;
+
+pub use counter::{counter_kernel, CounterKernel};

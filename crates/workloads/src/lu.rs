@@ -1,0 +1,156 @@
+//! Experiment 4: the tiled-LU (no pivoting) dependency graph
+//! (Fig. 8 row 4).
+//!
+//! Same DAG shape as `rio_dense::tiled_lu_flow`, with synthetic bodies.
+//! Much more synchronization-heavy than the GEMM DAG: the diagonal
+//! factorization of step `k` depends on the trailing updates of step
+//! `k-1`, panel tasks fan out from it, and the trailing matrix shrinks —
+//! the paper observes RIO becoming *pipelining*-limited here.
+
+use rio_stf::mapping::block_cyclic_owner;
+use rio_stf::{Access, DataId, TableMapping, TaskGraph, WorkerId};
+
+/// The tiled-LU DAG over a `grid × grid` tile grid, with cost hint `cost`
+/// per task (trsm/getrf hints scaled like their flop counts).
+pub fn graph(grid: usize, cost: u64) -> TaskGraph {
+    let id = |i: usize, j: usize| DataId::from_index(i + j * grid);
+    let mut b = TaskGraph::builder(grid * grid);
+    for k in 0..grid {
+        b.task(&[Access::read_write(id(k, k))], cost / 3 + 1, "getrf");
+        for j in k + 1..grid {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(k, j))],
+                cost / 2 + 1,
+                "trsm_l",
+            );
+        }
+        for i in k + 1..grid {
+            b.task(
+                &[Access::read(id(k, k)), Access::read_write(id(i, k))],
+                cost / 2 + 1,
+                "trsm_r",
+            );
+        }
+        for j in k + 1..grid {
+            for i in k + 1..grid {
+                b.task(
+                    &[
+                        Access::read(id(i, k)),
+                        Access::read(id(k, j)),
+                        Access::read_write(id(i, j)),
+                    ],
+                    cost,
+                    "gemm",
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Number of tasks of the LU DAG for a given grid.
+pub fn task_count(grid: usize) -> usize {
+    (0..grid)
+        .map(|k| {
+            let r = grid - 1 - k;
+            1 + 2 * r + r * r
+        })
+        .sum()
+}
+
+/// Smallest grid whose task count reaches `tasks`.
+pub fn grid_for_tasks(tasks: usize) -> usize {
+    let mut g = 1usize;
+    while task_count(g) < tasks {
+        g += 1;
+    }
+    g
+}
+
+/// Owner-computes mapping: each task runs on the 2-D block-cyclic owner of
+/// the tile it modifies.
+pub fn mapping(grid: usize, workers: usize) -> TableMapping {
+    let mut table: Vec<WorkerId> = Vec::with_capacity(task_count(grid));
+    for k in 0..grid {
+        table.push(block_cyclic_owner(k, k, workers));
+        for j in k + 1..grid {
+            table.push(block_cyclic_owner(k, j, workers));
+        }
+        for i in k + 1..grid {
+            table.push(block_cyclic_owner(i, k, workers));
+        }
+        for j in k + 1..grid {
+            for i in k + 1..grid {
+                table.push(block_cyclic_owner(i, j, workers));
+            }
+        }
+    }
+    TableMapping::new(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::deps::DepGraph;
+
+    #[test]
+    fn task_count_formula_matches_graph() {
+        for grid in 1..6 {
+            assert_eq!(graph(grid, 1).len(), task_count(grid), "grid {grid}");
+        }
+    }
+
+    #[test]
+    fn graph_is_well_formed() {
+        let g = graph(4, 12);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_data(), 16);
+    }
+
+    #[test]
+    fn critical_path_grows_linearly_with_grid() {
+        // Right-looking LU: getrf(k) -> trsm -> gemm -> getrf(k+1): the
+        // path length is ~3 tasks per step.
+        let g3 = graph(3, 1).stats().critical_path_tasks;
+        let g5 = graph(5, 1).stats().critical_path_tasks;
+        assert!(g5 > g3);
+        assert_eq!(g3, 1 + 3 + 3, "getrf + 2×(trsm,gemm,getrf chain)");
+    }
+
+    #[test]
+    fn first_trsm_depends_on_first_getrf() {
+        let g = graph(3, 1);
+        let dg = DepGraph::derive(&g);
+        // Flow: T1 = getrf(0,0); T2 = trsm_l(0,1): T2 <- T1.
+        assert!(dg.preds(rio_stf::TaskId(2)).contains(&rio_stf::TaskId(1)));
+    }
+
+    #[test]
+    fn mapping_matches_task_count_and_is_valid() {
+        for grid in [2, 3, 5] {
+            for w in [1, 2, 4] {
+                let m = mapping(grid, w);
+                assert_eq!(m.len(), task_count(grid));
+                assert!(m.validate(w));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_for_tasks_rounds_up() {
+        assert_eq!(grid_for_tasks(1), 1);
+        // grid 2: 1+(1+2+1)=5 tasks.
+        assert_eq!(grid_for_tasks(5), 2);
+        assert_eq!(grid_for_tasks(6), 3);
+    }
+
+    #[test]
+    fn kinds_partition_the_flow() {
+        let g = graph(4, 1);
+        let count = |kind: &str| g.tasks().iter().filter(|t| t.kind == kind).count();
+        assert_eq!(count("getrf"), 4);
+        assert_eq!(count("trsm_l"), 3 + 2 + 1);
+        assert_eq!(count("trsm_r"), 3 + 2 + 1);
+        assert_eq!(count("gemm"), 9 + 4 + 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment 3: the tiled matrix-multiplication dependency graph
+//! (Fig. 8 row 3).
+//!
+//! Same DAG shape as `rio_dense::tiled_gemm_flow`, regenerated here
+//! independently of tile contents: the evaluation substitutes synthetic
+//! counter bodies for the real kernels (§5.1), so only the dependency
+//! structure matters. Read-heavy: each task reads two input tiles
+//! (shared with many other tasks) and read-writes its output tile; the
+//! only chains are the per-`C(i,j)` accumulation sequences.
+
+use rio_stf::mapping::block_cyclic_owner;
+use rio_stf::{Access, DataId, TableMapping, TaskGraph};
+
+/// The tiled-GEMM DAG over a `grid × grid` tile grid: `grid³` tasks over
+/// `3·grid²` data objects (A, B and C tiles), with per-task cost hint
+/// `cost`.
+pub fn graph(grid: usize, cost: u64) -> TaskGraph {
+    let t2 = grid * grid;
+    let id = |base: usize, i: usize, j: usize| DataId::from_index(base + i + j * grid);
+    let mut b = TaskGraph::builder(3 * t2);
+    for k in 0..grid {
+        for j in 0..grid {
+            for i in 0..grid {
+                b.task(
+                    &[
+                        Access::read(id(0, i, k)),
+                        Access::read(id(t2, k, j)),
+                        Access::read_write(id(2 * t2, i, j)),
+                    ],
+                    cost,
+                    "gemm",
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Owner-computes mapping: task `(i, j, k)` runs on the 2-D block-cyclic
+/// owner of `C(i, j)` — the "proper task mapping" §3.2 asks for.
+pub fn mapping(grid: usize, workers: usize) -> TableMapping {
+    let mut table = Vec::with_capacity(grid * grid * grid);
+    for _k in 0..grid {
+        for j in 0..grid {
+            for i in 0..grid {
+                table.push(block_cyclic_owner(i, j, workers));
+            }
+        }
+    }
+    TableMapping::new(table)
+}
+
+/// Smallest grid whose task count reaches `tasks` (`grid³ ≥ tasks`).
+pub fn grid_for_tasks(tasks: usize) -> usize {
+    let mut g = 1usize;
+    while g * g * g < tasks {
+        g += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::deps::DepGraph;
+
+    #[test]
+    fn task_and_data_counts() {
+        let g = graph(4, 10);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.num_data(), 48);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_is_the_k_chain() {
+        let g = graph(5, 1);
+        assert_eq!(g.stats().critical_path_tasks, 5);
+    }
+
+    #[test]
+    fn c_tile_chain_is_sequential_and_a_b_are_read_shared() {
+        let g = graph(3, 1);
+        let dg = DepGraph::derive(&g);
+        // Tasks updating C(0,0) are (i=0, j=0, k=0..3): flow indices
+        // k * 9 + 0. Each depends on the previous in the chain.
+        for k in 1..3 {
+            let t = rio_stf::TaskId::from_index(k * 9);
+            let prev = rio_stf::TaskId::from_index((k - 1) * 9);
+            assert!(dg.preds(t).contains(&prev));
+        }
+    }
+
+    #[test]
+    fn mapping_is_valid_and_aligned_with_c_owner() {
+        let grid = 4;
+        for w in [1, 2, 3, 4, 8] {
+            let m = mapping(grid, w);
+            assert_eq!(m.len(), grid * grid * grid);
+            assert!(m.validate(w));
+        }
+        // All k-steps of one C tile map to the same worker (no chain
+        // crosses workers).
+        let m = mapping(grid, 4);
+        let g = graph(grid, 1);
+        for j in 0..grid {
+            for i in 0..grid {
+                let owners: Vec<_> = (0..grid)
+                    .map(|k| {
+                        let idx = k * grid * grid + j * grid + i;
+                        rio_stf::Mapping::worker_of(&m, g.task(rio_stf::TaskId::from_index(idx)).id, 4)
+                    })
+                    .collect();
+                assert!(owners.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_for_tasks_rounds_up() {
+        assert_eq!(grid_for_tasks(1), 1);
+        assert_eq!(grid_for_tasks(8), 2);
+        assert_eq!(grid_for_tasks(9), 3);
+        assert_eq!(grid_for_tasks(1000), 10);
+        assert_eq!(grid_for_tasks(1001), 11);
+    }
+}

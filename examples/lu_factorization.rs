@@ -1,0 +1,58 @@
+//! Tiled LU factorization (no pivoting) on RIO, verified by
+//! reconstruction: ‖L·U − A‖ must be tiny.
+//!
+//! Run with: `cargo run --release --example lu_factorization [n] [tile]`
+//!
+//! This is the paper's Experiment-4 dependency graph — getrf/trsm/gemm
+//! tile tasks — with real kernels, an owner-computes 2-D block-cyclic
+//! mapping, and the decentralized in-order execution model.
+
+use std::time::Instant;
+
+use rio::core::RioConfig;
+use rio::dense::lu::lu_reconstruct;
+use rio::dense::{tiled_lu_flow, Matrix};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(192);
+    let tile: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(24);
+    assert!(n.is_multiple_of(tile), "tile must divide n");
+    let workers = 4;
+
+    // Diagonally dominant: LU without pivoting is well defined.
+    let a = Matrix::random_diag_dominant(n, 2026);
+    let flow = tiled_lu_flow(n / tile, tile);
+    println!(
+        "LU of a {n}x{n} matrix in {tile}x{tile} tiles: {} tasks",
+        flow.graph.len()
+    );
+    let stats = flow.graph.stats();
+    println!(
+        "critical path {} tasks, avg parallelism {:.2}",
+        stats.critical_path_tasks, stats.avg_parallelism
+    );
+
+    let store = flow.make_store(&a);
+    let kernel = flow.kernel(&store);
+    let mapping = flow.owner_mapping(workers);
+    let cfg = RioConfig::with_workers(workers);
+    let t0 = Instant::now();
+    let report = rio::core::execute_graph(&cfg, &flow.graph, &mapping, &kernel);
+    let elapsed = t0.elapsed();
+    drop(kernel);
+
+    let factored = flow.extract(&store);
+    let back = lu_reconstruct(&factored);
+    let rel = back.max_abs_diff(&a) / a.frobenius();
+    println!("RIO ({workers} workers): {elapsed:?}, relative error {rel:.3e}");
+    assert!(rel < 1e-12, "factorization incorrect: {rel}");
+    println!(
+        "verified; per-worker tasks: {:?}",
+        report
+            .workers
+            .iter()
+            .map(|w| w.tasks_executed)
+            .collect::<Vec<_>>()
+    );
+}
