@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rio_core::redux::{RAccess, ReduxRio};
-use rio_core::{RioConfig, WaitStrategy};
+use rio_core::{Executor, RioConfig, WaitStrategy};
 use rio_stf::{Access, DataId, DataStore, RoundRobin, TableMapping, TaskGraph, WorkerId};
 use rio_workloads::{independent, lu};
 
@@ -16,13 +16,21 @@ fn bench_wait_strategies(c: &mut Criterion) {
         b.task(&[Access::read_write(DataId((i % 2) as u32))], 1, "inc");
     }
     let graph = b.build();
-    for wait in [WaitStrategy::Spin, WaitStrategy::SpinYield, WaitStrategy::Park] {
+    for wait in [
+        WaitStrategy::Spin,
+        WaitStrategy::SpinYield,
+        WaitStrategy::Park,
+    ] {
         let cfg = RioConfig::with_workers(2)
             .wait(wait)
             .measure_time(false)
             .check_determinism(false);
         g.bench_with_input(BenchmarkId::from_parameter(wait), &graph, |bch, graph| {
-            bch.iter(|| rio_core::execute_graph(&cfg, graph, &RoundRobin, |_, _| {}));
+            bch.iter(|| {
+                Executor::new(cfg.clone())
+                    .mapping(&RoundRobin)
+                    .run(graph, |_, _| {})
+            });
         });
     }
     g.finish();
@@ -43,14 +51,26 @@ fn bench_mapping_quality(c: &mut Criterion) {
 
     let owner = lu::mapping(grid, workers);
     g.bench_function("block-cyclic-owner", |bch| {
-        bch.iter(|| rio_core::execute_graph(&cfg, &graph, &owner, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&owner)
+                .run(&graph, |_, _| {})
+        });
     });
     g.bench_function("round-robin", |bch| {
-        bch.iter(|| rio_core::execute_graph(&cfg, &graph, &RoundRobin, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| {})
+        });
     });
     let degenerate = TableMapping::new(vec![WorkerId(0); graph.len()]);
     g.bench_function("all-on-one", |bch| {
-        bch.iter(|| rio_core::execute_graph(&cfg, &graph, &degenerate, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&degenerate)
+                .run(&graph, |_, _| {})
+        });
     });
     g.finish();
 }
@@ -85,10 +105,19 @@ fn bench_pruning(c: &mut Criterion) {
         .measure_time(false)
         .check_determinism(false);
     g.bench_function("unpruned", |bch| {
-        bch.iter(|| rio_core::execute_graph(&cfg, &graph, &RoundRobin, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| {})
+        });
     });
     g.bench_function("pruned", |bch| {
-        bch.iter(|| rio_core::execute_graph_pruned(&cfg, &graph, &RoundRobin, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .pruning(true)
+                .run(&graph, |_, _| {})
+        });
     });
     g.finish();
 }
@@ -98,7 +127,7 @@ fn bench_pruning(c: &mut Criterion) {
 /// is 64x heavier) — the regime where static mappings lose and claiming
 /// self-balances.
 fn bench_hybrid_claiming(c: &mut Criterion) {
-    use rio_core::hybrid::{self, Total, Unmapped};
+    use rio_core::hybrid::{Total, Unmapped};
     use rio_workloads::counter::counter_kernel;
     let mut g = c.benchmark_group("ablation/hybrid-claiming");
     let mut b = TaskGraph::builder(0);
@@ -115,10 +144,18 @@ fn bench_hybrid_claiming(c: &mut Criterion) {
         .measure_time(false)
         .check_determinism(false);
     g.bench_function("static-round-robin", |bch| {
-        bch.iter(|| hybrid::execute_graph_hybrid(&cfg, &graph, &Total(RoundRobin), body));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .hybrid(&Total(RoundRobin))
+                .run(&graph, body)
+        });
     });
     g.bench_function("dynamic-claiming", |bch| {
-        bch.iter(|| hybrid::execute_graph_hybrid(&cfg, &graph, &Unmapped, body));
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .hybrid(&Unmapped)
+                .run(&graph, body)
+        });
     });
     g.finish();
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rio_centralized::CentralConfig;
-use rio_core::{RioConfig, WaitStrategy};
+use rio_core::{Executor, RioConfig, TraceConfig, WaitStrategy};
 use rio_stf::RoundRobin;
 use rio_workloads::independent;
 
@@ -19,7 +19,11 @@ fn bench_per_task_overhead(c: &mut Criterion) {
             .measure_time(false)
             .check_determinism(false);
         g.bench_with_input(BenchmarkId::new("rio", n), &graph, |b, graph| {
-            b.iter(|| rio_core::execute_graph(&rio_cfg, graph, &RoundRobin, |_, _| {}));
+            b.iter(|| {
+                Executor::new(rio_cfg.clone())
+                    .mapping(&RoundRobin)
+                    .run(graph, |_, _| {})
+            });
         });
 
         let rio1_cfg = RioConfig::with_workers(1)
@@ -27,7 +31,11 @@ fn bench_per_task_overhead(c: &mut Criterion) {
             .measure_time(false)
             .check_determinism(false);
         g.bench_with_input(BenchmarkId::new("rio-1worker", n), &graph, |b, graph| {
-            b.iter(|| rio_core::execute_graph(&rio1_cfg, graph, &RoundRobin, |_, _| {}));
+            b.iter(|| {
+                Executor::new(rio1_cfg.clone())
+                    .mapping(&RoundRobin)
+                    .run(graph, |_, _| {})
+            });
         });
 
         let cen_cfg = CentralConfig::with_threads(2).measure_time(false);
@@ -60,13 +68,21 @@ fn bench_dependent_chain(c: &mut Criterion) {
         .measure_time(false)
         .check_determinism(false);
     g.bench_function("rio-2workers-roundrobin", |bch| {
-        bch.iter(|| rio_core::execute_graph(&rio_cfg, &graph, &RoundRobin, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(rio_cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| {})
+        });
     });
 
     // Same chain entirely on one worker: no handoffs at all.
     let all_on_0 = rio_stf::TableMapping::new(vec![rio_stf::WorkerId(0); n]);
     g.bench_function("rio-2workers-single-owner", |bch| {
-        bch.iter(|| rio_core::execute_graph(&rio_cfg, &graph, &all_on_0, |_, _| {}));
+        bch.iter(|| {
+            Executor::new(rio_cfg.clone())
+                .mapping(&all_on_0)
+                .run(&graph, |_, _| {})
+        });
     });
 
     let cen_cfg = CentralConfig::with_threads(2).measure_time(false);
@@ -76,9 +92,43 @@ fn bench_dependent_chain(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Acceptance gate for the observability layer: with the `trace`
+    // feature compiled in but tracing *not requested at runtime* (the
+    // default), per-task cost must stay within noise (<2%) of the seed's
+    // untraced runtime — compare `runtime-off` here against
+    // `overhead/independent-empty-tasks/rio`. `runtime-on` shows the
+    // price of actually recording events.
+    let n = 4096usize;
+    let graph = independent::graph(n);
+    let mut g = c.benchmark_group("overhead/tracing");
+    g.throughput(Throughput::Elements(n as u64));
+
+    let cfg = RioConfig::with_workers(2)
+        .wait(WaitStrategy::Park)
+        .measure_time(false)
+        .check_determinism(false);
+    g.bench_function("runtime-off", |bch| {
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| {})
+        });
+    });
+    g.bench_function("runtime-on", |bch| {
+        bch.iter(|| {
+            Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .trace(TraceConfig::new())
+                .run(&graph, |_, _| {})
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_per_task_overhead, bench_dependent_chain
+    targets = bench_per_task_overhead, bench_dependent_chain, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -76,8 +76,15 @@ impl Options {
 // ---------------------------------------------------------------------
 
 fn gemm_tile_sweep(n: usize, quick: bool) -> Vec<usize> {
-    let all: &[usize] = if quick { &[16, 64, 192] } else { &[8, 16, 32, 48, 96, 192, 384] };
-    all.iter().copied().filter(|t| n.is_multiple_of(*t) && *t <= n).collect()
+    let all: &[usize] = if quick {
+        &[16, 64, 192]
+    } else {
+        &[8, 16, 32, 48, 96, 192, 384]
+    };
+    all.iter()
+        .copied()
+        .filter(|t| n.is_multiple_of(*t) && *t <= n)
+        .collect()
 }
 
 /// Fig. 2: execution time against tile size for a tiled matrix
@@ -115,7 +122,9 @@ pub fn fig2(opt: &Options, n: usize) -> String {
         let mapping = flow.owner_mapping(opt.threads);
         let rcfg = RioConfig::with_workers(opt.threads).wait(WaitStrategy::Park);
         let t0 = Instant::now();
-        rio_core::execute_graph(&rcfg, &flow.graph, &mapping, &kernel);
+        rio_core::Executor::new(rcfg)
+            .mapping(&mapping)
+            .run(&flow.graph, &kernel);
         let rio = t0.elapsed();
 
         table.row([
@@ -127,7 +136,10 @@ pub fn fig2(opt: &Options, n: usize) -> String {
         ]);
     }
     opt.emit(
-        &format!("Fig. 2 — {n}x{n} tiled DGEMM: execution time vs tile size ({} threads)", opt.threads),
+        &format!(
+            "Fig. 2 — {n}x{n} tiled DGEMM: execution time vs tile size ({} threads)",
+            opt.threads
+        ),
         &table,
     )
 }
@@ -215,7 +227,10 @@ pub fn fig4(opt: &Options, n: usize) -> String {
         ]);
     }
     opt.emit(
-        &format!("Fig. 4 — efficiency decomposition, {n}x{n} matmul, centralized ({} threads)", opt.threads),
+        &format!(
+            "Fig. 4 — efficiency decomposition, {n}x{n} matmul, centralized ({} threads)",
+            opt.threads
+        ),
         &table,
     )
 }
@@ -246,8 +261,14 @@ pub fn fig6(opt: &Options) -> String {
             fmt_dur(seq),
             fmt_dur(rio.wall),
             fmt_dur(cen.wall),
-            format!("{:.2}", rio.wall.as_secs_f64() / seq.as_secs_f64().max(1e-9)),
-            format!("{:.2}", cen.wall.as_secs_f64() / seq.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                rio.wall.as_secs_f64() / seq.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.2}",
+                cen.wall.as_secs_f64() / seq.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     opt.emit(
@@ -279,16 +300,17 @@ pub fn fig7(opt: &Options, tasks_per_worker: usize, worker_counts: &[usize]) -> 
             .check_determinism(false);
         let run_plain = || {
             let t0 = Instant::now();
-            rio_core::execute_graph(&rio_cfg, &graph, &RoundRobin, |_, _| {
-                counter_kernel(task_size)
-            });
+            rio_core::Executor::new(rio_cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| counter_kernel(task_size));
             t0.elapsed()
         };
         let run_pruned = || {
             let t0 = Instant::now();
-            rio_core::execute_graph_pruned(&rio_cfg, &graph, &RoundRobin, |_, _| {
-                counter_kernel(task_size)
-            });
+            rio_core::Executor::new(rio_cfg.clone())
+                .mapping(&RoundRobin)
+                .pruning(true)
+                .run(&graph, |_, _| counter_kernel(task_size));
             t0.elapsed()
         };
         let cen_cfg = CentralConfig::with_threads(w + 1);
@@ -326,7 +348,11 @@ pub fn fig7(opt: &Options, tasks_per_worker: usize, worker_counts: &[usize]) -> 
 
 /// Builds the graph + mapping of one of the four §5.1 experiments, sized
 /// to roughly `tasks` tasks.
-pub fn experiment_graph(exp: usize, tasks: usize, workers: usize) -> (TaskGraph, Box<dyn rio_stf::Mapping>, String) {
+pub fn experiment_graph(
+    exp: usize,
+    tasks: usize,
+    workers: usize,
+) -> (TaskGraph, Box<dyn rio_stf::Mapping>, String) {
     match exp {
         1 => (
             independent::graph(tasks),
@@ -343,7 +369,10 @@ pub fn experiment_graph(exp: usize, tasks: usize, workers: usize) -> (TaskGraph,
             (
                 matmul::graph(grid, 1),
                 Box::new(matmul::mapping(grid, workers)),
-                format!("experiment 3: matmul DAG, grid {grid} ({} tasks)", grid * grid * grid),
+                format!(
+                    "experiment 3: matmul DAG, grid {grid} ({} tasks)",
+                    grid * grid * grid
+                ),
             )
         }
         4 => {
@@ -351,7 +380,10 @@ pub fn experiment_graph(exp: usize, tasks: usize, workers: usize) -> (TaskGraph,
             (
                 lu::graph(grid, 1),
                 Box::new(lu::mapping(grid, workers)),
-                format!("experiment 4: LU DAG, grid {grid} ({} tasks)", lu::task_count(grid)),
+                format!(
+                    "experiment 4: LU DAG, grid {grid} ({} tasks)",
+                    lu::task_count(grid)
+                ),
             )
         }
         _ => panic!("experiments are numbered 1..=4"),
@@ -362,15 +394,7 @@ pub fn experiment_graph(exp: usize, tasks: usize, workers: usize) -> (TaskGraph,
 /// and the centralized runtime on experiment `exp`.
 pub fn fig8(opt: &Options, exp: usize) -> String {
     let (graph, mapping, label) = experiment_graph(exp, opt.tasks, opt.threads);
-    let mut table = Table::new([
-        "task_size",
-        "runtime",
-        "wall",
-        "e_l",
-        "e_p",
-        "e_r",
-        "e",
-    ]);
+    let mut table = Table::new(["task_size", "runtime", "wall", "e_l", "e_p", "e_r", "e"]);
     for size in opt.sizes() {
         let spec = opt.spec(size);
         let seq = measure_sequential(&spec, &graph);
@@ -400,7 +424,10 @@ pub fn fig8(opt: &Options, exp: usize) -> String {
         ]);
     }
     opt.emit(
-        &format!("Fig. 8 row {exp} — decomposition vs task size ({label}, {} threads)", opt.threads),
+        &format!(
+            "Fig. 8 row {exp} — decomposition vs task size ({label}, {} threads)",
+            opt.threads
+        ),
         &table,
     )
 }
@@ -626,10 +653,12 @@ pub fn mapping_quality(opt: &Options) -> String {
             format!("{:.3}", d.parallel_efficiency()),
         ]);
     };
-    row("block-cyclic-owner", measure_rio(&spec, &graph, &lu::mapping(grid, opt.threads)));
+    row(
+        "block-cyclic-owner",
+        measure_rio(&spec, &graph, &lu::mapping(grid, opt.threads)),
+    );
     row("round-robin", measure_rio(&spec, &graph, &RoundRobin));
-    let degenerate =
-        rio_stf::TableMapping::new(vec![rio_stf::WorkerId(0); graph.len()]);
+    let degenerate = rio_stf::TableMapping::new(vec![rio_stf::WorkerId(0); graph.len()]);
     row("all-on-one-worker", measure_rio(&spec, &graph, &degenerate));
     opt.emit(
         &format!(

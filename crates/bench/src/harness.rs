@@ -53,9 +53,10 @@ pub fn measure_rio<M: Mapping>(spec: &RunSpec, graph: &TaskGraph, mapping: &M) -
         .check_determinism(false);
     let mut best: Option<CumulativeTimes> = None;
     for _ in 0..spec.reps {
-        let report = rio_core::execute_graph(&cfg, graph, mapping, |_: WorkerId, _| {
-            counter_kernel(spec.task_size)
-        });
+        let report = rio_core::Executor::new(cfg.clone())
+            .mapping(mapping)
+            .run(graph, |_: WorkerId, _| counter_kernel(spec.task_size))
+            .report;
         let t = CumulativeTimes {
             threads: spec.threads,
             wall: report.wall,
@@ -75,9 +76,8 @@ pub fn measure_centralized(spec: &RunSpec, graph: &TaskGraph) -> CumulativeTimes
     let cfg = CentralConfig::with_threads(spec.threads.max(2)).measure_time(true);
     let mut best: Option<CumulativeTimes> = None;
     for _ in 0..spec.reps {
-        let report = rio_centralized::execute_graph(&cfg, graph, |_, _| {
-            counter_kernel(spec.task_size)
-        });
+        let report =
+            rio_centralized::execute_graph(&cfg, graph, |_, _| counter_kernel(spec.task_size));
         let t = CumulativeTimes {
             threads: report.num_threads(),
             wall: report.wall,

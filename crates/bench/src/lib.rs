@@ -15,7 +15,7 @@
 //! | `repro table1` | Table 1 — model-checking state counts for STF and Run-In-Order |
 //! | `repro costmodel` | §3.3 — validation of cost models (1) and (2) |
 
-pub mod harness;
 pub mod figures;
+pub mod harness;
 
 pub use harness::{measure_centralized, measure_rio, measure_sequential, RunSpec};

@@ -35,7 +35,10 @@ use rio_bench::figures::{self, Options};
 fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
     args.windows(2)
         .find(|w| w[0] == key)
-        .map(|w| w[1].parse().unwrap_or_else(|_| panic!("bad value for {key}")))
+        .map(|w| {
+            w[1].parse()
+                .unwrap_or_else(|_| panic!("bad value for {key}"))
+        })
         .unwrap_or(default)
 }
 
@@ -128,7 +131,11 @@ fn main() {
         _ => {
             eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|all> [options]");
             eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick");
-            std::process::exit(if cmd == "help" || cmd == "--help" { 0 } else { 2 });
+            std::process::exit(if cmd == "help" || cmd == "--help" {
+                0
+            } else {
+                2
+            });
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Configuration of the centralized runtime.
 
+use rio_trace::TraceConfig;
+
 /// Scheduling/dispatch policy for ready tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
@@ -48,6 +50,10 @@ pub struct CentralConfig {
     /// Record one `(task, start, end)` span per executed task for
     /// post-run auditing against the STF semantics.
     pub record_spans: bool,
+    /// When `Some`, pool workers record task/park events into per-worker
+    /// ring buffers (`rio-trace`), retrievable with
+    /// [`crate::CentralReport::take_trace`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl CentralConfig {
@@ -83,6 +89,12 @@ impl CentralConfig {
         self
     }
 
+    /// Enables event tracing for the run (builder style).
+    pub fn trace(mut self, trace: TraceConfig) -> CentralConfig {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Number of task-executing workers.
     pub fn num_workers(&self) -> usize {
         self.threads.saturating_sub(1).max(1)
@@ -110,6 +122,7 @@ impl Default for CentralConfig {
             window: None,
             measure_time: true,
             record_spans: false,
+            trace: None,
         }
     }
 }

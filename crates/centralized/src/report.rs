@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use rio_stf::validate::{validate_spans, ScheduleViolation, Span};
 use rio_stf::TaskGraph;
+use rio_trace::{Trace, WorkerTrace};
 
 /// What the master thread did.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +40,8 @@ pub struct PoolWorkerReport {
     pub steals: u64,
     /// Execution spans (empty unless `record_spans` was enabled).
     pub spans: Vec<Span>,
+    /// Per-worker event trace (`Some` iff `CentralConfig::trace` was set).
+    pub trace: Option<WorkerTrace>,
 }
 
 impl PoolWorkerReport {
@@ -108,6 +111,27 @@ impl CentralReport {
     /// Audits the recorded spans against the STF semantics of `graph`.
     pub fn audit(&self, graph: &TaskGraph) -> Result<(), ScheduleViolation> {
         validate_spans(graph, &self.spans())
+    }
+
+    /// Extracts the event trace recorded by the pool workers (once).
+    ///
+    /// Returns `None` when tracing was not enabled. The master thread
+    /// records no events but counts toward the thread total, so the
+    /// trace's `(p, t_p, τ_{p,t}, τ_{p,i})` quadruple carries
+    /// `extra_threads = 1` — matching [`CentralReport::num_threads`].
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if self.workers.iter().all(|w| w.trace.is_none()) {
+            return None;
+        }
+        Some(Trace {
+            wall_ns: self.wall.as_nanos() as u64,
+            workers: self
+                .workers
+                .iter_mut()
+                .filter_map(|w| w.trace.take())
+                .collect(),
+            extra_threads: 1,
+        })
     }
 }
 

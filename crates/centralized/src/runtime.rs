@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
 use rio_stf::{TaskDesc, TaskGraph, WorkerId};
+use rio_trace::WorkerTracer;
 
 use crate::config::{CentralConfig, SchedPolicy};
 use crate::doorbell::Doorbell;
@@ -161,15 +162,13 @@ fn master_loop(cfg: &CentralConfig, engine: &Engine<'_>) -> MasterReport {
             let t0 = Instant::now();
             let mut waited = false;
             loop {
-                let in_flight =
-                    submitted as usize - engine.executed.load(Ordering::Acquire);
+                let in_flight = submitted as usize - engine.executed.load(Ordering::Acquire);
                 if in_flight < window {
                     break;
                 }
                 waited = true;
                 let epoch = engine.bell.epoch();
-                let in_flight =
-                    submitted as usize - engine.executed.load(Ordering::Acquire);
+                let in_flight = submitted as usize - engine.executed.load(Ordering::Acquire);
                 if in_flight < window {
                     break;
                 }
@@ -218,12 +217,17 @@ where
     let me = WorkerId::from_index(wi);
     let measure = cfg.measure_time;
     let mut report = PoolWorkerReport::default();
+    let mut tracer = cfg
+        .trace
+        .as_ref()
+        .map(|tc| WorkerTracer::new(tc, wi as u32, engine.epoch));
+    let traced = tracer.is_some();
     let loop_start = Instant::now();
 
     loop {
         match find_task(engine, wi, &deque, &mut report) {
             Some(i) => {
-                execute_task(cfg, engine, kernel, me, &deque, i, &mut report);
+                execute_task(cfg, engine, kernel, me, &deque, i, &mut report, &mut tracer);
             }
             None => {
                 if engine.done.load(Ordering::Acquire) {
@@ -233,22 +237,37 @@ where
                 // Re-scan after the snapshot so a ring between our failed
                 // scan and the park cannot strand us.
                 if let Some(i) = find_task(engine, wi, &deque, &mut report) {
-                    execute_task(cfg, engine, kernel, me, &deque, i, &mut report);
+                    execute_task(cfg, engine, kernel, me, &deque, i, &mut report, &mut tracer);
                     continue;
                 }
                 if engine.done.load(Ordering::Acquire) {
                     break;
                 }
-                let t0 = if measure { Some(Instant::now()) } else { None };
+                let t0 = if measure || traced {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 engine.bell.wait(epoch);
                 if let Some(t0) = t0 {
-                    report.idle_time += t0.elapsed();
+                    let t1 = Instant::now();
+                    if measure {
+                        report.idle_time += t1.duration_since(t0);
+                    }
+                    if let Some(tr) = tracer.as_mut() {
+                        tr.park(t0, t1, 1);
+                    }
                 }
             }
         }
     }
 
     report.loop_time = loop_start.elapsed();
+    report.trace = tracer.map(|tr| {
+        let mut wt = tr.finish();
+        wt.loop_ns = report.loop_time.as_nanos() as u64;
+        wt
+    });
     report
 }
 
@@ -300,6 +319,7 @@ fn find_task(
 }
 
 /// Runs one task body and releases its successors.
+#[allow(clippy::too_many_arguments)]
 fn execute_task<K>(
     cfg: &CentralConfig,
     engine: &Engine<'_>,
@@ -308,35 +328,41 @@ fn execute_task<K>(
     deque: &Worker<u32>,
     i: u32,
     report: &mut PoolWorkerReport,
+    tracer: &mut Option<WorkerTracer>,
 ) where
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
     let task = &engine.graph.tasks()[i as usize];
 
     let run = AssertUnwindSafe(|| kernel(me, task));
-    let span_start = if cfg.record_spans {
-        engine.epoch.elapsed().as_nanos() as u64
+    let body_start = if cfg.measure_time || cfg.record_spans || tracer.is_some() {
+        Some(Instant::now())
     } else {
-        0
+        None
     };
-    let outcome = if cfg.measure_time {
-        let t0 = Instant::now();
-        let r = std::panic::catch_unwind(run);
-        report.task_time += t0.elapsed();
-        r
-    } else {
-        std::panic::catch_unwind(run)
-    };
+    let outcome = std::panic::catch_unwind(run);
+    let body_span = body_start.map(|t0| {
+        let t1 = Instant::now();
+        if cfg.measure_time {
+            report.task_time += t1.duration_since(t0);
+        }
+        (t0, t1)
+    });
     if let Err(payload) = outcome {
         engine.poison(payload);
         return;
     }
-    if cfg.record_spans {
-        report.spans.push(rio_stf::validate::Span {
-            task: task.id,
-            start: span_start,
-            end: engine.epoch.elapsed().as_nanos() as u64,
-        });
+    if let Some((t0, t1)) = body_span {
+        if cfg.record_spans {
+            report.spans.push(rio_stf::validate::Span {
+                task: task.id,
+                start: t0.duration_since(engine.epoch).as_nanos() as u64,
+                end: t1.duration_since(engine.epoch).as_nanos() as u64,
+            });
+        }
+        if let Some(tr) = tracer.as_mut() {
+            tr.task(task.id, t0, t1);
+        }
     }
     report.tasks_executed += 1;
 
@@ -492,7 +518,11 @@ mod tests {
         let mut b = TaskGraph::builder(65);
         b.task(&[Access::write(DataId(0))], 1, "src");
         for i in 1..=64u32 {
-            b.task(&[Access::read(DataId(0)), Access::write(DataId(i))], 1, "mid");
+            b.task(
+                &[Access::read(DataId(0)), Access::write(DataId(i))],
+                1,
+                "mid",
+            );
         }
         let sink_reads: Vec<Access> = (1..=64u32).map(|i| Access::read(DataId(i))).collect();
         b.task(&sink_reads, 1, "sink");
@@ -532,6 +562,22 @@ mod tests {
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "boom in task body");
+    }
+
+    #[test]
+    fn traced_run_records_tasks_and_quadruple() {
+        let g = chain_graph(80);
+        let store = DataStore::from_vec(vec![0u64]);
+        let mut report = execute_graph(&cfg(3).trace(rio_trace::TraceConfig::new()), &g, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(store.into_vec(), vec![80]);
+        let trace = report.take_trace().expect("trace present");
+        assert_eq!(trace.workers.len(), 2, "pool workers only record events");
+        assert_eq!(trace.extra_threads, 1, "the master counts as a thread");
+        assert_eq!(trace.workers.iter().map(|w| w.tasks).sum::<u64>(), 80);
+        assert_eq!(trace.quadruple().threads, 3);
+        assert!(report.take_trace().is_none(), "trace is taken exactly once");
     }
 
     #[test]

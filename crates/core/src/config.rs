@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::trace_api::TraceConfig;
 use crate::wait::WaitStrategy;
 
 /// Configuration of a RIO execution.
@@ -24,6 +25,12 @@ pub struct RioConfig {
     /// be audited with [`rio_stf::validate::validate_spans`] afterwards.
     /// Costs two clock reads and one `Vec` push per executed task.
     pub record_spans: bool,
+    /// When `Some`, every worker records task, wait and park events into a
+    /// worker-private ring buffer (`rio-trace`); the assembled trace is
+    /// returned on the report. `None` (the default) records nothing — and
+    /// with the `trace` cargo feature disabled the hooks compile away
+    /// entirely.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RioConfig {
@@ -59,6 +66,12 @@ impl RioConfig {
         self
     }
 
+    /// Enables event tracing with the given configuration (builder style).
+    pub fn trace(mut self, trace: TraceConfig) -> RioConfig {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Panics on nonsensical configurations.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "RIO needs at least one worker");
@@ -75,6 +88,7 @@ impl Default for RioConfig {
             measure_time: true,
             check_determinism: cfg!(debug_assertions),
             record_spans: false,
+            trace: None,
         }
     }
 }
@@ -111,5 +125,12 @@ mod tests {
     fn default_uses_available_parallelism() {
         let c = RioConfig::default();
         assert!(c.workers >= 1);
+        assert!(c.trace.is_none(), "tracing is opt-in");
+    }
+
+    #[test]
+    fn trace_builder_sets_the_flag() {
+        let c = RioConfig::with_workers(1).trace(TraceConfig::new());
+        assert!(c.trace.is_some());
     }
 }

@@ -1,0 +1,316 @@
+//! The unified entry point: one builder for every execution variant.
+//!
+//! Historically the crate exposed one free function per variant
+//! (`execute_graph`, `execute_graph_pruned`, `execute_graph_hybrid`),
+//! each with its own signature and return type. [`Executor`] subsumes
+//! them: configure a [`RioConfig`], choose a mapping (total or partial),
+//! toggle pruning and tracing, and [`Executor::run`] — one call shape for
+//! every variant, one [`Execution`] result carrying whatever the chosen
+//! variant produces. The free functions remain as deprecated wrappers.
+//!
+//! ```
+//! use rio_core::prelude::*;
+//!
+//! let mut b = TaskGraph::builder(1);
+//! for _ in 0..100 {
+//!     b.task(&[Access::read_write(DataId(0))], 1, "inc");
+//! }
+//! let g = b.build();
+//! let store = DataStore::from_vec(vec![0u64]);
+//!
+//! let run = Executor::new(RioConfig::with_workers(2))
+//!     .mapping(&RoundRobin)
+//!     .pruning(true)
+//!     .run(&g, |_, _| *store.write(DataId(0)) += 1);
+//!
+//! assert_eq!(run.report.tasks_executed(), 100);
+//! assert!(run.prune.is_some());
+//! assert_eq!(store.into_vec(), vec![100]);
+//! ```
+
+use rio_stf::{Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
+
+use crate::config::RioConfig;
+use crate::graph::execute_graph_impl;
+use crate::hybrid::{execute_graph_hybrid_impl, HybridStats, PartialMapping};
+use crate::pruning::{execute_graph_pruned_impl, PruneStats};
+use crate::report::ExecReport;
+use crate::trace_api::{Trace, TraceConfig};
+
+/// Builder for a RIO execution. See the [module docs](self).
+///
+/// Variant selection:
+///
+/// * default — plain decentralized in-order execution under the total
+///   [`Mapping`] set with [`Executor::mapping`] ([`RoundRobin`] if none);
+/// * [`Executor::pruning`]`(true)` — same, with per-worker flow pruning
+///   (§3.5); [`Execution::prune`] reports the statistics;
+/// * [`Executor::hybrid`] — partial mapping with dynamic claiming of the
+///   unmapped tasks; [`Execution::hybrid`] reports the claim statistics.
+///   A partial mapping *replaces* the total mapping, and pruning does not
+///   apply (pruning needs the complete access history per worker, which a
+///   run-time claim cannot provide in advance).
+#[must_use = "an Executor does nothing until `.run()` is called"]
+pub struct Executor<'a> {
+    cfg: RioConfig,
+    mapping: Option<&'a dyn Mapping>,
+    partial: Option<&'a dyn PartialMapping>,
+    pruning: bool,
+}
+
+/// Result of an [`Executor::run`]: the report plus whatever the selected
+/// variant additionally produced.
+#[derive(Debug, Default)]
+pub struct Execution {
+    /// The execution report (wall time, per-worker times, op counts).
+    pub report: ExecReport,
+    /// Pruning statistics (`Some` iff pruning was enabled).
+    pub prune: Option<PruneStats>,
+    /// Dynamic-claim statistics (`Some` iff a hybrid run).
+    pub hybrid: Option<HybridStats>,
+    /// The event trace (`Some` iff tracing was enabled).
+    pub trace: Option<Trace>,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor with the given configuration and defaults elsewhere:
+    /// [`RoundRobin`] mapping, no pruning, no tracing.
+    ///
+    /// # Panics
+    /// If the configuration is invalid.
+    pub fn new(cfg: RioConfig) -> Executor<'a> {
+        cfg.validate();
+        Executor {
+            cfg,
+            mapping: None,
+            partial: None,
+            pruning: false,
+        }
+    }
+
+    /// Sets the total task mapping (default: [`RoundRobin`]). Ignored if a
+    /// partial mapping is set with [`Executor::hybrid`].
+    pub fn mapping(mut self, mapping: &'a dyn Mapping) -> Executor<'a> {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Enables per-worker flow pruning (§3.5). Ignored for hybrid runs.
+    pub fn pruning(mut self, on: bool) -> Executor<'a> {
+        self.pruning = on;
+        self
+    }
+
+    /// Switches to the hybrid model: tasks `partial` maps run on their
+    /// fixed worker, the rest are claimed dynamically. Takes precedence
+    /// over [`Executor::mapping`] and [`Executor::pruning`].
+    pub fn hybrid(mut self, partial: &'a dyn PartialMapping) -> Executor<'a> {
+        self.partial = Some(partial);
+        self
+    }
+
+    /// Enables event tracing for this run (shorthand for setting
+    /// [`RioConfig::trace`]). When the config names a Chrome-trace output
+    /// path, [`Executor::run`] writes the file after the run.
+    pub fn trace(mut self, trace: TraceConfig) -> Executor<'a> {
+        self.cfg.trace = Some(trace);
+        self
+    }
+
+    /// The configuration this executor will run with.
+    pub fn config(&self) -> &RioConfig {
+        &self.cfg
+    }
+
+    /// Executes `graph`, invoking `kernel(worker, task)` exactly once per
+    /// task on the worker the selected variant designates.
+    ///
+    /// # Panics
+    /// Propagates task-body panics; panics if a mapping designates a
+    /// worker `>= cfg.workers`, or if the Chrome-trace file cannot be
+    /// written.
+    pub fn run<K>(&self, graph: &TaskGraph, kernel: K) -> Execution
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let mut run = if let Some(partial) = self.partial {
+            let (report, stats) = execute_graph_hybrid_impl(&self.cfg, graph, partial, kernel);
+            Execution {
+                report,
+                hybrid: Some(stats),
+                ..Execution::default()
+            }
+        } else {
+            let mapping: &dyn Mapping = self.mapping.unwrap_or(&RoundRobin);
+            if self.pruning {
+                let (report, stats) = execute_graph_pruned_impl(&self.cfg, graph, mapping, kernel);
+                Execution {
+                    report,
+                    prune: Some(stats),
+                    ..Execution::default()
+                }
+            } else {
+                Execution {
+                    report: execute_graph_impl(&self.cfg, graph, mapping, kernel),
+                    ..Execution::default()
+                }
+            }
+        };
+        run.trace = run.report.take_trace();
+        if let (Some(trace), Some(path)) = (
+            run.trace.as_ref(),
+            self.cfg.trace.as_ref().and_then(|t| t.chrome_path.as_ref()),
+        ) {
+            trace
+                .write_chrome(path)
+                .unwrap_or_else(|e| panic!("cannot write Chrome trace to {}: {e}", path.display()));
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::Unmapped;
+    use crate::wait::WaitStrategy;
+    use rio_stf::{Access, DataId, DataStore};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn chain_graph(n: u32) -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn default_mapping_is_round_robin() {
+        let g = chain_graph(100);
+        let store = DataStore::from_vec(vec![0u64]);
+        let run = Executor::new(RioConfig::with_workers(2)).run(&g, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(run.report.tasks_executed(), 100);
+        // Round-robin over 2 workers: both executed half.
+        assert_eq!(run.report.workers[0].tasks_executed, 50);
+        assert!(run.prune.is_none());
+        assert!(run.hybrid.is_none());
+        assert!(run.trace.is_none());
+        assert_eq!(store.into_vec(), vec![100]);
+    }
+
+    #[test]
+    fn pruning_reports_stats() {
+        // Independent tasks: pruning removes all foreign flow entries.
+        let n = 40;
+        let mut b = TaskGraph::builder(n);
+        for i in 0..n {
+            b.task(&[Access::write(DataId::from_index(i))], 1, "ind");
+        }
+        let g = b.build();
+        let count = AtomicU64::new(0);
+        let run = Executor::new(RioConfig::with_workers(4))
+            .mapping(&RoundRobin)
+            .pruning(true)
+            .run(&g, |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+        let prune = run.prune.expect("pruning stats present");
+        assert!((prune.pruned_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_reports_stats_and_wins_over_pruning() {
+        let g = chain_graph(200);
+        let store = DataStore::from_vec(vec![0u64]);
+        let run = Executor::new(RioConfig::with_workers(3))
+            .pruning(true) // documented: ignored under hybrid
+            .hybrid(&Unmapped)
+            .run(&g, |_, _| {
+                *store.write(DataId(0)) += 1;
+            });
+        assert_eq!(store.into_vec(), vec![200]);
+        let stats = run.hybrid.expect("hybrid stats present");
+        assert_eq!(stats.claimed_per_worker.iter().sum::<u64>(), 200);
+        assert!(run.prune.is_none(), "pruning does not apply to hybrid");
+    }
+
+    #[test]
+    fn all_variants_agree_on_results() {
+        let g = chain_graph(300);
+        let run_with = |ex: Executor<'_>| {
+            let store = DataStore::from_vec(vec![0u64]);
+            let run = ex.run(&g, |_, _| *store.write(DataId(0)) += 1);
+            (store.into_vec()[0], run.report.tasks_executed())
+        };
+        let cfg = || RioConfig::with_workers(3).wait(WaitStrategy::Park);
+        assert_eq!(run_with(Executor::new(cfg())), (300, 300));
+        assert_eq!(run_with(Executor::new(cfg()).pruning(true)), (300, 300));
+        assert_eq!(run_with(Executor::new(cfg()).hybrid(&Unmapped)), (300, 300));
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        #![allow(deprecated)]
+        let g = chain_graph(50);
+        let store = DataStore::from_vec(vec![0u64]);
+        let report = crate::execute_graph(&RioConfig::with_workers(2), &g, &RoundRobin, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(report.tasks_executed(), 50);
+
+        let store2 = DataStore::from_vec(vec![0u64]);
+        let (report, _stats) =
+            crate::execute_graph_pruned(&RioConfig::with_workers(2), &g, &RoundRobin, |_, _| {
+                *store2.write(DataId(0)) += 1;
+            });
+        assert_eq!(report.tasks_executed(), 50);
+
+        let store3 = DataStore::from_vec(vec![0u64]);
+        let (report, _stats) =
+            crate::execute_graph_hybrid(&RioConfig::with_workers(2), &g, &Unmapped, |_, _| {
+                *store3.write(DataId(0)) += 1;
+            });
+        assert_eq!(report.tasks_executed(), 50);
+        assert_eq!(store.into_vec(), vec![50]);
+        assert_eq!(store2.into_vec(), vec![50]);
+        assert_eq!(store3.into_vec(), vec![50]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_returns_a_trace() {
+        let g = chain_graph(120);
+        let store = DataStore::from_vec(vec![0u64]);
+        let run = Executor::new(RioConfig::with_workers(2).wait(WaitStrategy::Park))
+            .trace(TraceConfig::new())
+            .run(&g, |_, _| {
+                *store.write(DataId(0)) += 1;
+            });
+        assert_eq!(store.into_vec(), vec![120]);
+        let trace = run.trace.expect("trace present");
+        assert_eq!(trace.workers.len(), 2);
+        assert_eq!(trace.extra_threads, 0);
+        // Every executed task produced a task event (no ring overflow
+        // at the default capacity).
+        assert_eq!(
+            trace.workers.iter().map(|w| w.tasks).sum::<u64>(),
+            120,
+            "one task record per executed task"
+        );
+        // Counters the runtime filled in.
+        let ops = run.report.total_ops();
+        assert_eq!(trace.workers.iter().map(|w| w.gets).sum::<u64>(), ops.gets);
+        assert_eq!(
+            trace.workers.iter().map(|w| w.declares).sum::<u64>(),
+            ops.declares
+        );
+        // The quadruple is internally consistent.
+        let q = trace.quadruple();
+        assert_eq!(q.threads, 2);
+        assert!(q.task + q.idle <= q.total() + q.wall); // sanity, not exact
+    }
+}

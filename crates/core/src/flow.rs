@@ -49,10 +49,11 @@ use rio_stf::{Access, DataId, DataStore, Mapping, TaskId, WorkerId};
 use crate::config::RioConfig;
 use crate::graph::PanicSlot;
 use crate::protocol::{
-    declare_read, declare_write, get_read, get_write, terminate_read, terminate_write,
+    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
     LocalDataState, Poison, SharedDataState,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::trace_api::WorkerTracer;
 
 /// The RIO runtime handle for the typed flow API.
 #[derive(Debug, Clone)]
@@ -128,18 +129,32 @@ impl Rio {
                             panic_slot,
                             epoch: start,
                             spans: Vec::new(),
+                            tracer: cfg
+                                .trace
+                                .as_ref()
+                                .map(|tc| WorkerTracer::new(tc, w as u32, start)),
                         };
                         let loop_start = Instant::now();
                         flow(&mut ctx);
+                        let loop_time = loop_start.elapsed();
+                        let trace = ctx.tracer.map(|tr| {
+                            let mut wt = tr.finish();
+                            wt.declares = ctx.ops.declares;
+                            wt.gets = ctx.ops.gets;
+                            wt.terminates = ctx.ops.terminates;
+                            wt.loop_ns = loop_time.as_nanos() as u64;
+                            wt
+                        });
                         let report = WorkerReport {
                             worker: me,
                             tasks_executed: ctx.tasks_executed,
                             tasks_visited: ctx.next_task.0 - 1,
                             task_time: ctx.task_time,
                             idle_time: ctx.idle_time,
-                            loop_time: loop_start.elapsed(),
+                            loop_time,
                             ops: ctx.ops,
                             spans: ctx.spans,
+                            trace,
                         };
                         (report, ctx.checksum)
                     })
@@ -217,6 +232,7 @@ pub struct FlowCtx<'a, T> {
     panic_slot: &'a PanicSlot,
     epoch: Instant,
     spans: Vec<rio_stf::validate::Span>,
+    tracer: Option<WorkerTracer>,
 }
 
 impl<'a, T> FlowCtx<'a, T> {
@@ -263,25 +279,32 @@ impl<'a, T> FlowCtx<'a, T> {
         }
 
         if executor == self.me {
+            let traced = self.tracer.is_some();
             for a in accesses {
                 self.ops.gets += 1;
                 let s = &self.shared[a.data.index()];
                 let l = &self.locals[a.data.index()];
-                let wait_start = if self.measure {
+                let wait_start = if self.measure || traced {
                     Some(Instant::now())
                 } else {
                     None
                 };
-                let polls = if a.mode.writes() {
-                    get_write(s, l, self.wait, self.poison)
+                let wo = if a.mode.writes() {
+                    get_write_ex(s, l, self.wait, self.poison)
                 } else {
-                    get_read(s, l, self.wait, self.poison)
+                    get_read_ex(s, l, self.wait, self.poison)
                 };
-                if polls > 0 {
+                if wo.polls > 0 {
                     self.ops.waits += 1;
-                    self.ops.poll_loops += polls;
+                    self.ops.poll_loops += wo.polls;
                     if let Some(t0) = wait_start {
-                        self.idle_time += t0.elapsed();
+                        let t1 = Instant::now();
+                        if self.measure {
+                            self.idle_time += t1.duration_since(t0);
+                        }
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                        }
                     }
                 }
                 if self.poison.armed() {
@@ -294,15 +317,12 @@ impl<'a, T> FlowCtx<'a, T> {
                 store: self.store,
             };
             let run = std::panic::AssertUnwindSafe(|| body(&view));
-            let span_start = self.epoch.elapsed().as_nanos() as u64;
-            let outcome = if self.measure {
-                let t0 = Instant::now();
-                let r = std::panic::catch_unwind(run);
-                self.task_time += t0.elapsed();
-                r
-            } else {
-                std::panic::catch_unwind(run)
-            };
+            let body_start = Instant::now();
+            let outcome = std::panic::catch_unwind(run);
+            let body_end = Instant::now();
+            if self.measure {
+                self.task_time += body_end.duration_since(body_start);
+            }
             if let Err(payload) = outcome {
                 let mut slot = self.panic_slot.lock();
                 if slot.is_none() {
@@ -315,9 +335,12 @@ impl<'a, T> FlowCtx<'a, T> {
             if self.record_spans {
                 self.spans.push(rio_stf::validate::Span {
                     task: id,
-                    start: span_start,
-                    end: self.epoch.elapsed().as_nanos() as u64,
+                    start: body_start.duration_since(self.epoch).as_nanos() as u64,
+                    end: body_end.duration_since(self.epoch).as_nanos() as u64,
                 });
+            }
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.task(id, body_start, body_end);
             }
             self.tasks_executed += 1;
 

@@ -19,10 +19,11 @@ use rio_stf::{Mapping, TaskDesc, TaskGraph, WorkerId};
 
 use crate::config::RioConfig;
 use crate::protocol::{
-    declare_read, declare_write, get_read, get_write, terminate_read, terminate_write,
+    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
     LocalDataState, Poison, SharedDataState,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::trace_api::WorkerTracer;
 
 /// Shared panic slot: the first task-body panic's payload, re-thrown at
 /// the end of the run.
@@ -37,7 +38,26 @@ pub(crate) type PanicSlot = parking_lot::Mutex<Option<Box<dyn std::any::Any + Se
 /// # Panics
 /// If the mapping designates a worker `>= cfg.workers`, or `cfg` is
 /// invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::new(cfg).mapping(&m).run(graph, kernel)` instead"
+)]
 pub fn execute_graph<M, K>(cfg: &RioConfig, graph: &TaskGraph, mapping: &M, kernel: K) -> ExecReport
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    execute_graph_impl(cfg, graph, mapping, kernel)
+}
+
+/// Shared implementation behind [`execute_graph`] (deprecated wrapper) and
+/// [`crate::Executor`].
+pub(crate) fn execute_graph_impl<M, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    mapping: &M,
+    kernel: K,
+) -> ExecReport
 where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -111,6 +131,11 @@ where
     let wait = cfg.wait;
     let measure = cfg.measure_time;
     let record = cfg.record_spans;
+    let mut tracer = cfg
+        .trace
+        .as_ref()
+        .map(|tc| WorkerTracer::new(tc, me.index() as u32, epoch));
+    let traced = tracer.is_some();
 
     let loop_start = Instant::now();
     // Returns `false` when the run is poisoned and the worker must stop.
@@ -130,17 +155,27 @@ where
                 ops.gets += 1;
                 let s = &shared[a.data.index()];
                 let l = &locals[a.data.index()];
-                let wait_start = if measure { Some(Instant::now()) } else { None };
-                let polls = if a.mode.writes() {
-                    get_write(s, l, wait, poison)
+                let wait_start = if measure || traced {
+                    Some(Instant::now())
                 } else {
-                    get_read(s, l, wait, poison)
+                    None
                 };
-                if polls > 0 {
+                let wo = if a.mode.writes() {
+                    get_write_ex(s, l, wait, poison)
+                } else {
+                    get_read_ex(s, l, wait, poison)
+                };
+                if wo.polls > 0 {
                     ops.waits += 1;
-                    ops.poll_loops += polls;
+                    ops.poll_loops += wo.polls;
                     if let Some(t0) = wait_start {
-                        idle_time += t0.elapsed();
+                        let t1 = Instant::now();
+                        if measure {
+                            idle_time += t1.duration_since(t0);
+                        }
+                        if let Some(tr) = tracer.as_mut() {
+                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                        }
                     }
                 }
                 if poison.armed() {
@@ -149,26 +184,26 @@ where
             }
 
             let body = std::panic::AssertUnwindSafe(|| kernel(me, t));
-            let span_start = if record {
-                epoch.elapsed().as_nanos() as u64
+            let body_start = if measure || record || traced {
+                Some(Instant::now())
             } else {
-                0
+                None
             };
-            let outcome = if measure {
-                let t0 = Instant::now();
-                let r = std::panic::catch_unwind(body);
-                task_time += t0.elapsed();
-                r
-            } else {
-                std::panic::catch_unwind(body)
-            };
-            if record {
-                spans.push(rio_stf::validate::Span {
-                    task: t.id,
-                    start: span_start,
-                    end: epoch.elapsed().as_nanos() as u64,
-                });
-            }
+            let outcome = std::panic::catch_unwind(body);
+            let body_span = body_start.map(|t0| {
+                let t1 = Instant::now();
+                if measure {
+                    task_time += t1.duration_since(t0);
+                }
+                if record {
+                    spans.push(rio_stf::validate::Span {
+                        task: t.id,
+                        start: t0.duration_since(epoch).as_nanos() as u64,
+                        end: t1.duration_since(epoch).as_nanos() as u64,
+                    });
+                }
+                (t0, t1)
+            });
             if let Err(payload) = outcome {
                 let mut slot = panic_slot.lock();
                 if slot.is_none() {
@@ -179,6 +214,9 @@ where
                 return false;
             }
             tasks_executed += 1;
+            if let (Some((t0, t1)), Some(tr)) = (body_span, tracer.as_mut()) {
+                tr.task(t.id, t0, t1);
+            }
 
             for a in &t.accesses {
                 ops.terminates += 1;
@@ -223,20 +261,35 @@ where
         }
     }
 
+    // `step` mutably borrows `tracer` (and the counters); shadow it away
+    // so the closure's captures end before we consume `tracer` below.
+    #[allow(dropping_copy_types, clippy::drop_non_drop)]
+    drop(step);
+    let loop_time = loop_start.elapsed();
+    let trace = tracer.map(|tr| {
+        let mut wt = tr.finish();
+        wt.declares = ops.declares;
+        wt.gets = ops.gets;
+        wt.terminates = ops.terminates;
+        wt.loop_ns = loop_time.as_nanos() as u64;
+        wt
+    });
     WorkerReport {
         worker: me,
         tasks_executed,
         tasks_visited,
         task_time,
         idle_time,
-        loop_time: loop_start.elapsed(),
+        loop_time,
         ops,
         spans,
+        trace,
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::execute_graph_impl as execute_graph;
     use super::*;
     use crate::wait::WaitStrategy;
     use rio_stf::validate::{validate_spans, Span};
@@ -458,6 +511,7 @@ mod tests {
 
 #[cfg(test)]
 mod poison_tests {
+    use super::execute_graph_impl as execute_graph;
     use super::*;
     use crate::wait::WaitStrategy;
     use rio_stf::{Access, DataId, RoundRobin};
@@ -522,7 +576,7 @@ mod poison_tests {
         };
         let cfg = RioConfig::with_workers(2);
         let result = std::panic::catch_unwind(|| {
-            crate::execute_graph_pruned(&cfg, &g, &RoundRobin, |_, t| {
+            crate::pruning::execute_graph_pruned_impl(&cfg, &g, &RoundRobin, |_, t| {
                 if t.id.0 == 7 {
                     panic!("pruned boom");
                 }

@@ -41,10 +41,11 @@ use rio_stf::{Mapping, TaskDesc, TaskGraph, TaskId, WorkerId};
 use crate::config::RioConfig;
 use crate::graph::PanicSlot;
 use crate::protocol::{
-    declare_read, declare_write, get_read, get_write, terminate_read, terminate_write,
+    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
     LocalDataState, Poison, SharedDataState,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::trace_api::WorkerTracer;
 
 /// A mapping that may leave tasks unassigned (`None` = decided at run
 /// time by claiming).
@@ -102,6 +103,10 @@ const UNCLAIMED: u32 = u32::MAX;
 
 /// Executes `graph` with the hybrid model: mapped tasks on their fixed
 /// workers, unmapped tasks claimed dynamically. See the module docs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::new(cfg).hybrid(&pmap).run(graph, kernel)` instead"
+)]
 pub fn execute_graph_hybrid<P, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
@@ -112,9 +117,26 @@ where
     P: PartialMapping,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    execute_graph_hybrid_impl(cfg, graph, pmap, kernel)
+}
+
+/// Shared implementation behind [`execute_graph_hybrid`] (deprecated
+/// wrapper) and [`crate::Executor`].
+pub(crate) fn execute_graph_hybrid_impl<P, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    pmap: &P,
+    kernel: K,
+) -> (ExecReport, HybridStats)
+where
+    P: PartialMapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
     cfg.validate();
     let shared = SharedDataState::new_table(graph.num_data());
-    let claims: Box<[AtomicU32]> = (0..graph.len()).map(|_| AtomicU32::new(UNCLAIMED)).collect();
+    let claims: Box<[AtomicU32]> = (0..graph.len())
+        .map(|_| AtomicU32::new(UNCLAIMED))
+        .collect();
     let poison = &Poison::new();
     let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
     let kernel = &kernel;
@@ -180,7 +202,7 @@ fn hybrid_worker_loop<P, K>(
     epoch: Instant,
 ) -> (WorkerReport, u64, u64)
 where
-    P: PartialMapping,
+    P: PartialMapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
     let mut locals = vec![LocalDataState::default(); graph.num_data()];
@@ -195,6 +217,11 @@ where
     let wait = cfg.wait;
     let measure = cfg.measure_time;
     let record = cfg.record_spans;
+    let mut tracer = cfg
+        .trace
+        .as_ref()
+        .map(|tc| WorkerTracer::new(tc, me.index() as u32, epoch));
+    let traced = tracer.is_some();
 
     let loop_start = Instant::now();
     'flow: for t in graph.tasks() {
@@ -230,17 +257,27 @@ where
                 ops.gets += 1;
                 let s = &shared[a.data.index()];
                 let l = &locals[a.data.index()];
-                let wait_start = if measure { Some(Instant::now()) } else { None };
-                let polls = if a.mode.writes() {
-                    get_write(s, l, wait, poison)
+                let wait_start = if measure || traced {
+                    Some(Instant::now())
                 } else {
-                    get_read(s, l, wait, poison)
+                    None
                 };
-                if polls > 0 {
+                let wo = if a.mode.writes() {
+                    get_write_ex(s, l, wait, poison)
+                } else {
+                    get_read_ex(s, l, wait, poison)
+                };
+                if wo.polls > 0 {
                     ops.waits += 1;
-                    ops.poll_loops += polls;
+                    ops.poll_loops += wo.polls;
                     if let Some(t0) = wait_start {
-                        idle_time += t0.elapsed();
+                        let t1 = Instant::now();
+                        if measure {
+                            idle_time += t1.duration_since(t0);
+                        }
+                        if let Some(tr) = tracer.as_mut() {
+                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                        }
                     }
                 }
                 if poison.armed() {
@@ -249,19 +286,19 @@ where
             }
 
             let body = std::panic::AssertUnwindSafe(|| kernel(me, t));
-            let span_start = if record {
-                epoch.elapsed().as_nanos() as u64
+            let body_start = if measure || record || traced {
+                Some(Instant::now())
             } else {
-                0
+                None
             };
-            let outcome = if measure {
-                let t0 = Instant::now();
-                let r = std::panic::catch_unwind(body);
-                task_time += t0.elapsed();
-                r
-            } else {
-                std::panic::catch_unwind(body)
-            };
+            let outcome = std::panic::catch_unwind(body);
+            let body_span = body_start.map(|t0| {
+                let t1 = Instant::now();
+                if measure {
+                    task_time += t1.duration_since(t0);
+                }
+                (t0, t1)
+            });
             if let Err(payload) = outcome {
                 let mut slot = panic_slot.lock();
                 if slot.is_none() {
@@ -271,12 +308,17 @@ where
                 poison.arm_and_wake(shared);
                 break 'flow;
             }
-            if record {
-                spans.push(rio_stf::validate::Span {
-                    task: t.id,
-                    start: span_start,
-                    end: epoch.elapsed().as_nanos() as u64,
-                });
+            if let Some((t0, t1)) = body_span {
+                if record {
+                    spans.push(rio_stf::validate::Span {
+                        task: t.id,
+                        start: t0.duration_since(epoch).as_nanos() as u64,
+                        end: t1.duration_since(epoch).as_nanos() as u64,
+                    });
+                }
+                if let Some(tr) = tracer.as_mut() {
+                    tr.task(t.id, t0, t1);
+                }
             }
             tasks_executed += 1;
 
@@ -303,6 +345,15 @@ where
         }
     }
 
+    let loop_time = loop_start.elapsed();
+    let trace = tracer.map(|tr| {
+        let mut wt = tr.finish();
+        wt.declares = ops.declares;
+        wt.gets = ops.gets;
+        wt.terminates = ops.terminates;
+        wt.loop_ns = loop_time.as_nanos() as u64;
+        wt
+    });
     (
         WorkerReport {
             worker: me,
@@ -310,9 +361,10 @@ where
             tasks_visited,
             task_time,
             idle_time,
-            loop_time: loop_start.elapsed(),
+            loop_time,
             ops,
             spans,
+            trace,
         },
         claimed,
         lost_races,
@@ -321,6 +373,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    use super::execute_graph_hybrid_impl as execute_graph_hybrid;
     use super::*;
     use rio_stf::{Access, DataId, DataStore, RoundRobin};
     use std::sync::atomic::AtomicU64;

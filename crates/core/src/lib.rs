@@ -22,19 +22,31 @@
 //!
 //! ## Entry points
 //!
-//! * [`graph::execute_graph`] — run a recorded [`TaskGraph`]
-//!   with an arbitrary kernel; this is what the paper's evaluation does
-//!   (real task graphs, synthetic task bodies).
+//! * [`Executor`] — **the** entry point: one builder covering plain,
+//!   pruned and hybrid execution of a recorded [`TaskGraph`], with
+//!   optional event tracing ([`executor`] module docs have an example).
 //! * [`flow::Rio`] — the ergonomic typed API: a *flow closure* replayed by
 //!   every worker, with dynamically-checked access to a
 //!   [`rio_stf::DataStore`].
-//! * [`pruning`] — task-pruning variants (§3.5) that let workers skip
-//!   irrelevant portions of the flow.
-//! * [`hybrid`] — the paper's future-work direction: *partial* mappings,
-//!   with unmapped tasks claimed dynamically (CAS-based work sharing).
 //! * [`redux`] — a data-versioning-inspired extension (§3.4's discussion of
 //!   SuperGlue): commutative *accumulation* accesses that relax in-order
 //!   execution for reductions.
+//!
+//! The historical free functions (`execute_graph`, `execute_graph_pruned`,
+//! `execute_graph_hybrid`) remain as deprecated wrappers around the same
+//! implementations; new code should use [`Executor`]. The variant modules
+//! ([`pruning`] §3.5, [`hybrid`] partial mappings with CAS-based claiming)
+//! still expose their statistics types and pre-pass helpers.
+//!
+//! ## Observability
+//!
+//! With the (default) `trace` feature, [`Executor::trace`] turns on the
+//! worker-local event recorder from `rio-trace`: per-worker ring buffers
+//! of task / wait / park spans, wait-time histograms per data object, a
+//! Chrome-trace JSON exporter, and the `(p, t_p, τ_{p,t}, τ_{p,i})`
+//! quadruple consumed by `rio_metrics::decompose`. Recording touches no
+//! shared state on the hot path; with the feature disabled the hooks
+//! compile to nothing (see [`trace_api`]).
 //!
 //! ```
 //! use rio_core::{Rio, RioConfig};
@@ -55,6 +67,7 @@
 //! ```
 
 pub mod config;
+pub mod executor;
 pub mod flow;
 pub mod graph;
 pub mod hybrid;
@@ -62,15 +75,55 @@ pub mod protocol;
 pub mod pruning;
 pub mod redux;
 pub mod report;
+pub mod trace_api;
 pub mod wait;
 
 pub use config::RioConfig;
+pub use executor::{Execution, Executor};
 pub use flow::{FlowCtx, Rio, TaskView};
+#[allow(deprecated)]
 pub use graph::execute_graph;
-pub use hybrid::{execute_graph_hybrid, PartialMapping};
-pub use pruning::{execute_graph_pruned, PruneStats};
+#[allow(deprecated)]
+pub use hybrid::execute_graph_hybrid;
+pub use hybrid::{HybridStats, PartialMapping};
+#[allow(deprecated)]
+pub use pruning::execute_graph_pruned;
+pub use pruning::PruneStats;
 pub use report::{ExecReport, OpCounts, WorkerReport};
+pub use trace_api::{Trace, TraceConfig, WorkerTrace};
 pub use wait::WaitStrategy;
 
-// Re-export the substrate types users need at the API surface.
+/// Everything a typical RIO program needs, in one `use`.
+///
+/// Re-exports the runtime surface ([`Executor`], [`Rio`], configuration,
+/// reports, tracing) together with the `rio-stf` substrate types (graphs,
+/// accesses, mappings, the data store) so call sites no longer reach into
+/// `rio_stf` — or pick names off the `rio_core` root ad hoc — one by one:
+///
+/// ```
+/// use rio_core::prelude::*;
+///
+/// let mut b = TaskGraph::builder(1);
+/// b.task(&[Access::write(DataId(0))], 1, "init");
+/// let g = b.build();
+/// let run = Executor::new(RioConfig::with_workers(1)).run(&g, |_, _| {});
+/// assert_eq!(run.report.tasks_executed(), 1);
+/// ```
+pub mod prelude {
+    pub use crate::config::RioConfig;
+    pub use crate::executor::{Execution, Executor};
+    pub use crate::flow::{FlowCtx, Rio, TaskView};
+    pub use crate::hybrid::{HybridStats, PartialFn, PartialMapping, Total, Unmapped};
+    pub use crate::pruning::PruneStats;
+    pub use crate::report::{ExecReport, OpCounts, WorkerReport};
+    pub use crate::trace_api::{Trace, TraceConfig, WorkerTrace};
+    pub use crate::wait::WaitStrategy;
+    pub use rio_stf::{
+        Access, AccessMode, DataId, DataStore, Mapping, RoundRobin, TableMapping, TaskDesc,
+        TaskGraph, TaskId, WorkerId,
+    };
+}
+
+// The substrate types remain re-exported at the root for backward
+// compatibility; `prelude` is the intended import path.
 pub use rio_stf::{Access, AccessMode, DataId, DataStore, Mapping, TaskGraph, TaskId, WorkerId};

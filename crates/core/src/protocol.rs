@@ -82,6 +82,28 @@ impl Poison {
     }
 }
 
+/// Outcome of one blocking `get_read`/`get_write` call.
+///
+/// `polls` counts condition re-checks (0 = fast path, condition already
+/// true). Under [`WaitStrategy::Park`], every poll past the initial
+/// spin phase is one park/wake transition, reported separately in
+/// `parks`; the spinning strategies never park.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitOutcome {
+    /// Condition re-checks performed while blocked.
+    pub polls: u64,
+    /// Park/wake transitions (Park strategy only; 0 otherwise).
+    pub parks: u64,
+}
+
+impl WaitOutcome {
+    /// Did the call block at all?
+    #[inline]
+    pub fn waited(&self) -> bool {
+        self.polls > 0
+    }
+}
+
 /// Private, per-worker view of one data object. Two plain integers — the
 /// "one or two writes in private memory per dependency" of §3.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,11 +190,11 @@ impl SharedDataState {
     }
 
     /// Waits until `cond()` holds, according to `strategy`. Returns the
-    /// number of polls performed (0 = fast path, condition already true).
+    /// poll and park counts (all zero = fast path, condition already true).
     #[inline]
-    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn() -> bool) -> u64 {
+    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn() -> bool) -> WaitOutcome {
         if cond() {
-            return 0;
+            return WaitOutcome::default();
         }
         let mut polls: u64 = 0;
         // Short pure-spin phase common to all strategies.
@@ -180,7 +202,7 @@ impl SharedDataState {
             std::hint::spin_loop();
             polls += 1;
             if cond() {
-                return polls;
+                return WaitOutcome { polls, parks: 0 };
             }
         }
         match strategy {
@@ -188,24 +210,26 @@ impl SharedDataState {
                 std::hint::spin_loop();
                 polls += 1;
                 if cond() {
-                    return polls;
+                    return WaitOutcome { polls, parks: 0 };
                 }
             },
             WaitStrategy::SpinYield => loop {
                 std::thread::yield_now();
                 polls += 1;
                 if cond() {
-                    return polls;
+                    return WaitOutcome { polls, parks: 0 };
                 }
             },
             WaitStrategy::Park => {
+                let mut parks: u64 = 0;
                 let mut guard = self.lock.lock();
                 loop {
                     if cond() {
-                        return polls;
+                        return WaitOutcome { polls, parks };
                     }
                     self.cond.wait(&mut guard);
                     polls += 1;
+                    parks += 1;
                 }
             }
         }
@@ -229,7 +253,21 @@ pub fn declare_write(local: &mut LocalDataState, task: TaskId) {
 
 /// Blocks until the data object may be read by the current task
 /// (Algorithm 2, `get_read`): every flow-earlier write must have been
-/// performed. Returns the number of polls (0 = no waiting).
+/// performed. Returns the full [`WaitOutcome`] (polls and parks).
+#[inline]
+pub fn get_read_ex(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    strategy: WaitStrategy,
+    poison: &Poison,
+) -> WaitOutcome {
+    let expected = local.last_registered_write.0;
+    shared.wait_until(strategy, || {
+        shared.last_executed_write.load(Ordering::Acquire) == expected || poison.armed()
+    })
+}
+
+/// [`get_read_ex`] reduced to its poll count (0 = no waiting).
 #[inline]
 pub fn get_read(
     shared: &SharedDataState,
@@ -237,22 +275,19 @@ pub fn get_read(
     strategy: WaitStrategy,
     poison: &Poison,
 ) -> u64 {
-    let expected = local.last_registered_write.0;
-    shared.wait_until(strategy, || {
-        shared.last_executed_write.load(Ordering::Acquire) == expected || poison.armed()
-    })
+    get_read_ex(shared, local, strategy, poison).polls
 }
 
 /// Blocks until the data object may be written by the current task
 /// (Algorithm 2, `get_write`): every flow-earlier write *and read* must
-/// have been performed. Returns the number of polls (0 = no waiting).
+/// have been performed. Returns the full [`WaitOutcome`] (polls and parks).
 #[inline]
-pub fn get_write(
+pub fn get_write_ex(
     shared: &SharedDataState,
     local: &LocalDataState,
     strategy: WaitStrategy,
     poison: &Poison,
-) -> u64 {
+) -> WaitOutcome {
     let expected_write = local.last_registered_write.0;
     let expected_reads = local.nb_reads_since_write;
     shared.wait_until(strategy, || {
@@ -263,6 +298,17 @@ pub fn get_write(
             && shared.nb_reads_since_write.load(Ordering::Acquire) == expected_reads)
             || poison.armed()
     })
+}
+
+/// [`get_write_ex`] reduced to its poll count (0 = no waiting).
+#[inline]
+pub fn get_write(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    strategy: WaitStrategy,
+    poison: &Poison,
+) -> u64 {
+    get_write_ex(shared, local, strategy, poison).polls
 }
 
 /// Publishes a performed read (Algorithm 2, `terminate_read`) and updates
@@ -433,6 +479,46 @@ mod tests {
         let mut local_a = LocalDataState::default();
         terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
         assert_eq!(waiter.join().unwrap(), TaskId(1));
+    }
+
+    #[test]
+    fn wait_outcome_counts_parks_only_under_park() {
+        // Fast path: no polls, no parks.
+        let shared = SharedDataState::default();
+        let local = LocalDataState::default();
+        let out = get_read_ex(&shared, &local, S, &ok());
+        assert_eq!(out, WaitOutcome::default());
+        assert!(!out.waited());
+
+        // A parked waiter records at least one park/wake transition, and
+        // every park is also a poll.
+        let shared = Arc::new(SharedDataState::default());
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1));
+        let s = Arc::clone(&shared);
+        let waiter =
+            std::thread::spawn(move || get_read_ex(&s, &local_b, WaitStrategy::Park, &ok()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
+        let out = waiter.join().unwrap();
+        assert!(out.waited());
+        assert!(out.parks >= 1, "Park waiter must have parked");
+        assert!(out.polls >= out.parks);
+
+        // Spinning strategies never park.
+        let shared = Arc::new(SharedDataState::default());
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1));
+        let s = Arc::clone(&shared);
+        let waiter =
+            std::thread::spawn(move || get_write_ex(&s, &local_b, WaitStrategy::SpinYield, &ok()));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::SpinYield);
+        let out = waiter.join().unwrap();
+        assert!(out.waited());
+        assert_eq!(out.parks, 0, "spinning never parks");
     }
 
     #[test]

@@ -96,11 +96,30 @@ pub fn prune_stats(graph: &TaskGraph, lists: &[Vec<u32>]) -> PruneStats {
     }
 }
 
-/// Executes `graph` like [`crate::execute_graph`], but with per-worker
-/// task pruning derived from the mapping.
+/// Executes `graph` like plain decentralized execution, but with
+/// per-worker task pruning derived from the mapping.
 ///
 /// Returns the execution report together with the pruning statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::new(cfg).mapping(&m).pruning(true).run(graph, kernel)` instead"
+)]
 pub fn execute_graph_pruned<M, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    mapping: &M,
+    kernel: K,
+) -> (ExecReport, PruneStats)
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    execute_graph_pruned_impl(cfg, graph, mapping, kernel)
+}
+
+/// Shared implementation behind [`execute_graph_pruned`] (deprecated
+/// wrapper) and [`crate::Executor`].
+pub(crate) fn execute_graph_pruned_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
     mapping: &M,
@@ -160,6 +179,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    use super::execute_graph_pruned_impl as execute_graph_pruned;
     use super::*;
     use rio_stf::{Access, DataId, DataStore, RoundRobin};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -254,7 +274,7 @@ mod tests {
                 .0
                 .tasks_executed()
             } else {
-                crate::execute_graph(&c, &g, &RoundRobin, |_, _| {
+                crate::graph::execute_graph_impl(&c, &g, &RoundRobin, |_, _| {
                     count.fetch_add(1, Ordering::Relaxed);
                 })
                 .tasks_executed()

@@ -80,19 +80,31 @@ pub struct RAccess {
 impl RAccess {
     /// Read access.
     pub fn read(data: DataId) -> RAccess {
-        RAccess { data, mode: RMode::Read }
+        RAccess {
+            data,
+            mode: RMode::Read,
+        }
     }
     /// Write access.
     pub fn write(data: DataId) -> RAccess {
-        RAccess { data, mode: RMode::Write }
+        RAccess {
+            data,
+            mode: RMode::Write,
+        }
     }
     /// Read-write access.
     pub fn read_write(data: DataId) -> RAccess {
-        RAccess { data, mode: RMode::ReadWrite }
+        RAccess {
+            data,
+            mode: RMode::ReadWrite,
+        }
     }
     /// Accumulate (commutative update) access.
     pub fn accumulate(data: DataId) -> RAccess {
-        RAccess { data, mode: RMode::Accumulate }
+        RAccess {
+            data,
+            mode: RMode::Accumulate,
+        }
     }
 }
 
@@ -238,6 +250,7 @@ impl ReduxRio {
                             loop_time: loop_start.elapsed(),
                             ops: ctx.ops,
                             spans: Vec::new(),
+                            trace: None,
                         }
                     })
                 })
@@ -298,7 +311,11 @@ impl<'a, T> ReduxCtx<'a, T> {
                 let expected_write = l.last_registered_write;
                 let expected_reads = l.nb_reads_since_write;
                 let expected_accs = l.nb_accs_since_write;
-                let wait_start = if self.measure { Some(Instant::now()) } else { None };
+                let wait_start = if self.measure {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 let polls = match a.mode {
                     RMode::Read => s.wait_until(self.wait, || {
                         s.last_executed_write.load(Ordering::Acquire) == expected_write

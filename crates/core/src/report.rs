@@ -13,6 +13,8 @@ use std::time::Duration;
 use rio_stf::validate::{validate_spans, ScheduleViolation, Span};
 use rio_stf::{TaskGraph, WorkerId};
 
+use crate::trace_api::{Trace, WorkerTrace};
+
 /// Counts of protocol operations performed by one worker.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
@@ -62,6 +64,9 @@ pub struct WorkerReport {
     /// Execution spans of this worker's tasks (empty unless
     /// `record_spans` was enabled).
     pub spans: Vec<Span>,
+    /// This worker's event trace (`None` unless `RioConfig::trace` was
+    /// set). Consumed by [`ExecReport::take_trace`].
+    pub trace: Option<WorkerTrace>,
 }
 
 impl WorkerReport {
@@ -121,6 +126,24 @@ impl ExecReport {
             total.merge(&w.ops);
         }
         total
+    }
+
+    /// Assembles and removes the per-worker traces recorded by a
+    /// `RioConfig::trace` run. Returns `None` when tracing was off (or the
+    /// trace was already taken).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if self.workers.iter().all(|w| w.trace.is_none()) {
+            return None;
+        }
+        Some(Trace {
+            wall_ns: self.wall.as_nanos() as u64,
+            workers: self
+                .workers
+                .iter_mut()
+                .filter_map(|w| w.trace.take())
+                .collect(),
+            extra_threads: 0,
+        })
     }
 
     /// All recorded spans, across workers (unordered).

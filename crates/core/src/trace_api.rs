@@ -1,0 +1,109 @@
+//! Tracing facade: the real `rio-trace` types, or inert stand-ins.
+//!
+//! The worker loops are written against this module unconditionally —
+//! there is no `#[cfg]` inside any hot loop. With the (default) `trace`
+//! feature the names re-export `rio-trace`; without it they resolve to
+//! the zero-sized no-ops below, every call inlines to nothing, and the
+//! loops compile to exactly the untraced code. Either way, a run only
+//! records events when `RioConfig::trace` is `Some`.
+
+#[cfg(feature = "trace")]
+pub use rio_trace::{Trace, TraceConfig, WorkerTrace, WorkerTracer};
+
+#[cfg(not(feature = "trace"))]
+mod stubs {
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    use rio_stf::{DataId, TaskId};
+
+    /// Inert stand-in for `rio_trace::TraceConfig` (feature `trace` off).
+    /// Carries the same fields so configuring code compiles unchanged;
+    /// nothing is ever recorded or written.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct TraceConfig {
+        pub capacity: usize,
+        pub chrome_path: Option<PathBuf>,
+    }
+
+    impl TraceConfig {
+        /// No-op.
+        pub fn new() -> TraceConfig {
+            TraceConfig::default()
+        }
+
+        /// No-op; the path is recorded but never written to.
+        pub fn chrome(path: impl Into<PathBuf>) -> TraceConfig {
+            TraceConfig {
+                capacity: 0,
+                chrome_path: Some(path.into()),
+            }
+        }
+
+        /// No-op.
+        pub fn with_capacity(mut self, capacity: usize) -> TraceConfig {
+            self.capacity = capacity;
+            self
+        }
+    }
+
+    /// Inert stand-in for `rio_trace::WorkerTracer`: every recording
+    /// method is an empty inline function.
+    #[derive(Debug)]
+    pub struct WorkerTracer;
+
+    impl WorkerTracer {
+        pub fn new(_cfg: &TraceConfig, _worker: u32, _epoch: Instant) -> WorkerTracer {
+            WorkerTracer
+        }
+
+        #[inline(always)]
+        pub fn task(&mut self, _task: TaskId, _start: Instant, _end: Instant) {}
+
+        #[inline(always)]
+        pub fn wait(
+            &mut self,
+            _data: DataId,
+            _write: bool,
+            _start: Instant,
+            _end: Instant,
+            _polls: u64,
+            _parks: u64,
+        ) {
+        }
+
+        #[inline(always)]
+        pub fn park(&mut self, _start: Instant, _end: Instant, _parks: u64) {}
+
+        pub fn finish(self) -> WorkerTrace {
+            WorkerTrace::default()
+        }
+    }
+
+    /// Inert stand-in for `rio_trace::WorkerTrace`.
+    #[derive(Debug, Clone, Default)]
+    pub struct WorkerTrace {
+        pub declares: u64,
+        pub gets: u64,
+        pub terminates: u64,
+        pub loop_ns: u64,
+    }
+
+    /// Inert stand-in for `rio_trace::Trace`.
+    #[derive(Debug, Clone, Default)]
+    pub struct Trace {
+        pub wall_ns: u64,
+        pub workers: Vec<WorkerTrace>,
+        pub extra_threads: usize,
+    }
+
+    impl Trace {
+        /// No-op; nothing is written.
+        pub fn write_chrome(&self, _path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+pub use stubs::{Trace, TraceConfig, WorkerTrace, WorkerTracer};

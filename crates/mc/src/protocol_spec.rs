@@ -185,8 +185,7 @@ impl<'g> ProtocolSpec<'g> {
         let local = self.local_view(state, w, a.data);
         let (s_reads, s_write) = self.shared_view(state, a.data);
         if a.mode.writes() {
-            s_write == local.last_registered_write
-                && s_reads == local.nb_reads_since_write
+            s_write == local.last_registered_write && s_reads == local.nb_reads_since_write
         } else {
             s_write == local.last_registered_write
         }
@@ -375,7 +374,11 @@ mod tests {
     fn multi_access_tasks_interleave_safely() {
         // Tasks with 2–3 accesses stress the per-access micro-steps.
         let mut b = TaskGraph::builder(3);
-        b.task(&[Access::write(DataId(0)), Access::write(DataId(1))], 1, "w01");
+        b.task(
+            &[Access::write(DataId(0)), Access::write(DataId(1))],
+            1,
+            "w01",
+        );
         b.task(
             &[
                 Access::read(DataId(0)),
@@ -385,7 +388,11 @@ mod tests {
             1,
             "r01w2",
         );
-        b.task(&[Access::read(DataId(2)), Access::read_write(DataId(0))], 1, "r2u0");
+        b.task(
+            &[Access::read(DataId(2)), Access::read_write(DataId(0))],
+            1,
+            "r2u0",
+        );
         b.task(&[Access::read_write(DataId(1))], 1, "u1");
         let g = b.build();
         for workers in [2, 3] {

@@ -55,7 +55,11 @@ pub struct RioSpec<'g> {
 
 impl<'g> RioSpec<'g> {
     /// Builds the system with an explicit mapping.
-    pub fn new<M: Mapping + ?Sized>(graph: &'g TaskGraph, workers: usize, mapping: &M) -> RioSpec<'g> {
+    pub fn new<M: Mapping + ?Sized>(
+        graph: &'g TaskGraph,
+        workers: usize,
+        mapping: &M,
+    ) -> RioSpec<'g> {
         assert!(
             graph.len() <= MAX_TASKS,
             "the model checker's bitset encoding handles at most {MAX_TASKS} tasks"

@@ -112,11 +112,7 @@ impl TaskGraph {
         let deps = crate::deps::DepGraph::derive(self);
         let mut out = String::from("digraph taskflow {\n  rankdir=LR;\n");
         for t in &self.tasks {
-            let _ = writeln!(
-                out,
-                "  t{} [label=\"{}:{}\"];",
-                t.id.0, t.id.0, t.kind
-            );
+            let _ = writeln!(out, "  t{} [label=\"{}:{}\"];", t.id.0, t.id.0, t.kind);
         }
         for t in &self.tasks {
             for p in deps.preds(t.id) {
@@ -213,10 +209,21 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NonDenseIds { position, found } => {
-                write!(f, "task at position {position} has id {found}, expected T{}", position + 1)
+                write!(
+                    f,
+                    "task at position {position} has id {found}, expected T{}",
+                    position + 1
+                )
             }
-            GraphError::DataOutOfRange { task, data, num_data } => {
-                write!(f, "{task} accesses {data} but the graph declares only {num_data} data objects")
+            GraphError::DataOutOfRange {
+                task,
+                data,
+                num_data,
+            } => {
+                write!(
+                    f,
+                    "{task} accesses {data} but the graph declares only {num_data} data objects"
+                )
             }
             GraphError::DuplicateAccess { task, data } => {
                 write!(f, "{task} declares {data} more than once")

@@ -262,14 +262,8 @@ mod tests {
         // both directions.
         for i in 0..4 {
             for j in 0..4 {
-                assert_eq!(
-                    block_cyclic_owner(i, j, 4),
-                    block_cyclic_owner(i + 2, j, 4)
-                );
-                assert_eq!(
-                    block_cyclic_owner(i, j, 4),
-                    block_cyclic_owner(i, j + 2, 4)
-                );
+                assert_eq!(block_cyclic_owner(i, j, 4), block_cyclic_owner(i + 2, j, 4));
+                assert_eq!(block_cyclic_owner(i, j, 4), block_cyclic_owner(i, j + 2, 4));
             }
         }
     }

@@ -229,9 +229,21 @@ mod tests {
     fn valid_spans_pass() {
         let g = chain3();
         let spans = vec![
-            Span { task: TaskId(1), start: 0, end: 10 },
-            Span { task: TaskId(2), start: 10, end: 20 },
-            Span { task: TaskId(3), start: 20, end: 30 },
+            Span {
+                task: TaskId(1),
+                start: 0,
+                end: 10,
+            },
+            Span {
+                task: TaskId(2),
+                start: 10,
+                end: 20,
+            },
+            Span {
+                task: TaskId(3),
+                start: 20,
+                end: 30,
+            },
         ];
         assert!(validate_spans(&g, &spans).is_ok());
     }
@@ -240,9 +252,21 @@ mod tests {
     fn overlapping_conflicting_spans_fail() {
         let g = chain3();
         let spans = vec![
-            Span { task: TaskId(1), start: 0, end: 10 },
-            Span { task: TaskId(2), start: 5, end: 20 }, // overlaps the write
-            Span { task: TaskId(3), start: 20, end: 30 },
+            Span {
+                task: TaskId(1),
+                start: 0,
+                end: 10,
+            },
+            Span {
+                task: TaskId(2),
+                start: 5,
+                end: 20,
+            }, // overlaps the write
+            Span {
+                task: TaskId(3),
+                start: 20,
+                end: 30,
+            },
         ];
         assert!(validate_spans(&g, &spans).is_err());
     }
@@ -255,9 +279,21 @@ mod tests {
         b.task(&[Access::read(DataId(0))], 1, "r");
         let g = b.build();
         let spans = vec![
-            Span { task: TaskId(1), start: 0, end: 10 },
-            Span { task: TaskId(2), start: 10, end: 30 },
-            Span { task: TaskId(3), start: 15, end: 25 }, // overlaps the other read
+            Span {
+                task: TaskId(1),
+                start: 0,
+                end: 10,
+            },
+            Span {
+                task: TaskId(2),
+                start: 10,
+                end: 30,
+            },
+            Span {
+                task: TaskId(3),
+                start: 15,
+                end: 25,
+            }, // overlaps the other read
         ];
         assert!(validate_spans(&g, &spans).is_ok());
     }
@@ -266,9 +302,21 @@ mod tests {
     fn span_dependency_must_complete_before_start() {
         let g = chain3();
         let spans = vec![
-            Span { task: TaskId(1), start: 0, end: 10 },
-            Span { task: TaskId(2), start: 9, end: 12 }, // starts before dep ends
-            Span { task: TaskId(3), start: 20, end: 30 },
+            Span {
+                task: TaskId(1),
+                start: 0,
+                end: 10,
+            },
+            Span {
+                task: TaskId(2),
+                start: 9,
+                end: 12,
+            }, // starts before dep ends
+            Span {
+                task: TaskId(3),
+                start: 20,
+                end: 30,
+            },
         ];
         assert!(matches!(
             validate_spans(&g, &spans),

@@ -1,0 +1,307 @@
+//! Chrome-trace (Trace Event Format) export.
+//!
+//! Produces the JSON-object form understood by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...]}` where each span is a `ph: "X"`
+//! *complete* event. Timestamps and durations are microseconds (the
+//! format's unit); fractional microseconds keep nanosecond precision.
+//! Each worker renders as one thread (`pid` 0, `tid` = worker id) with a
+//! `thread_name` metadata record, so the timeline reads as one row per
+//! worker with task and wait spans interleaved.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+
+/// Renders a [`Trace`] as a Chrome-trace JSON string.
+pub fn to_json(trace: &Trace) -> String {
+    // Preallocate roughly 120 bytes per event line.
+    let mut out = String::with_capacity(64 + trace.num_events() * 120);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for w in &trace.workers {
+        let tid = w.worker;
+        push_meta(&mut out, &mut first, tid);
+        for e in &w.events {
+            let (name, cat): (String, &str) = match e.kind {
+                EventKind::Task => (format!("task {}", e.id), "task"),
+                EventKind::WaitRead => (format!("wait-read d{}", e.id), "wait"),
+                EventKind::WaitWrite => (format!("wait-write d{}", e.id), "wait"),
+                EventKind::Park => ("park".to_string(), "idle"),
+            };
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\
+                 \"tid\":{},\"ts\":{},\"dur\":{}",
+                name,
+                cat,
+                tid,
+                micros(e.start_ns),
+                micros(e.duration_ns())
+            );
+            if e.kind.is_wait() {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"polls\":{},\"parks\":{}}}",
+                    e.polls, e.parks
+                );
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Microseconds with nanosecond precision, no trailing zeros beyond need.
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1000) {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{}.{:03}", ns / 1000, ns % 1000)
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn push_meta(out: &mut String, first: &mut bool, tid: u32) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"name\":\"worker {tid}\"}}}}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::tracer::WorkerTrace;
+    use rio_stf::{DataId, TaskId};
+
+    /// A minimal recursive-descent JSON validator: accepts exactly the
+    /// JSON grammar (objects, arrays, strings without escapes we don't
+    /// emit, numbers, literals) and rejects everything else. Enough to
+    /// prove the exporter emits structurally valid JSON without a JSON
+    /// dependency.
+    mod json {
+        pub fn validate(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i == b.len() {
+                Ok(())
+            } else {
+                Err(format!("trailing data at byte {i}"))
+            }
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, b"true"),
+                Some(b'f') => literal(b, i, b"false"),
+                Some(b'n') => literal(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at byte {i}")),
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '{'
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '['
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected '\"' at byte {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            if b.get(*i) == Some(&b'.') {
+                *i += 1;
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+            }
+            if *i == start {
+                Err(format!("bad number at byte {start}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+            if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {i}"))
+            }
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut w0 = WorkerTrace {
+            worker: 0,
+            ..WorkerTrace::default()
+        };
+        w0.events = vec![
+            TraceEvent::task(TaskId(0), 0, 2_500),
+            TraceEvent::wait(DataId(3), true, 2_500, 4_000, 7, 1),
+            TraceEvent::task(TaskId(2), 4_000, 9_000),
+        ];
+        let mut w1 = WorkerTrace {
+            worker: 1,
+            ..WorkerTrace::default()
+        };
+        w1.events = vec![
+            TraceEvent::wait(DataId(3), false, 0, 1_000, 2, 0),
+            TraceEvent::park(1_000, 3_000, 1),
+            TraceEvent::task(TaskId(1), 3_000, 8_000),
+        ];
+        Trace {
+            wall_ns: 9_000,
+            workers: vec![w0, w1],
+            extra_threads: 0,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let json = to_json(&sample_trace());
+        json::validate(&json).expect("exporter must emit valid JSON");
+    }
+
+    #[test]
+    fn export_has_the_expected_shape() {
+        let json = to_json(&sample_trace());
+        // Top level object with the traceEvents array.
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // One thread_name metadata record per worker.
+        assert_eq!(json.matches("\"thread_name\"").count(), 2);
+        assert!(json.contains("\"args\":{\"name\":\"worker 0\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"worker 1\"}"));
+        // All spans are complete events on pid 0.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 6);
+        assert_eq!(json.matches("\"pid\":0").count(), 8);
+        // Names and categories.
+        assert!(json.contains("\"name\":\"task 0\""));
+        assert!(json.contains("\"name\":\"wait-write d3\""));
+        assert!(json.contains("\"name\":\"wait-read d3\""));
+        assert!(json.contains("\"name\":\"park\""));
+        assert!(json.contains("\"cat\":\"wait\""));
+        // Wait args carry poll/park counts.
+        assert!(json.contains("\"args\":{\"polls\":7,\"parks\":1}"));
+        // µs conversion: 2500 ns -> 2.5 µs start of the wait on worker 0.
+        assert!(json.contains("\"ts\":2.500"));
+        // 9000 ns task dur -> 5 µs (4000..9000).
+        assert!(json.contains("\"dur\":5,") || json.contains("\"dur\":5}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let json = to_json(&Trace::default());
+        json::validate(&json).expect("empty trace must be valid JSON");
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000), "1");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000_007), "1000.007");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(json::validate("{\"a\":}").is_err());
+        assert!(json::validate("[1,2,]").is_err());
+        assert!(json::validate("{\"a\":1} extra").is_err());
+        assert!(json::validate("{\"a\":1}").is_ok());
+    }
+}

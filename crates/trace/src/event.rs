@@ -1,0 +1,137 @@
+//! The event record: one span of worker time, epoch-relative.
+
+use rio_stf::{DataId, TaskId};
+
+/// What a [`TraceEvent`] span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A task body execution; `id` is the task id.
+    Task,
+    /// A blocked `get_read`; `id` is the data object.
+    WaitRead,
+    /// A blocked `get_write`; `id` is the data object.
+    WaitWrite,
+    /// Idle time outside any data wait (e.g. the centralized runtime's
+    /// doorbell); `id` is unused (0).
+    Park,
+}
+
+impl EventKind {
+    /// Is this one of the two data-wait kinds?
+    pub fn is_wait(self) -> bool {
+        matches!(self, EventKind::WaitRead | EventKind::WaitWrite)
+    }
+}
+
+/// One recorded span. Timestamps are nanoseconds relative to the run's
+/// epoch (thread-spawn time), taken from the worker's own monotonic clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span start, ns since the run epoch.
+    pub start_ns: u64,
+    /// Span end, ns since the run epoch (`>= start_ns`).
+    pub end_ns: u64,
+    /// Poll count for wait spans, 0 otherwise.
+    pub polls: u64,
+    /// Park/wake transitions during this span (wait and park spans).
+    pub parks: u64,
+    /// Task id ([`EventKind::Task`]) or data object id (wait kinds).
+    pub id: u32,
+    /// The span kind.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// A task-body span.
+    pub fn task(task: TaskId, start_ns: u64, end_ns: u64) -> TraceEvent {
+        TraceEvent {
+            start_ns,
+            end_ns,
+            polls: 0,
+            parks: 0,
+            id: task.0 as u32,
+            kind: EventKind::Task,
+        }
+    }
+
+    /// A data-wait span.
+    pub fn wait(
+        data: DataId,
+        write: bool,
+        start_ns: u64,
+        end_ns: u64,
+        polls: u64,
+        parks: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            start_ns,
+            end_ns,
+            polls,
+            parks,
+            id: data.0,
+            kind: if write {
+                EventKind::WaitWrite
+            } else {
+                EventKind::WaitRead
+            },
+        }
+    }
+
+    /// An idle/park span outside any data wait.
+    pub fn park(start_ns: u64, end_ns: u64, parks: u64) -> TraceEvent {
+        TraceEvent {
+            start_ns,
+            end_ns,
+            polls: 0,
+            parks,
+            id: 0,
+            kind: EventKind::Park,
+        }
+    }
+
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_the_right_fields() {
+        let t = TraceEvent::task(TaskId(7), 10, 30);
+        assert_eq!(t.kind, EventKind::Task);
+        assert_eq!(t.id, 7);
+        assert_eq!(t.duration_ns(), 20);
+        assert!(!t.kind.is_wait());
+
+        let w = TraceEvent::wait(DataId(3), true, 5, 9, 4, 1);
+        assert_eq!(w.kind, EventKind::WaitWrite);
+        assert_eq!(w.id, 3);
+        assert_eq!((w.polls, w.parks), (4, 1));
+        assert!(w.kind.is_wait());
+
+        let r = TraceEvent::wait(DataId(2), false, 5, 9, 4, 0);
+        assert_eq!(r.kind, EventKind::WaitRead);
+
+        let p = TraceEvent::park(1, 2, 1);
+        assert_eq!(p.kind, EventKind::Park);
+        assert!(!p.kind.is_wait());
+    }
+
+    #[test]
+    fn duration_saturates_on_clock_skew() {
+        let e = TraceEvent::task(TaskId(1), 10, 5);
+        assert_eq!(e.duration_ns(), 0);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        // The ring buffer stores these by the hundred-thousand; keep the
+        // record at or under 40 bytes.
+        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+    }
+}

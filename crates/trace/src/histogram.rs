@@ -1,0 +1,244 @@
+//! Log-scale wait-time histograms.
+//!
+//! Wait times in the protocol span seven orders of magnitude — from a
+//! handful of nanoseconds (one failed spin poll) to milliseconds (parked
+//! on a cold dependency) — so linear buckets are useless. [`Histogram`]
+//! buckets by `floor(log2(ns))`: bucket `b` covers `[2^b, 2^(b+1))`
+//! nanoseconds, with bucket 0 holding everything below 2 ns. Recording is
+//! one `leading_zeros` and an increment; merging is element-wise addition,
+//! so per-worker histograms combine into per-data or global views without
+//! loss.
+
+use std::fmt;
+
+/// Number of log2 buckets: covers the full `u64` nanosecond range.
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of durations in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Bucket index for a duration: `floor(log2(ns))`, 0 for `ns <= 1`.
+    #[inline]
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `b` in nanoseconds.
+    pub fn bucket_floor(b: usize) -> u64 {
+        1u64 << b
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Largest recorded duration, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Raw bucket counts; index `b` covers `[2^b, 2^(b+1))` ns.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// An upper bound on the requested quantile (`q` in `[0, 1]`): the
+    /// exclusive upper edge of the bucket containing the q-th sample.
+    pub fn quantile_upper_bound_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(b).saturating_mul(2);
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// A compact textual rendering: one line per occupied bucket.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty)");
+        }
+        let peak = *self.counts.iter().max().unwrap();
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c * 32 / peak).max(1) as usize);
+            writeln!(f, "{:>12} ns | {:<32} {}", Self::bucket_floor(b), bar, c)?;
+        }
+        write!(
+            f,
+            "samples {}  mean {} ns  max {} ns",
+            self.count(),
+            self.mean_ns(),
+            self.max_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_total_max() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(100);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total_ns(), 1110);
+        assert_eq!(h.max_ns(), 1000);
+        assert_eq!(h.mean_ns(), 370);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for ns in [1, 5, 5, 300] {
+            a.record(ns);
+        }
+        for ns in [5, 300, 40_000] {
+            b.record(ns);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.total_ns(), a.total_ns() + b.total_ns());
+        assert_eq!(merged.max_ns(), 40_000);
+        for i in 0..BUCKETS {
+            assert_eq!(merged.buckets()[i], a.buckets()[i] + b.buckets()[i]);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(123);
+        a.record(456_789);
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for ns in [2, 9, 77] {
+            a.record(ns);
+        }
+        for ns in [3, 1_000_000] {
+            b.record(ns);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantile_bounds_are_sane() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1_000_000); // bucket 19
+                             // Median is in the 100ns bucket: upper bound 128.
+        assert_eq!(h.quantile_upper_bound_ns(0.5), 128);
+        // The tail sample dominates p100.
+        assert!(h.quantile_upper_bound_ns(1.0) >= 1_000_000);
+        assert_eq!(Histogram::new().quantile_upper_bound_ns(0.5), 0);
+    }
+
+    #[test]
+    fn display_renders_without_panic() {
+        let mut h = Histogram::new();
+        h.record(50);
+        h.record(5000);
+        let s = format!("{h}");
+        assert!(s.contains("samples 2"));
+        assert!(format!("{}", Histogram::new()).contains("empty"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The worker-private event ring buffer.
+//!
+//! A fixed-capacity ring owned by exactly one worker thread: pushes are a
+//! bounds check, a store and an index increment — no locks, no atomics, no
+//! allocation after construction. When full, the **oldest** events are
+//! overwritten (the tail of a run is usually the interesting part) and the
+//! overwritten count is reported so analysis never silently under-counts.
+
+use crate::event::TraceEvent;
+
+/// Fixed-capacity, overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Next slot to overwrite once the ring is full (oldest event).
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event; overwrites the oldest when full.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the surviving events oldest-first.
+    pub fn into_ordered(self) -> Vec<TraceEvent> {
+        let EventRing { mut buf, head, .. } = self;
+        buf.rotate_left(head);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::TaskId;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::task(TaskId(i), i, i + 1)
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let out = r.into_ordered();
+        assert_eq!(
+            out.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let out = r.into_ordered();
+        // The 4 newest, oldest-first.
+        assert_eq!(
+            out.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.into_ordered()[0].start_ns, 2);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut r = EventRing::new(3);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(
+            r.into_ordered()
+                .iter()
+                .map(|e| e.start_ns)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The assembled run trace: aggregation and export.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use rio_metrics::CumulativeTimes;
+
+use crate::chrome;
+use crate::histogram::Histogram;
+use crate::tracer::WorkerTrace;
+
+/// A whole run's trace: one [`WorkerTrace`] per worker plus the wall time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Wall-clock time of the run, ns.
+    pub wall_ns: u64,
+    /// Per-worker traces, in worker order.
+    pub workers: Vec<WorkerTrace>,
+    /// Runtime threads beyond the traced workers (1 for the centralized
+    /// baseline's dedicated master, 0 for the decentralized runtimes).
+    /// Counted in `p` so [`Trace::quadruple`] charges their time to
+    /// runtime management, matching the paper's accounting.
+    pub extra_threads: usize,
+}
+
+impl Trace {
+    /// The `(p, t_p, τ_{p,t}, τ_{p,i})` quadruple of this run, ready for
+    /// [`rio_metrics::decompose`].
+    pub fn quadruple(&self) -> CumulativeTimes {
+        let task: u64 = self.workers.iter().map(|w| w.task_ns).sum();
+        let idle: u64 = self.workers.iter().map(|w| w.idle_ns()).sum();
+        CumulativeTimes {
+            threads: self.workers.len() + self.extra_threads,
+            wall: Duration::from_nanos(self.wall_ns),
+            task: Duration::from_nanos(task),
+            idle: Duration::from_nanos(idle),
+        }
+    }
+
+    /// Total events surviving across all workers.
+    pub fn num_events(&self) -> usize {
+        self.workers.iter().map(|w| w.events.len()).sum()
+    }
+
+    /// Total events overwritten across all workers.
+    pub fn dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// Wait-time histogram per data object, keyed by data id, built from
+    /// the surviving wait events of every worker. Best-effort when rings
+    /// overflowed (check [`Trace::dropped`]); use
+    /// [`Trace::wait_histograms_per_worker`] for exact per-worker numbers.
+    pub fn wait_histogram_per_data(&self) -> BTreeMap<u32, Histogram> {
+        let mut map: BTreeMap<u32, Histogram> = BTreeMap::new();
+        for w in &self.workers {
+            for e in &w.events {
+                if e.kind.is_wait() {
+                    map.entry(e.id).or_default().record(e.duration_ns());
+                }
+            }
+        }
+        map
+    }
+
+    /// Exact wait-time histogram per worker, in worker order.
+    pub fn wait_histograms_per_worker(&self) -> Vec<&Histogram> {
+        self.workers.iter().map(|w| &w.wait_hist).collect()
+    }
+
+    /// One exact histogram of every data wait across all workers.
+    pub fn wait_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for w in &self.workers {
+            h.merge(&w.wait_hist);
+        }
+        h
+    }
+
+    /// The trace as Chrome-trace (`chrome://tracing` / Perfetto) JSON.
+    pub fn chrome_json(&self) -> String {
+        chrome::to_json(self)
+    }
+
+    /// Writes [`Trace::chrome_json`] to `path`.
+    pub fn write_chrome(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use rio_stf::{DataId, TaskId};
+
+    fn worker(id: u32, task_ns: u64, wait_ns: u64, park_ns: u64) -> WorkerTrace {
+        WorkerTrace {
+            worker: id,
+            task_ns,
+            wait_ns,
+            park_ns,
+            ..WorkerTrace::default()
+        }
+    }
+
+    #[test]
+    fn quadruple_sums_workers_and_counts_extra_threads() {
+        let t = Trace {
+            wall_ns: 1_000,
+            workers: vec![worker(0, 600, 100, 0), worker(1, 500, 150, 50)],
+            extra_threads: 1,
+        };
+        let q = t.quadruple();
+        assert_eq!(q.threads, 3);
+        assert_eq!(q.wall, Duration::from_nanos(1_000));
+        assert_eq!(q.task, Duration::from_nanos(1_100));
+        assert_eq!(q.idle, Duration::from_nanos(300));
+        // total = p * wall; runtime = total - task - idle.
+        assert_eq!(q.total(), Duration::from_nanos(3_000));
+        assert_eq!(q.runtime(), Duration::from_nanos(1_600));
+    }
+
+    #[test]
+    fn quadruple_feeds_decompose() {
+        let t = Trace {
+            wall_ns: 1_000,
+            workers: vec![worker(0, 900, 100, 0), worker(1, 900, 100, 0)],
+            extra_threads: 0,
+        };
+        let q = t.quadruple();
+        let seq = Duration::from_nanos(1_800);
+        let d = rio_metrics::decompose(seq, seq, &q);
+        assert!((d.e_g - 1.0).abs() < 1e-12);
+        assert!((d.e_l - 1.0).abs() < 1e-12);
+        assert!((d.e_p - 0.9).abs() < 1e-12);
+        assert!((d.e_r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_data_histograms_split_by_data_id() {
+        let mut w0 = worker(0, 0, 0, 0);
+        w0.events = vec![
+            TraceEvent::wait(DataId(1), false, 0, 100, 1, 0),
+            TraceEvent::wait(DataId(2), true, 0, 200, 1, 0),
+            TraceEvent::task(TaskId(0), 0, 50), // not a wait: excluded
+        ];
+        let mut w1 = worker(1, 0, 0, 0);
+        w1.events = vec![TraceEvent::wait(DataId(1), true, 0, 300, 1, 0)];
+        let t = Trace {
+            wall_ns: 1,
+            workers: vec![w0, w1],
+            extra_threads: 0,
+        };
+        let per_data = t.wait_histogram_per_data();
+        assert_eq!(per_data.len(), 2);
+        assert_eq!(per_data[&1].count(), 2);
+        assert_eq!(per_data[&1].total_ns(), 400);
+        assert_eq!(per_data[&2].count(), 1);
+        assert_eq!(t.num_events(), 4);
+    }
+
+    #[test]
+    fn global_histogram_merges_worker_histograms() {
+        let mut w0 = worker(0, 0, 0, 0);
+        w0.wait_hist.record(10);
+        w0.wait_hist.record(20);
+        let mut w1 = worker(1, 0, 0, 0);
+        w1.wait_hist.record(30);
+        let t = Trace {
+            wall_ns: 1,
+            workers: vec![w0, w1],
+            extra_threads: 0,
+        };
+        assert_eq!(t.wait_histogram().count(), 3);
+        assert_eq!(t.wait_histogram().total_ns(), 60);
+        assert_eq!(t.wait_histograms_per_worker().len(), 2);
+    }
+}

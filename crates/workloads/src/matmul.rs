@@ -108,7 +108,11 @@ mod tests {
                 let owners: Vec<_> = (0..grid)
                     .map(|k| {
                         let idx = k * grid * grid + j * grid + i;
-                        rio_stf::Mapping::worker_of(&m, g.task(rio_stf::TaskId::from_index(idx)).id, 4)
+                        rio_stf::Mapping::worker_of(
+                            &m,
+                            g.task(rio_stf::TaskId::from_index(idx)).id,
+                            4,
+                        )
                     })
                     .collect();
                 assert!(owners.windows(2).all(|w| w[0] == w[1]));

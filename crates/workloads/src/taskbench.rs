@@ -194,11 +194,7 @@ mod tests {
     fn stencil_matches_the_dedicated_generator_shape() {
         let g = graph(Pattern::Stencil1D, 10, 3, 1, 0);
         // Interior tasks read 3 previous points + write 1.
-        let interior = g
-            .tasks()
-            .iter()
-            .filter(|t| t.accesses.len() == 4)
-            .count();
+        let interior = g.tasks().iter().filter(|t| t.accesses.len() == 4).count();
         assert!(interior > 0);
         assert_eq!(g.stats().critical_path_tasks, 3);
     }
@@ -239,11 +235,7 @@ mod tests {
         for p in 0..12 {
             let owners: Vec<_> = (0..3)
                 .map(|s| {
-                    rio_stf::Mapping::worker_of(
-                        &m,
-                        rio_stf::TaskId::from_index(s * 12 + p),
-                        4,
-                    )
+                    rio_stf::Mapping::worker_of(&m, rio_stf::TaskId::from_index(s * 12 + p), 4)
                 })
                 .collect();
             assert!(owners.windows(2).all(|w| w[0] == w[1]));
@@ -273,13 +265,12 @@ mod tests {
             let expected = seq_store.into_vec();
 
             let store = DataStore::filled(g.num_data(), 0u64);
-            let cfg = rio_core::RioConfig::with_workers(2);
+            let ex = rio_core::Executor::new(rio_core::RioConfig::with_workers(2));
             if pat == Pattern::Trivial {
-                rio_core::execute_graph(&cfg, &g, &rio_stf::RoundRobin, |_, t| {
-                    kernel(&store, t)
-                });
+                ex.mapping(&rio_stf::RoundRobin)
+                    .run(&g, |_, t| kernel(&store, t));
             } else {
-                rio_core::execute_graph(&cfg, &g, &m, |_, t| kernel(&store, t));
+                ex.mapping(&m).run(&g, |_, t| kernel(&store, t));
             }
             assert_eq!(store.into_vec(), expected, "{}", pat.label());
         }

@@ -26,15 +26,23 @@ fn main() {
 
     let mut table = Table::new(["runtime", "wall", "e_l", "e_p", "e_r", "e"]);
 
-    // RIO.
-    let cfg = rio::core::RioConfig::with_workers(threads);
-    let report = rio::core::execute_graph(&cfg, &graph, &mapping, |_, _| counter_kernel(task_size));
-    let rio_times = CumulativeTimes {
-        threads,
-        wall: report.wall,
-        task: report.cumulative_task_time(),
-        idle: report.cumulative_idle_time(),
-    };
+    // RIO — with the event tracer on; its quadruple feeds `decompose`
+    // directly (the report-based times remain available as a fallback).
+    let run = rio::core::Executor::new(rio::core::RioConfig::with_workers(threads))
+        .mapping(mapping.as_ref())
+        .trace(rio::core::TraceConfig::new())
+        .run(&graph, |_, _| counter_kernel(task_size));
+    let report = &run.report;
+    let rio_times = run
+        .trace
+        .as_ref()
+        .map(|t| t.quadruple())
+        .unwrap_or(CumulativeTimes {
+            threads,
+            wall: report.wall,
+            task: report.cumulative_task_time(),
+            idle: report.cumulative_idle_time(),
+        });
     let d = decompose(seq, seq, &rio_times);
     table.row([
         "rio (decentralized in-order)".to_string(),

@@ -13,8 +13,8 @@
 
 use std::time::Instant;
 
-use rio::core::hybrid::{execute_graph_hybrid, PartialFn, Total, Unmapped};
-use rio::core::RioConfig;
+use rio::core::hybrid::{PartialFn, Total, Unmapped};
+use rio::core::{Executor, RioConfig};
 use rio::stf::{Access, DataId, DataStore, RoundRobin, TaskDesc, TaskGraph, TaskId, WorkerId};
 use rio::workloads::counter::counter_kernel;
 
@@ -29,11 +29,7 @@ fn build() -> (TaskGraph, Vec<bool>) {
     let mut regular = Vec::new();
     for _ in 0..ROUNDS {
         for c in 0..REGULAR_PER_ROUND {
-            b.task(
-                &[Access::read_write(DataId::from_index(c))],
-                256,
-                "regular",
-            );
+            b.task(&[Access::read_write(DataId::from_index(c))], 256, "regular");
             regular.push(true);
         }
         for i in 0..IRREGULAR_PER_ROUND {
@@ -53,24 +49,31 @@ fn run(
     pmap_kind: u8,
     regular: &[bool],
 ) {
-    let cfg = RioConfig::with_workers(WORKERS);
+    let exec = |partial: &dyn rio::core::PartialMapping| {
+        Executor::new(RioConfig::with_workers(WORKERS))
+            .hybrid(partial)
+            .run(graph, &body)
+    };
     let t0 = Instant::now();
-    let (report, stats) = match pmap_kind {
-        0 => execute_graph_hybrid(&cfg, graph, &Total(RoundRobin), body),
-        1 => execute_graph_hybrid(&cfg, graph, &Unmapped, body),
+    let run = match pmap_kind {
+        0 => exec(&Total(RoundRobin)),
+        1 => exec(&Unmapped),
         _ => {
             let regular = regular.to_vec();
             let pmap = PartialFn(move |t: TaskId, _w: usize| {
                 if regular[t.index()] {
                     // Owner-computes on the private counter.
-                    Some(WorkerId::from_index(t.index() % REGULAR_PER_ROUND % WORKERS))
+                    Some(WorkerId::from_index(
+                        t.index() % REGULAR_PER_ROUND % WORKERS,
+                    ))
                 } else {
                     None // irregular: claimed dynamically
                 }
             });
-            execute_graph_hybrid(&cfg, graph, &pmap, body)
+            exec(&pmap)
         }
     };
+    let (report, stats) = (run.report, run.hybrid.expect("hybrid stats"));
     println!(
         "{label:<28} {:>10?}  claims per worker {:?}",
         t0.elapsed(),

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use rio::core::RioConfig;
+use rio::core::{Executor, RioConfig};
 use rio::dense::lu::lu_reconstruct;
 use rio::dense::{tiled_lu_flow, Matrix};
 
@@ -36,9 +36,11 @@ fn main() {
     let store = flow.make_store(&a);
     let kernel = flow.kernel(&store);
     let mapping = flow.owner_mapping(workers);
-    let cfg = RioConfig::with_workers(workers);
     let t0 = Instant::now();
-    let report = rio::core::execute_graph(&cfg, &flow.graph, &mapping, &kernel);
+    let report = Executor::new(RioConfig::with_workers(workers))
+        .mapping(&mapping)
+        .run(&flow.graph, &kernel)
+        .report;
     let elapsed = t0.elapsed();
     drop(kernel);
 

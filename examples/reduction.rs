@@ -19,8 +19,12 @@ const CHUNKS: u32 = 256;
 const CHUNK_LEN: usize = 2048;
 
 fn data() -> (Vec<f64>, Vec<f64>) {
-    let x: Vec<f64> = (0..CHUNKS as usize * CHUNK_LEN).map(|i| (i % 7) as f64).collect();
-    let y: Vec<f64> = (0..CHUNKS as usize * CHUNK_LEN).map(|i| (i % 5) as f64).collect();
+    let x: Vec<f64> = (0..CHUNKS as usize * CHUNK_LEN)
+        .map(|i| (i % 7) as f64)
+        .collect();
+    let y: Vec<f64> = (0..CHUNKS as usize * CHUNK_LEN)
+        .map(|i| (i % 5) as f64)
+        .collect();
     (x, y)
 }
 
@@ -79,7 +83,10 @@ fn main() {
     let relaxed = store.into_vec()[0];
     assert_eq!(relaxed, expected, "commutative f64 sums of exact integers");
 
-    println!("dot product of {} elements = {expected}", CHUNKS as usize * CHUNK_LEN);
+    println!(
+        "dot product of {} elements = {expected}",
+        CHUNKS as usize * CHUNK_LEN
+    );
     println!("strict RW chain : {strict_t:?}");
     println!("accumulate mode : {redux_t:?}");
     println!("both verified against the sequential dot product");

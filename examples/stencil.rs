@@ -9,7 +9,7 @@
 //! A *block* mapping keeps all but the chunk-boundary dependencies local
 //! to a worker — the friendly case for decentralized in-order execution.
 
-use rio::core::{execute_graph, RioConfig};
+use rio::core::{Executor, RioConfig};
 use rio::stf::{DataStore, TaskDesc, WorkerId};
 use rio::workloads::stencil;
 
@@ -69,7 +69,13 @@ fn main() {
     let store = DataStore::new_with(2 * cells, |x| {
         let (buf, c) = (x / cells, x % cells);
         (0..cell_len)
-            .map(|i| if buf == 0 { init(c * cell_len + i) } else { 0.0 })
+            .map(|i| {
+                if buf == 0 {
+                    init(c * cell_len + i)
+                } else {
+                    0.0
+                }
+            })
             .collect::<Vec<f64>>()
     });
 
@@ -83,8 +89,8 @@ fn main() {
 
         let prev = store.read(src_self);
         let left = (c > 0).then(|| store.read(rio::stf::DataId::from_index(src_buf_base + c - 1)));
-        let right = (c + 1 < cells)
-            .then(|| store.read(rio::stf::DataId::from_index(src_buf_base + c + 1)));
+        let right =
+            (c + 1 < cells).then(|| store.read(rio::stf::DataId::from_index(src_buf_base + c + 1)));
         let mut out = store.write(dst);
         diffuse(
             left.as_deref().map(Vec::as_slice),
@@ -96,7 +102,10 @@ fn main() {
 
     let cfg = RioConfig::with_workers(workers).record_spans(true);
     let t0 = std::time::Instant::now();
-    let report = execute_graph(&cfg, &graph, &mapping, kernel);
+    let report = Executor::new(cfg)
+        .mapping(&mapping)
+        .run(&graph, kernel)
+        .report;
     let elapsed = t0.elapsed();
     report.audit(&graph).expect("schedule must be consistent");
 

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use rio::centralized::CentralConfig;
-use rio::core::RioConfig;
+use rio::core::{Executor, RioConfig};
 use rio::dense::{tiled_gemm_flow, Matrix};
 use rio::stf::WorkerId;
 
@@ -51,9 +51,11 @@ fn main() {
     let store = flow.make_store(&a, &b);
     let kernel = flow.kernel(&store);
     let mapping = flow.owner_mapping(workers);
-    let cfg = RioConfig::with_workers(workers);
     let t0 = Instant::now();
-    let report = rio::core::execute_graph(&cfg, &flow.graph, &mapping, &kernel);
+    let report = Executor::new(RioConfig::with_workers(workers))
+        .mapping(&mapping)
+        .run(&flow.graph, &kernel)
+        .report;
     let rio_t = t0.elapsed();
     drop(kernel);
     let c = flow.extract_c(&store);

@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this shim via a path dependency. It is a plain
+//! timing harness: per benchmark it calibrates an iteration count so one
+//! sample takes ≥1 ms, collects `sample_size` samples, and prints
+//! min/median/max ns-per-iteration (plus throughput when set). There is
+//! no statistical analysis, HTML report, or baseline comparison.
+//!
+//! When cargo runs a `harness = false` bench target under `cargo test`
+//! it passes `--test`; the shim detects that and runs each benchmark body
+//! exactly once, so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function the optimizer must assume reads/writes its
+/// argument, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark name, optionally parameterized (`group/name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, like `BenchmarkId::new("rio", n)`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Parameter-only identity, like `BenchmarkId::from_parameter(x)`.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchmarkId {
+    /// The display label for the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Work-per-iteration declaration, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the body it is handed, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations and records
+    /// the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes `harness = false` bench binaries with `--test`
+        // under `cargo test`; run one iteration per benchmark there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_bench(self, &label, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(self.c, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(self.c, &label, self.throughput, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (criterion writes reports here; the shim has already
+    /// printed every line, so this only closes the API shape).
+    pub fn finish(self) {}
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+const MAX_ITERS: u64 = 1 << 20;
+
+fn run_bench(
+    c: &mut Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test-mode: {label} ran 1 iteration");
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes at least TARGET_SAMPLE.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = (iters.saturating_mul(grow.clamp(2, 16))).min(MAX_ITERS);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 * 1e3 / median),
+        Throughput::Bytes(n) => {
+            format!("  {:.3} MiB/s", n as f64 * 1e9 / median / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{label:<50} time: [{} {} {}]{}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("rio", 42).label, "rio/42");
+        assert_eq!(BenchmarkId::from_parameter("spin").label, "spin");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 25,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 1), &3u32, |b, &x| {
+                b.iter(|| ran += x as usize)
+            });
+            g.finish();
+        }
+        assert!(ran >= 2, "both benchmark bodies executed");
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `crossbeam` API subset this workspace uses
+//! (`crossbeam::deque`): work-stealing deques and a shared injector.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `crossbeam` to this shim via a path dependency. The semantics
+//! match the real crate for the covered surface — LIFO owner access, FIFO
+//! stealing, `Steal::Retry` never produced (the shim is mutex-backed, so
+//! operations never race-abort).
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam::deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Nothing to steal.
+        Empty,
+        /// One stolen item.
+        Success(T),
+        /// The operation raced and should be retried (never produced by
+        /// this shim; kept so caller retry loops compile unchanged).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` when the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// `true` when nothing was available.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    fn pop_front<T>(q: &Mutex<VecDeque<T>>) -> Steal<T> {
+        match q.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// The owner side of a work-stealing deque. The owner pushes and pops
+    /// LIFO at the back; stealers take FIFO from the front.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque.
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a FIFO deque (owner pops from the front too).
+        pub fn new_fifo() -> Worker<T> {
+            Worker::new_lifo()
+        }
+
+        /// A stealer handle sharing this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+
+        /// Pushes onto the owner end.
+        pub fn push(&self, value: T) {
+            self.q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Pops from the owner end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+        }
+
+        /// Is the deque empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+    }
+
+    /// The thief side of a [`Worker`] deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one item from the victim's front.
+        pub fn steal(&self) -> Steal<T> {
+            pop_front(&self.q)
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    /// A shared FIFO injector queue, mirroring `crossbeam::deque::Injector`.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes onto the queue's back.
+        pub fn push(&self, value: T) {
+            self.q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Steals one item from the front.
+        pub fn steal(&self) -> Steal<T> {
+            pop_front(&self.q)
+        }
+
+        /// Steals a batch into `dest`, returning the first item directly.
+        /// The shim moves up to half the queue (at least one element).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+            let first = match q.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            let extra = q.len() / 2;
+            if extra > 0 {
+                let mut dest_q = dest.q.lock().unwrap_or_else(|e| e.into_inner());
+                for _ in 0..extra {
+                    match q.pop_front() {
+                        // The owner pops LIFO from the back, and these are
+                        // flow-earlier than anything it already holds, so
+                        // push them at the *front* to preserve the real
+                        // crate's "batch before own backlog" tendency.
+                        Some(v) => dest_q.push_front(v),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Is the queue empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal().success(), Some(1), "thief takes the front");
+            assert_eq!(w.pop(), Some(3), "owner takes the back");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_pop_moves_work() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            // Roughly half of the remaining nine moved over.
+            assert!(!w.is_empty());
+            let mut seen = vec![0];
+            while let Some(v) = w.pop() {
+                seen.push(v);
+            }
+            while let Some(v) = inj.steal().success() {
+                seen.push(v);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn empty_injector_reports_empty() {
+            let inj: Injector<u32> = Injector::new();
+            assert!(inj.steal().is_empty());
+            let w = Worker::new_lifo();
+            assert!(inj.steal_batch_and_pop(&w).is_empty());
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //!   (`e = e_g · e_l · e_p · e_r`).
 //! * [`mc`] — explicit-state model checker for the STF and Run-In-Order
 //!   specifications.
+//! * [`trace`] — worker-local tracing and wait-time observability.
 
 pub use rio_centralized as centralized;
 pub use rio_core as core;
@@ -21,4 +22,5 @@ pub use rio_dense as dense;
 pub use rio_mc as mc;
 pub use rio_metrics as metrics;
 pub use rio_stf as stf;
+pub use rio_trace as trace;
 pub use rio_workloads as workloads;

@@ -5,7 +5,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rio::core::{RioConfig, WaitStrategy};
+use rio::core::{Executor, RioConfig, WaitStrategy};
 use rio::stf::validate::{validate_spans, Span};
 use rio::stf::{DataStore, RoundRobin, TableMapping, TaskDesc, WorkerId};
 use rio::workloads::random_deps::{self, RandomDepsConfig};
@@ -23,8 +23,8 @@ fn rio_spans_are_race_free_on_dense_random_flows() {
     for workers in [2, 3, 5] {
         let spans = Mutex::new(Vec::new());
         let epoch = Instant::now();
-        let cfg = RioConfig::with_workers(workers);
-        rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, t| {
+        let ex = Executor::new(RioConfig::with_workers(workers)).mapping(&RoundRobin);
+        ex.run(&graph, |_, t| {
             let start = epoch.elapsed().as_nanos() as u64;
             std::hint::black_box(t.id);
             let end = epoch.elapsed().as_nanos() as u64 + 1;
@@ -35,8 +35,7 @@ fn rio_spans_are_race_free_on_dense_random_flows() {
             });
         });
         let spans = spans.into_inner().unwrap();
-        validate_spans(&graph, &spans)
-            .unwrap_or_else(|v| panic!("{workers} workers: {v}"));
+        validate_spans(&graph, &spans).unwrap_or_else(|v| panic!("{workers} workers: {v}"));
     }
 }
 
@@ -53,11 +52,14 @@ fn oversubscription_stays_live_with_park_waits() {
     });
     let cfg = RioConfig::with_workers(8).wait(WaitStrategy::Park);
     let store = DataStore::filled(16, 0u64);
-    let report = rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, t: &TaskDesc| {
-        for d in t.writes() {
-            *store.write(d) += 1;
-        }
-    });
+    let report = Executor::new(cfg)
+        .mapping(&RoundRobin)
+        .run(&graph, |_, t: &TaskDesc| {
+            for d in t.writes() {
+                *store.write(d) += 1;
+            }
+        })
+        .report;
     assert_eq!(report.tasks_executed(), 300);
     let total: u64 = store.into_vec().iter().sum();
     assert_eq!(total, 300);
@@ -74,12 +76,17 @@ fn adversarial_mapping_is_slow_but_correct() {
         seed: 7,
     });
     let m = TableMapping::new(vec![WorkerId(3); graph.len()]);
-    let cfg = RioConfig::with_workers(4);
-    let report = rio::core::execute_graph(&cfg, &graph, &m, |_, _| {});
+    let report = Executor::new(RioConfig::with_workers(4))
+        .mapping(&m)
+        .run(&graph, |_, _| {})
+        .report;
     assert_eq!(report.workers[3].tasks_executed, 200);
     for w in 0..3 {
         assert_eq!(report.workers[w].tasks_executed, 0);
-        assert_eq!(report.workers[w].ops.declares as usize, graph.total_accesses());
+        assert_eq!(
+            report.workers[w].ops.declares as usize,
+            graph.total_accesses()
+        );
     }
 }
 
@@ -115,18 +122,24 @@ fn wait_strategies_agree_under_contention() {
         seed: 21,
     });
     let mut results = Vec::new();
-    for wait in [WaitStrategy::Spin, WaitStrategy::SpinYield, WaitStrategy::Park] {
+    for wait in [
+        WaitStrategy::Spin,
+        WaitStrategy::SpinYield,
+        WaitStrategy::Park,
+    ] {
         let store = DataStore::filled(4, 0u64);
         let cfg = RioConfig::with_workers(3).wait(wait);
-        rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, t: &TaskDesc| {
-            let mut h = t.id.0;
-            for d in t.reads() {
-                h = h.wrapping_mul(31).wrapping_add(*store.read(d));
-            }
-            for d in t.writes() {
-                *store.write(d) = h;
-            }
-        });
+        Executor::new(cfg)
+            .mapping(&RoundRobin)
+            .run(&graph, |_, t: &TaskDesc| {
+                let mut h = t.id.0;
+                for d in t.reads() {
+                    h = h.wrapping_mul(31).wrapping_add(*store.read(d));
+                }
+                for d in t.writes() {
+                    *store.write(d) = h;
+                }
+            });
         results.push(store.into_vec());
     }
     assert_eq!(results[0], results[1]);
@@ -180,9 +193,12 @@ fn built_in_span_audit_rio() {
         seed: 64,
     });
     let cfg = RioConfig::with_workers(3).record_spans(true);
-    let report = rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, _| {
-        std::hint::black_box(0u64);
-    });
+    let report = Executor::new(cfg)
+        .mapping(&RoundRobin)
+        .run(&graph, |_, _| {
+            std::hint::black_box(0u64);
+        })
+        .report;
     assert_eq!(report.spans().len(), 400);
     report.audit(&graph).expect("RIO run must be consistent");
 }
@@ -238,6 +254,12 @@ fn flow_api_spans_are_recorded_and_consistent() {
 fn audit_without_recording_reports_missing_tasks() {
     let graph = rio::workloads::independent::graph(10);
     let cfg = RioConfig::with_workers(2); // record_spans off
-    let report = rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, _| {});
-    assert!(report.audit(&graph).is_err(), "no spans -> not a permutation");
+    let report = Executor::new(cfg)
+        .mapping(&RoundRobin)
+        .run(&graph, |_, _| {})
+        .report;
+    assert!(
+        report.audit(&graph).is_err(),
+        "no spans -> not a permutation"
+    );
 }

@@ -3,7 +3,7 @@
 //! results to the sequential reference executor on the same flow.
 
 use rio::centralized::CentralConfig;
-use rio::core::RioConfig;
+use rio::core::{Executor, RioConfig};
 use rio::stf::{DataId, DataStore, Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
 use rio::workloads::random_deps::{self, RandomDepsConfig};
 
@@ -34,10 +34,9 @@ fn run_all_three<M: Mapping>(
     let seq = seq_store.into_vec();
 
     let rio_store = DataStore::filled(graph.num_data(), 0u64);
-    let cfg = RioConfig::with_workers(workers);
-    rio::core::execute_graph(&cfg, graph, mapping, |_: WorkerId, t: &TaskDesc| {
-        kernel(&rio_store, t)
-    });
+    Executor::new(RioConfig::with_workers(workers))
+        .mapping(mapping)
+        .run(graph, |_: WorkerId, t: &TaskDesc| kernel(&rio_store, t));
     let rio = rio_store.into_vec();
 
     let cen_store = DataStore::filled(graph.num_data(), 0u64);
@@ -118,7 +117,9 @@ fn real_matmul_same_product_on_all_runtimes() {
     let store = flow.make_store(&a, &b);
     let kernel = flow.kernel(&store);
     let mapping = flow.owner_mapping(3);
-    rio::core::execute_graph(&RioConfig::with_workers(3), &flow.graph, &mapping, &kernel);
+    Executor::new(RioConfig::with_workers(3))
+        .mapping(&mapping)
+        .run(&flow.graph, &kernel);
     drop(kernel);
     assert!(flow.extract_c(&store).max_abs_diff(&expected) < 1e-10);
 
@@ -144,7 +145,9 @@ fn real_lu_same_factorization_on_all_runtimes() {
     let store = flow.make_store(&a);
     let kernel = flow.kernel(&store);
     let mapping = flow.owner_mapping(4);
-    rio::core::execute_graph(&RioConfig::with_workers(4), &flow.graph, &mapping, &kernel);
+    Executor::new(RioConfig::with_workers(4))
+        .mapping(&mapping)
+        .run(&flow.graph, &kernel);
     drop(kernel);
     assert!(flow.extract(&store).max_abs_diff(&reference) < 1e-10);
 
@@ -192,7 +195,7 @@ fn scope_api_agrees_with_recorded_executors() {
 
 #[test]
 fn hybrid_agrees_with_sequential_on_workload_dags() {
-    use rio::core::hybrid::{execute_graph_hybrid, Unmapped};
+    use rio::core::hybrid::Unmapped;
     let graph = rio::workloads::lu::graph(5, 1);
     let seq = {
         let store = DataStore::filled(graph.num_data(), 0u64);
@@ -209,11 +212,9 @@ fn hybrid_agrees_with_sequential_on_workload_dags() {
         store.into_vec()
     };
     let store = DataStore::filled(graph.num_data(), 0u64);
-    execute_graph_hybrid(
-        &RioConfig::with_workers(3),
-        &graph,
-        &Unmapped,
-        |_, t: &TaskDesc| {
+    Executor::new(RioConfig::with_workers(3))
+        .hybrid(&Unmapped)
+        .run(&graph, |_, t: &TaskDesc| {
             let mut h = t.id.0;
             for d in t.reads() {
                 h = h.wrapping_mul(31).wrapping_add(*store.read(d));
@@ -221,8 +222,7 @@ fn hybrid_agrees_with_sequential_on_workload_dags() {
             for d in t.writes() {
                 *store.write(d) = h;
             }
-        },
-    );
+        });
     assert_eq!(store.into_vec(), seq);
 }
 
@@ -230,10 +230,12 @@ fn hybrid_agrees_with_sequential_on_workload_dags() {
 fn pruned_rio_agrees_with_sequential() {
     let graph = rio::workloads::independent::graph_private_data(200);
     let store = DataStore::filled(graph.num_data(), 0u64);
-    let cfg = RioConfig::with_workers(4);
-    rio::core::execute_graph_pruned(&cfg, &graph, &RoundRobin, |_, t: &TaskDesc| {
-        *store.write(t.accesses[0].data) = t.id.0;
-    });
+    Executor::new(RioConfig::with_workers(4))
+        .mapping(&RoundRobin)
+        .pruning(true)
+        .run(&graph, |_, t: &TaskDesc| {
+            *store.write(t.accesses[0].data) = t.id.0;
+        });
     let out = store.into_vec();
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, i as u64 + 1);

@@ -65,10 +65,9 @@ proptest! {
     fn rio_matches_sequential(graph in arb_graph(40, 5), workers in 1usize..5) {
         let expected = run_sequential(&graph);
         let store = DataStore::filled(graph.num_data(), 0u64);
-        let cfg = RioConfig::with_workers(workers);
-        rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_: WorkerId, t: &TaskDesc| {
-            hash_kernel(&store, t)
-        });
+        rio::core::Executor::new(RioConfig::with_workers(workers))
+            .mapping(&RoundRobin)
+            .run(&graph, |_: WorkerId, t: &TaskDesc| hash_kernel(&store, t));
         prop_assert_eq!(store.into_vec(), expected);
     }
 
@@ -99,10 +98,11 @@ proptest! {
     #[test]
     fn rio_completion_order_is_valid(graph in arb_graph(30, 4), workers in 1usize..4) {
         let order = Mutex::new(Vec::new());
-        let cfg = RioConfig::with_workers(workers);
-        rio::core::execute_graph(&cfg, &graph, &RoundRobin, |_, t| {
-            order.lock().unwrap().push(t.id);
-        });
+        rio::core::Executor::new(RioConfig::with_workers(workers))
+            .mapping(&RoundRobin)
+            .run(&graph, |_, t| {
+                order.lock().unwrap().push(t.id);
+            });
         let order = order.into_inner().unwrap();
         prop_assert!(validate_order(&graph, &order).is_ok());
     }
@@ -154,13 +154,12 @@ proptest! {
     /// oracle on random flows.
     #[test]
     fn hybrid_claiming_matches_sequential(graph in arb_graph(35, 5), workers in 1usize..5) {
-        use rio::core::hybrid::{execute_graph_hybrid, Unmapped};
+        use rio::core::hybrid::Unmapped;
         let expected = run_sequential(&graph);
         let store = DataStore::filled(graph.num_data(), 0u64);
-        let cfg = RioConfig::with_workers(workers);
-        execute_graph_hybrid(&cfg, &graph, &Unmapped, |_: WorkerId, t: &TaskDesc| {
-            hash_kernel(&store, t)
-        });
+        rio::core::Executor::new(RioConfig::with_workers(workers))
+            .hybrid(&Unmapped)
+            .run(&graph, |_: WorkerId, t: &TaskDesc| hash_kernel(&store, t));
         prop_assert_eq!(store.into_vec(), expected);
     }
 

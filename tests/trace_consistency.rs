@@ -1,0 +1,166 @@
+//! Observability must be free of observable side effects: enabling the
+//! tracer must not change execution results or protocol op counts, its
+//! quadruple must feed the efficiency decomposition, and the Chrome-trace
+//! export must materialize on disk via the `Executor` alone.
+
+use rio::core::hybrid::Unmapped;
+use rio::core::{Execution, Executor, RioConfig, TraceConfig, WaitStrategy};
+use rio::stf::{DataStore, RoundRobin, TaskDesc, TaskGraph};
+use rio::workloads::random_deps::{self, RandomDepsConfig};
+
+fn workload() -> TaskGraph {
+    random_deps::graph(&RandomDepsConfig {
+        tasks: 400,
+        num_data: 16,
+        reads_per_task: 2,
+        writes_per_task: 1,
+        seed: 77,
+    })
+}
+
+/// Runs `configure(Executor)` with a state-hashing kernel; returns the
+/// final store contents and the execution.
+fn run(
+    graph: &TaskGraph,
+    configure: impl Fn(Executor<'_>) -> Executor<'_>,
+) -> (Vec<u64>, Execution) {
+    let store = DataStore::filled(graph.num_data(), 0u64);
+    let cfg = RioConfig::with_workers(3).wait(WaitStrategy::Park);
+    let exec = configure(Executor::new(cfg)).run(graph, |_, t: &TaskDesc| {
+        let mut h = t.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for d in t.reads() {
+            h = (h ^ *store.read(d)).wrapping_mul(0x100_0000_01b3);
+        }
+        for d in t.writes() {
+            *store.write(d) = h;
+        }
+    });
+    (store.into_vec(), exec)
+}
+
+#[test]
+fn tracing_changes_neither_results_nor_op_counts() {
+    let graph = workload();
+    // Variant x tracing matrix: results and protocol op counts must be
+    // invariant under tracing for every execution variant.
+    type Cfg<'a> = (&'a str, Box<dyn Fn(Executor<'_>) -> Executor<'_>>);
+    let variants: Vec<Cfg<'_>> = vec![
+        ("plain", Box::new(|e: Executor<'_>| e.mapping(&RoundRobin))),
+        (
+            "pruned",
+            Box::new(|e: Executor<'_>| e.mapping(&RoundRobin).pruning(true)),
+        ),
+        ("hybrid", Box::new(|e: Executor<'_>| e.hybrid(&Unmapped))),
+    ];
+    for (name, configure) in &variants {
+        let (plain_store, plain) = run(&graph, configure);
+        let (traced_store, traced) = run(&graph, |e| configure(e).trace(TraceConfig::new()));
+        assert_eq!(plain_store, traced_store, "{name}: results diverged");
+        assert!(plain.trace.is_none(), "{name}: untraced run has no trace");
+        let trace = traced
+            .trace
+            .unwrap_or_else(|| panic!("{name}: trace missing"));
+
+        let p = plain.report.total_ops();
+        let t = traced.report.total_ops();
+        assert_eq!(p.declares, t.declares, "{name}: declares");
+        assert_eq!(p.gets, t.gets, "{name}: gets");
+        assert_eq!(p.terminates, t.terminates, "{name}: terminates");
+        assert_eq!(
+            plain.report.tasks_executed(),
+            traced.report.tasks_executed(),
+            "{name}: tasks"
+        );
+
+        // The trace's own counters agree with the report.
+        assert_eq!(
+            trace.workers.iter().map(|w| w.tasks).sum::<u64>(),
+            traced.report.tasks_executed(),
+            "{name}: trace task count"
+        );
+        assert_eq!(
+            trace.workers.iter().map(|w| w.gets).sum::<u64>(),
+            t.gets,
+            "{name}: trace get count"
+        );
+    }
+}
+
+#[test]
+fn quadruple_feeds_decompose_end_to_end() {
+    let graph = workload();
+    let (_, exec) = run(&graph, |e| e.mapping(&RoundRobin).trace(TraceConfig::new()));
+    let trace = exec.trace.expect("trace present");
+    let q = trace.quadruple();
+    assert_eq!(q.threads, 3);
+    assert!(q.wall > std::time::Duration::ZERO);
+
+    // Use the traced wall clock as the sequential stand-in: every factor
+    // must come out finite and positive.
+    let d = rio::metrics::decompose(q.wall, q.wall, &q);
+    for (label, e) in [
+        ("e_g", d.e_g),
+        ("e_l", d.e_l),
+        ("e_p", d.e_p),
+        ("e_r", d.e_r),
+    ] {
+        assert!(e.is_finite() && e > 0.0, "{label} = {e}");
+    }
+}
+
+#[test]
+fn executor_writes_a_chrome_trace_file() {
+    let graph = workload();
+    let path = std::env::temp_dir().join(format!("rio-trace-{}.json", std::process::id()));
+    let (_, exec) = run(&graph, |e| {
+        e.mapping(&RoundRobin)
+            .trace(TraceConfig::chrome(path.clone()))
+    });
+    assert!(exec.trace.is_some());
+
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        json.starts_with("{\"traceEvents\":["),
+        "envelope: {json:.60}"
+    );
+    assert!(json.trim_end().ends_with('}'), "closed envelope");
+    assert!(json.contains("\"ph\":\"X\""), "complete events present");
+    assert!(json.contains("thread_name"), "worker names present");
+    // And it matches the in-memory exporter byte for byte.
+    assert_eq!(json, exec.trace.unwrap().chrome_json());
+}
+
+#[test]
+fn per_data_wait_histograms_cover_contended_objects() {
+    // One RW chain: every cross-worker handoff waits on data 0.
+    let mut b = TaskGraph::builder(1);
+    for _ in 0..200 {
+        b.task(
+            &[rio::stf::Access::read_write(rio::stf::DataId(0))],
+            1,
+            "inc",
+        );
+    }
+    let graph = b.build();
+    let (store, exec) = run(&graph, |e| e.mapping(&RoundRobin).trace(TraceConfig::new()));
+    assert_eq!(store.len(), 1);
+    let trace = exec.trace.expect("trace present");
+    let per_data = trace.wait_histogram_per_data();
+    let waited: u64 = per_data.values().map(|h| h.count()).sum();
+    if waited > 0 {
+        assert!(
+            per_data.contains_key(&0),
+            "all waits in this flow are on data 0"
+        );
+    }
+    // Merged histogram counts every recorded wait, ring drops included.
+    assert_eq!(
+        trace.wait_histogram().count(),
+        trace
+            .workers
+            .iter()
+            .map(|w| w.wait_hist.count())
+            .sum::<u64>()
+    );
+}
