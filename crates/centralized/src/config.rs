@@ -1,5 +1,7 @@
 //! Configuration of the centralized runtime.
 
+use std::time::Duration;
+
 use rio_trace::TraceConfig;
 
 /// Scheduling/dispatch policy for ready tasks.
@@ -44,6 +46,18 @@ pub struct CentralConfig {
     /// before the master throttles submission. Bounds task storage, like
     /// StarPU's submission window. `None` = unbounded.
     pub window: Option<usize>,
+    /// Stall watchdog: when `Some(d)`, a pool worker idle for longer than
+    /// `d` while the run is unfinished — or the master throttled on the
+    /// submission window for longer than `d` — aborts the run with
+    /// [`rio_stf::ExecError::Stalled`] instead of hanging. Pick a deadline
+    /// larger than the longest kernel body: an idle pool is
+    /// indistinguishable from a stalled one while a long body runs.
+    /// `None` (the default): waits are unbounded.
+    pub watchdog: Option<Duration>,
+    /// Fault-injection hook consulted around every task body (testing
+    /// only; the field exists only with the `fault-inject` cargo feature).
+    #[cfg(feature = "fault-inject")]
+    pub fault_hook: Option<rio_stf::HookHandle>,
     /// When `true`, workers timestamp task execution and idleness for the
     /// efficiency decomposition.
     pub measure_time: bool,
@@ -74,6 +88,20 @@ impl CentralConfig {
     /// Sets the submission window (builder style).
     pub fn window(mut self, window: Option<usize>) -> CentralConfig {
         self.window = window;
+        self
+    }
+
+    /// Arms the stall watchdog with the given deadline (builder style).
+    pub fn watchdog(mut self, deadline: Duration) -> CentralConfig {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Installs a fault-injection hook (builder style; `fault-inject`
+    /// feature only).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_hook(mut self, hook: rio_stf::HookHandle) -> CentralConfig {
+        self.fault_hook = Some(hook);
         self
     }
 
@@ -109,6 +137,9 @@ impl CentralConfig {
         if let Some(w) = self.window {
             assert!(w >= 1, "submission window must be at least 1");
         }
+        if let Some(d) = self.watchdog {
+            assert!(!d.is_zero(), "watchdog deadline must be nonzero");
+        }
     }
 }
 
@@ -120,6 +151,9 @@ impl Default for CentralConfig {
                 .unwrap_or(2),
             scheduler: SchedPolicy::LocalWorkStealing,
             window: None,
+            watchdog: None,
+            #[cfg(feature = "fault-inject")]
+            fault_hook: None,
             measure_time: true,
             record_spans: false,
             trace: None,
@@ -159,6 +193,22 @@ mod tests {
         assert_eq!(c.window, Some(128));
         assert!(!c.measure_time);
         c.validate();
+    }
+
+    #[test]
+    fn watchdog_builder_sets_the_deadline() {
+        let c = CentralConfig::with_threads(2).watchdog(Duration::from_millis(250));
+        assert_eq!(c.watchdog, Some(Duration::from_millis(250)));
+        c.validate();
+        assert!(CentralConfig::default().watchdog.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog deadline must be nonzero")]
+    fn zero_watchdog_is_rejected() {
+        CentralConfig::with_threads(2)
+            .watchdog(Duration::ZERO)
+            .validate();
     }
 
     #[test]

@@ -50,6 +50,24 @@ impl Doorbell {
             self.cond.wait(&mut guard);
         }
     }
+
+    /// Like [`Doorbell::wait`], but gives up after `timeout`. Returns
+    /// `true` if the epoch moved past `seen` (a ring arrived — possibly
+    /// before the call), `false` if the full timeout elapsed with the
+    /// epoch unchanged. Spurious condvar wake-ups are absorbed: only the
+    /// epoch or the clock can end the wait.
+    pub fn wait_for(&self, seen: u64, timeout: std::time::Duration) -> bool {
+        let start = std::time::Instant::now();
+        let mut guard = self.lock.lock();
+        while self.epoch.load(Ordering::Acquire) == seen {
+            let remaining = timeout.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                return false;
+            }
+            let _ = self.cond.wait_for(&mut guard, remaining);
+        }
+        true
+    }
 }
 
 impl std::fmt::Debug for Doorbell {
@@ -91,6 +109,32 @@ mod tests {
         d.ring();
         // ...and the worker that snapshotted earlier does not hang.
         d.wait(seen);
+    }
+
+    #[test]
+    fn wait_for_times_out_with_no_ring() {
+        let d = Doorbell::new();
+        let seen = d.epoch();
+        assert!(!d.wait_for(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_for_returns_true_on_a_ring() {
+        let d = Arc::new(Doorbell::new());
+        let d2 = Arc::clone(&d);
+        let seen = d.epoch();
+        let h = std::thread::spawn(move || d2.wait_for(seen, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        d.ring();
+        assert!(h.join().unwrap(), "the ring must end the wait as woken");
+    }
+
+    #[test]
+    fn wait_for_sees_an_earlier_ring_immediately() {
+        let d = Doorbell::new();
+        let seen = d.epoch();
+        d.ring();
+        assert!(d.wait_for(seen, Duration::ZERO));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod tracker;
 
 pub use config::{CentralConfig, SchedPolicy};
 pub use report::{CentralReport, MasterReport, PoolWorkerReport};
-pub use runtime::execute_graph;
+pub use runtime::{execute_graph, try_execute_graph};
 pub use scope::{scope, TaskScope};
 
-pub use rio_stf::{Access, AccessMode, DataId, DataStore, TaskGraph, TaskId, WorkerId};
+pub use rio_stf::{
+    Access, AccessMode, DataId, DataStore, ExecError, StallDiagnostic, StallSite, TaskGraph,
+    TaskId, WorkerId,
+};

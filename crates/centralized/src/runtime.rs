@@ -16,12 +16,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
-use rio_stf::{TaskDesc, TaskGraph, WorkerId};
+use rio_stf::{
+    ExecError, StallDiagnostic, StallSite, TaskDesc, TaskGraph, TaskId, WorkerId, WorkerSnapshot,
+};
 use rio_trace::WorkerTracer;
 
 use crate::config::{CentralConfig, SchedPolicy};
@@ -29,6 +31,26 @@ use crate::doorbell::Doorbell;
 use crate::node::TaskNode;
 use crate::report::{CentralReport, MasterReport, PoolWorkerReport};
 use crate::tracker::DepTracker;
+
+/// One pool worker's progress slot for the watchdog's stall diagnostics,
+/// padded to its own cache line. Updated (relaxed, owner-only) when a
+/// watchdog deadline is configured; otherwise left pristine.
+#[repr(align(128))]
+struct ProgressSlot {
+    /// `TaskId.0` of the last completed body (`TaskId::NONE.0` initially).
+    last_completed: AtomicU64,
+    /// Bodies completed so far.
+    executed: AtomicU64,
+}
+
+impl Default for ProgressSlot {
+    fn default() -> Self {
+        ProgressSlot {
+            last_completed: AtomicU64::new(TaskId::NONE.0),
+            executed: AtomicU64::new(0),
+        }
+    }
+}
 
 /// Engine state shared between the master and the pool.
 struct Engine<'g> {
@@ -46,8 +68,15 @@ struct Engine<'g> {
     heap: Mutex<BinaryHeap<(u64, Reverse<u32>)>>,
     /// Common epoch for span timestamps.
     epoch: Instant,
-    /// First panic payload from a task body, propagated at join.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Abort latch, distinct from [`Engine::done`]: `done` means every
+    /// task executed; `aborted` means the run is being torn down early
+    /// (task panic or watchdog stall). Workers stop pulling work and the
+    /// master stops submitting as soon as this is observed.
+    aborted: AtomicBool,
+    /// The first failure, returned from [`try_execute_graph`] at join.
+    abort_cause: Mutex<Option<ExecError>>,
+    /// Per-worker progress for stall diagnostics (watchdog runs only).
+    progress: Box<[ProgressSlot]>,
 }
 
 impl<'g> Engine<'g> {
@@ -72,15 +101,39 @@ impl<'g> Engine<'g> {
         self.bell.ring();
     }
 
-    /// Aborts the run (task panic): release every waiter.
-    fn poison(&self, payload: Box<dyn std::any::Any + Send>) {
-        let mut slot = self.panic.lock();
+    /// Has the run been aborted (task panic or watchdog stall)?
+    #[inline]
+    fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Aborts the run: record the first failure, latch the abort flag and
+    /// release every waiter (master and pool alike). Later failures of an
+    /// already-aborting run are dropped — first failure wins.
+    #[cold]
+    fn abort(&self, err: ExecError) {
+        let mut slot = self.abort_cause.lock();
         if slot.is_none() {
-            *slot = Some(payload);
+            *slot = Some(err);
         }
         drop(slot);
-        self.done.store(true, Ordering::Release);
+        self.aborted.store(true, Ordering::Release);
         self.bell.ring();
+    }
+
+    /// Every worker's progress, for a [`StallDiagnostic`]. Meaningful only
+    /// on watchdog runs (the slots are pristine otherwise).
+    fn progress_snapshot(&self) -> Vec<WorkerSnapshot> {
+        self.progress
+            .iter()
+            .enumerate()
+            .map(|(w, slot)| WorkerSnapshot {
+                worker: WorkerId::from_index(w),
+                last_completed: TaskId(slot.last_completed.load(Ordering::Relaxed)),
+                tasks_executed: slot.executed.load(Ordering::Relaxed),
+                waiting_on: None,
+            })
+            .collect()
     }
 }
 
@@ -90,9 +143,36 @@ impl<'g> Engine<'g> {
 /// submission order but never violating the STF dependencies.
 ///
 /// # Panics
-/// Propagates the first panicking task body; also panics on an invalid
-/// configuration.
+/// Propagates the first panicking task body (original payload); panics
+/// with the diagnostic rendering of a watchdog stall; also panics on an
+/// invalid configuration. Use [`try_execute_graph`] to handle failures
+/// structurally.
 pub fn execute_graph<K>(cfg: &CentralConfig, graph: &TaskGraph, kernel: K) -> CentralReport
+where
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    try_execute_graph(cfg, graph, kernel).unwrap_or_else(|e| e.resume())
+}
+
+/// Like [`execute_graph`], but a contained failure is returned as the same
+/// structured [`ExecError`] the decentralized runtime produces:
+///
+/// * a task-body panic ⇒ [`ExecError::TaskPanicked`] with the pool worker,
+///   the task and the original payload. The master stops submitting (even
+///   when blocked on the submission window mid-drain), workers stop
+///   pulling queued tasks, and every thread is joined before returning;
+/// * with [`CentralConfig::watchdog`] armed, a pool worker idle past the
+///   deadline while the run is unfinished ⇒ [`ExecError::Stalled`] at
+///   [`StallSite::IdleWorker`], and a master throttled past the deadline ⇒
+///   [`StallSite::MasterThrottle`].
+///
+/// # Errors
+/// See [`ExecError`] for the post-abort state guarantees.
+pub fn try_execute_graph<K>(
+    cfg: &CentralConfig,
+    graph: &TaskGraph,
+    kernel: K,
+) -> Result<CentralReport, ExecError>
 where
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
@@ -112,7 +192,9 @@ where
         policy: cfg.scheduler,
         heap: Mutex::new(BinaryHeap::new()),
         epoch: Instant::now(),
-        panic: Mutex::new(None),
+        aborted: AtomicBool::new(false),
+        abort_cause: Mutex::new(None),
+        progress: (0..num_workers).map(|_| ProgressSlot::default()).collect(),
     };
     let engine = &engine;
     let kernel = &kernel;
@@ -134,15 +216,15 @@ where
         (master, workers)
     });
 
-    if let Some(payload) = engine.panic.lock().take() {
-        std::panic::resume_unwind(payload);
+    if let Some(err) = engine.abort_cause.lock().take() {
+        return Err(err);
     }
 
-    CentralReport {
+    Ok(CentralReport {
         wall: start.elapsed(),
         master,
         workers,
-    }
+    })
 }
 
 /// Unrolls the flow: dependency discovery, node wiring, ready dispatch,
@@ -154,8 +236,8 @@ fn master_loop(cfg: &CentralConfig, engine: &Engine<'_>) -> MasterReport {
     let mut submitted = 0u64;
 
     for t in engine.graph.tasks() {
-        if engine.done.load(Ordering::Acquire) && engine.panic.lock().is_some() {
-            break; // a task panicked; stop feeding the pool
+        if engine.aborted() {
+            break; // the run is being torn down; stop feeding the pool
         }
         // Submission window: bound in-flight tasks (task storage).
         if let Some(window) = cfg.window {
@@ -168,15 +250,41 @@ fn master_loop(cfg: &CentralConfig, engine: &Engine<'_>) -> MasterReport {
                 }
                 waited = true;
                 let epoch = engine.bell.epoch();
+                // A worker panic mid-drain stops the executed counter for
+                // good: without this check the master would park forever
+                // on a window that can no longer close.
+                if engine.aborted() {
+                    break;
+                }
                 let in_flight = submitted as usize - engine.executed.load(Ordering::Acquire);
                 if in_flight < window {
                     break;
                 }
-                engine.bell.wait(epoch);
+                match cfg.watchdog {
+                    None => engine.bell.wait(epoch),
+                    Some(d) => {
+                        if !engine.bell.wait_for(epoch, d) && !engine.aborted() {
+                            let in_flight =
+                                submitted as usize - engine.executed.load(Ordering::Acquire);
+                            engine.abort(ExecError::Stalled(Box::new(StallDiagnostic {
+                                // The master is the extra thread after the
+                                // pool (cf. trace numbering).
+                                worker: WorkerId::from_index(engine.progress.len()),
+                                waited: t0.elapsed(),
+                                site: StallSite::MasterThrottle { in_flight, window },
+                                workers: engine.progress_snapshot(),
+                            })));
+                            break;
+                        }
+                    }
+                }
             }
             if waited {
                 throttle_time += t0.elapsed();
             }
+        }
+        if engine.aborted() {
+            break;
         }
 
         let i = t.id.index() as u32;
@@ -225,6 +333,11 @@ where
     let loop_start = Instant::now();
 
     loop {
+        // Once the run is aborting, stop pulling work: tasks already
+        // queued as "ready" must not start after the failure is observed.
+        if engine.aborted() {
+            break;
+        }
         match find_task(engine, wi, &deque, &mut report) {
             Some(i) => {
                 execute_task(cfg, engine, kernel, me, &deque, i, &mut report, &mut tracer);
@@ -237,10 +350,13 @@ where
                 // Re-scan after the snapshot so a ring between our failed
                 // scan and the park cannot strand us.
                 if let Some(i) = find_task(engine, wi, &deque, &mut report) {
+                    if engine.aborted() {
+                        break;
+                    }
                     execute_task(cfg, engine, kernel, me, &deque, i, &mut report, &mut tracer);
                     continue;
                 }
-                if engine.done.load(Ordering::Acquire) {
+                if engine.done.load(Ordering::Acquire) || engine.aborted() {
                     break;
                 }
                 let t0 = if measure || traced {
@@ -248,7 +364,13 @@ where
                 } else {
                     None
                 };
-                engine.bell.wait(epoch);
+                let woken = match cfg.watchdog {
+                    None => {
+                        engine.bell.wait(epoch);
+                        true
+                    }
+                    Some(d) => engine.bell.wait_for(epoch, d),
+                };
                 if let Some(t0) = t0 {
                     let t1 = Instant::now();
                     if measure {
@@ -257,6 +379,17 @@ where
                     if let Some(tr) = tracer.as_mut() {
                         tr.park(t0, t1, 1);
                     }
+                }
+                if !woken && !engine.done.load(Ordering::Acquire) && !engine.aborted() {
+                    // Idle for the whole deadline with the run unfinished
+                    // and not a single completion ring: diagnose a stall.
+                    engine.abort(ExecError::Stalled(Box::new(StallDiagnostic {
+                        worker: me,
+                        waited: cfg.watchdog.unwrap_or_default(),
+                        site: StallSite::IdleWorker,
+                        workers: engine.progress_snapshot(),
+                    })));
+                    break;
                 }
             }
         }
@@ -334,7 +467,15 @@ fn execute_task<K>(
 {
     let task = &engine.graph.tasks()[i as usize];
 
-    let run = AssertUnwindSafe(|| kernel(me, task));
+    let run = AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = cfg.fault_hook.as_ref() {
+            // Inside the containment scope: an injected panic is
+            // attributed to the task exactly like a kernel panic.
+            hook.before_task(me, task.id);
+        }
+        kernel(me, task)
+    });
     let body_start = if cfg.measure_time || cfg.record_spans || tracer.is_some() {
         Some(Instant::now())
     } else {
@@ -349,7 +490,11 @@ fn execute_task<K>(
         (t0, t1)
     });
     if let Err(payload) = outcome {
-        engine.poison(payload);
+        engine.abort(ExecError::TaskPanicked {
+            task: task.id,
+            worker: me,
+            payload,
+        });
         return;
     }
     if let Some((t0, t1)) = body_span {
@@ -365,6 +510,12 @@ fn execute_task<K>(
         }
     }
     report.tasks_executed += 1;
+    if cfg.watchdog.is_some() {
+        let slot = &engine.progress[me.index()];
+        slot.last_completed.store(task.id.0, Ordering::Relaxed);
+        slot.executed
+            .store(report.tasks_executed, Ordering::Relaxed);
+    }
 
     // Publish completion and collect registered successors.
     let succs = {
@@ -385,6 +536,15 @@ fn execute_task<K>(
         }
     }
     engine.task_finished();
+
+    #[cfg(feature = "fault-inject")]
+    if let Some(hook) = cfg.fault_hook.as_ref() {
+        if hook.spurious_wake_after(me, task.id) {
+            // A ring with no state change: every parked waiter wakes,
+            // re-scans, finds nothing new, and must park again.
+            engine.bell.ring();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +722,133 @@ mod tests {
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "boom in task body");
+    }
+
+    #[test]
+    fn try_execute_returns_a_structured_task_panic() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..50 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let err = try_execute_graph(&cfg(3), &g, |_, t| {
+            if t.id.index() == 25 {
+                panic!("boom in task body");
+            }
+        })
+        .expect_err("the panic must abort the run");
+        match err {
+            ExecError::TaskPanicked { task, payload, .. } => {
+                assert_eq!(task.index(), 25);
+                assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom in task body"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_mid_drain_unblocks_a_throttled_master() {
+        // Regression: with a small submission window, a worker panic used
+        // to leave the master parked forever on a window that could no
+        // longer close (executed stops advancing). The master must observe
+        // the abort and stop submitting.
+        let g = chain_graph(400);
+        let c = cfg(2).window(Some(2)); // 1 worker, tiny window
+        let err = try_execute_graph(&c, &g, |_, t| {
+            if t.id.index() == 10 {
+                panic!("mid-drain boom");
+            }
+        })
+        .expect_err("the panic must abort, not hang, the drain");
+        assert_eq!(err.kind(), "task-panicked");
+    }
+
+    #[test]
+    fn workers_stop_pulling_queued_tasks_after_an_abort() {
+        // 1 worker, everything ready up front: after the panic at the
+        // first task, the remaining queued tasks must not run.
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..100 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let ran = AtomicU64::new(0);
+        let first = AtomicBool::new(true);
+        let err = try_execute_graph(&cfg(2).scheduler(SchedPolicy::CentralFifo), &g, |_, _| {
+            if first.swap(false, Ordering::Relaxed) {
+                panic!("first task boom");
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect_err("must abort");
+        assert_eq!(err.kind(), "task-panicked");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "the single worker saw the abort before pulling the next task"
+        );
+    }
+
+    #[test]
+    fn watchdog_diagnoses_an_idle_pool_as_stalled() {
+        // Worker A runs a body far longer than the deadline; worker B has
+        // nothing to do the whole time (RW chain: only one ready task) and
+        // must convert its idleness into a structured stall.
+        let g = chain_graph(4);
+        let c = cfg(3).watchdog(Duration::from_millis(40));
+        let err = try_execute_graph(&c, &g, |_, t| {
+            if t.id.index() == 0 {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        })
+        .expect_err("the idle sibling must trip the watchdog");
+        match err {
+            ExecError::Stalled(diag) => {
+                assert_eq!(diag.site, StallSite::IdleWorker);
+                assert_eq!(diag.workers.len(), 2, "one snapshot per pool worker");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_diagnoses_a_throttled_master_as_stalled() {
+        // 1 worker stuck in a long body with a window of 1: only the
+        // master is waiting, so the diagnostic must name the throttle.
+        let g = chain_graph(3);
+        let c = cfg(2).window(Some(1)).watchdog(Duration::from_millis(40));
+        let err = try_execute_graph(&c, &g, |_, t| {
+            if t.id.index() == 0 {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        })
+        .expect_err("the throttled master must trip the watchdog");
+        match err {
+            ExecError::Stalled(diag) => {
+                assert_eq!(
+                    diag.site,
+                    StallSite::MasterThrottle {
+                        in_flight: 1,
+                        window: 1
+                    }
+                );
+                assert_eq!(diag.worker, WorkerId(1), "the master is thread 1 of 2");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_a_healthy_run() {
+        let g = chain_graph(300);
+        let c = cfg(3).watchdog(Duration::from_secs(5));
+        let store = DataStore::from_vec(vec![0u64]);
+        let report = try_execute_graph(&c, &g, |_, _| {
+            *store.write(DataId(0)) += 1;
+        })
+        .expect("a healthy run must complete under the watchdog");
+        assert_eq!(report.tasks_executed(), 300);
+        assert_eq!(store.into_vec(), vec![300]);
     }
 
     #[test]

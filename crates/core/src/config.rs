@@ -1,5 +1,7 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
 use crate::trace_api::TraceConfig;
 use crate::wait::WaitStrategy;
 
@@ -11,6 +13,28 @@ pub struct RioConfig {
     pub workers: usize,
     /// How `get_read`/`get_write` wait for dependencies.
     pub wait: WaitStrategy,
+    /// Pure-spin polls inside `get_read`/`get_write` before escalating to
+    /// the configured [`RioConfig::wait`] strategy (yield or park).
+    /// Default: [`WaitStrategy::DEFAULT_SPIN_LIMIT`].
+    pub spin_limit: u32,
+    /// Stall watchdog: when `Some(d)`, a worker blocked in a `get_*` for
+    /// longer than `d` (past its spin phase) aborts the run with
+    /// [`rio_stf::ExecError::Stalled`], carrying a diagnostic dump of the
+    /// blocked data object's counters and every worker's progress. `None`
+    /// (the default): waits are unbounded, as the protocol assumes a
+    /// correct mapping.
+    pub watchdog: Option<Duration>,
+    /// Pre-flight mapping validation: before spawning any worker, probe
+    /// the mapping over the whole flow for totality, determinism and
+    /// worker-id range, rejecting bad mappings with
+    /// [`rio_stf::ExecError::InvalidMapping`] instead of deadlocking at
+    /// run time. Costs two mapping calls per task; disable for
+    /// peak-overhead measurements on trusted mappings.
+    pub preflight: bool,
+    /// Fault-injection hook consulted around every task body (testing
+    /// only; the field exists only with the `fault-inject` cargo feature).
+    #[cfg(feature = "fault-inject")]
+    pub fault_hook: Option<rio_stf::HookHandle>,
     /// When `true`, workers timestamp task execution and waiting so the
     /// report can feed the efficiency decomposition (`rio-metrics`). Costs
     /// two monotonic-clock reads per executed task plus two per blocking
@@ -48,6 +72,32 @@ impl RioConfig {
         self
     }
 
+    /// Sets the pure-spin poll budget (builder style).
+    pub fn spin_limit(mut self, polls: u32) -> RioConfig {
+        self.spin_limit = polls;
+        self
+    }
+
+    /// Arms the stall watchdog with the given deadline (builder style).
+    pub fn watchdog(mut self, deadline: Duration) -> RioConfig {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Enables/disables pre-flight mapping validation (builder style).
+    pub fn preflight(mut self, on: bool) -> RioConfig {
+        self.preflight = on;
+        self
+    }
+
+    /// Installs a fault-injection hook (builder style; `fault-inject`
+    /// feature only).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_hook(mut self, hook: rio_stf::HookHandle) -> RioConfig {
+        self.fault_hook = Some(hook);
+        self
+    }
+
     /// Enables/disables time measurement (builder style).
     pub fn measure_time(mut self, on: bool) -> RioConfig {
         self.measure_time = on;
@@ -75,6 +125,9 @@ impl RioConfig {
     /// Panics on nonsensical configurations.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "RIO needs at least one worker");
+        if let Some(d) = self.watchdog {
+            assert!(!d.is_zero(), "watchdog deadline must be nonzero");
+        }
     }
 }
 
@@ -85,6 +138,11 @@ impl Default for RioConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             wait: WaitStrategy::default(),
+            spin_limit: WaitStrategy::DEFAULT_SPIN_LIMIT,
+            watchdog: None,
+            preflight: true,
+            #[cfg(feature = "fault-inject")]
+            fault_hook: None,
             measure_time: true,
             check_determinism: cfg!(debug_assertions),
             record_spans: false,
@@ -126,6 +184,29 @@ mod tests {
         let c = RioConfig::default();
         assert!(c.workers >= 1);
         assert!(c.trace.is_none(), "tracing is opt-in");
+        assert!(c.watchdog.is_none(), "watchdog is opt-in");
+        assert!(c.preflight, "pre-flight validation is on by default");
+        assert_eq!(c.spin_limit, WaitStrategy::DEFAULT_SPIN_LIMIT);
+    }
+
+    #[test]
+    fn robustness_knobs_build() {
+        let c = RioConfig::with_workers(2)
+            .spin_limit(8)
+            .watchdog(Duration::from_millis(100))
+            .preflight(false);
+        assert_eq!(c.spin_limit, 8);
+        assert_eq!(c.watchdog, Some(Duration::from_millis(100)));
+        assert!(!c.preflight);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog deadline must be nonzero")]
+    fn zero_watchdog_rejected() {
+        RioConfig::with_workers(1)
+            .watchdog(Duration::ZERO)
+            .validate();
     }
 
     #[test]

@@ -28,12 +28,14 @@
 //! assert_eq!(store.into_vec(), vec![100]);
 //! ```
 
-use rio_stf::{Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
+use std::time::Duration;
+
+use rio_stf::{ExecError, Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
 
 use crate::config::RioConfig;
-use crate::graph::execute_graph_impl;
-use crate::hybrid::{execute_graph_hybrid_impl, HybridStats, PartialMapping};
-use crate::pruning::{execute_graph_pruned_impl, PruneStats};
+use crate::graph::try_execute_graph_impl;
+use crate::hybrid::{try_execute_graph_hybrid_impl, HybridStats, PartialMapping};
+use crate::pruning::{try_execute_graph_pruned_impl, PruneStats};
 use crate::report::ExecReport;
 use crate::trace_api::{Trace, TraceConfig};
 
@@ -117,6 +119,14 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Arms the stall watchdog (shorthand for [`RioConfig::watchdog`]): a
+    /// worker blocked in a dependency wait for longer than `deadline`
+    /// aborts the run with [`ExecError::Stalled`] instead of hanging it.
+    pub fn watchdog(mut self, deadline: Duration) -> Executor<'a> {
+        self.cfg.watchdog = Some(deadline);
+        self
+    }
+
     /// The configuration this executor will run with.
     pub fn config(&self) -> &RioConfig {
         &self.cfg
@@ -126,15 +136,38 @@ impl<'a> Executor<'a> {
     /// task on the worker the selected variant designates.
     ///
     /// # Panics
-    /// Propagates task-body panics; panics if a mapping designates a
-    /// worker `>= cfg.workers`, or if the Chrome-trace file cannot be
-    /// written.
+    /// Propagates task-body panics (with their original payload); panics
+    /// with the diagnostic rendering of any other [`ExecError`] (invalid
+    /// mapping, watchdog stall), or if the Chrome-trace file cannot be
+    /// written. Use [`Executor::try_run`] to handle failures structurally.
     pub fn run<K>(&self, graph: &TaskGraph, kernel: K) -> Execution
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
+        self.try_run(graph, kernel).unwrap_or_else(|e| e.resume())
+    }
+
+    /// Like [`Executor::run`], but a contained failure is returned as a
+    /// structured [`ExecError`] instead of a panic:
+    ///
+    /// * a task-body panic on any worker ⇒ [`ExecError::TaskPanicked`]
+    ///   carrying the task, the worker and the original payload — the
+    ///   remaining workers are woken and drained, never left hanging;
+    /// * a dependency wait exceeding the [`Executor::watchdog`] deadline ⇒
+    ///   [`ExecError::Stalled`] with a dump of the blocked data object's
+    ///   counters and every worker's progress;
+    /// * a mapping failing pre-flight validation
+    ///   ([`RioConfig::preflight`], on by default) ⇒
+    ///   [`ExecError::InvalidMapping`] before any worker is spawned.
+    ///
+    /// # Errors
+    /// See [`ExecError`] for the exact post-abort state guarantees.
+    pub fn try_run<K>(&self, graph: &TaskGraph, kernel: K) -> Result<Execution, ExecError>
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
         let mut run = if let Some(partial) = self.partial {
-            let (report, stats) = execute_graph_hybrid_impl(&self.cfg, graph, partial, kernel);
+            let (report, stats) = try_execute_graph_hybrid_impl(&self.cfg, graph, partial, kernel)?;
             Execution {
                 report,
                 hybrid: Some(stats),
@@ -143,7 +176,8 @@ impl<'a> Executor<'a> {
         } else {
             let mapping: &dyn Mapping = self.mapping.unwrap_or(&RoundRobin);
             if self.pruning {
-                let (report, stats) = execute_graph_pruned_impl(&self.cfg, graph, mapping, kernel);
+                let (report, stats) =
+                    try_execute_graph_pruned_impl(&self.cfg, graph, mapping, kernel)?;
                 Execution {
                     report,
                     prune: Some(stats),
@@ -151,7 +185,7 @@ impl<'a> Executor<'a> {
                 }
             } else {
                 Execution {
-                    report: execute_graph_impl(&self.cfg, graph, mapping, kernel),
+                    report: try_execute_graph_impl(&self.cfg, graph, mapping, kernel)?,
                     ..Execution::default()
                 }
             }
@@ -165,7 +199,7 @@ impl<'a> Executor<'a> {
                 .write_chrome(path)
                 .unwrap_or_else(|e| panic!("cannot write Chrome trace to {}: {e}", path.display()));
         }
-        run
+        Ok(run)
     }
 }
 
@@ -278,6 +312,104 @@ mod tests {
         assert_eq!(store.into_vec(), vec![50]);
         assert_eq!(store2.into_vec(), vec![50]);
         assert_eq!(store3.into_vec(), vec![50]);
+    }
+
+    #[test]
+    fn try_run_surfaces_a_task_panic_as_a_structured_error() {
+        let g = chain_graph(40);
+        let err = Executor::new(RioConfig::with_workers(2).wait(WaitStrategy::Park))
+            .try_run(&g, |_, t| {
+                if t.id == rio_stf::TaskId(7) {
+                    panic!("kernel exploded");
+                }
+            })
+            .expect_err("the injected panic must abort the run");
+        match err {
+            ExecError::TaskPanicked {
+                task,
+                worker,
+                payload,
+            } => {
+                assert_eq!(task, rio_stf::TaskId(7));
+                // Round-robin over 2 workers: T7 is flow index 6 → worker 0.
+                assert_eq!(worker, WorkerId(0));
+                assert_eq!(payload.downcast_ref::<&str>(), Some(&"kernel exploded"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_rejects_a_short_table_mapping_before_any_kernel_runs() {
+        let g = chain_graph(10);
+        let ran = AtomicU64::new(0);
+        // A table mapping covering only 5 of the 10 tasks: not total.
+        let table = rio_stf::TableMapping::from_fn(5, |_| WorkerId(0));
+        let err = Executor::new(RioConfig::with_workers(2))
+            .mapping(&table)
+            .try_run(&g, |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("a partial table must fail pre-flight validation");
+        assert_eq!(err.kind(), "invalid-mapping");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no kernel invocation");
+    }
+
+    #[test]
+    fn try_run_rejects_an_out_of_range_mapping_for_every_variant() {
+        struct Bad;
+        impl Mapping for Bad {
+            fn worker_of(&self, _: rio_stf::TaskId, workers: usize) -> WorkerId {
+                WorkerId(workers as u32) // one past the end
+            }
+        }
+        let g = chain_graph(4);
+        for pruning in [false, true] {
+            let err = Executor::new(RioConfig::with_workers(2))
+                .mapping(&Bad)
+                .pruning(pruning)
+                .try_run(&g, |_, _| {})
+                .expect_err("out-of-range mapping must be rejected");
+            match err {
+                ExecError::InvalidMapping(rio_stf::MappingError::OutOfRange {
+                    worker,
+                    workers,
+                    ..
+                }) => {
+                    assert_eq!(worker, WorkerId(2));
+                    assert_eq!(workers, 2);
+                }
+                other => panic!("expected OutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_an_overlong_wait_into_a_stall_error() {
+        // Worker 1 waits on D0 while worker 0's body holds the chain head
+        // far past the deadline. (The dropped-task reproducer — a mapping
+        // that lies at run time — lives in the `rio-faults` test suite.)
+        let g = chain_graph(2); // T1 -> T2 through D0
+        let err = Executor::new(
+            RioConfig::with_workers(2)
+                .wait(WaitStrategy::Park)
+                .spin_limit(4),
+        )
+        .watchdog(Duration::from_millis(50))
+        .try_run(&g, |_, t| {
+            if t.id == rio_stf::TaskId(1) {
+                // Hold the chain head long past the sibling's deadline.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        })
+        .expect_err("the sibling's wait must trip the watchdog");
+        match err {
+            ExecError::Stalled(diag) => {
+                assert_eq!(diag.worker, WorkerId(1), "worker 1 waited on T2's D0");
+                assert!(diag.waited >= Duration::from_millis(50));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
     }
 
     #[cfg(feature = "trace")]

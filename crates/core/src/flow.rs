@@ -44,15 +44,16 @@
 use std::time::{Duration, Instant};
 
 use rio_stf::store::{ReadGuard, WriteGuard};
-use rio_stf::{Access, DataId, DataStore, Mapping, TaskId, WorkerId};
+use rio_stf::{Access, DataId, DataStore, ExecError, Mapping, TaskId, WorkerId};
 
 use crate::config::RioConfig;
-use crate::graph::PanicSlot;
+use crate::graph::stall_diagnostic;
 use crate::protocol::{
-    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
-    LocalDataState, Poison, SharedDataState,
+    declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
+    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::status::StatusTable;
 use crate::trace_api::WorkerTracer;
 
 /// The RIO runtime handle for the typed flow API.
@@ -95,13 +96,37 @@ impl Rio {
         M: Mapping,
         F: Fn(&mut FlowCtx<'_, T>) + Sync,
     {
+        self.try_run(store, mapping, flow)
+            .unwrap_or_else(|e| e.resume())
+    }
+
+    /// Like [`Rio::run`], but converts contained failures into a
+    /// structured [`ExecError`] instead of panicking: a task-body panic
+    /// becomes [`ExecError::TaskPanicked`] (original payload attached) and
+    /// a watchdog timeout ([`RioConfig::watchdog`]) becomes
+    /// [`ExecError::Stalled`]. Panics outside task bodies — in the flow
+    /// closure itself, or the determinism check — still propagate.
+    ///
+    /// # Errors
+    /// See [`ExecError`] for the post-abort state guarantees.
+    pub fn try_run<T, M, F>(
+        &self,
+        store: &DataStore<T>,
+        mapping: &M,
+        flow: F,
+    ) -> Result<ExecReport, ExecError>
+    where
+        T: Send,
+        M: Mapping,
+        F: Fn(&mut FlowCtx<'_, T>) + Sync,
+    {
         let cfg = &self.cfg;
         let mapping: &dyn Mapping = mapping;
         let shared = SharedDataState::new_table(store.len());
         let shared = &shared;
         let flow = &flow;
-        let poison = &Poison::new();
-        let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
+        let abort = &AbortFlag::new();
+        let status = &StatusTable::new(cfg.workers);
 
         let start = Instant::now();
         let joined: Vec<std::thread::Result<(WorkerReport, u64)>> = std::thread::scope(|s| {
@@ -113,6 +138,8 @@ impl Rio {
                             me,
                             num_workers: cfg.workers,
                             wait: cfg.wait,
+                            spin_limit: cfg.spin_limit,
+                            watchdog: cfg.watchdog,
                             measure: cfg.measure_time,
                             record_spans: cfg.record_spans,
                             mapping,
@@ -125,8 +152,8 @@ impl Rio {
                             idle_time: Duration::ZERO,
                             tasks_executed: 0,
                             checksum: FNV_OFFSET,
-                            poison,
-                            panic_slot,
+                            abort,
+                            status,
                             epoch: start,
                             spans: Vec::new(),
                             tracer: cfg
@@ -164,11 +191,11 @@ impl Rio {
         });
         let wall = start.elapsed();
 
-        // A task-body panic poisons the whole run: re-throw the *original*
-        // payload and discard the secondary "poisoned" unwinds of the
-        // sibling workers.
-        if let Some(payload) = panic_slot.lock().take() {
-            std::panic::resume_unwind(payload);
+        // A contained failure (task-body panic, watchdog stall) aborts the
+        // whole run: surface the recorded first cause as a structured error
+        // and discard the secondary "poisoned" unwinds of the workers.
+        if let Some(cause) = abort.take_cause() {
+            return Err(cause.into_error());
         }
         let workers: Vec<(WorkerReport, u64)> = joined
             .into_iter()
@@ -193,10 +220,10 @@ impl Rio {
             }
         }
 
-        ExecReport {
+        Ok(ExecReport {
             wall,
             workers: workers.into_iter().map(|(r, _)| r).collect(),
-        }
+        })
     }
 }
 
@@ -216,6 +243,8 @@ pub struct FlowCtx<'a, T> {
     me: WorkerId,
     num_workers: usize,
     wait: crate::wait::WaitStrategy,
+    spin_limit: u32,
+    watchdog: Option<Duration>,
     measure: bool,
     record_spans: bool,
     mapping: &'a (dyn Mapping + 'a),
@@ -228,8 +257,8 @@ pub struct FlowCtx<'a, T> {
     idle_time: Duration,
     tasks_executed: u64,
     checksum: u64,
-    poison: &'a Poison,
-    panic_slot: &'a PanicSlot,
+    abort: &'a AbortFlag,
+    status: &'a StatusTable,
     epoch: Instant,
     spans: Vec<rio_stf::validate::Span>,
     tracer: Option<WorkerTracer>,
@@ -274,26 +303,40 @@ impl<'a, T> FlowCtx<'a, T> {
             executor.index() < self.num_workers,
             "mapping sent {id} to non-existent {executor}"
         );
-        if self.poison.armed() {
+        if self.abort.armed() {
             panic!("RIO run poisoned: a sibling worker's task body panicked");
         }
 
         if executor == self.me {
             let traced = self.tracer.is_some();
+            let wd = self.watchdog.is_some();
+            let cx = WaitCx {
+                strategy: self.wait,
+                spin_limit: self.spin_limit,
+                deadline: self.watchdog,
+                abort: self.abort,
+            };
             for a in accesses {
                 self.ops.gets += 1;
                 let s = &self.shared[a.data.index()];
                 let l = &self.locals[a.data.index()];
-                let wait_start = if self.measure || traced {
+                let wait_start = if self.measure || traced || wd {
                     Some(Instant::now())
                 } else {
                     None
                 };
-                let wo = if a.mode.writes() {
-                    get_write_ex(s, l, self.wait, self.poison)
+                if wd {
+                    self.status.begin_wait(self.me, a.data);
+                }
+                let wr = if a.mode.writes() {
+                    get_write_cx(s, l, &cx)
                 } else {
-                    get_read_ex(s, l, self.wait, self.poison)
+                    get_read_cx(s, l, &cx)
                 };
+                if wd {
+                    self.status.end_wait(self.me);
+                }
+                let wo = wr.outcome;
                 if wo.polls > 0 {
                     self.ops.waits += 1;
                     self.ops.poll_loops += wo.polls;
@@ -307,8 +350,23 @@ impl<'a, T> FlowCtx<'a, T> {
                         }
                     }
                 }
-                if self.poison.armed() {
-                    panic!("RIO run poisoned: a sibling worker's task body panicked");
+                match wr.verdict {
+                    WaitVerdict::Ready => {}
+                    WaitVerdict::Aborted => {
+                        panic!("RIO run poisoned: a sibling worker's task body panicked")
+                    }
+                    WaitVerdict::DeadlineExceeded => {
+                        let waited = wait_start
+                            .map(|t0| t0.elapsed())
+                            .or(self.watchdog)
+                            .unwrap_or_default();
+                        let diag = stall_diagnostic(self.me, id, a, l, s, waited, self.status);
+                        self.abort.abort(AbortCause::Stall(diag), self.shared);
+                        panic!(
+                            "RIO run stalled: {id} waited past the watchdog deadline on {}",
+                            a.data
+                        );
+                    }
                 }
             }
 
@@ -324,12 +382,14 @@ impl<'a, T> FlowCtx<'a, T> {
                 self.task_time += body_end.duration_since(body_start);
             }
             if let Err(payload) = outcome {
-                let mut slot = self.panic_slot.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-                drop(slot);
-                self.poison.arm_and_wake(self.shared);
+                self.abort.abort(
+                    AbortCause::Panic {
+                        task: id,
+                        worker: self.me,
+                        payload,
+                    },
+                    self.shared,
+                );
                 panic!("RIO run poisoned: this worker's task body panicked");
             }
             if self.record_spans {
@@ -343,6 +403,9 @@ impl<'a, T> FlowCtx<'a, T> {
                 tr.task(id, body_start, body_end);
             }
             self.tasks_executed += 1;
+            if wd {
+                self.status.completed(self.me, id, self.tasks_executed);
+            }
 
             for a in accesses {
                 self.ops.terminates += 1;

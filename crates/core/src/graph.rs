@@ -15,19 +15,45 @@
 
 use std::time::{Duration, Instant};
 
-use rio_stf::{Mapping, TaskDesc, TaskGraph, WorkerId};
+use rio_stf::{ExecError, Mapping, StallDiagnostic, StallSite, TaskDesc, TaskGraph, WorkerId};
 
 use crate::config::RioConfig;
 use crate::protocol::{
-    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
-    LocalDataState, Poison, SharedDataState,
+    declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
+    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::status::StatusTable;
 use crate::trace_api::WorkerTracer;
 
-/// Shared panic slot: the first task-body panic's payload, re-thrown at
-/// the end of the run.
-pub(crate) type PanicSlot = parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>;
+/// Builds the stall diagnostic for a `get_*` whose watchdog deadline
+/// expired: the blocked worker, the private-vs-shared counters of the
+/// blocked data object, and every worker's progress snapshot.
+pub(crate) fn stall_diagnostic(
+    me: WorkerId,
+    task: rio_stf::TaskId,
+    access: &rio_stf::Access,
+    local: &LocalDataState,
+    shared: &SharedDataState,
+    waited: Duration,
+    status: &StatusTable,
+) -> Box<StallDiagnostic> {
+    let (shared_reads, shared_write) = shared.snapshot();
+    Box::new(StallDiagnostic {
+        worker: me,
+        waited,
+        site: StallSite::DataWait {
+            task,
+            data: access.data,
+            write: access.mode.writes(),
+            local_reads_since_write: local.nb_reads_since_write,
+            local_last_registered_write: local.last_registered_write,
+            shared_reads_since_write: shared_reads,
+            shared_last_executed_write: shared_write,
+        },
+        workers: status.snapshot(),
+    })
+}
 
 /// Executes `graph` with `cfg.workers` decentralized in-order workers.
 ///
@@ -51,7 +77,8 @@ where
 }
 
 /// Shared implementation behind [`execute_graph`] (deprecated wrapper) and
-/// [`crate::Executor`].
+/// [`crate::Executor::run`]: the panicking shell over
+/// [`try_execute_graph_impl`].
 pub(crate) fn execute_graph_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
@@ -62,12 +89,31 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    try_execute_graph_impl(cfg, graph, mapping, kernel).unwrap_or_else(|e| e.resume())
+}
+
+/// Fallible execution behind [`crate::Executor::try_run`]: instead of
+/// panicking, a failed run returns a structured [`ExecError`] — after
+/// joining every worker, with no task body started past the abort.
+pub(crate) fn try_execute_graph_impl<M, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    mapping: &M,
+    kernel: K,
+) -> Result<ExecReport, ExecError>
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
     cfg.validate();
+    if cfg.preflight {
+        rio_stf::validate_mapping(mapping, graph.len(), cfg.workers)?;
+    }
     let shared = SharedDataState::new_table(graph.num_data());
     let kernel = &kernel;
     let shared = &shared;
-    let poison = &Poison::new();
-    let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
+    let abort = &AbortFlag::new();
+    let status = &StatusTable::new(cfg.workers);
 
     let start = Instant::now();
     let workers = std::thread::scope(|s| {
@@ -76,7 +122,7 @@ where
                 s.spawn(move || {
                     let me = WorkerId::from_index(w);
                     worker_loop(
-                        cfg, graph, mapping, shared, kernel, me, None, poison, panic_slot, start,
+                        cfg, graph, mapping, shared, kernel, me, None, abort, status, start,
                     )
                 })
             })
@@ -86,13 +132,13 @@ where
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
-    if let Some(payload) = panic_slot.lock().take() {
-        std::panic::resume_unwind(payload);
+    if let Some(cause) = abort.take_cause() {
+        return Err(cause.into_error());
     }
-    ExecReport {
+    Ok(ExecReport {
         wall: start.elapsed(),
         workers,
-    }
+    })
 }
 
 /// The per-worker flow loop shared by [`execute_graph`] and the pruned
@@ -100,10 +146,12 @@ where
 /// walked (they must include every task whose accesses this worker needs
 /// to register — see [`crate::pruning`]).
 ///
-/// Panic safety: the kernel runs under `catch_unwind`; the first panic
-/// arms `poison` (waking every parked worker), stores its payload in
-/// `panic_slot`, and every worker abandons the flow at its next protocol
-/// step. The caller re-throws the payload after joining.
+/// Fault containment: the kernel runs under `catch_unwind`; the first
+/// failure (body panic, or watchdog-diagnosed stall) records its
+/// [`AbortCause`] in `abort` and wakes every parked worker. Every worker
+/// abandons the flow at its next wait or before its next own task, so no
+/// task body starts after the abort is observed. The caller converts the
+/// recorded cause into an [`ExecError`] after joining.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn worker_loop<M, K>(
     cfg: &RioConfig,
@@ -113,8 +161,8 @@ pub(crate) fn worker_loop<M, K>(
     kernel: &K,
     me: WorkerId,
     visit: Option<&[u32]>,
-    poison: &Poison,
-    panic_slot: &PanicSlot,
+    abort: &AbortFlag,
+    status: &StatusTable,
     epoch: Instant,
 ) -> WorkerReport
 where
@@ -128,9 +176,15 @@ where
     let mut tasks_executed = 0u64;
     let mut tasks_visited = 0u64;
     let mut spans = Vec::new();
-    let wait = cfg.wait;
     let measure = cfg.measure_time;
     let record = cfg.record_spans;
+    let wd = cfg.watchdog.is_some();
+    let cx = WaitCx {
+        strategy: cfg.wait,
+        spin_limit: cfg.spin_limit,
+        deadline: cfg.watchdog,
+        abort,
+    };
     let mut tracer = cfg
         .trace
         .as_ref()
@@ -138,7 +192,7 @@ where
     let traced = tracer.is_some();
 
     let loop_start = Instant::now();
-    // Returns `false` when the run is poisoned and the worker must stop.
+    // Returns `false` when the run aborted and the worker must stop.
     let mut step = |t: &TaskDesc| -> bool {
         tasks_visited += 1;
         let executor = mapping.worker_of(t.id, cfg.workers);
@@ -148,6 +202,11 @@ where
             t.id
         );
         if executor == me {
+            // Containment guarantee: no body starts once the abort is
+            // observed.
+            if abort.armed() {
+                return false;
+            }
             // Acquire every declared access, in declaration order. The
             // waits are pure condition polls (no resource is held), so no
             // acquisition order can deadlock.
@@ -155,16 +214,23 @@ where
                 ops.gets += 1;
                 let s = &shared[a.data.index()];
                 let l = &locals[a.data.index()];
-                let wait_start = if measure || traced {
+                let wait_start = if measure || traced || wd {
                     Some(Instant::now())
                 } else {
                     None
                 };
-                let wo = if a.mode.writes() {
-                    get_write_ex(s, l, wait, poison)
+                if wd {
+                    status.begin_wait(me, a.data);
+                }
+                let wr = if a.mode.writes() {
+                    get_write_cx(s, l, &cx)
                 } else {
-                    get_read_ex(s, l, wait, poison)
+                    get_read_cx(s, l, &cx)
                 };
+                if wd {
+                    status.end_wait(me);
+                }
+                let wo = wr.outcome;
                 if wo.polls > 0 {
                     ops.waits += 1;
                     ops.poll_loops += wo.polls;
@@ -178,12 +244,28 @@ where
                         }
                     }
                 }
-                if poison.armed() {
-                    return false;
+                match wr.verdict {
+                    WaitVerdict::Ready => {}
+                    WaitVerdict::Aborted => return false,
+                    WaitVerdict::DeadlineExceeded => {
+                        let waited = wait_start
+                            .map(|t0| t0.elapsed())
+                            .or(cfg.watchdog)
+                            .unwrap_or_default();
+                        let diag = stall_diagnostic(me, t.id, a, l, s, waited, status);
+                        abort.abort(AbortCause::Stall(diag), shared);
+                        return false;
+                    }
                 }
             }
 
-            let body = std::panic::AssertUnwindSafe(|| kernel(me, t));
+            let body = std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(hook) = cfg.fault_hook.as_ref() {
+                    hook.before_task(me, t.id);
+                }
+                kernel(me, t)
+            });
             let body_start = if measure || record || traced {
                 Some(Instant::now())
             } else {
@@ -205,15 +287,20 @@ where
                 (t0, t1)
             });
             if let Err(payload) = outcome {
-                let mut slot = panic_slot.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-                drop(slot);
-                poison.arm_and_wake(shared);
+                abort.abort(
+                    AbortCause::Panic {
+                        task: t.id,
+                        worker: me,
+                        payload,
+                    },
+                    shared,
+                );
                 return false;
             }
             tasks_executed += 1;
+            if wd {
+                status.completed(me, t.id, tasks_executed);
+            }
             if let (Some((t0, t1)), Some(tr)) = (body_span, tracer.as_mut()) {
                 tr.task(t.id, t0, t1);
             }
@@ -223,9 +310,16 @@ where
                 let s = &shared[a.data.index()];
                 let l = &mut locals[a.data.index()];
                 if a.mode.writes() {
-                    terminate_write(s, l, t.id, wait);
+                    terminate_write(s, l, t.id, cfg.wait);
                 } else {
-                    terminate_read(s, l, wait);
+                    terminate_read(s, l, cfg.wait);
+                }
+            }
+
+            #[cfg(feature = "fault-inject")]
+            if let Some(hook) = cfg.fault_hook.as_ref() {
+                if hook.spurious_wake_after(me, t.id) {
+                    crate::protocol::spurious_wake_all(shared);
                 }
             }
         } else {

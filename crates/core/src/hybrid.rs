@@ -36,15 +36,16 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use rio_stf::{Mapping, TaskDesc, TaskGraph, TaskId, WorkerId};
+use rio_stf::{ExecError, Mapping, MappingError, TaskDesc, TaskGraph, TaskId, WorkerId};
 
 use crate::config::RioConfig;
-use crate::graph::PanicSlot;
+use crate::graph::stall_diagnostic;
 use crate::protocol::{
-    declare_read, declare_write, get_read_ex, get_write_ex, terminate_read, terminate_write,
-    LocalDataState, Poison, SharedDataState,
+    declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
+    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
+use crate::status::StatusTable;
 use crate::trace_api::WorkerTracer;
 
 /// A mapping that may leave tasks unassigned (`None` = decided at run
@@ -101,6 +102,59 @@ pub struct HybridStats {
 
 const UNCLAIMED: u32 = u32::MAX;
 
+/// Pre-flight validation of a partial mapping, mirroring
+/// [`rio_stf::validate_mapping`]: probes every task twice and rejects
+/// mappings that panic (not total), answer inconsistently (either a
+/// different worker, or mapped-vs-unmapped — both make workers replaying
+/// the flow disagree on ownership), or name a worker out of range.
+///
+/// Like the total-mapping check, two probes cannot catch every source of
+/// non-determinism; the watchdog ([`RioConfig::watchdog`]) is the run-time
+/// backstop for mappings that lie only after validation.
+pub fn validate_partial_mapping<P>(
+    pmap: &P,
+    num_tasks: usize,
+    num_workers: usize,
+) -> Result<(), MappingError>
+where
+    P: PartialMapping + ?Sized,
+{
+    for i in 0..num_tasks {
+        let task = TaskId::from_index(i);
+        let probe = || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pmap.worker_of(task, num_workers)
+            }))
+            .map_err(|_| MappingError::NotTotal { task })
+        };
+        let first = probe()?;
+        let second = probe()?;
+        match (first, second) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(MappingError::NonDeterministic {
+                    task,
+                    first: a,
+                    second: b,
+                })
+            }
+            (None, Some(_)) | (Some(_), None) => {
+                return Err(MappingError::NonDeterministicClaim { task })
+            }
+            _ => {}
+        }
+        if let Some(w) = first {
+            if w.index() >= num_workers {
+                return Err(MappingError::OutOfRange {
+                    task,
+                    worker: w,
+                    workers: num_workers,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Executes `graph` with the hybrid model: mapped tasks on their fixed
 /// workers, unmapped tasks claimed dynamically. See the module docs.
 #[deprecated(
@@ -121,7 +175,8 @@ where
 }
 
 /// Shared implementation behind [`execute_graph_hybrid`] (deprecated
-/// wrapper) and [`crate::Executor`].
+/// wrapper) and [`crate::Executor::run`]: the panicking shell over
+/// [`try_execute_graph_hybrid_impl`].
 pub(crate) fn execute_graph_hybrid_impl<P, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
@@ -132,13 +187,30 @@ where
     P: PartialMapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    try_execute_graph_hybrid_impl(cfg, graph, pmap, kernel).unwrap_or_else(|e| e.resume())
+}
+
+/// Fallible hybrid execution behind [`crate::Executor::try_run`].
+pub(crate) fn try_execute_graph_hybrid_impl<P, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    pmap: &P,
+    kernel: K,
+) -> Result<(ExecReport, HybridStats), ExecError>
+where
+    P: PartialMapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
     cfg.validate();
+    if cfg.preflight {
+        validate_partial_mapping(pmap, graph.len(), cfg.workers)?;
+    }
     let shared = SharedDataState::new_table(graph.num_data());
     let claims: Box<[AtomicU32]> = (0..graph.len())
         .map(|_| AtomicU32::new(UNCLAIMED))
         .collect();
-    let poison = &Poison::new();
-    let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
+    let abort = &AbortFlag::new();
+    let status = &StatusTable::new(cfg.workers);
     let kernel = &kernel;
     let shared = &shared;
     let claims = &claims;
@@ -156,8 +228,8 @@ where
                         claims,
                         kernel,
                         WorkerId::from_index(w),
-                        poison,
-                        panic_slot,
+                        abort,
+                        status,
                         start,
                     )
                 })
@@ -168,8 +240,8 @@ where
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
-    if let Some(payload) = panic_slot.lock().take() {
-        std::panic::resume_unwind(payload);
+    if let Some(cause) = abort.take_cause() {
+        return Err(cause.into_error());
     }
 
     let mut stats = HybridStats::default();
@@ -179,13 +251,13 @@ where
         stats.lost_races_per_worker.push(lost);
         workers.push(report);
     }
-    (
+    Ok((
         ExecReport {
             wall: start.elapsed(),
             workers,
         },
         stats,
-    )
+    ))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -197,8 +269,8 @@ fn hybrid_worker_loop<P, K>(
     claims: &[AtomicU32],
     kernel: &K,
     me: WorkerId,
-    poison: &Poison,
-    panic_slot: &PanicSlot,
+    abort: &AbortFlag,
+    status: &StatusTable,
     epoch: Instant,
 ) -> (WorkerReport, u64, u64)
 where
@@ -217,6 +289,13 @@ where
     let wait = cfg.wait;
     let measure = cfg.measure_time;
     let record = cfg.record_spans;
+    let wd = cfg.watchdog.is_some();
+    let cx = WaitCx {
+        strategy: cfg.wait,
+        spin_limit: cfg.spin_limit,
+        deadline: cfg.watchdog,
+        abort,
+    };
     let mut tracer = cfg
         .trace
         .as_ref()
@@ -253,20 +332,33 @@ where
         };
 
         if mine {
+            // Containment guarantee: no body starts once the abort is
+            // observed (a dynamically claimed task is simply dropped —
+            // nobody else will run it, but the run is aborting anyway).
+            if abort.armed() {
+                break 'flow;
+            }
             for a in &t.accesses {
                 ops.gets += 1;
                 let s = &shared[a.data.index()];
                 let l = &locals[a.data.index()];
-                let wait_start = if measure || traced {
+                let wait_start = if measure || traced || wd {
                     Some(Instant::now())
                 } else {
                     None
                 };
-                let wo = if a.mode.writes() {
-                    get_write_ex(s, l, wait, poison)
+                if wd {
+                    status.begin_wait(me, a.data);
+                }
+                let wr = if a.mode.writes() {
+                    get_write_cx(s, l, &cx)
                 } else {
-                    get_read_ex(s, l, wait, poison)
+                    get_read_cx(s, l, &cx)
                 };
+                if wd {
+                    status.end_wait(me);
+                }
+                let wo = wr.outcome;
                 if wo.polls > 0 {
                     ops.waits += 1;
                     ops.poll_loops += wo.polls;
@@ -280,12 +372,28 @@ where
                         }
                     }
                 }
-                if poison.armed() {
-                    break 'flow;
+                match wr.verdict {
+                    WaitVerdict::Ready => {}
+                    WaitVerdict::Aborted => break 'flow,
+                    WaitVerdict::DeadlineExceeded => {
+                        let waited = wait_start
+                            .map(|t0| t0.elapsed())
+                            .or(cfg.watchdog)
+                            .unwrap_or_default();
+                        let diag = stall_diagnostic(me, t.id, a, l, s, waited, status);
+                        abort.abort(AbortCause::Stall(diag), shared);
+                        break 'flow;
+                    }
                 }
             }
 
-            let body = std::panic::AssertUnwindSafe(|| kernel(me, t));
+            let body = std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(hook) = cfg.fault_hook.as_ref() {
+                    hook.before_task(me, t.id);
+                }
+                kernel(me, t)
+            });
             let body_start = if measure || record || traced {
                 Some(Instant::now())
             } else {
@@ -300,12 +408,14 @@ where
                 (t0, t1)
             });
             if let Err(payload) = outcome {
-                let mut slot = panic_slot.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-                drop(slot);
-                poison.arm_and_wake(shared);
+                abort.abort(
+                    AbortCause::Panic {
+                        task: t.id,
+                        worker: me,
+                        payload,
+                    },
+                    shared,
+                );
                 break 'flow;
             }
             if let Some((t0, t1)) = body_span {
@@ -321,6 +431,9 @@ where
                 }
             }
             tasks_executed += 1;
+            if wd {
+                status.completed(me, t.id, tasks_executed);
+            }
 
             for a in &t.accesses {
                 ops.terminates += 1;
@@ -330,6 +443,13 @@ where
                     terminate_write(s, l, t.id, wait);
                 } else {
                     terminate_read(s, l, wait);
+                }
+            }
+
+            #[cfg(feature = "fault-inject")]
+            if let Some(hook) = cfg.fault_hook.as_ref() {
+                if hook.spurious_wake_after(me, t.id) {
+                    crate::protocol::spurious_wake_all(shared);
                 }
             }
         } else {

@@ -75,6 +75,7 @@ pub mod protocol;
 pub mod pruning;
 pub mod redux;
 pub mod report;
+pub mod status;
 pub mod trace_api;
 pub mod wait;
 
@@ -85,11 +86,12 @@ pub use flow::{FlowCtx, Rio, TaskView};
 pub use graph::execute_graph;
 #[allow(deprecated)]
 pub use hybrid::execute_graph_hybrid;
-pub use hybrid::{HybridStats, PartialMapping};
+pub use hybrid::{validate_partial_mapping, HybridStats, PartialMapping};
 #[allow(deprecated)]
 pub use pruning::execute_graph_pruned;
 pub use pruning::PruneStats;
 pub use report::{ExecReport, OpCounts, WorkerReport};
+pub use status::StatusTable;
 pub use trace_api::{Trace, TraceConfig, WorkerTrace};
 pub use wait::WaitStrategy;
 
@@ -113,17 +115,24 @@ pub mod prelude {
     pub use crate::config::RioConfig;
     pub use crate::executor::{Execution, Executor};
     pub use crate::flow::{FlowCtx, Rio, TaskView};
-    pub use crate::hybrid::{HybridStats, PartialFn, PartialMapping, Total, Unmapped};
+    pub use crate::hybrid::{
+        validate_partial_mapping, HybridStats, PartialFn, PartialMapping, Total, Unmapped,
+    };
     pub use crate::pruning::PruneStats;
     pub use crate::report::{ExecReport, OpCounts, WorkerReport};
+    pub use crate::status::StatusTable;
     pub use crate::trace_api::{Trace, TraceConfig, WorkerTrace};
     pub use crate::wait::WaitStrategy;
     pub use rio_stf::{
-        Access, AccessMode, DataId, DataStore, Mapping, RoundRobin, TableMapping, TaskDesc,
-        TaskGraph, TaskId, WorkerId,
+        validate_mapping, Access, AccessMode, DataId, DataStore, ExecError, Mapping, MappingError,
+        RoundRobin, StallDiagnostic, StallSite, TableMapping, TaskDesc, TaskGraph, TaskId,
+        WorkerId, WorkerSnapshot,
     };
 }
 
 // The substrate types remain re-exported at the root for backward
 // compatibility; `prelude` is the intended import path.
-pub use rio_stf::{Access, AccessMode, DataId, DataStore, Mapping, TaskGraph, TaskId, WorkerId};
+pub use rio_stf::{
+    Access, AccessMode, DataId, DataStore, ExecError, Mapping, MappingError, StallDiagnostic,
+    TaskGraph, TaskId, WorkerId,
+};

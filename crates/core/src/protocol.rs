@@ -40,35 +40,97 @@
 //! acquires the matching reader count is ordered after the read body.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rio_stf::TaskId;
+use rio_stf::{ExecError, StallDiagnostic, TaskId, WorkerId};
 
 use crate::wait::WaitStrategy;
 
-/// Run-wide abort flag. When a task body panics, the executing worker
-/// *arms* the poison and wakes every parked waiter; other workers observe
-/// it inside their `get_*` waits (and between tasks) and unwind instead of
-/// blocking forever on dependencies that will never be satisfied.
-#[derive(Debug, Default)]
-pub struct Poison(AtomicBool);
+/// Why a run is being aborted — recorded (first failure wins) in the
+/// [`AbortFlag`] by the worker that detected it, converted into an
+/// [`ExecError`] by the runtime after joining.
+pub enum AbortCause {
+    /// A task body (or an injected fault hook inside its containment
+    /// scope) panicked.
+    Panic {
+        /// The task whose body panicked.
+        task: TaskId,
+        /// The worker that was executing it.
+        worker: WorkerId,
+        /// The original panic payload.
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// A worker's wait exceeded the watchdog deadline.
+    Stall(Box<StallDiagnostic>),
+}
 
-impl Poison {
-    /// A fresh, un-armed poison flag.
-    pub fn new() -> Poison {
-        Poison(AtomicBool::new(false))
+impl AbortCause {
+    /// Converts the cause into the error the runtime returns.
+    pub fn into_error(self) -> ExecError {
+        match self {
+            AbortCause::Panic {
+                task,
+                worker,
+                payload,
+            } => ExecError::TaskPanicked {
+                task,
+                worker,
+                payload,
+            },
+            AbortCause::Stall(d) => ExecError::Stalled(d),
+        }
+    }
+}
+
+impl std::fmt::Debug for AbortCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortCause::Panic { task, worker, .. } => f
+                .debug_struct("Panic")
+                .field("task", task)
+                .field("worker", worker)
+                .finish_non_exhaustive(),
+            AbortCause::Stall(d) => f.debug_tuple("Stall").field(d).finish(),
+        }
+    }
+}
+
+/// Run-wide abort flag. When a task body panics (or a watchdog deadline
+/// expires), the detecting worker records the [`AbortCause`], *arms* the
+/// flag and wakes every parked waiter; other workers observe it inside
+/// their `get_*` waits (and before starting their own tasks) and abandon
+/// the flow instead of blocking forever on dependencies that will never be
+/// satisfied. The runtime converts the recorded cause into an
+/// [`ExecError`] after joining.
+///
+/// The armed bit is one `AcqRel`-style atomic (Release on arm, Acquire on
+/// check); the cause slot is a mutex touched only on the failure path.
+#[derive(Debug, Default)]
+pub struct AbortFlag {
+    armed: AtomicBool,
+    cause: Mutex<Option<AbortCause>>,
+}
+
+/// Historical name of [`AbortFlag`] (it only covered the panic case).
+pub type Poison = AbortFlag;
+
+impl AbortFlag {
+    /// A fresh, un-armed abort flag.
+    pub fn new() -> AbortFlag {
+        AbortFlag::default()
     }
 
-    /// Arms the flag. Idempotent.
+    /// Arms the flag without recording a cause. Idempotent.
     #[cold]
     pub fn arm(&self) {
-        self.0.store(true, Ordering::Release);
+        self.armed.store(true, Ordering::Release);
     }
 
     /// Has a sibling worker failed?
     #[inline]
     pub fn armed(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.armed.load(Ordering::Acquire)
     }
 
     /// Arms the flag and wakes every worker parked on any data object of
@@ -79,6 +141,26 @@ impl Poison {
         for shared in table {
             shared.wake_all();
         }
+    }
+
+    /// Records `cause` (first failure wins), arms the flag and wakes every
+    /// parked worker. Returns `true` if this call's cause was recorded.
+    #[cold]
+    pub fn abort(&self, cause: AbortCause, table: &[SharedDataState]) -> bool {
+        let mut slot = self.cause.lock();
+        let won = slot.is_none();
+        if won {
+            *slot = Some(cause);
+        }
+        drop(slot);
+        self.arm_and_wake(table);
+        won
+    }
+
+    /// Takes the recorded cause, if any. Called once by the runtime after
+    /// joining the workers.
+    pub fn take_cause(&self) -> Option<AbortCause> {
+        self.cause.lock().take()
     }
 }
 
@@ -101,6 +183,60 @@ impl WaitOutcome {
     #[inline]
     pub fn waited(&self) -> bool {
         self.polls > 0
+    }
+}
+
+/// How a context-aware wait ([`get_read_cx`]/[`get_write_cx`]) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitVerdict {
+    /// The protocol condition became true: the access may proceed.
+    Ready,
+    /// The run's [`AbortFlag`] was armed while waiting; the worker must
+    /// abandon the flow.
+    Aborted,
+    /// The watchdog deadline expired with the condition still false; the
+    /// caller should diagnose the stall and abort the run.
+    DeadlineExceeded,
+}
+
+/// Outcome and verdict of one context-aware wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitResult {
+    /// Poll/park counts, as in the plain [`get_read_ex`]/[`get_write_ex`].
+    pub outcome: WaitOutcome,
+    /// How the wait ended.
+    pub verdict: WaitVerdict,
+}
+
+/// Everything a blocking wait needs to know beyond the protocol condition:
+/// the strategy, the (configurable) pure-spin budget, an optional watchdog
+/// deadline, and the run's abort flag.
+///
+/// The deadline clock starts when a wait leaves its pure-spin phase; the
+/// spin phase itself (at most `spin_limit` polls) is never timed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitCx<'a> {
+    /// How to wait once the spin budget is exhausted.
+    pub strategy: WaitStrategy,
+    /// Pure-spin polls before escalating (yield/park/timed polling).
+    pub spin_limit: u32,
+    /// `Some(d)`: give up (verdict [`WaitVerdict::DeadlineExceeded`]) after
+    /// blocking for `d` past the spin phase. `None`: wait forever.
+    pub deadline: Option<Duration>,
+    /// The run's abort flag, re-checked on every poll.
+    pub abort: &'a AbortFlag,
+}
+
+impl<'a> WaitCx<'a> {
+    /// A context with the default spin budget and no deadline — exactly
+    /// the semantics of the historical `get_*_ex` calls.
+    pub fn new(strategy: WaitStrategy, abort: &'a AbortFlag) -> WaitCx<'a> {
+        WaitCx {
+            strategy,
+            spin_limit: WaitStrategy::DEFAULT_SPIN_LIMIT,
+            deadline: None,
+            abort,
+        }
     }
 }
 
@@ -189,50 +325,107 @@ impl SharedDataState {
         self.cond.notify_all();
     }
 
-    /// Waits until `cond()` holds, according to `strategy`. Returns the
-    /// poll and park counts (all zero = fast path, condition already true).
-    #[inline]
-    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn() -> bool) -> WaitOutcome {
-        if cond() {
-            return WaitOutcome::default();
+    /// Waits until `ready()` holds, the run aborts, or the deadline (if
+    /// any) expires, according to `cx`. `ready` is the *pure* protocol
+    /// condition; the abort flag is re-checked here, on every poll, so the
+    /// condition closures stay oblivious to failure handling.
+    ///
+    /// Spurious wake-ups are harmless by construction: every strategy —
+    /// including the `Park` branch, whose `cond.wait`/`wait_for` may
+    /// return without a matching notify — loops back to re-check `ready()`
+    /// before concluding anything, and only a *timed* wait can yield
+    /// [`WaitVerdict::DeadlineExceeded`] (after the full deadline, never on
+    /// a stray wake).
+    fn wait_until_cx(&self, cx: &WaitCx<'_>, ready: impl Fn() -> bool) -> WaitResult {
+        let done = |polls, parks, verdict| WaitResult {
+            outcome: WaitOutcome { polls, parks },
+            verdict,
+        };
+        if ready() {
+            return done(0, 0, WaitVerdict::Ready);
         }
         let mut polls: u64 = 0;
         // Short pure-spin phase common to all strategies.
-        while polls < u64::from(WaitStrategy::SPIN_LIMIT) {
+        while polls < u64::from(cx.spin_limit) {
             std::hint::spin_loop();
             polls += 1;
-            if cond() {
-                return WaitOutcome { polls, parks: 0 };
+            if ready() {
+                return done(polls, 0, WaitVerdict::Ready);
+            }
+            if cx.abort.armed() {
+                return done(polls, 0, WaitVerdict::Aborted);
             }
         }
-        match strategy {
+        // The watchdog clock starts here, once the wait turns blocking.
+        let timer = cx.deadline.map(|d| (Instant::now(), d));
+        let expired = || matches!(timer, Some((start, d)) if start.elapsed() >= d);
+        match cx.strategy {
             WaitStrategy::Spin => loop {
                 std::hint::spin_loop();
                 polls += 1;
-                if cond() {
-                    return WaitOutcome { polls, parks: 0 };
+                if ready() {
+                    return done(polls, 0, WaitVerdict::Ready);
+                }
+                if cx.abort.armed() {
+                    return done(polls, 0, WaitVerdict::Aborted);
+                }
+                // Amortize the clock read; precision is irrelevant for a
+                // watchdog that fires after entire missing dependencies.
+                if polls.is_multiple_of(1024) && expired() {
+                    return done(polls, 0, WaitVerdict::DeadlineExceeded);
                 }
             },
             WaitStrategy::SpinYield => loop {
                 std::thread::yield_now();
                 polls += 1;
-                if cond() {
-                    return WaitOutcome { polls, parks: 0 };
+                if ready() {
+                    return done(polls, 0, WaitVerdict::Ready);
+                }
+                if cx.abort.armed() {
+                    return done(polls, 0, WaitVerdict::Aborted);
+                }
+                if polls.is_multiple_of(64) && expired() {
+                    return done(polls, 0, WaitVerdict::DeadlineExceeded);
                 }
             },
             WaitStrategy::Park => {
                 let mut parks: u64 = 0;
                 let mut guard = self.lock.lock();
                 loop {
-                    if cond() {
-                        return WaitOutcome { polls, parks };
+                    if ready() {
+                        return done(polls, parks, WaitVerdict::Ready);
                     }
-                    self.cond.wait(&mut guard);
+                    if cx.abort.armed() {
+                        return done(polls, parks, WaitVerdict::Aborted);
+                    }
+                    match timer {
+                        None => self.cond.wait(&mut guard),
+                        Some((start, d)) => {
+                            let remaining = d.saturating_sub(start.elapsed());
+                            if remaining.is_zero() {
+                                return done(polls, parks, WaitVerdict::DeadlineExceeded);
+                            }
+                            // Timed-out or woken, the loop re-checks the
+                            // condition either way.
+                            let _ = self.cond.wait_for(&mut guard, remaining);
+                        }
+                    }
                     polls += 1;
                     parks += 1;
                 }
             }
         }
+    }
+}
+
+/// Wakes every parked waiter of every data object in `table` **without any
+/// state change** — a spurious-wakeup storm. A correct `Park` wait loop
+/// absorbs this by re-checking its condition; the `fault-inject` runtimes
+/// call it when a [`rio_stf::FaultHook`] requests a storm, and tests may
+/// hammer it directly.
+pub fn spurious_wake_all(table: &[SharedDataState]) {
+    for shared in table {
+        shared.wake_all();
     }
 }
 
@@ -252,8 +445,25 @@ pub fn declare_write(local: &mut LocalDataState, task: TaskId) {
 }
 
 /// Blocks until the data object may be read by the current task
+/// (Algorithm 2, `get_read`), the run aborts, or `cx`'s deadline expires:
+/// every flow-earlier write must have been performed. The full-featured
+/// entry point behind [`get_read_ex`]/[`get_read`].
+#[inline]
+pub fn get_read_cx(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    cx: &WaitCx<'_>,
+) -> WaitResult {
+    let expected = local.last_registered_write.0;
+    shared.wait_until_cx(cx, || {
+        shared.last_executed_write.load(Ordering::Acquire) == expected
+    })
+}
+
+/// Blocks until the data object may be read by the current task
 /// (Algorithm 2, `get_read`): every flow-earlier write must have been
-/// performed. Returns the full [`WaitOutcome`] (polls and parks).
+/// performed. Returns the full [`WaitOutcome`] (polls and parks); an abort
+/// of the run also ends the wait (check `poison.armed()` afterwards).
 #[inline]
 pub fn get_read_ex(
     shared: &SharedDataState,
@@ -261,10 +471,7 @@ pub fn get_read_ex(
     strategy: WaitStrategy,
     poison: &Poison,
 ) -> WaitOutcome {
-    let expected = local.last_registered_write.0;
-    shared.wait_until(strategy, || {
-        shared.last_executed_write.load(Ordering::Acquire) == expected || poison.armed()
-    })
+    get_read_cx(shared, local, &WaitCx::new(strategy, poison)).outcome
 }
 
 /// [`get_read_ex`] reduced to its poll count (0 = no waiting).
@@ -279,8 +486,31 @@ pub fn get_read(
 }
 
 /// Blocks until the data object may be written by the current task
+/// (Algorithm 2, `get_write`), the run aborts, or `cx`'s deadline expires:
+/// every flow-earlier write *and read* must have been performed. The
+/// full-featured entry point behind [`get_write_ex`]/[`get_write`].
+#[inline]
+pub fn get_write_cx(
+    shared: &SharedDataState,
+    local: &LocalDataState,
+    cx: &WaitCx<'_>,
+) -> WaitResult {
+    let expected_write = local.last_registered_write.0;
+    let expected_reads = local.nb_reads_since_write;
+    shared.wait_until_cx(cx, || {
+        // Order matters: acquiring the expected `last_executed_write` makes
+        // the matching epoch's `nb_reads_since_write` (reset included)
+        // visible, so the equality below cannot observe a stale epoch.
+        shared.last_executed_write.load(Ordering::Acquire) == expected_write
+            && shared.nb_reads_since_write.load(Ordering::Acquire) == expected_reads
+    })
+}
+
+/// Blocks until the data object may be written by the current task
 /// (Algorithm 2, `get_write`): every flow-earlier write *and read* must
-/// have been performed. Returns the full [`WaitOutcome`] (polls and parks).
+/// have been performed. Returns the full [`WaitOutcome`] (polls and
+/// parks); an abort of the run also ends the wait (check `poison.armed()`
+/// afterwards).
 #[inline]
 pub fn get_write_ex(
     shared: &SharedDataState,
@@ -288,16 +518,7 @@ pub fn get_write_ex(
     strategy: WaitStrategy,
     poison: &Poison,
 ) -> WaitOutcome {
-    let expected_write = local.last_registered_write.0;
-    let expected_reads = local.nb_reads_since_write;
-    shared.wait_until(strategy, || {
-        // Order matters: acquiring the expected `last_executed_write` makes
-        // the matching epoch's `nb_reads_since_write` (reset included)
-        // visible, so the equality below cannot observe a stale epoch.
-        (shared.last_executed_write.load(Ordering::Acquire) == expected_write
-            && shared.nb_reads_since_write.load(Ordering::Acquire) == expected_reads)
-            || poison.armed()
-    })
+    get_write_cx(shared, local, &WaitCx::new(strategy, poison)).outcome
 }
 
 /// [`get_write_ex`] reduced to its poll count (0 = no waiting).
@@ -561,5 +782,123 @@ mod tests {
     #[test]
     fn shared_state_is_cache_line_padded() {
         assert!(std::mem::align_of::<SharedDataState>() >= 128);
+    }
+
+    #[test]
+    fn abort_records_the_first_cause_only() {
+        let flag = AbortFlag::new();
+        let table = SharedDataState::new_table(2);
+        assert!(!flag.armed());
+        let won = flag.abort(
+            AbortCause::Panic {
+                task: TaskId(3),
+                worker: WorkerId(1),
+                payload: Box::new("first"),
+            },
+            &table,
+        );
+        assert!(won);
+        assert!(flag.armed());
+        let lost = flag.abort(
+            AbortCause::Panic {
+                task: TaskId(9),
+                worker: WorkerId(0),
+                payload: Box::new("second"),
+            },
+            &table,
+        );
+        assert!(!lost, "first failure wins");
+        match flag.take_cause() {
+            Some(AbortCause::Panic { task, worker, .. }) => {
+                assert_eq!(task, TaskId(3));
+                assert_eq!(worker, WorkerId(1));
+            }
+            other => panic!("unexpected cause: {other:?}"),
+        }
+        assert!(flag.take_cause().is_none(), "cause is taken once");
+    }
+
+    #[test]
+    fn aborting_unblocks_a_parked_waiter_with_aborted_verdict() {
+        let shared = Arc::new(SharedDataState::default());
+        let flag = Arc::new(AbortFlag::new());
+        let mut local = LocalDataState::default();
+        declare_write(&mut local, TaskId(1)); // never performed
+
+        let (s, f) = (Arc::clone(&shared), Arc::clone(&flag));
+        let waiter = std::thread::spawn(move || {
+            let cx = WaitCx::new(WaitStrategy::Park, &f);
+            get_read_cx(&s, &local, &cx).verdict
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        flag.arm_and_wake(std::slice::from_ref(&shared));
+        assert_eq!(waiter.join().unwrap(), WaitVerdict::Aborted);
+    }
+
+    #[test]
+    fn deadline_expires_into_deadline_exceeded_for_every_strategy() {
+        for strategy in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinYield,
+            WaitStrategy::Park,
+        ] {
+            let shared = SharedDataState::default();
+            let flag = AbortFlag::new();
+            let mut local = LocalDataState::default();
+            declare_write(&mut local, TaskId(1)); // never performed
+            let cx = WaitCx {
+                strategy,
+                spin_limit: 4,
+                deadline: Some(Duration::from_millis(10)),
+                abort: &flag,
+            };
+            let r = get_write_cx(&shared, &local, &cx);
+            assert_eq!(
+                r.verdict,
+                WaitVerdict::DeadlineExceeded,
+                "strategy {strategy}"
+            );
+            assert!(r.outcome.waited());
+        }
+    }
+
+    #[test]
+    fn spurious_wake_storm_does_not_fool_a_parked_waiter() {
+        let shared = Arc::new(SharedDataState::default());
+        let flag = Arc::new(AbortFlag::new());
+        let mut local = LocalDataState::default();
+        declare_write(&mut local, TaskId(1));
+
+        let (s, f) = (Arc::clone(&shared), Arc::clone(&flag));
+        let waiter = std::thread::spawn(move || {
+            let cx = WaitCx::new(WaitStrategy::Park, &f);
+            get_read_cx(&s, &local, &cx)
+        });
+        // Hammer the waiter with wake-ups that change nothing.
+        for _ in 0..100 {
+            spurious_wake_all(std::slice::from_ref(&*shared));
+            std::thread::yield_now();
+        }
+        // Only the real publication may complete the wait.
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
+        let r = waiter.join().unwrap();
+        assert_eq!(r.verdict, WaitVerdict::Ready);
+        assert_eq!(shared.snapshot().1, TaskId(1));
+    }
+
+    #[test]
+    fn ready_wins_over_a_simultaneous_abort() {
+        // If the condition is already true, the verdict is Ready even with
+        // the flag armed: the access is safe, aborting is merely advisory.
+        let shared = SharedDataState::default();
+        let flag = AbortFlag::new();
+        flag.arm();
+        let local = LocalDataState::default();
+        let cx = WaitCx::new(WaitStrategy::SpinYield, &flag);
+        assert_eq!(
+            get_read_cx(&shared, &local, &cx).verdict,
+            WaitVerdict::Ready
+        );
     }
 }

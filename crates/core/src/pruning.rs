@@ -21,12 +21,13 @@
 //! walk to exactly its own tasks, removing the `O(n_total)` unrolling term
 //! of cost model (2).
 
-use rio_stf::{Mapping, TaskDesc, TaskGraph, WorkerId};
+use rio_stf::{ExecError, Mapping, TaskDesc, TaskGraph, WorkerId};
 
 use crate::config::RioConfig;
-use crate::graph::{worker_loop, PanicSlot};
-use crate::protocol::{Poison, SharedDataState};
+use crate::graph::worker_loop;
+use crate::protocol::{AbortFlag, SharedDataState};
 use crate::report::ExecReport;
+use crate::status::StatusTable;
 
 /// Statistics of a pruning pre-pass.
 #[derive(Debug, Clone)]
@@ -118,7 +119,8 @@ where
 }
 
 /// Shared implementation behind [`execute_graph_pruned`] (deprecated
-/// wrapper) and [`crate::Executor`].
+/// wrapper) and [`crate::Executor::run`]: the panicking shell over
+/// [`try_execute_graph_pruned_impl`].
 pub(crate) fn execute_graph_pruned_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
@@ -129,15 +131,32 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    try_execute_graph_pruned_impl(cfg, graph, mapping, kernel).unwrap_or_else(|e| e.resume())
+}
+
+/// Fallible pruned execution behind [`crate::Executor::try_run`].
+pub(crate) fn try_execute_graph_pruned_impl<M, K>(
+    cfg: &RioConfig,
+    graph: &TaskGraph,
+    mapping: &M,
+    kernel: K,
+) -> Result<(ExecReport, PruneStats), ExecError>
+where
+    M: Mapping + ?Sized,
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
     cfg.validate();
+    if cfg.preflight {
+        rio_stf::validate_mapping(mapping, graph.len(), cfg.workers)?;
+    }
     let lists = compute_visit_lists(graph, mapping, cfg.workers);
     let stats = prune_stats(graph, &lists);
     let shared = SharedDataState::new_table(graph.num_data());
     let kernel = &kernel;
     let shared = &shared;
     let lists = &lists;
-    let poison = &Poison::new();
-    let panic_slot: &PanicSlot = &parking_lot::Mutex::new(None);
+    let abort = &AbortFlag::new();
+    let status = &StatusTable::new(cfg.workers);
 
     let start = std::time::Instant::now();
     let workers = std::thread::scope(|s| {
@@ -153,8 +172,8 @@ where
                         kernel,
                         me,
                         Some(&lists[w]),
-                        poison,
-                        panic_slot,
+                        abort,
+                        status,
                         start,
                     )
                 })
@@ -165,16 +184,16 @@ where
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
-    if let Some(payload) = panic_slot.lock().take() {
-        std::panic::resume_unwind(payload);
+    if let Some(cause) = abort.take_cause() {
+        return Err(cause.into_error());
     }
-    (
+    Ok((
         ExecReport {
             wall: start.elapsed(),
             workers,
         },
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]

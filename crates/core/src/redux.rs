@@ -155,7 +155,7 @@ impl RShared {
             return 0;
         }
         let mut polls = 0u64;
-        while polls < u64::from(WaitStrategy::SPIN_LIMIT) {
+        while polls < u64::from(WaitStrategy::DEFAULT_SPIN_LIMIT) {
             std::hint::spin_loop();
             polls += 1;
             if cond() {

@@ -31,8 +31,10 @@ pub enum WaitStrategy {
 }
 
 impl WaitStrategy {
-    /// Number of pure-spin polls before escalating (yield or park).
-    pub(crate) const SPIN_LIMIT: u32 = 64;
+    /// Default number of pure-spin polls before escalating (yield or
+    /// park). Override per run with [`crate::RioConfig::spin_limit`] or
+    /// per wait with [`crate::protocol::WaitCx::spin_limit`].
+    pub const DEFAULT_SPIN_LIMIT: u32 = 64;
 }
 
 impl Default for WaitStrategy {

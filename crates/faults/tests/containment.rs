@@ -1,0 +1,316 @@
+//! Fault-containment integration tests: the acceptance suite for the
+//! robustness layer.
+//!
+//! Every test here would *hang* (not fail) on a runtime without
+//! containment, so each arms the stall watchdog as a backstop: a bug in
+//! abort propagation surfaces as `ExecError::Stalled` and a failed
+//! assertion instead of a wedged CI job. The CI harness additionally
+//! wraps the whole suite in a hard `timeout`.
+
+use std::time::{Duration, Instant};
+
+use rio_centralized::CentralConfig;
+use rio_core::prelude::*;
+use rio_faults::FaultPlan;
+use rio_stf::Mapping;
+
+/// A serial RW chain over `D0`: `T1 -> T2 -> ... -> Tn`, the schedule
+/// where one contained failure must stop every downstream task.
+fn chain_graph(n: usize) -> TaskGraph {
+    let mut b = TaskGraph::builder(1);
+    for _ in 0..n {
+        b.task(&[Access::read_write(DataId(0))], 1, "inc");
+    }
+    b.build()
+}
+
+/// The deadline after which a "contained" failure counts as a hang.
+const BACKSTOP: Duration = Duration::from_secs(5);
+
+/// ISSUE acceptance: on ≥100 seeds, an 8-worker run with one injected
+/// panic (plus seed-chosen delays and wake-up storms) returns
+/// `ExecError::TaskPanicked` naming the planned task — within the
+/// deadline, with zero hangs.
+#[test]
+fn a_seeded_panic_is_contained_on_every_seed() {
+    const SEEDS: u64 = 100;
+    const TASKS: usize = 64;
+    const WORKERS: usize = 8;
+    for seed in 0..SEEDS {
+        let plan = FaultPlan::seeded(seed, TASKS, WORKERS);
+        let planned = plan.panic_tasks()[0];
+        let g = chain_graph(TASKS);
+        let store = DataStore::from_vec(vec![0u64]);
+        let t0 = Instant::now();
+        let err = Executor::new(
+            RioConfig::with_workers(WORKERS)
+                .wait(WaitStrategy::Park)
+                .fault_hook(plan.handle()),
+        )
+        .watchdog(BACKSTOP)
+        .try_run(&g, |_, t| {
+            let d = t.accesses[0].data;
+            *store.write(d) += 1;
+        })
+        .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < BACKSTOP,
+            "seed {seed}: abort took {elapsed:?} — not contained"
+        );
+        match err {
+            ExecError::TaskPanicked { task, payload, .. } => {
+                assert_eq!(task, planned, "seed {seed}: wrong task blamed");
+                let msg = payload.downcast_ref::<String>().expect("string payload");
+                assert_eq!(msg, &format!("injected fault: panic at {planned}"));
+            }
+            other => panic!("seed {seed}: expected TaskPanicked, got {other}"),
+        }
+        // In-order containment: the RW chain ran exactly up to the panic.
+        assert_eq!(
+            store.into_vec(),
+            vec![planned.index() as u64],
+            "seed {seed}: store shows writes past the aborted task"
+        );
+    }
+}
+
+/// ISSUE acceptance: a mapping that drops a task — every worker believes
+/// somebody else owns it — yields a structured error naming the blocked
+/// data object, never a hang.
+///
+/// The mapping must defeat pre-flight validation to reach run time, so it
+/// lies *consistently on the probing thread* and only diverges on the
+/// workers: it answers through a thread-local that the kernel sets to the
+/// executing worker's id. The main-thread probes see the unset sentinel
+/// twice (deterministic ⇒ pre-flight passes); at run time worker `i`
+/// computes owner `(i + 1) % workers` for the victim, so nobody executes
+/// it and the victim's datum is never written.
+#[test]
+fn a_dropped_task_is_diagnosed_as_a_stall_not_a_hang() {
+    use std::cell::Cell;
+    thread_local! {
+        static SELF: Cell<u32> = const { Cell::new(u32::MAX) };
+    }
+
+    const WORKERS: usize = 4;
+    // Flow: one "tag" write per worker (so each worker's kernel runs and
+    // sets SELF before the victim is mapped), then the dropped victim
+    // writing D4, then a reader of D4 on worker 0.
+    let victim = TaskId::from_index(WORKERS);
+    let reader = TaskId::from_index(WORKERS + 1);
+    let victim_data = DataId::from_index(WORKERS);
+    let mut b = TaskGraph::builder(WORKERS + 1);
+    for i in 0..WORKERS {
+        b.task(&[Access::write(DataId::from_index(i))], 1, "tag");
+    }
+    b.task(&[Access::write(victim_data)], 1, "victim");
+    b.task(&[Access::read(victim_data)], 1, "reader");
+    let g = b.build();
+
+    struct Lying;
+    impl Mapping for Lying {
+        fn worker_of(&self, task: TaskId, workers: usize) -> WorkerId {
+            match task.index() {
+                // One tag task per worker, then the victim, then the reader.
+                i if i < workers => WorkerId::from_index(i),
+                i if i == workers => {
+                    // The dropped task: "my neighbour owns it".
+                    let me = SELF.with(Cell::get);
+                    WorkerId::from_index(me.wrapping_add(1) as usize % workers)
+                }
+                _ => WorkerId(0),
+            }
+        }
+    }
+
+    let err = Executor::new(
+        RioConfig::with_workers(WORKERS)
+            .wait(WaitStrategy::Park)
+            .spin_limit(16),
+    )
+    .mapping(&Lying)
+    .watchdog(Duration::from_millis(100))
+    .try_run(&g, |me, _| SELF.set(me.0))
+    .unwrap_err();
+
+    let diag = match err {
+        ExecError::Stalled(diag) => diag,
+        other => panic!("expected Stalled, got {other}"),
+    };
+    assert_eq!(diag.worker, WorkerId(0), "the reader's owner was blocked");
+    assert!(diag.waited >= Duration::from_millis(100));
+    match diag.site {
+        StallSite::DataWait {
+            task,
+            data,
+            write,
+            local_last_registered_write,
+            shared_last_executed_write,
+            ..
+        } => {
+            assert_eq!(task, reader);
+            assert_eq!(data, victim_data, "the dump names the blocked datum");
+            assert!(!write, "the reader stalled in get_read");
+            // The smoking gun: the worker registered the victim's write
+            // but nobody ever performed it.
+            assert_eq!(local_last_registered_write, victim);
+            assert_eq!(shared_last_executed_write, TaskId::NONE);
+        }
+        other => panic!("expected DataWait, got {other}"),
+    }
+}
+
+/// Post-abort store containment, exactly: a panic at `Tk` in an RW chain
+/// leaves the store at `k - 1` — `Tk`'s write is never observed and no
+/// later task runs.
+#[test]
+fn an_aborted_run_never_publishes_writes_past_the_panic() {
+    let k = TaskId(10);
+    let plan = FaultPlan::new().panic_at(k);
+    let g = chain_graph(32);
+    let store = DataStore::from_vec(vec![0u64]);
+    let err = Executor::new(
+        RioConfig::with_workers(4)
+            .wait(WaitStrategy::Park)
+            .fault_hook(plan.handle()),
+    )
+    .watchdog(BACKSTOP)
+    .try_run(&g, |_, _| *store.write(DataId(0)) += 1)
+    .unwrap_err();
+    assert_eq!(err.kind(), "task-panicked");
+    assert_eq!(store.into_vec(), vec![k.0 - 1]);
+}
+
+/// Abort latency is bounded by in-flight work, not by the remaining flow:
+/// a panic early in a chain of slow tasks returns long before the chain
+/// would have finished.
+#[test]
+fn abort_latency_is_bounded_by_in_flight_work() {
+    const TASKS: usize = 40;
+    const BODY: Duration = Duration::from_millis(50); // full run: ≥ 2 s
+    let plan = FaultPlan::new().panic_at(TaskId(4));
+    let g = chain_graph(TASKS);
+    let t0 = Instant::now();
+    let err = Executor::new(
+        RioConfig::with_workers(4)
+            .wait(WaitStrategy::Park)
+            .fault_hook(plan.handle()),
+    )
+    .watchdog(BACKSTOP)
+    .try_run(&g, |_, _| std::thread::sleep(BODY))
+    .unwrap_err();
+    let elapsed = t0.elapsed();
+    assert_eq!(err.kind(), "task-panicked");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "abort took {elapsed:?}; the full chain is {:?} — workers kept \
+         draining after the abort",
+        BODY * TASKS as u32
+    );
+}
+
+/// Spurious wake-up storms against parked waiters are absorbed: every
+/// wait loop re-checks its predicate, so the run completes exactly.
+#[test]
+fn spurious_wakeup_storms_are_absorbed_under_park() {
+    const TASKS: usize = 64;
+    let mut plan = FaultPlan::new();
+    for i in 0..TASKS {
+        plan = plan.wake_storm_after(TaskId::from_index(i));
+    }
+    let g = chain_graph(TASKS);
+    let store = DataStore::from_vec(vec![0u64]);
+    let run = Executor::new(
+        RioConfig::with_workers(4)
+            .wait(WaitStrategy::Park)
+            .spin_limit(0) // park immediately: every wait is stormable
+            .fault_hook(plan.handle()),
+    )
+    .watchdog(BACKSTOP)
+    .try_run(&g, |_, _| *store.write(DataId(0)) += 1)
+    .expect("storms must not corrupt a healthy run");
+    assert_eq!(run.report.tasks_executed(), TASKS as u64);
+    assert_eq!(store.into_vec(), vec![TASKS as u64]);
+}
+
+/// Centralized runtime: a hook-injected panic mid-drain, with the master
+/// throttled on a small submission window, still comes back as a
+/// structured error (the master is unblocked, the pool is drained).
+#[test]
+fn centralized_contains_an_injected_panic_under_throttling() {
+    const TASKS: usize = 400;
+    let planned = TaskId(11);
+    let plan = FaultPlan::new().panic_at(planned);
+    let g = chain_graph(TASKS);
+    let t0 = Instant::now();
+    let err = rio_centralized::try_execute_graph(
+        &CentralConfig::with_threads(3)
+            .window(Some(2))
+            .watchdog(BACKSTOP)
+            .fault_hook(plan.handle()),
+        &g,
+        |_, _| {},
+    )
+    .unwrap_err();
+    assert!(
+        t0.elapsed() < BACKSTOP,
+        "master stayed throttled after abort"
+    );
+    match err {
+        ExecError::TaskPanicked { task, .. } => assert_eq!(task, planned),
+        other => panic!("expected TaskPanicked, got {other}"),
+    }
+}
+
+/// Centralized runtime: doorbell storms (spurious rings with no new
+/// ready task) are absorbed by the epoch re-check.
+#[test]
+fn centralized_absorbs_doorbell_storms() {
+    const TASKS: usize = 200;
+    let mut plan = FaultPlan::new();
+    for i in (0..TASKS).step_by(3) {
+        plan = plan.wake_storm_after(TaskId::from_index(i));
+    }
+    let g = chain_graph(TASKS);
+    let store = DataStore::from_vec(vec![0u64]);
+    let report = rio_centralized::try_execute_graph(
+        &CentralConfig::with_threads(3)
+            .watchdog(BACKSTOP)
+            .fault_hook(plan.handle()),
+        &g,
+        |_, _| *store.write(DataId(0)) += 1,
+    )
+    .expect("storms must not corrupt a healthy run");
+    assert_eq!(report.tasks_executed(), TASKS as u64);
+    assert_eq!(store.into_vec(), vec![TASKS as u64]);
+}
+
+/// Centralized seeds: a smaller sweep of the same seeded-panic corpus
+/// through the centralized runtime — same structured error, zero hangs.
+#[test]
+fn centralized_contains_the_seeded_corpus() {
+    const SEEDS: u64 = 32;
+    const TASKS: usize = 64;
+    for seed in 0..SEEDS {
+        let plan = FaultPlan::seeded(seed, TASKS, 3);
+        let planned = plan.panic_tasks()[0];
+        let g = chain_graph(TASKS);
+        let t0 = Instant::now();
+        let err = rio_centralized::try_execute_graph(
+            &CentralConfig::with_threads(4)
+                .watchdog(BACKSTOP)
+                .fault_hook(plan.handle()),
+            &g,
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(t0.elapsed() < BACKSTOP, "seed {seed}: not contained");
+        match err {
+            ExecError::TaskPanicked { task, .. } => {
+                assert_eq!(task, planned, "seed {seed}: wrong task blamed")
+            }
+            other => panic!("seed {seed}: expected TaskPanicked, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Structured execution errors — the failure model shared by every runtime.
+//!
+//! The STF model itself has no failure story: a task body is a total
+//! function and a mapping is a total, deterministic assignment. Real
+//! programs break both assumptions — a kernel panics, a user-supplied
+//! mapping drops a task or answers differently on two probes — and in a
+//! blocking protocol any of those silently deadlocks the whole pool.
+//! [`ExecError`] is the contract both runtimes honor instead: a run either
+//! completes, or returns one of these within a bounded delay, never hangs.
+//!
+//! What is (and is not) guaranteed after an `ExecError`:
+//!
+//! * **No task body is started** after the abort is observed; bodies
+//!   already running finish (or unwind) before the runtime returns.
+//! * **The data store is left consistent at the granularity of task
+//!   bodies**: every body either ran to completion or never started, so no
+//!   object holds a half-written value from an interrupted body — but the
+//!   *set* of executed tasks is a dependency-closed prefix-like subset of
+//!   the flow, not the whole flow. Treat the data as scratch after an
+//!   error.
+//! * **Worker threads are joined** before the error is returned: no
+//!   detached thread keeps touching the store.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::ids::{DataId, TaskId, WorkerId};
+
+/// Why a run aborted instead of completing.
+///
+/// Carries everything a post-mortem needs; see the module docs for the
+/// state guarantees that hold when one of these is returned.
+pub enum ExecError {
+    /// A task body panicked. The payload is the original panic payload,
+    /// suitable for [`std::panic::resume_unwind`].
+    TaskPanicked {
+        /// The task whose body panicked.
+        task: TaskId,
+        /// The worker that was executing it.
+        worker: WorkerId,
+        /// The panic payload, unmodified.
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// A worker waited past the configured watchdog deadline. The boxed
+    /// diagnostic names the blocked task and data object and snapshots the
+    /// protocol counters of everyone involved.
+    Stalled(Box<StallDiagnostic>),
+    /// The mapping failed pre-flight validation; no worker was spawned.
+    InvalidMapping(MappingError),
+}
+
+impl ExecError {
+    /// Short machine-friendly tag (`task-panicked`, `stalled`,
+    /// `invalid-mapping`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::TaskPanicked { .. } => "task-panicked",
+            ExecError::Stalled(_) => "stalled",
+            ExecError::InvalidMapping(_) => "invalid-mapping",
+        }
+    }
+
+    /// Converts the error back into a panic, for the panicking `run`-style
+    /// wrappers: a task panic is re-thrown with its original payload, the
+    /// other variants panic with their diagnostic rendering.
+    pub fn resume(self) -> ! {
+        match self {
+            ExecError::TaskPanicked { payload, .. } => std::panic::resume_unwind(payload),
+            other => panic!("{other}"),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TaskPanicked {
+                task,
+                worker,
+                payload,
+            } => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_owned)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string payload>".to_owned());
+                write!(f, "task {task} panicked on {worker}: {msg}")
+            }
+            ExecError::Stalled(d) => write!(f, "{d}"),
+            ExecError::InvalidMapping(e) => write!(f, "invalid mapping: {e}"),
+        }
+    }
+}
+
+impl fmt::Debug for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TaskPanicked { task, worker, .. } => f
+                .debug_struct("TaskPanicked")
+                .field("task", task)
+                .field("worker", worker)
+                .finish_non_exhaustive(),
+            ExecError::Stalled(d) => f.debug_tuple("Stalled").field(d).finish(),
+            ExecError::InvalidMapping(e) => f.debug_tuple("InvalidMapping").field(e).finish(),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Where a stalled worker was blocked when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallSite {
+    /// A decentralized `get_read`/`get_write` that never became ready: the
+    /// private (registered) view vs. the shared (performed) counters of
+    /// the blocked data object.
+    DataWait {
+        /// The task whose acquisition stalled.
+        task: TaskId,
+        /// The blocked data object.
+        data: DataId,
+        /// `true` for a `get_write`, `false` for a `get_read`.
+        write: bool,
+        /// The stalled worker's private `nb_reads_since_write`.
+        local_reads_since_write: u64,
+        /// The stalled worker's private `last_registered_write`.
+        local_last_registered_write: TaskId,
+        /// The shared `nb_reads_since_write` at the time of the dump.
+        shared_reads_since_write: u64,
+        /// The shared `last_executed_write` at the time of the dump.
+        shared_last_executed_write: TaskId,
+    },
+    /// A centralized pool worker found no ready task for the whole
+    /// deadline while the run was not finished.
+    IdleWorker,
+    /// The centralized master was blocked on the submission window: the
+    /// in-flight count never dropped below `window`.
+    MasterThrottle {
+        /// Submitted-but-unexecuted tasks at the time of the dump.
+        in_flight: usize,
+        /// The configured submission window.
+        window: usize,
+    },
+}
+
+impl fmt::Display for StallSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallSite::DataWait {
+                task,
+                data,
+                write,
+                local_reads_since_write,
+                local_last_registered_write,
+                shared_reads_since_write,
+                shared_last_executed_write,
+            } => write!(
+                f,
+                "{} of {data} for {task}: registered (reads={local_reads_since_write}, \
+                 write={local_last_registered_write}) vs performed \
+                 (reads={shared_reads_since_write}, write={shared_last_executed_write})",
+                if *write { "get_write" } else { "get_read" },
+            ),
+            StallSite::IdleWorker => write!(f, "idle with no ready task"),
+            StallSite::MasterThrottle { in_flight, window } => write!(
+                f,
+                "master throttled: {in_flight} in-flight tasks never dropped below window {window}"
+            ),
+        }
+    }
+}
+
+/// One worker's progress at the moment a stall was diagnosed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// The worker.
+    pub worker: WorkerId,
+    /// The last task whose body this worker completed ([`TaskId::NONE`]
+    /// if it completed none).
+    pub last_completed: TaskId,
+    /// How many task bodies this worker completed.
+    pub tasks_executed: u64,
+    /// The data object this worker was blocked on, if it was blocked.
+    pub waiting_on: Option<DataId>,
+}
+
+impl fmt::Display for WorkerSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} done (last {})",
+            self.worker, self.tasks_executed, self.last_completed
+        )?;
+        if let Some(d) = self.waiting_on {
+            write!(f, ", blocked on {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The diagnostic dump produced when a watchdog deadline expires: who was
+/// blocked, on what, and what every worker had achieved by then.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostic {
+    /// The worker whose wait exceeded the deadline.
+    pub worker: WorkerId,
+    /// How long it had been waiting.
+    pub waited: Duration,
+    /// What it was blocked on.
+    pub site: StallSite,
+    /// Snapshot of every worker's progress (may be empty when the runtime
+    /// does not track per-worker progress).
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stalled: {} waited {:?} in {}",
+            self.worker, self.waited, self.site
+        )?;
+        for w in &self.workers {
+            write!(f, "\n  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Pre-flight mapping rejection: the classic user bugs that would
+/// otherwise deadlock the decentralized protocol at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The mapping designated a worker outside `0..workers`.
+    OutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The out-of-range answer.
+        worker: WorkerId,
+        /// The configured worker count.
+        workers: usize,
+    },
+    /// Two probes of the same task returned different workers: with a
+    /// non-deterministic mapping, workers replaying the flow disagree on
+    /// ownership — a task may be executed twice, or by no one (deadlock).
+    NonDeterministic {
+        /// The offending task.
+        task: TaskId,
+        /// The first probe's answer.
+        first: WorkerId,
+        /// The second probe's answer.
+        second: WorkerId,
+    },
+    /// Probing the mapping panicked: it is not total over the flow
+    /// (e.g. a [`crate::TableMapping`] shorter than the task count).
+    NotTotal {
+        /// The first task the mapping is undefined on.
+        task: TaskId,
+    },
+    /// Two probes of a *partial* mapping disagreed on whether `task` is
+    /// statically mapped or dynamically claimed — workers replaying the
+    /// flow would disagree on ownership just like with
+    /// [`MappingError::NonDeterministic`].
+    NonDeterministicClaim {
+        /// The offending task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::OutOfRange {
+                task,
+                worker,
+                workers,
+            } => write!(
+                f,
+                "{task} mapped to {worker}, but only workers 0..{workers} exist"
+            ),
+            MappingError::NonDeterministic {
+                task,
+                first,
+                second,
+            } => write!(
+                f,
+                "mapping is non-deterministic on {task}: probed {first} then {second}"
+            ),
+            MappingError::NotTotal { task } => {
+                write!(f, "mapping is undefined on {task} (probe panicked)")
+            }
+            MappingError::NonDeterministicClaim { task } => write!(
+                f,
+                "mapping is non-deterministic on {task}: probes disagree on \
+                 whether it is statically mapped or dynamically claimed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl From<MappingError> for ExecError {
+    fn from(e: MappingError) -> ExecError {
+        ExecError::InvalidMapping(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_blocked_data_object() {
+        let d = StallDiagnostic {
+            worker: WorkerId(2),
+            waited: Duration::from_millis(250),
+            site: StallSite::DataWait {
+                task: TaskId(9),
+                data: DataId(4),
+                write: true,
+                local_reads_since_write: 2,
+                local_last_registered_write: TaskId(7),
+                shared_reads_since_write: 1,
+                shared_last_executed_write: TaskId(7),
+            },
+            workers: vec![WorkerSnapshot {
+                worker: WorkerId(0),
+                last_completed: TaskId(7),
+                tasks_executed: 4,
+                waiting_on: Some(DataId(4)),
+            }],
+        };
+        let text = ExecError::Stalled(Box::new(d)).to_string();
+        assert!(
+            text.contains("D4"),
+            "diagnostic names the data object: {text}"
+        );
+        assert!(text.contains("T9"), "diagnostic names the task: {text}");
+        assert!(text.contains("W2"), "diagnostic names the worker: {text}");
+        assert!(
+            text.contains("blocked on D4"),
+            "snapshot is rendered: {text}"
+        );
+    }
+
+    #[test]
+    fn panic_payloads_render_for_str_and_string() {
+        let e = ExecError::TaskPanicked {
+            task: TaskId(3),
+            worker: WorkerId(1),
+            payload: Box::new("boom"),
+        };
+        assert!(e.to_string().contains("boom"));
+        let e = ExecError::TaskPanicked {
+            task: TaskId(3),
+            worker: WorkerId(1),
+            payload: Box::new(String::from("heap boom")),
+        };
+        assert!(e.to_string().contains("heap boom"));
+        assert_eq!(e.kind(), "task-panicked");
+    }
+
+    #[test]
+    fn mapping_errors_render() {
+        let e = MappingError::OutOfRange {
+            task: TaskId(5),
+            worker: WorkerId(9),
+            workers: 4,
+        };
+        assert!(e.to_string().contains("0..4"));
+        let e: ExecError = MappingError::NonDeterministic {
+            task: TaskId(5),
+            first: WorkerId(0),
+            second: WorkerId(1),
+        }
+        .into();
+        assert_eq!(e.kind(), "invalid-mapping");
+        assert!(e.to_string().contains("non-deterministic"));
+        assert!(MappingError::NotTotal { task: TaskId(11) }
+            .to_string()
+            .contains("T11"));
+        let e = MappingError::NonDeterministicClaim { task: TaskId(7) };
+        assert!(e.to_string().contains("T7"));
+        assert!(e.to_string().contains("claimed"));
+    }
+
+    #[test]
+    fn debug_omits_the_payload() {
+        let e = ExecError::TaskPanicked {
+            task: TaskId(1),
+            worker: WorkerId(0),
+            payload: Box::new(42u32),
+        };
+        let dbg = format!("{e:?}");
+        assert!(dbg.contains("TaskPanicked"));
+        assert!(dbg.contains(".."), "payload elided: {dbg}");
+    }
+}

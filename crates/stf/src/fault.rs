@@ -1,0 +1,90 @@
+//! Fault-injection hook points, shared by both runtimes.
+//!
+//! The trait lives in the substrate so one plan (see the `rio-faults`
+//! crate) can be threaded through both the decentralized and the
+//! centralized runtime. The runtimes only *call* these hooks when compiled
+//! with their `fault-inject` cargo feature **and** a hook is installed in
+//! the run configuration; without the feature the hook fields and call
+//! sites compile away entirely, so production builds carry zero cost.
+//!
+//! Hook semantics:
+//!
+//! * [`FaultHook::before_task`] runs on the executing worker, *inside* the
+//!   runtime's `catch_unwind` scope, immediately before the task body. A
+//!   panic here is therefore attributed to the task exactly like a kernel
+//!   panic (that is how "panic at task *k*" is injected), and a sleep here
+//!   delays the task (and transitively everyone waiting on it).
+//! * [`FaultHook::spurious_wake_after`] is consulted after a task's
+//!   completion is published; returning `true` asks the runtime to wake
+//!   every parked waiter *without any state change* — a spurious-wakeup
+//!   storm that a correct `Park` wait loop must absorb by re-checking its
+//!   predicate.
+
+use std::sync::Arc;
+
+use crate::ids::{TaskId, WorkerId};
+
+/// A fault-injection plan consulted by the runtimes at their hook points.
+///
+/// Implementations must be cheap and thread-safe: hooks run on the hot
+/// path of every worker. The `RefUnwindSafe` bound keeps run
+/// configurations holding a [`HookHandle`] usable across `catch_unwind`
+/// boundaries (the runtimes contain injected panics exactly like kernel
+/// panics); atomics — the natural state for a fault plan — satisfy it.
+pub trait FaultHook: Send + Sync + std::panic::RefUnwindSafe {
+    /// Called on `worker` right before it runs the body of `task`, inside
+    /// the runtime's panic-containment scope.
+    fn before_task(&self, worker: WorkerId, task: TaskId) {
+        let _ = (worker, task);
+    }
+
+    /// Called on `worker` right after it published the completion of
+    /// `task`. Return `true` to request a spurious wake-up of every parked
+    /// waiter.
+    fn spurious_wake_after(&self, worker: WorkerId, task: TaskId) -> bool {
+        let _ = (worker, task);
+        false
+    }
+}
+
+/// A cloneable, debuggable handle around a dynamic [`FaultHook`], so run
+/// configurations can keep deriving `Debug` and `Clone`.
+#[derive(Clone)]
+pub struct HookHandle(pub Arc<dyn FaultHook>);
+
+impl HookHandle {
+    /// Wraps a hook implementation.
+    pub fn new(hook: impl FaultHook + 'static) -> HookHandle {
+        HookHandle(Arc::new(hook))
+    }
+}
+
+impl std::fmt::Debug for HookHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HookHandle(<fault hook>)")
+    }
+}
+
+impl std::ops::Deref for HookHandle {
+    type Target = dyn FaultHook;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl FaultHook for Nop {}
+
+    #[test]
+    fn defaults_are_inert() {
+        let h = HookHandle::new(Nop);
+        h.before_task(WorkerId(0), TaskId(1));
+        assert!(!h.spurious_wake_after(WorkerId(0), TaskId(1)));
+        let h2 = h.clone();
+        assert!(format!("{h2:?}").contains("HookHandle"));
+    }
+}

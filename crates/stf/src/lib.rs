@@ -30,6 +30,11 @@
 //!   order on the calling thread (the correctness oracle for every runtime).
 //! * [`validate`] — checks that an *observed* execution order is sequentially
 //!   consistent with respect to a task graph.
+//! * [`error`] — the structured failure model shared by the runtimes
+//!   ([`ExecError`]: task panics, stalls, invalid mappings) and the
+//!   pre-flight [`validate_mapping`] check.
+//! * [`fault`] — fault-injection hook points ([`FaultHook`]) consumed by
+//!   the runtimes' `fault-inject` features and driven by `rio-faults`.
 //!
 //! Runtimes built on this substrate:
 //!
@@ -38,6 +43,8 @@
 
 pub mod access;
 pub mod deps;
+pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod ids;
 pub mod mapping;
@@ -47,8 +54,10 @@ pub mod task;
 pub mod validate;
 
 pub use access::AccessMode;
+pub use error::{ExecError, MappingError, StallDiagnostic, StallSite, WorkerSnapshot};
+pub use fault::{FaultHook, HookHandle};
 pub use graph::{GraphBuilder, GraphStats, TaskGraph};
 pub use ids::{DataId, TaskId, WorkerId};
-pub use mapping::{BlockMapping, Mapping, RoundRobin, TableMapping};
+pub use mapping::{validate_mapping, BlockMapping, Mapping, RoundRobin, TableMapping};
 pub use store::{DataStore, ReadGuard, WriteGuard};
 pub use task::{Access, TaskDesc};

@@ -156,6 +156,58 @@ pub fn block_cyclic_owner(i: usize, j: usize, workers: usize) -> WorkerId {
     WorkerId::from_index((i % pr) * pc + (j % pc))
 }
 
+/// Pre-flight validation of a [`Mapping`] over a flow of `num_tasks`
+/// tasks and `num_workers` workers: totality, determinism and worker-id
+/// range — the classic user bugs that deadlock a decentralized run,
+/// rejected *before* any worker spawns.
+///
+/// Every task is probed **twice**: a panicking probe means the mapping is
+/// not total ([`MappingError::NotTotal`]), two different answers mean it
+/// is not deterministic ([`MappingError::NonDeterministic`]) — either way
+/// workers replaying the flow could disagree on ownership, so some task
+/// would be executed twice or by nobody (and the protocol would hang on
+/// its never-published completion). An answer `>= num_workers` is
+/// [`MappingError::OutOfRange`].
+///
+/// Two probes cannot catch every non-deterministic mapping (one that lies
+/// only on the third call passes); the runtime's stall watchdog is the
+/// backstop for those.
+pub fn validate_mapping<M>(
+    mapping: &M,
+    num_tasks: usize,
+    num_workers: usize,
+) -> Result<(), crate::error::MappingError>
+where
+    M: Mapping + ?Sized,
+{
+    use crate::error::MappingError;
+    for i in 0..num_tasks {
+        let task = TaskId::from_index(i);
+        let probe = || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                mapping.worker_of(task, num_workers)
+            }))
+        };
+        let first = probe().map_err(|_| MappingError::NotTotal { task })?;
+        let second = probe().map_err(|_| MappingError::NotTotal { task })?;
+        if first != second {
+            return Err(MappingError::NonDeterministic {
+                task,
+                first,
+                second,
+            });
+        }
+        if first.index() >= num_workers {
+            return Err(MappingError::OutOfRange {
+                task,
+                worker: first,
+                workers: num_workers,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Blanket impl so `&M` can be passed wherever a mapping is consumed.
 impl<M: Mapping + ?Sized> Mapping for &M {
     #[inline]
@@ -287,5 +339,58 @@ mod tests {
         for i in 0..100 {
             assert_eq!(m.worker_of(t(i), 7), m.worker_of(t(i), 7));
         }
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_mappings() {
+        assert!(validate_mapping(&RoundRobin, 100, 3).is_ok());
+        assert!(validate_mapping(&BlockMapping { total_tasks: 100 }, 100, 3).is_ok());
+        let table = TableMapping::from_fn(50, |i| WorkerId::from_index(i % 2));
+        assert!(validate_mapping(&table, 50, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        use crate::error::MappingError;
+        let m = FnMapping(|task: TaskId, _| WorkerId::from_index(task.index())); // unbounded
+        match validate_mapping(&m, 10, 3) {
+            Err(MappingError::OutOfRange {
+                task,
+                worker,
+                workers,
+            }) => {
+                assert_eq!(task, TaskId::from_index(3));
+                assert_eq!(worker, WorkerId(3));
+                assert_eq!(workers, 3);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_determinism() {
+        use crate::error::MappingError;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let m = FnMapping(move |_: TaskId, w: usize| {
+            WorkerId::from_index(calls.fetch_add(1, Ordering::Relaxed) % w)
+        });
+        assert!(matches!(
+            validate_mapping(&m, 10, 2),
+            Err(MappingError::NonDeterministic {
+                task: TaskId(1),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_short_tables() {
+        use crate::error::MappingError;
+        let short = TableMapping::from_fn(5, |_| WorkerId(0));
+        assert!(matches!(
+            validate_mapping(&short, 10, 2),
+            Err(MappingError::NotTotal { task: TaskId(6) })
+        ));
     }
 }

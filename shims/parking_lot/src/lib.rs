@@ -106,6 +106,26 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Blocks like [`Condvar::wait`], but for at most `timeout`. Returns a
+    /// [`WaitTimeoutResult`] telling whether the wait timed out (the lock is
+    /// re-acquired either way), mirroring `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard holds the lock");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one parked waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -120,6 +140,18 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Condvar")
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`], mirroring
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed (rather than a notify)?
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -159,6 +191,37 @@ mod tests {
             let mut guard = lock.lock();
             while !*guard {
                 cond.wait(&mut guard);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cond) = &*pair;
+        *lock.lock() = true;
+        cond.notify_all();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        // The lock is re-acquired: mutating through the guard is fine.
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (lock, cond) = &*pair2;
+            let mut guard = lock.lock();
+            while !*guard {
+                let r = cond.wait_for(&mut guard, Duration::from_secs(5));
+                assert!(!r.timed_out(), "notify must arrive well within 5s");
             }
         });
         std::thread::sleep(Duration::from_millis(10));

@@ -173,6 +173,99 @@ proptest! {
         prop_assert_eq!(r.truncated, 0);
     }
 
+    /// Pre-flight robustness: a mapping that sends any one task out of
+    /// range is rejected with `ExecError::InvalidMapping` naming that
+    /// task — before a single worker spawns or kernel runs — for both the
+    /// plain and the pruned variant.
+    #[test]
+    fn out_of_range_mappings_are_rejected_before_any_worker_spawns(
+        graph in arb_graph(30, 4),
+        workers in 1usize..5,
+        excess in 0u32..3,
+        bad_seed in 0usize..1000,
+        pruning_bit in 0u8..2,
+    ) {
+        let pruning = pruning_bit == 1;
+        struct OneBad { bad: usize, excess: u32 }
+        impl rio::stf::Mapping for OneBad {
+            fn worker_of(&self, task: TaskId, workers: usize) -> WorkerId {
+                if task.index() == self.bad {
+                    WorkerId(workers as u32 + self.excess)
+                } else {
+                    WorkerId::from_index(task.index() % workers)
+                }
+            }
+        }
+        let bad = bad_seed % graph.len();
+        let mapping = OneBad { bad, excess };
+        let ran = std::sync::atomic::AtomicU64::new(0);
+        let err = rio::core::Executor::new(RioConfig::with_workers(workers))
+            .mapping(&mapping)
+            .pruning(pruning)
+            .try_run(&graph, |_, _| {
+                ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+            .expect_err("an out-of-range mapping must fail pre-flight");
+        prop_assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 0);
+        match err {
+            rio::stf::ExecError::InvalidMapping(rio::stf::MappingError::OutOfRange {
+                task, worker, workers: w,
+            }) => {
+                prop_assert_eq!(task, TaskId::from_index(bad));
+                prop_assert_eq!(worker, WorkerId(workers as u32 + excess));
+                prop_assert_eq!(w, workers);
+            }
+            other => prop_assert!(false, "expected OutOfRange, got {}", other),
+        }
+    }
+
+    /// Pre-flight robustness: a mapping whose two probes disagree on any
+    /// one task is rejected as non-deterministic before any kernel runs.
+    #[test]
+    fn non_deterministic_mappings_are_rejected_before_any_worker_spawns(
+        graph in arb_graph(30, 4),
+        workers in 2usize..5,
+        bad_seed in 0usize..1000,
+        pruning_bit in 0u8..2,
+    ) {
+        let pruning = pruning_bit == 1;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Answers W0, W1, W0, ... on successive probes of the chosen task
+        // (both in range, so only determinism can reject it); honest
+        // everywhere else.
+        struct Flaky { bad: usize, calls: AtomicU32 }
+        impl rio::stf::Mapping for Flaky {
+            fn worker_of(&self, task: TaskId, workers: usize) -> WorkerId {
+                if task.index() == self.bad {
+                    WorkerId(self.calls.fetch_add(1, Ordering::Relaxed) % 2)
+                } else {
+                    WorkerId::from_index(task.index() % workers)
+                }
+            }
+        }
+        let bad = bad_seed % graph.len();
+        let mapping = Flaky { bad, calls: AtomicU32::new(0) };
+        let ran = std::sync::atomic::AtomicU64::new(0);
+        let err = rio::core::Executor::new(RioConfig::with_workers(workers))
+            .mapping(&mapping)
+            .pruning(pruning)
+            .try_run(&graph, |_, _| {
+                ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+            .expect_err("a non-deterministic mapping must fail pre-flight");
+        prop_assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 0);
+        match err {
+            rio::stf::ExecError::InvalidMapping(rio::stf::MappingError::NonDeterministic {
+                task, first, second,
+            }) => {
+                prop_assert_eq!(task, TaskId::from_index(bad));
+                prop_assert_eq!(first, WorkerId(0));
+                prop_assert_eq!(second, WorkerId(1));
+            }
+            other => prop_assert!(false, "expected NonDeterministic, got {}", other),
+        }
+    }
+
     /// Graph statistics invariants: the critical path is between 1 and n,
     /// and cost-weighted paths are bounded by total cost.
     #[test]
