@@ -119,6 +119,14 @@ fn bench_pruning(c: &mut Criterion) {
                 .run(&graph, |_, _| {})
         });
     });
+    // Compile once outside the measurement loop — the whole point of the
+    // compiled path is amortizing the pre-pass over repeated runs.
+    let flow = Executor::new(cfg.clone())
+        .mapping(&RoundRobin)
+        .compile(&graph);
+    g.bench_function("compiled", |bch| {
+        bch.iter(|| flow.run(|_, _| {}));
+    });
     g.finish();
 }
 

@@ -18,6 +18,7 @@ use rio_workloads::counter::counter_kernel;
 use rio_workloads::{independent, lu, matmul, random_deps};
 
 use crate::harness::{fmt_dur, measure_centralized, measure_rio, measure_sequential, RunSpec};
+use crate::json;
 
 /// Common options for the figure reproductions.
 #[derive(Debug, Clone)]
@@ -256,6 +257,17 @@ pub fn fig6(opt: &Options) -> String {
         let seq = measure_sequential(&spec, &graph);
         let rio = measure_rio(&spec, &graph, &RoundRobin);
         let cen = measure_centralized(&spec, &graph);
+        let per_task = |d: Duration| d.as_nanos() as f64 / opt.tasks.max(1) as f64;
+        for (runtime, wall) in [("seq", seq), ("rio", rio.wall), ("central", cen.wall)] {
+            json::record(json::Record {
+                figure: "fig6".into(),
+                workload: format!("independent-counter/size={size}"),
+                runtime: runtime.into(),
+                threads: opt.threads,
+                tasks: opt.tasks,
+                ns_per_task: per_task(wall),
+            });
+        }
         table.row([
             size.to_string(),
             fmt_dur(seq),
@@ -328,6 +340,17 @@ pub fn fig7(opt: &Options, tasks_per_worker: usize, worker_counts: &[usize]) -> 
             pruned = pruned.min(run_pruned());
             central = central.min(run_central());
         }
+        let per_task = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+        for (runtime, wall) in [("rio", rio), ("rio_pruned", pruned), ("central", central)] {
+            json::record(json::Record {
+                figure: "fig7".into(),
+                workload: format!("independent-private/tpw={tasks_per_worker}"),
+                runtime: runtime.into(),
+                threads: w,
+                tasks: n,
+                ns_per_task: per_task(wall),
+            });
+        }
         table.row([
             w.to_string(),
             n.to_string(),
@@ -340,6 +363,128 @@ pub fn fig7(opt: &Options, tasks_per_worker: usize, worker_counts: &[usize]) -> 
         &format!("Fig. 7 — {tasks_per_worker} independent tasks per worker vs workers (task size {task_size})"),
         &table,
     )
+}
+
+// ---------------------------------------------------------------------
+// Compiled-flow ablation — interpreted vs pruned vs compiled
+// ---------------------------------------------------------------------
+
+/// One row of the compiled-flow ablation: per-task management cost of
+/// the three execution paths at one worker count.
+#[derive(Debug, Clone)]
+pub struct CompiledRow {
+    /// Worker count.
+    pub workers: usize,
+    /// Total tasks in the flow.
+    pub tasks: usize,
+    /// Interpreted, unpruned walk (every worker unrolls everything).
+    pub interpreted_ns: f64,
+    /// Interpreted walk over §3.5 visit lists.
+    pub pruned_ns: f64,
+    /// Ahead-of-time compiled program (`Executor::compile`).
+    pub compiled_ns: f64,
+}
+
+/// Ablation: per-task management cost of interpreted (unpruned), pruned
+/// and compiled execution on the Fig. 7 independent-task workload, with
+/// an **empty kernel** so the measurement is pure runtime management.
+/// The compiled timing excludes compilation itself (paid once, amortized
+/// over repeated runs — which is the point of compiling).
+pub fn compiled(
+    opt: &Options,
+    tasks_per_worker: usize,
+    worker_counts: &[usize],
+) -> (String, Vec<CompiledRow>) {
+    let mut table = Table::new([
+        "workers",
+        "total_tasks",
+        "interpreted",
+        "pruned",
+        "compiled",
+        "interp/comp",
+        "pruned/comp",
+    ]);
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    for &w in worker_counts {
+        let n = independent::tasks_for_workers(tasks_per_worker, w);
+        let graph = independent::graph_private_data(n);
+        let cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .measure_time(false)
+            .check_determinism(false);
+
+        let run_interpreted = || {
+            let t0 = Instant::now();
+            rio_core::Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| {});
+            t0.elapsed()
+        };
+        let run_pruned = || {
+            let t0 = Instant::now();
+            rio_core::Executor::new(cfg.clone())
+                .mapping(&RoundRobin)
+                .pruning(true)
+                .run(&graph, |_, _| {});
+            t0.elapsed()
+        };
+        let flow = rio_core::Executor::new(cfg.clone())
+            .mapping(&RoundRobin)
+            .compile(&graph);
+        let run_compiled = || {
+            let t0 = Instant::now();
+            flow.run(|_, _| {});
+            t0.elapsed()
+        };
+
+        let mut interpreted = Duration::MAX;
+        let mut pruned = Duration::MAX;
+        let mut comp = Duration::MAX;
+        for _ in 0..opt.reps.max(1) {
+            interpreted = interpreted.min(run_interpreted());
+            pruned = pruned.min(run_pruned());
+            comp = comp.min(run_compiled());
+        }
+        let per_task = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+        let row = CompiledRow {
+            workers: w,
+            tasks: n,
+            interpreted_ns: per_task(interpreted),
+            pruned_ns: per_task(pruned),
+            compiled_ns: per_task(comp),
+        };
+        for (runtime, ns) in [
+            ("rio", row.interpreted_ns),
+            ("rio_pruned", row.pruned_ns),
+            ("rio_compiled", row.compiled_ns),
+        ] {
+            json::record(json::Record {
+                figure: "compiled".into(),
+                workload: format!("independent-private/tpw={tasks_per_worker}"),
+                runtime: runtime.into(),
+                threads: w,
+                tasks: n,
+                ns_per_task: ns,
+            });
+        }
+        table.row([
+            w.to_string(),
+            n.to_string(),
+            format!("{:.1}ns", row.interpreted_ns),
+            format!("{:.1}ns", row.pruned_ns),
+            format!("{:.1}ns", row.compiled_ns),
+            format!("{:.2}", row.interpreted_ns / row.compiled_ns.max(1e-9)),
+            format!("{:.2}", row.pruned_ns / row.compiled_ns.max(1e-9)),
+        ]);
+        rows.push(row);
+    }
+    let out = opt.emit(
+        &format!(
+            "Compiled-flow ablation — {tasks_per_worker} independent tasks per worker, empty kernel (per-task management cost)"
+        ),
+        &table,
+    );
+    (out, rows)
 }
 
 // ---------------------------------------------------------------------
@@ -774,6 +919,19 @@ mod tests {
         let out = fig6(&opt);
         // Header + 3 quick sizes.
         assert_eq!(out.lines().filter(|l| l.contains(',')).count(), 1 + 3);
+    }
+
+    #[test]
+    fn compiled_ablation_reports_all_three_paths() {
+        let opt = quick_opt();
+        let (out, rows) = compiled(&opt, 64, &[2]);
+        assert!(out.contains("interpreted"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].workers, 2);
+        assert_eq!(rows[0].tasks, 128);
+        assert!(rows[0].interpreted_ns > 0.0);
+        assert!(rows[0].pruned_ns > 0.0);
+        assert!(rows[0].compiled_ns > 0.0);
     }
 
     #[test]

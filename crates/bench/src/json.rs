@@ -1,0 +1,182 @@
+//! Machine-readable benchmark records (`BENCH_repro.json`).
+//!
+//! The figure reproductions print human-oriented tables; CI and the
+//! committed baseline need numbers a script can diff. With `repro --json`
+//! every per-task timing the overhead figures produce is also pushed
+//! here as a [`Record`] and written to `BENCH_repro.json` on exit, one
+//! JSON object per measurement:
+//!
+//! ```json
+//! {"figure": "fig7", "workload": "independent-private/tpw=8192",
+//!  "runtime": "rio_compiled", "threads": 4, "tasks": 32768,
+//!  "ns_per_task": 132.4}
+//! ```
+//!
+//! Overhead ratios are derived by pairing records: same
+//! `(figure, workload, threads, tasks)`, different `runtime` (e.g.
+//! `rio / seq`, `rio_compiled / rio`).
+//!
+//! The sink is disabled by default so library users and the figure tests
+//! see no global state; [`enable`] (called by the binary when `--json`
+//! is passed) turns it on for the rest of the process.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One measurement: the per-task wall time of `runtime` on `workload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Which reproduction produced this (`fig6`, `fig7`, `compiled`, …).
+    pub figure: String,
+    /// Workload identity, including the parameters that shaped it.
+    pub workload: String,
+    /// Execution path (`seq`, `rio`, `rio_pruned`, `rio_compiled`,
+    /// `central`).
+    pub runtime: String,
+    /// Thread/worker count the measurement ran with.
+    pub threads: usize,
+    /// Total tasks in the flow.
+    pub tasks: usize,
+    /// Minimum-over-reps wall time divided by `tasks`, in nanoseconds.
+    pub ns_per_task: f64,
+}
+
+static SINK: Mutex<Option<Vec<Record>>> = Mutex::new(None);
+
+/// Turns the process-wide sink on (idempotent; keeps existing records).
+pub fn enable() {
+    let mut sink = SINK.lock().unwrap();
+    if sink.is_none() {
+        *sink = Some(Vec::new());
+    }
+}
+
+/// Whether [`enable`] has been called.
+pub fn enabled() -> bool {
+    SINK.lock().unwrap().is_some()
+}
+
+/// Pushes a record; a no-op while the sink is disabled.
+pub fn record(r: Record) {
+    if let Some(records) = SINK.lock().unwrap().as_mut() {
+        records.push(r);
+    }
+}
+
+/// Drains and returns everything recorded so far (sink stays enabled).
+pub fn take() -> Vec<Record> {
+    SINK.lock()
+        .unwrap()
+        .as_mut()
+        .map(std::mem::take)
+        .unwrap_or_default()
+}
+
+/// Serializes records as a JSON array, one object per line.
+pub fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            out,
+            "  {{\"figure\": {}, \"workload\": {}, \"runtime\": {}, \
+             \"threads\": {}, \"tasks\": {}, \"ns_per_task\": {:.3}}}{sep}",
+            escape(&r.figure),
+            escape(&r.workload),
+            escape(&r.runtime),
+            r.threads,
+            r.tasks,
+            r.ns_per_task,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Drains the sink and writes the records to `path` as JSON. Returns how
+/// many records were written.
+///
+/// # Errors
+/// Propagates the I/O error if `path` cannot be written.
+pub fn write(path: &Path) -> std::io::Result<usize> {
+    let records = take();
+    std::fs::write(path, to_json(&records))?;
+    Ok(records.len())
+}
+
+/// JSON string literal with the minimal required escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(runtime: &str, ns: f64) -> Record {
+        Record {
+            figure: "fig7".into(),
+            workload: "independent-private/tpw=64".into(),
+            runtime: runtime.into(),
+            threads: 4,
+            tasks: 256,
+            ns_per_task: ns,
+        }
+    }
+
+    #[test]
+    fn serialization_matches_the_schema() {
+        let json = to_json(&[rec("rio", 123.456), rec("rio_compiled", 61.5)]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains(
+            "{\"figure\": \"fig7\", \"workload\": \"independent-private/tpw=64\", \
+             \"runtime\": \"rio\", \"threads\": 4, \"tasks\": 256, \"ns_per_task\": 123.456}"
+        ));
+        assert!(json.contains("\"runtime\": \"rio_compiled\""));
+        // Exactly one separator between the two objects.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn empty_record_set_is_an_empty_array() {
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = rec("rio", 1.0);
+        r.workload = "quote\" slash\\ newline\n tab\t".into();
+        let json = to_json(&[r]);
+        assert!(json.contains("quote\\\" slash\\\\ newline\\n tab\\u0009"));
+    }
+
+    #[test]
+    fn sink_collects_only_when_enabled() {
+        // The one test touching the global sink (process-wide state).
+        record(rec("dropped", 1.0));
+        enable();
+        assert!(enabled());
+        record(rec("kept", 2.0));
+        let records = take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].runtime, "kept");
+        assert!(take().is_empty(), "take drains");
+    }
+}

@@ -14,8 +14,14 @@
 //! | `repro fig8 --exp N` | Fig. 8 rows 1–4 — efficiency decomposition vs task size |
 //! | `repro table1` | Table 1 — model-checking state counts for STF and Run-In-Order |
 //! | `repro costmodel` | §3.3 — validation of cost models (1) and (2) |
+//! | `repro compiled` | Extension — interpreted vs pruned vs compiled per-task management cost |
+//!
+//! With `--json`, the overhead figures additionally write their per-task
+//! timings to `BENCH_repro.json` (see [`json`]); CI's bench-smoke job
+//! diffs these records and gates on `repro compiled --assert-faster`.
 
 pub mod figures;
 pub mod harness;
+pub mod json;
 
 pub use harness::{measure_centralized, measure_rio, measure_sequential, RunSpec};

@@ -16,6 +16,7 @@
 //!   walks       randomized-walk protocol checking at scale
 //!   mapping     mapping-quality sweep on the LU DAG
 //!   costmodel   validate cost models (1) and (2)
+//!   compiled    interpreted vs pruned vs compiled management cost
 //!   all         run everything
 //!
 //! Options:
@@ -24,13 +25,16 @@
 //!   --reps N         repetitions per point (default 3)
 //!   --exp N          fig8 experiment number (default: all four)
 //!   --n N            matrix size for fig2/3/4 (default 384)
-//!   --tpw N          fig7 tasks per worker (default 8192)
-//!   --workers LIST   fig7 worker counts, comma-separated (default 1,2,4,8)
+//!   --tpw N          fig7/compiled tasks per worker (default 8192)
+//!   --workers LIST   fig7/compiled worker counts, comma-separated (default 1,2,4,8)
 //!   --csv            CSV output
 //!   --quick          reduced sweeps
+//!   --json           also write per-task timings to BENCH_repro.json
+//!   --assert-faster  (compiled) exit 1 if compiled ns/task exceeds interpreted
 //! ```
 
 use rio_bench::figures::{self, Options};
+use rio_bench::json;
 
 fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
     args.windows(2)
@@ -68,6 +72,9 @@ fn main() {
     let tpw = parse_usize(&args, "--tpw", 8192);
     let workers = parse_list(&args, "--workers", &[1, 2, 4, 8]);
     let exp = parse_usize(&args, "--exp", 0);
+    if args.iter().any(|a| a == "--json") {
+        json::enable();
+    }
 
     match cmd {
         "fig2" => {
@@ -112,6 +119,13 @@ fn main() {
         "costmodel" => {
             figures::costmodel(&opt);
         }
+        "compiled" => {
+            let (_, rows) = figures::compiled(&opt, tpw, &workers);
+            if args.iter().any(|a| a == "--assert-faster") {
+                write_json();
+                assert_compiled_faster(&rows);
+            }
+        }
         "all" => {
             figures::table1(&opt);
             figures::protocol_table(&opt);
@@ -120,6 +134,7 @@ fn main() {
             figures::fig4(&opt, n);
             figures::fig6(&opt);
             figures::fig7(&opt, tpw, &workers);
+            figures::compiled(&opt, tpw, &workers);
             for e in 1..=4 {
                 figures::fig8(&opt, e);
             }
@@ -129,8 +144,8 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|all> [options]");
-            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick --json --assert-faster");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
             } else {
@@ -138,4 +153,42 @@ fn main() {
             });
         }
     }
+    write_json();
+}
+
+/// Drains the JSON sink into `BENCH_repro.json` when `--json` was passed
+/// (no-op otherwise; idempotent because draining empties the sink).
+fn write_json() {
+    if json::enabled() {
+        let path = std::path::Path::new("BENCH_repro.json");
+        match json::write(path) {
+            Ok(0) => {}
+            Ok(n) => eprintln!("wrote {n} records to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The CI gate behind `compiled --assert-faster`: a compiled program must
+/// never manage the independent-task workload slower than the interpreted
+/// unpruned walk it replaces.
+fn assert_compiled_faster(rows: &[figures::CompiledRow]) {
+    let mut ok = true;
+    for r in rows {
+        if r.compiled_ns > r.interpreted_ns {
+            eprintln!(
+                "REGRESSION: compiled {:.1}ns/task > interpreted {:.1}ns/task \
+                 at {} workers / {} tasks",
+                r.compiled_ns, r.interpreted_ns, r.workers, r.tasks
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!("compiled <= interpreted on all {} rows", rows.len());
 }

@@ -1,0 +1,741 @@
+//! Ahead-of-time flow compilation: lowering `(TaskGraph, Mapping,
+//! workers)` into flat per-worker instruction streams.
+//!
+//! ## Why compile the flow?
+//!
+//! Cost model (2) charges every worker O(n_total) for unrolling the whole
+//! flow: even a task mapped elsewhere costs a mapping evaluation plus one
+//! private declare per access, and the §3.5 pruning pre-pass only removes
+//! *fully irrelevant* tasks. But the mapping is static and deterministic
+//! (§3.4, assumptions 1–2), so the entire non-local portion of each
+//! worker's walk is known at graph-record time. [`try_compile`] walks the
+//! flow once per worker and lowers it into a [`WorkerProgram`] of two
+//! instruction kinds:
+//!
+//! * `Run { task, start..end }` — execute a task mapped to this worker;
+//!   its accesses live in `arena[start..end]` of one contiguous access
+//!   arena ([`rio_stf::FlatAccesses`]) instead of a per-task `Vec`;
+//! * `Sync { data, delta }` — apply the **coalesced** private-state delta
+//!   ([`SyncDelta`]) of a maximal run of consecutive non-local tasks on
+//!   one data object, in place of their individual declares.
+//!
+//! Coalescing rule: declares compose per data object — a batch collapses
+//! to "the last write in the batch (if any) plus the reads after it"
+//! ([`crate::protocol::apply_sync`]). Between two of a worker's own tasks
+//! the flow may register thousands of foreign accesses; the compiled
+//! program replays them as one `Sync` per *touched* data object, turning
+//! O(tasks × accesses) private updates into O(local-task boundaries).
+//!
+//! Pruning is subsumed: deltas are tracked only for data the worker
+//! itself accesses (the §3.5 relevance criterion), so a task whose data
+//! the worker never touches contributes *no* instruction — exactly what a
+//! visit list would drop, minus the per-task interpretation. Deltas still
+//! pending after the worker's last own task are dead (private state is
+//! only ever read by the worker's own `get_*`) and are dropped too.
+//!
+//! Execution ([`CompiledFlow::run`]) drives the same per-worker engine
+//! ([`crate::graph`]'s `WorkerCtx`) as the interpreted paths — same
+//! `get → kernel → terminate` sequence, same fault containment, watchdog
+//! and tracing — so the protocol semantics are byte-identical to the
+//! uncompiled walk; only the private bookkeeping between own tasks is
+//! batched. Preflight mapping validation and the pruning analysis are
+//! paid once at compile time: a [`CompiledFlow`] can be re-run any number
+//! of times (the per-run protocol state is allocated per run, so a run
+//! that aborts — e.g. [`ExecError::TaskPanicked`] — leaves the program
+//! reusable).
+//!
+//! ```
+//! use rio_core::prelude::*;
+//!
+//! let mut b = TaskGraph::builder(1);
+//! for _ in 0..100 {
+//!     b.task(&[Access::read_write(DataId(0))], 1, "inc");
+//! }
+//! let g = b.build();
+//! let store = DataStore::from_vec(vec![0u64]);
+//!
+//! // Validate + analyze once, run many times.
+//! let flow = Executor::new(RioConfig::with_workers(2))
+//!     .mapping(&RoundRobin)
+//!     .compile(&g);
+//! for _ in 0..3 {
+//!     flow.run(|_, _| *store.write(DataId(0)) += 1);
+//! }
+//! assert_eq!(store.into_vec(), vec![300]);
+//! ```
+
+use std::time::Instant;
+
+use rio_stf::{ExecError, FlatAccesses, Mapping, TaskDesc, TaskGraph, WorkerId};
+
+use crate::config::RioConfig;
+use crate::executor::Execution;
+use crate::graph::WorkerCtx;
+use crate::protocol::{AbortFlag, SharedDataState, SyncDelta};
+use crate::report::ExecReport;
+use crate::status::StatusTable;
+
+/// Tag bit of one code word: set → `Sync` instruction, clear → `Run`.
+const SYNC_BIT: u32 = 1 << 31;
+
+/// `Run` instruction: execute the task at flow index `task`; its accesses
+/// are `arena[start..end]`.
+#[derive(Debug, Clone, Copy)]
+struct RunInstr {
+    task: u32,
+    start: u32,
+    end: u32,
+}
+
+/// `Sync` instruction: apply `delta` to the private state of `data`.
+#[derive(Debug, Clone, Copy)]
+struct SyncInstr {
+    data: u32,
+    delta: SyncDelta,
+}
+
+/// One worker's compiled instruction stream, stored
+/// structure-of-arrays: a flat `code` word per instruction (tag bit +
+/// index) plus one dense array per instruction kind. The interpreter
+/// walks `code` linearly; both payload arrays are read in order, so the
+/// whole program streams through the cache.
+#[derive(Debug, Default)]
+struct WorkerProgram {
+    code: Vec<u32>,
+    runs: Vec<RunInstr>,
+    syncs: Vec<SyncInstr>,
+}
+
+impl WorkerProgram {
+    fn push_run(&mut self, r: RunInstr) {
+        let idx = self.runs.len() as u32;
+        assert!(idx < SYNC_BIT, "program exceeds 2^31 Run instructions");
+        self.runs.push(r);
+        self.code.push(idx);
+    }
+
+    fn push_sync(&mut self, s: SyncInstr) {
+        let idx = self.syncs.len() as u32;
+        assert!(idx < SYNC_BIT, "program exceeds 2^31 Sync instructions");
+        self.syncs.push(s);
+        self.code.push(idx | SYNC_BIT);
+    }
+}
+
+/// What the compiler did, per worker and in aggregate — the compile-time
+/// counterpart of [`crate::pruning::PruneStats`].
+#[derive(Debug, Clone)]
+pub struct CompileStats {
+    /// Flow length (tasks every worker would visit uncompiled).
+    pub flow_len: usize,
+    /// `Run` instructions per worker (== tasks mapped to it).
+    pub runs_per_worker: Vec<usize>,
+    /// `Sync` instructions per worker (coalesced declare batches).
+    pub syncs_per_worker: Vec<usize>,
+    /// Per-access declares folded into `Sync` deltas (relevant foreign
+    /// accesses). Each costs one private update at run time uncompiled;
+    /// compiled, a whole batch costs one.
+    pub folded_declares: u64,
+    /// Foreign accesses compiled away entirely: data the worker never
+    /// touches (the §3.5 pruning criterion, applied per access).
+    pub irrelevant_declares: u64,
+    /// Deltas dead at the end of a worker's program (no own task follows)
+    /// and therefore dropped.
+    pub trailing_syncs: u64,
+}
+
+impl CompileStats {
+    /// Total instructions across workers.
+    pub fn instructions(&self) -> usize {
+        self.runs_per_worker.iter().sum::<usize>() + self.syncs_per_worker.iter().sum::<usize>()
+    }
+
+    /// Average private updates replaced by one `Sync` instruction
+    /// (≥ 1.0 whenever any declare was folded; 0.0 on empty programs).
+    pub fn coalesce_factor(&self) -> f64 {
+        let syncs: usize = self.syncs_per_worker.iter().sum();
+        if syncs == 0 {
+            return 0.0;
+        }
+        self.folded_declares as f64 / syncs as f64
+    }
+}
+
+/// A flow compiled for a fixed `(graph, mapping, config)` triple —
+/// produced by [`crate::Executor::compile`], executed any number of times
+/// with [`CompiledFlow::run`]/[`CompiledFlow::try_run`].
+///
+/// Everything interpretation pays per run is paid once here: mapping
+/// evaluation (one call per task), preflight validation
+/// ([`RioConfig::preflight`]), the pruning-style relevance analysis, and
+/// the per-task declare bookkeeping (coalesced into `Sync` deltas). The
+/// per-run state — shared protocol tables, private views, reports — is
+/// allocated fresh on every run, so runs are independent: a run that
+/// aborts leaves the program intact.
+#[must_use = "a CompiledFlow does nothing until `.run()` is called"]
+pub struct CompiledFlow<'g> {
+    cfg: RioConfig,
+    graph: &'g TaskGraph,
+    flat: FlatAccesses,
+    programs: Vec<WorkerProgram>,
+    stats: CompileStats,
+}
+
+/// Lowers `graph` under `mapping` into per-worker programs. Behind
+/// [`crate::Executor::try_compile`].
+pub(crate) fn try_compile<'g>(
+    cfg: &RioConfig,
+    graph: &'g TaskGraph,
+    mapping: &dyn Mapping,
+) -> Result<CompiledFlow<'g>, ExecError> {
+    cfg.validate();
+    if cfg.preflight {
+        rio_stf::validate_mapping(mapping, graph.len(), cfg.workers)?;
+    }
+    let workers = cfg.workers;
+    let tasks = graph.tasks();
+    // One mapping evaluation per task, reused by every worker's pass.
+    let owners: Vec<u32> = tasks
+        .iter()
+        .map(|t| mapping.worker_of(t.id, workers).index() as u32)
+        .collect();
+    let flat = graph.flat_accesses();
+    // Relevance bitsets: which data does each worker's own work touch?
+    // (Pass 1 of the §3.5 pruning pre-pass.)
+    let words = graph.num_data().div_ceil(64);
+    let touched = crate::pruning::worker_data_bitsets(graph, &owners, workers);
+
+    let mut stats = CompileStats {
+        flow_len: graph.len(),
+        runs_per_worker: Vec::with_capacity(workers),
+        syncs_per_worker: Vec::with_capacity(workers),
+        folded_declares: 0,
+        irrelevant_declares: 0,
+        trailing_syncs: 0,
+    };
+    let mut programs = Vec::with_capacity(workers);
+    let mut pending: Vec<SyncDelta> = vec![SyncDelta::EMPTY; graph.num_data()];
+    // Data objects with a pending delta, in first-touch order — flushed
+    // deterministically so repeated compilations emit identical programs.
+    let mut touch_order: Vec<u32> = Vec::new();
+    for w in 0..workers {
+        let mine = &touched[w * words..(w + 1) * words];
+        let mut prog = WorkerProgram::default();
+        for (i, t) in tasks.iter().enumerate() {
+            if owners[i] as usize == w {
+                for &d in &touch_order {
+                    let delta = std::mem::take(&mut pending[d as usize]);
+                    prog.push_sync(SyncInstr { data: d, delta });
+                }
+                touch_order.clear();
+                let (start, end) = flat.range(i);
+                prog.push_run(RunInstr {
+                    task: i as u32,
+                    start,
+                    end,
+                });
+            } else {
+                for a in flat.of(i) {
+                    let d = a.data.index();
+                    if mine[d / 64] & (1u64 << (d % 64)) == 0 {
+                        stats.irrelevant_declares += 1;
+                        continue;
+                    }
+                    let delta = &mut pending[d];
+                    if delta.is_empty() {
+                        touch_order.push(d as u32);
+                    }
+                    delta.fold(a.mode, t.id);
+                    stats.folded_declares += 1;
+                }
+            }
+        }
+        // Deltas past the worker's last own task are dead: private state
+        // is only consulted by the worker's own `get_*` calls.
+        stats.trailing_syncs += touch_order.len() as u64;
+        for &d in &touch_order {
+            pending[d as usize] = SyncDelta::EMPTY;
+        }
+        touch_order.clear();
+        stats.runs_per_worker.push(prog.runs.len());
+        stats.syncs_per_worker.push(prog.syncs.len());
+        programs.push(prog);
+    }
+
+    Ok(CompiledFlow {
+        cfg: cfg.clone(),
+        graph,
+        flat,
+        programs,
+        stats,
+    })
+}
+
+impl<'g> CompiledFlow<'g> {
+    /// The graph this program was compiled from.
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.graph
+    }
+
+    /// The configuration captured at compile time (worker count, wait
+    /// strategy, watchdog, tracing… — every run uses it).
+    pub fn config(&self) -> &RioConfig {
+        &self.cfg
+    }
+
+    /// What the compiler did: instruction counts, coalescing and pruning
+    /// effect.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Executes the compiled program. Like [`crate::Executor::run`] for
+    /// the same `(graph, mapping)` pair — identical kernel invocations on
+    /// identical workers in identical per-worker order — minus the
+    /// per-run preflight and per-task interpretation.
+    ///
+    /// # Panics
+    /// Propagates task-body panics (original payload); panics with the
+    /// diagnostic rendering of any other [`ExecError`]. Use
+    /// [`CompiledFlow::try_run`] to handle failures structurally.
+    pub fn run<K>(&self, kernel: K) -> Execution
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        self.try_run(kernel).unwrap_or_else(|e| e.resume())
+    }
+
+    /// Like [`CompiledFlow::run`], but a contained failure is returned as
+    /// a structured [`ExecError`]. The program itself stays valid: all
+    /// protocol state is per-run, so a failed run can simply be retried.
+    ///
+    /// # Errors
+    /// See [`ExecError`] for the post-abort state guarantees.
+    pub fn try_run<K>(&self, kernel: K) -> Result<Execution, ExecError>
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let cfg = &self.cfg;
+        let shared = SharedDataState::new_table(self.graph.num_data());
+        let shared = &shared;
+        let kernel = &kernel;
+        let abort = &AbortFlag::new();
+        let status = &StatusTable::new(cfg.workers);
+
+        let start = Instant::now();
+        let workers = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.workers)
+                .map(|w| {
+                    let prog = &self.programs[w];
+                    s.spawn(move || {
+                        let me = WorkerId::from_index(w);
+                        self.run_program(prog, shared, kernel, me, abort, status, start)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        if let Some(cause) = abort.take_cause() {
+            return Err(cause.into_error());
+        }
+        let mut run = Execution {
+            report: ExecReport {
+                wall: start.elapsed(),
+                workers,
+            },
+            ..Execution::default()
+        };
+        run.trace = run.report.take_trace();
+        if let (Some(trace), Some(path)) = (
+            run.trace.as_ref(),
+            cfg.trace.as_ref().and_then(|t| t.chrome_path.as_ref()),
+        ) {
+            trace
+                .write_chrome(path)
+                .unwrap_or_else(|e| panic!("cannot write Chrome trace to {}: {e}", path.display()));
+        }
+        Ok(run)
+    }
+
+    /// One worker's interpreter: a linear walk of the code stream through
+    /// the shared [`WorkerCtx`] engine. `tasks_visited` counts `Run`
+    /// instructions (own tasks); `ops.syncs` counts applied deltas.
+    #[allow(clippy::too_many_arguments)]
+    fn run_program<K>(
+        &self,
+        prog: &WorkerProgram,
+        shared: &[SharedDataState],
+        kernel: &K,
+        me: WorkerId,
+        abort: &AbortFlag,
+        status: &StatusTable,
+        epoch: Instant,
+    ) -> crate::report::WorkerReport
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let tasks = self.graph.tasks();
+        let arena = self.flat.arena();
+        let mut ctx = WorkerCtx::new(
+            &self.cfg,
+            self.graph.num_data(),
+            shared,
+            me,
+            abort,
+            status,
+            epoch,
+        );
+        let loop_start = Instant::now();
+        for &code in &prog.code {
+            if code & SYNC_BIT != 0 {
+                let s = &prog.syncs[(code & !SYNC_BIT) as usize];
+                ctx.apply_sync(s.data as usize, s.delta);
+            } else {
+                let r = &prog.runs[code as usize];
+                let t = &tasks[r.task as usize];
+                ctx.tasks_visited += 1;
+                if !ctx.exec_task(kernel, t, &arena[r.start as usize..r.end as usize]) {
+                    break;
+                }
+            }
+        }
+        ctx.finish(loop_start.elapsed())
+    }
+}
+
+impl std::fmt::Debug for CompiledFlow<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledFlow")
+            .field("workers", &self.cfg.workers)
+            .field("flow_len", &self.stats.flow_len)
+            .field("runs_per_worker", &self.stats.runs_per_worker)
+            .field("syncs_per_worker", &self.stats.syncs_per_worker)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::wait::WaitStrategy;
+    use rio_stf::{Access, DataId, DataStore, RoundRobin, TableMapping, TaskId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn cfg(workers: usize) -> RioConfig {
+        RioConfig::with_workers(workers).wait(WaitStrategy::Park)
+    }
+
+    fn compile(c: RioConfig, g: &TaskGraph) -> CompiledFlow<'_> {
+        Executor::new(c).mapping(&RoundRobin).compile(g)
+    }
+
+    #[test]
+    fn independent_tasks_compile_to_runs_only() {
+        // Each task writes its own datum: no worker ever needs a foreign
+        // delta, so every program is pure Run instructions — the compiled
+        // form of "pruning removes everything foreign".
+        let n = 40;
+        let mut b = TaskGraph::builder(n);
+        for i in 0..n {
+            b.task(&[Access::write(DataId::from_index(i))], 1, "ind");
+        }
+        let g = b.build();
+        let flow = compile(cfg(4), &g);
+        let stats = flow.stats();
+        assert_eq!(stats.runs_per_worker, vec![10; 4]);
+        assert_eq!(stats.syncs_per_worker, vec![0; 4]);
+        assert_eq!(stats.folded_declares, 0);
+        // 4 workers × 30 foreign single-access tasks each.
+        assert_eq!(stats.irrelevant_declares, 120);
+        assert_eq!(stats.coalesce_factor(), 0.0);
+        assert_eq!(stats.instructions(), 40);
+    }
+
+    #[test]
+    fn shared_chain_coalesces_foreign_runs_into_single_syncs() {
+        // A 100-task RW chain on one datum over 2 workers (round-robin):
+        // between two of a worker's own tasks sits exactly one foreign
+        // task, so coalescing is 1:1 here — but the structure is checked
+        // exactly: alternating Sync/Run, one delta per foreign task.
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..100 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let flow = compile(cfg(2), &g);
+        let stats = flow.stats();
+        assert_eq!(stats.runs_per_worker, vec![50, 50]);
+        // W0 owns T1: nothing to sync before it; 49 foreign gaps follow.
+        // The trailing foreign task (T100 for W0) is dead and dropped.
+        assert_eq!(stats.syncs_per_worker, vec![49, 50]);
+        assert_eq!(stats.trailing_syncs, 1);
+        // All 100 foreign declares (50 per worker) were folded; 99 made
+        // it into live Sync instructions, the trailing one was dropped.
+        assert_eq!(stats.folded_declares, 100);
+        assert!((stats.coalesce_factor() - 100.0 / 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_foreign_runs_coalesce_many_declares_into_one_sync() {
+        // W0 owns only the first and last task; the 98 tasks between are
+        // W1's, all on the same datum: W0's program must contain exactly
+        // ONE Sync covering all 98 declares.
+        let n = 100;
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let m = TableMapping::from_fn(n, |i| rio_stf::WorkerId(u32::from(!(i == 0 || i == n - 1))));
+        let flow = Executor::new(cfg(2)).mapping(&m).compile(&g);
+        let stats = flow.stats();
+        assert_eq!(stats.runs_per_worker, vec![2, 98]);
+        assert_eq!(stats.syncs_per_worker, vec![1, 1]);
+        // 98 for W0's one gap; W1 folds the head task plus the tail task
+        // (the latter is trailing for W1 and dropped again).
+        assert_eq!(stats.folded_declares, 98 + 2);
+        assert_eq!(stats.trailing_syncs, 1);
+        // The one W0 delta summarizes 98 read-writes: last write T99,
+        // zero reads after it.
+        let s = &flow.programs[0].syncs[0];
+        assert_eq!(s.delta.new_last_write, TaskId(99));
+        assert_eq!(s.delta.reads_delta, 0);
+        // And the run is correct.
+        let store = DataStore::from_vec(vec![0u64]);
+        flow.run(|_, _| *store.write(DataId(0)) += 1);
+        assert_eq!(store.into_vec(), vec![n as u64]);
+    }
+
+    #[test]
+    fn read_runs_fold_into_read_deltas() {
+        // T1 (W0) writes; T2..T9 (W1) read; T10 (W0) writes again. W0's
+        // program: Run(T1), Sync(8 reads), Run(T10).
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        for _ in 0..8 {
+            b.task(&[Access::read(DataId(0))], 1, "r");
+        }
+        b.task(&[Access::write(DataId(0))], 1, "w2");
+        let g = b.build();
+        let m = TableMapping::from_fn(10, |i| rio_stf::WorkerId(u32::from(!(i == 0 || i == 9))));
+        let flow = Executor::new(cfg(2)).mapping(&m).compile(&g);
+        let s = &flow.programs[0].syncs[0];
+        assert_eq!(s.delta.reads_delta, 8);
+        assert_eq!(s.delta.new_last_write, TaskId::NONE);
+        let store = DataStore::from_vec(vec![0u64]);
+        let seen = AtomicU64::new(0);
+        flow.run(|_, t| match t.kind {
+            "w" => *store.write(DataId(0)) = 42,
+            "r" => {
+                assert_eq!(*store.read(DataId(0)), 42);
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            "w2" => *store.write(DataId(0)) = 7,
+            _ => unreachable!(),
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
+        assert_eq!(store.into_vec(), vec![7]);
+    }
+
+    #[test]
+    fn compiled_run_matches_interpreted_results() {
+        // Mixed mesh over 4 data objects; compiled and interpreted must
+        // produce the same store (both equal the sequential result).
+        let mut b = TaskGraph::builder(4);
+        for i in 0..200u32 {
+            let r = DataId(i % 4);
+            let w = DataId((i / 2) % 4);
+            if r == w {
+                b.task(&[Access::read_write(w)], 1, "rw");
+            } else {
+                b.task(&[Access::read(r), Access::write(w)], 1, "mix");
+            }
+        }
+        let g = b.build();
+        let run_store = |compiled: bool| {
+            let store = DataStore::filled(4, 0u64);
+            let kernel = |_: WorkerId, t: &TaskDesc| {
+                for a in &t.accesses {
+                    if a.mode.writes() {
+                        *store.write(a.data) += u64::from(a.data.0) + t.id.0;
+                    } else {
+                        std::hint::black_box(*store.read(a.data));
+                    }
+                }
+            };
+            if compiled {
+                compile(cfg(3), &g).run(kernel);
+            } else {
+                Executor::new(cfg(3)).mapping(&RoundRobin).run(&g, kernel);
+            }
+            store.into_vec()
+        };
+        assert_eq!(run_store(true), run_store(false));
+    }
+
+    #[test]
+    fn compiled_report_counts_runs_and_syncs() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..10 {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        let g = b.build();
+        let flow = compile(cfg(2), &g);
+        let run = flow.run(|_, _| {});
+        assert_eq!(run.report.tasks_executed(), 10);
+        for w in &run.report.workers {
+            assert_eq!(w.tasks_executed, 5);
+            assert_eq!(w.tasks_visited, 5, "visited == own Run instructions");
+            assert_eq!(w.ops.gets, 5);
+            assert_eq!(w.ops.terminates, 5);
+            assert_eq!(w.ops.declares, 0, "compiled runs declare via syncs");
+            assert!(w.ops.syncs > 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_compiles_and_runs() {
+        let g = TaskGraph::builder(0).build();
+        let flow = compile(cfg(2), &g);
+        assert_eq!(flow.stats().instructions(), 0);
+        let run = flow.run(|_, _| unreachable!());
+        assert_eq!(run.report.tasks_executed(), 0);
+    }
+
+    #[test]
+    fn compiled_flow_is_reusable_across_runs() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..60 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let flow = compile(cfg(3), &g);
+        let store = DataStore::from_vec(vec![0u64]);
+        for _ in 0..5 {
+            flow.run(|_, _| *store.write(DataId(0)) += 1);
+        }
+        assert_eq!(store.into_vec(), vec![300]);
+    }
+
+    #[test]
+    fn preflight_validation_happens_at_compile_time_only() {
+        use std::sync::atomic::AtomicUsize;
+        struct Counting(AtomicUsize);
+        impl Mapping for Counting {
+            fn worker_of(&self, task: TaskId, workers: usize) -> rio_stf::WorkerId {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                rio_stf::WorkerId((task.index() % workers) as u32)
+            }
+        }
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..20 {
+            b.task(&[Access::read_write(DataId(0))], 1, "t");
+        }
+        let g = b.build();
+        let m = Counting(AtomicUsize::new(0));
+        let flow = Executor::new(cfg(2)).mapping(&m).compile(&g);
+        let after_compile = m.0.load(Ordering::Relaxed);
+        assert!(after_compile > 0, "compile evaluates the mapping");
+        flow.run(|_, _| {});
+        flow.run(|_, _| {});
+        assert_eq!(
+            m.0.load(Ordering::Relaxed),
+            after_compile,
+            "runs never re-evaluate or re-validate the mapping"
+        );
+    }
+
+    #[test]
+    fn compile_rejects_an_invalid_mapping() {
+        struct Bad;
+        impl Mapping for Bad {
+            fn worker_of(&self, _: TaskId, workers: usize) -> rio_stf::WorkerId {
+                rio_stf::WorkerId(workers as u32)
+            }
+        }
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "t");
+        let g = b.build();
+        let err = Executor::new(cfg(2))
+            .mapping(&Bad)
+            .try_compile(&g)
+            .expect_err("out-of-range mapping must fail at compile time");
+        assert_eq!(err.kind(), "invalid-mapping");
+    }
+
+    #[test]
+    fn failed_run_leaves_the_program_reusable() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..30 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let flow = compile(cfg(2), &g);
+        let err = flow
+            .try_run(|_, t| {
+                if t.id == TaskId(7) {
+                    panic!("kernel exploded");
+                }
+            })
+            .expect_err("the injected panic must abort the run");
+        assert_eq!(err.kind(), "task-panicked");
+        // Same program, fresh run: everything works.
+        let store = DataStore::from_vec(vec![0u64]);
+        let run = flow.run(|_, _| *store.write(DataId(0)) += 1);
+        assert_eq!(run.report.tasks_executed(), 30);
+        assert_eq!(store.into_vec(), vec![30]);
+    }
+
+    #[test]
+    fn all_wait_strategies_agree_under_compilation() {
+        for wait in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinYield,
+            WaitStrategy::Park,
+        ] {
+            let mut b = TaskGraph::builder(2);
+            for i in 0..100u32 {
+                b.task(&[Access::read_write(DataId(i % 2))], 1, "inc");
+            }
+            let g = b.build();
+            let store = DataStore::from_vec(vec![0u64, 0]);
+            let flow = compile(RioConfig::with_workers(2).wait(wait), &g);
+            flow.run(|_, t| {
+                let d = t.accesses[0].data;
+                *store.write(d) += 1;
+            });
+            assert_eq!(store.into_vec(), vec![50, 50], "strategy {wait}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "static total mapping")]
+    fn hybrid_executors_cannot_compile() {
+        let g = TaskGraph::builder(0).build();
+        let _ = Executor::new(cfg(2))
+            .hybrid(&crate::hybrid::Unmapped)
+            .compile(&g);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn compiled_runs_can_be_traced() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..40 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let flow = Executor::new(cfg(2))
+            .mapping(&RoundRobin)
+            .trace(crate::trace_api::TraceConfig::new())
+            .compile(&g);
+        let run = flow.run(|_, _| {});
+        let trace = run.trace.expect("trace present");
+        assert_eq!(trace.workers.len(), 2);
+        assert_eq!(trace.workers.iter().map(|w| w.tasks).sum::<u64>(), 40);
+    }
+}

@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use rio_stf::{ExecError, Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
 
+use crate::compile::CompiledFlow;
 use crate::config::RioConfig;
 use crate::graph::try_execute_graph_impl;
 use crate::hybrid::{try_execute_graph_hybrid_impl, HybridStats, PartialMapping};
@@ -130,6 +131,47 @@ impl<'a> Executor<'a> {
     /// The configuration this executor will run with.
     pub fn config(&self) -> &RioConfig {
         &self.cfg
+    }
+
+    /// Compiles `graph` ahead of time into per-worker instruction streams
+    /// (see [`crate::compile`]): mapping evaluation, preflight validation
+    /// and the pruning-style relevance analysis are paid once, and every
+    /// maximal run of consecutive non-local tasks collapses into one
+    /// private-state delta per touched data object. The returned
+    /// [`CompiledFlow`] can be [run](CompiledFlow::run) any number of
+    /// times and borrows only `graph` (the configuration is captured).
+    ///
+    /// [`Executor::pruning`] is irrelevant here: compilation subsumes
+    /// pruning (a task a visit list would skip compiles to no
+    /// instruction at all).
+    ///
+    /// # Panics
+    /// If a partial mapping was set with [`Executor::hybrid`] — flow
+    /// compilation requires a static total mapping — or if the mapping
+    /// fails preflight validation ([`RioConfig::preflight`]). Use
+    /// [`Executor::try_compile`] to handle the latter structurally.
+    pub fn compile<'g>(&self, graph: &'g TaskGraph) -> CompiledFlow<'g> {
+        self.try_compile(graph).unwrap_or_else(|e| e.resume())
+    }
+
+    /// Like [`Executor::compile`], but a mapping failing preflight
+    /// validation is returned as [`ExecError::InvalidMapping`] instead of
+    /// a panic.
+    ///
+    /// # Errors
+    /// [`ExecError::InvalidMapping`] from the preflight check.
+    ///
+    /// # Panics
+    /// If a partial mapping was set with [`Executor::hybrid`].
+    pub fn try_compile<'g>(&self, graph: &'g TaskGraph) -> Result<CompiledFlow<'g>, ExecError> {
+        assert!(
+            self.partial.is_none(),
+            "flow compilation requires a static total mapping: a hybrid \
+             executor claims its unmapped tasks at run time, so its \
+             per-worker instruction streams are not known in advance"
+        );
+        let mapping: &dyn Mapping = self.mapping.unwrap_or(&RoundRobin);
+        crate::compile::try_compile(&self.cfg, graph, mapping)
     }
 
     /// Executes `graph`, invoking `kernel(worker, task)` exactly once per

@@ -17,10 +17,12 @@ use std::time::{Duration, Instant};
 
 use rio_stf::{ExecError, Mapping, StallDiagnostic, StallSite, TaskDesc, TaskGraph, WorkerId};
 
+use rio_stf::Access;
+
 use crate::config::RioConfig;
 use crate::protocol::{
-    declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
-    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
+    apply_sync, declare_batch, get_read_cx, get_write_cx, terminate_read, terminate_write,
+    AbortCause, AbortFlag, LocalDataState, SharedDataState, SyncDelta, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
@@ -141,10 +143,263 @@ where
     })
 }
 
+/// Per-worker execution context: the private protocol state, counters,
+/// timers and tracing of one worker in one run.
+///
+/// This is the single task-execution engine behind every flow walker:
+/// the interpreted [`worker_loop`] (plain and pruned — a visit list is
+/// just a restricted walk) and the compiled-program interpreter of
+/// [`crate::compile`] both drive it. Keeping the `get → kernel →
+/// terminate` sequence (with its fault containment, watchdog and tracing)
+/// in one place is what lets the compiled path claim byte-identical
+/// protocol semantics.
+pub(crate) struct WorkerCtx<'a> {
+    cfg: &'a RioConfig,
+    shared: &'a [SharedDataState],
+    pub me: WorkerId,
+    abort: &'a AbortFlag,
+    status: &'a StatusTable,
+    epoch: Instant,
+    cx: WaitCx<'a>,
+    pub locals: Vec<LocalDataState>,
+    pub ops: OpCounts,
+    pub tasks_executed: u64,
+    pub tasks_visited: u64,
+    task_time: Duration,
+    idle_time: Duration,
+    spans: Vec<rio_stf::validate::Span>,
+    tracer: Option<WorkerTracer>,
+    measure: bool,
+    record: bool,
+    wd: bool,
+    traced: bool,
+}
+
+impl<'a> WorkerCtx<'a> {
+    pub(crate) fn new(
+        cfg: &'a RioConfig,
+        num_data: usize,
+        shared: &'a [SharedDataState],
+        me: WorkerId,
+        abort: &'a AbortFlag,
+        status: &'a StatusTable,
+        epoch: Instant,
+    ) -> WorkerCtx<'a> {
+        let tracer = cfg
+            .trace
+            .as_ref()
+            .map(|tc| WorkerTracer::new(tc, me.index() as u32, epoch));
+        WorkerCtx {
+            cfg,
+            shared,
+            me,
+            abort,
+            status,
+            epoch,
+            cx: WaitCx {
+                strategy: cfg.wait,
+                spin_limit: cfg.spin_limit,
+                deadline: cfg.watchdog,
+                abort,
+            },
+            locals: vec![LocalDataState::default(); num_data],
+            ops: OpCounts::default(),
+            tasks_executed: 0,
+            tasks_visited: 0,
+            task_time: Duration::ZERO,
+            idle_time: Duration::ZERO,
+            spans: Vec::new(),
+            traced: tracer.is_some(),
+            tracer,
+            measure: cfg.measure_time,
+            record: cfg.record_spans,
+            wd: cfg.watchdog.is_some(),
+        }
+    }
+
+    /// Executes one task mapped to this worker: acquire every access in
+    /// `accesses` (declaration order), run the kernel under fault
+    /// containment, publish the completions. Returns `false` when the run
+    /// aborted and the worker must abandon the flow.
+    ///
+    /// `accesses` equals the task's declared list; it is passed separately
+    /// so callers holding an access arena slice avoid touching
+    /// `t.accesses`' heap allocation.
+    pub(crate) fn exec_task<K>(&mut self, kernel: &K, t: &TaskDesc, accesses: &[Access]) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        // Containment guarantee: no body starts once the abort is
+        // observed.
+        if self.abort.armed() {
+            return false;
+        }
+        // Acquire every declared access, in declaration order. The
+        // waits are pure condition polls (no resource is held), so no
+        // acquisition order can deadlock.
+        for a in accesses {
+            self.ops.gets += 1;
+            let s = &self.shared[a.data.index()];
+            let l = &self.locals[a.data.index()];
+            let wait_start = if self.measure || self.traced || self.wd {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            if self.wd {
+                self.status.begin_wait(self.me, a.data);
+            }
+            let wr = if a.mode.writes() {
+                get_write_cx(s, l, &self.cx)
+            } else {
+                get_read_cx(s, l, &self.cx)
+            };
+            if self.wd {
+                self.status.end_wait(self.me);
+            }
+            let wo = wr.outcome;
+            if wo.polls > 0 {
+                self.ops.waits += 1;
+                self.ops.poll_loops += wo.polls;
+                if let Some(t0) = wait_start {
+                    let t1 = Instant::now();
+                    if self.measure {
+                        self.idle_time += t1.duration_since(t0);
+                    }
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                    }
+                }
+            }
+            match wr.verdict {
+                WaitVerdict::Ready => {}
+                WaitVerdict::Aborted => return false,
+                WaitVerdict::DeadlineExceeded => {
+                    let waited = wait_start
+                        .map(|t0| t0.elapsed())
+                        .or(self.cfg.watchdog)
+                        .unwrap_or_default();
+                    let diag = stall_diagnostic(self.me, t.id, a, l, s, waited, self.status);
+                    self.abort.abort(AbortCause::Stall(diag), self.shared);
+                    return false;
+                }
+            }
+        }
+
+        let body = std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-inject")]
+            if let Some(hook) = self.cfg.fault_hook.as_ref() {
+                hook.before_task(self.me, t.id);
+            }
+            kernel(self.me, t)
+        });
+        let body_start = if self.measure || self.record || self.traced {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let outcome = std::panic::catch_unwind(body);
+        let body_span = body_start.map(|t0| {
+            let t1 = Instant::now();
+            if self.measure {
+                self.task_time += t1.duration_since(t0);
+            }
+            if self.record {
+                self.spans.push(rio_stf::validate::Span {
+                    task: t.id,
+                    start: t0.duration_since(self.epoch).as_nanos() as u64,
+                    end: t1.duration_since(self.epoch).as_nanos() as u64,
+                });
+            }
+            (t0, t1)
+        });
+        if let Err(payload) = outcome {
+            self.abort.abort(
+                AbortCause::Panic {
+                    task: t.id,
+                    worker: self.me,
+                    payload,
+                },
+                self.shared,
+            );
+            return false;
+        }
+        self.tasks_executed += 1;
+        if self.wd {
+            self.status.completed(self.me, t.id, self.tasks_executed);
+        }
+        if let (Some((t0, t1)), Some(tr)) = (body_span, self.tracer.as_mut()) {
+            tr.task(t.id, t0, t1);
+        }
+
+        for a in accesses {
+            self.ops.terminates += 1;
+            let s = &self.shared[a.data.index()];
+            let l = &mut self.locals[a.data.index()];
+            if a.mode.writes() {
+                terminate_write(s, l, t.id, self.cfg.wait);
+            } else {
+                terminate_read(s, l, self.cfg.wait);
+            }
+        }
+
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = self.cfg.fault_hook.as_ref() {
+            if hook.spurious_wake_after(self.me, t.id) {
+                crate::protocol::spurious_wake_all(self.shared);
+            }
+        }
+        true
+    }
+
+    /// Registers one non-local task in the interpreted walk: one or two
+    /// private writes per access, nothing else.
+    #[inline]
+    pub(crate) fn declare_task(&mut self, t: &TaskDesc) {
+        self.ops.declares += t.accesses.len() as u64;
+        declare_batch(&mut self.locals, t.id, &t.accesses);
+    }
+
+    /// Applies one compiled `Sync` instruction: the coalesced private-state
+    /// delta of a maximal run of non-local tasks on one data object.
+    #[inline]
+    pub(crate) fn apply_sync(&mut self, data: usize, delta: SyncDelta) {
+        self.ops.syncs += 1;
+        apply_sync(&mut self.locals[data], delta);
+    }
+
+    /// Consumes the context into the worker's report.
+    pub(crate) fn finish(self, loop_time: Duration) -> WorkerReport {
+        let ops = self.ops;
+        let trace = self.tracer.map(|tr| {
+            let mut wt = tr.finish();
+            wt.declares = ops.declares;
+            wt.gets = ops.gets;
+            wt.terminates = ops.terminates;
+            wt.loop_ns = loop_time.as_nanos() as u64;
+            wt
+        });
+        WorkerReport {
+            worker: self.me,
+            tasks_executed: self.tasks_executed,
+            tasks_visited: self.tasks_visited,
+            task_time: self.task_time,
+            idle_time: self.idle_time,
+            loop_time,
+            ops,
+            spans: self.spans,
+            trace,
+        }
+    }
+}
+
 /// The per-worker flow loop shared by [`execute_graph`] and the pruned
 /// variant: when `visit` is `Some`, only the listed flow indices are
 /// walked (they must include every task whose accesses this worker needs
-/// to register — see [`crate::pruning`]).
+/// to register — see [`crate::pruning`]). Both cases interpret the flow
+/// through the same [`WorkerCtx`] engine; a visit list merely restricts
+/// the walk (the degenerate form of the compilation in
+/// [`crate::compile`], which additionally coalesces the declares).
 ///
 /// Fault containment: the kernel runs under `catch_unwind`; the first
 /// failure (body panic, or watchdog-diagnosed stall) records its
@@ -169,32 +424,12 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    let mut locals = vec![LocalDataState::default(); graph.num_data()];
-    let mut ops = OpCounts::default();
-    let mut task_time = Duration::ZERO;
-    let mut idle_time = Duration::ZERO;
-    let mut tasks_executed = 0u64;
-    let mut tasks_visited = 0u64;
-    let mut spans = Vec::new();
-    let measure = cfg.measure_time;
-    let record = cfg.record_spans;
-    let wd = cfg.watchdog.is_some();
-    let cx = WaitCx {
-        strategy: cfg.wait,
-        spin_limit: cfg.spin_limit,
-        deadline: cfg.watchdog,
-        abort,
-    };
-    let mut tracer = cfg
-        .trace
-        .as_ref()
-        .map(|tc| WorkerTracer::new(tc, me.index() as u32, epoch));
-    let traced = tracer.is_some();
+    let mut ctx = WorkerCtx::new(cfg, graph.num_data(), shared, me, abort, status, epoch);
 
     let loop_start = Instant::now();
     // Returns `false` when the run aborted and the worker must stop.
-    let mut step = |t: &TaskDesc| -> bool {
-        tasks_visited += 1;
+    let step = |ctx: &mut WorkerCtx<'_>, t: &TaskDesc| -> bool {
+        ctx.tasks_visited += 1;
         let executor = mapping.worker_of(t.id, cfg.workers);
         debug_assert!(
             executor.index() < cfg.workers,
@@ -202,145 +437,17 @@ where
             t.id
         );
         if executor == me {
-            // Containment guarantee: no body starts once the abort is
-            // observed.
-            if abort.armed() {
-                return false;
-            }
-            // Acquire every declared access, in declaration order. The
-            // waits are pure condition polls (no resource is held), so no
-            // acquisition order can deadlock.
-            for a in &t.accesses {
-                ops.gets += 1;
-                let s = &shared[a.data.index()];
-                let l = &locals[a.data.index()];
-                let wait_start = if measure || traced || wd {
-                    Some(Instant::now())
-                } else {
-                    None
-                };
-                if wd {
-                    status.begin_wait(me, a.data);
-                }
-                let wr = if a.mode.writes() {
-                    get_write_cx(s, l, &cx)
-                } else {
-                    get_read_cx(s, l, &cx)
-                };
-                if wd {
-                    status.end_wait(me);
-                }
-                let wo = wr.outcome;
-                if wo.polls > 0 {
-                    ops.waits += 1;
-                    ops.poll_loops += wo.polls;
-                    if let Some(t0) = wait_start {
-                        let t1 = Instant::now();
-                        if measure {
-                            idle_time += t1.duration_since(t0);
-                        }
-                        if let Some(tr) = tracer.as_mut() {
-                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
-                        }
-                    }
-                }
-                match wr.verdict {
-                    WaitVerdict::Ready => {}
-                    WaitVerdict::Aborted => return false,
-                    WaitVerdict::DeadlineExceeded => {
-                        let waited = wait_start
-                            .map(|t0| t0.elapsed())
-                            .or(cfg.watchdog)
-                            .unwrap_or_default();
-                        let diag = stall_diagnostic(me, t.id, a, l, s, waited, status);
-                        abort.abort(AbortCause::Stall(diag), shared);
-                        return false;
-                    }
-                }
-            }
-
-            let body = std::panic::AssertUnwindSafe(|| {
-                #[cfg(feature = "fault-inject")]
-                if let Some(hook) = cfg.fault_hook.as_ref() {
-                    hook.before_task(me, t.id);
-                }
-                kernel(me, t)
-            });
-            let body_start = if measure || record || traced {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            let outcome = std::panic::catch_unwind(body);
-            let body_span = body_start.map(|t0| {
-                let t1 = Instant::now();
-                if measure {
-                    task_time += t1.duration_since(t0);
-                }
-                if record {
-                    spans.push(rio_stf::validate::Span {
-                        task: t.id,
-                        start: t0.duration_since(epoch).as_nanos() as u64,
-                        end: t1.duration_since(epoch).as_nanos() as u64,
-                    });
-                }
-                (t0, t1)
-            });
-            if let Err(payload) = outcome {
-                abort.abort(
-                    AbortCause::Panic {
-                        task: t.id,
-                        worker: me,
-                        payload,
-                    },
-                    shared,
-                );
-                return false;
-            }
-            tasks_executed += 1;
-            if wd {
-                status.completed(me, t.id, tasks_executed);
-            }
-            if let (Some((t0, t1)), Some(tr)) = (body_span, tracer.as_mut()) {
-                tr.task(t.id, t0, t1);
-            }
-
-            for a in &t.accesses {
-                ops.terminates += 1;
-                let s = &shared[a.data.index()];
-                let l = &mut locals[a.data.index()];
-                if a.mode.writes() {
-                    terminate_write(s, l, t.id, cfg.wait);
-                } else {
-                    terminate_read(s, l, cfg.wait);
-                }
-            }
-
-            #[cfg(feature = "fault-inject")]
-            if let Some(hook) = cfg.fault_hook.as_ref() {
-                if hook.spurious_wake_after(me, t.id) {
-                    crate::protocol::spurious_wake_all(shared);
-                }
-            }
+            ctx.exec_task(kernel, t, &t.accesses)
         } else {
-            // Not ours: one or two private writes per access, nothing else.
-            for a in &t.accesses {
-                ops.declares += 1;
-                let l = &mut locals[a.data.index()];
-                if a.mode.writes() {
-                    declare_write(l, t.id);
-                } else {
-                    declare_read(l);
-                }
-            }
+            ctx.declare_task(t);
+            true
         }
-        true
     };
 
     match visit {
         None => {
             for t in graph.tasks() {
-                if !step(t) {
+                if !step(&mut ctx, t) {
                     break;
                 }
             }
@@ -348,37 +455,14 @@ where
         Some(indices) => {
             let tasks = graph.tasks();
             for &i in indices {
-                if !step(&tasks[i as usize]) {
+                if !step(&mut ctx, &tasks[i as usize]) {
                     break;
                 }
             }
         }
     }
 
-    // `step` mutably borrows `tracer` (and the counters); shadow it away
-    // so the closure's captures end before we consume `tracer` below.
-    #[allow(dropping_copy_types, clippy::drop_non_drop)]
-    drop(step);
-    let loop_time = loop_start.elapsed();
-    let trace = tracer.map(|tr| {
-        let mut wt = tr.finish();
-        wt.declares = ops.declares;
-        wt.gets = ops.gets;
-        wt.terminates = ops.terminates;
-        wt.loop_ns = loop_time.as_nanos() as u64;
-        wt
-    });
-    WorkerReport {
-        worker: me,
-        tasks_executed,
-        tasks_visited,
-        task_time,
-        idle_time,
-        loop_time,
-        ops,
-        spans,
-        trace,
-    }
+    ctx.finish(loop_start.elapsed())
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@
 //! assert_eq!(store.into_vec(), vec![50, 50]);
 //! ```
 
+pub mod compile;
 pub mod config;
 pub mod executor;
 pub mod flow;
@@ -79,6 +80,7 @@ pub mod status;
 pub mod trace_api;
 pub mod wait;
 
+pub use compile::{CompileStats, CompiledFlow};
 pub use config::RioConfig;
 pub use executor::{Execution, Executor};
 pub use flow::{FlowCtx, Rio, TaskView};
@@ -112,6 +114,7 @@ pub use wait::WaitStrategy;
 /// assert_eq!(run.report.tasks_executed(), 1);
 /// ```
 pub mod prelude {
+    pub use crate::compile::{CompileStats, CompiledFlow};
     pub use crate::config::RioConfig;
     pub use crate::executor::{Execution, Executor};
     pub use crate::flow::{FlowCtx, Rio, TaskView};

@@ -444,6 +444,99 @@ pub fn declare_write(local: &mut LocalDataState, task: TaskId) {
     local.last_registered_write = task;
 }
 
+/// Net private-state effect, on **one** data object, of a batch of
+/// consecutive `declare_read`/`declare_write` calls.
+///
+/// Declares compose per data object: a run of declares collapses to
+/// "the last write in the batch (if any), plus the number of reads after
+/// it". Folding every declare of a batch into a delta and then applying
+/// it with [`apply_sync`] leaves the [`LocalDataState`] bit-for-bit
+/// identical to issuing the declares one by one — the invariant the
+/// flow-compilation layer ([`crate::compile`]) is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncDelta {
+    /// Reads declared after the batch's last write (or since the batch
+    /// started, when the batch contains no write).
+    pub reads_delta: u64,
+    /// Id of the last write in the batch; [`TaskId::NONE`] when the batch
+    /// contains no write.
+    pub new_last_write: TaskId,
+}
+
+impl SyncDelta {
+    /// The delta of an empty batch: applying it changes nothing.
+    pub const EMPTY: SyncDelta = SyncDelta {
+        reads_delta: 0,
+        new_last_write: TaskId::NONE,
+    };
+
+    /// Folds one declared read into the delta.
+    #[inline]
+    pub fn fold_read(&mut self) {
+        self.reads_delta += 1;
+    }
+
+    /// Folds one declared write into the delta.
+    #[inline]
+    pub fn fold_write(&mut self, task: TaskId) {
+        self.reads_delta = 0;
+        self.new_last_write = task;
+    }
+
+    /// Folds one declared access into the delta.
+    #[inline]
+    pub fn fold(&mut self, mode: rio_stf::AccessMode, task: TaskId) {
+        if mode.writes() {
+            self.fold_write(task);
+        } else {
+            self.fold_read();
+        }
+    }
+
+    /// Would applying this delta change anything?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        *self == SyncDelta::EMPTY
+    }
+}
+
+impl Default for SyncDelta {
+    fn default() -> Self {
+        SyncDelta::EMPTY
+    }
+}
+
+/// Applies the net effect of a coalesced declare batch to one private
+/// state — the batch entry point matching [`declare_read`]/
+/// [`declare_write`]. Equivalent to replaying the batch's declares in
+/// order: a write in the batch supersedes everything before it, so only
+/// the last write id and the reads after it survive.
+#[inline]
+pub fn apply_sync(local: &mut LocalDataState, delta: SyncDelta) {
+    if delta.new_last_write != TaskId::NONE {
+        local.last_registered_write = delta.new_last_write;
+        local.nb_reads_since_write = delta.reads_delta;
+    } else {
+        local.nb_reads_since_write += delta.reads_delta;
+    }
+}
+
+/// Declares every access of one non-local task in a single call
+/// (Algorithm 2's per-access declares, batched over the access list).
+/// Semantically identical to the per-access loop the interpreted worker
+/// runs; exists so callers holding a flat access slice don't repeat it.
+#[inline]
+pub fn declare_batch(locals: &mut [LocalDataState], task: TaskId, accesses: &[rio_stf::Access]) {
+    for a in accesses {
+        let l = &mut locals[a.data.index()];
+        if a.mode.writes() {
+            declare_write(l, task);
+        } else {
+            declare_read(l);
+        }
+    }
+}
+
 /// Blocks until the data object may be read by the current task
 /// (Algorithm 2, `get_read`), the run aborts, or `cx`'s deadline expires:
 /// every flow-earlier write must have been performed. The full-featured
@@ -598,6 +691,95 @@ mod tests {
         declare_write(&mut local, TaskId(7));
         assert_eq!(local.nb_reads_since_write, 0);
         assert_eq!(local.last_registered_write, TaskId(7));
+    }
+
+    #[test]
+    fn sync_delta_fold_matches_per_access_declares() {
+        // Deterministic pseudo-random batches: folding into a SyncDelta
+        // then applying must leave the private state bit-identical to
+        // replaying the declares one by one.
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..200 {
+            let start = LocalDataState {
+                nb_reads_since_write: next() % 5,
+                last_registered_write: TaskId(next() % 4),
+            };
+            let mut replayed = start;
+            let mut delta = SyncDelta::EMPTY;
+            for step in 0..(next() % 12) {
+                let task = TaskId(100 + step);
+                if next() % 3 == 0 {
+                    declare_write(&mut replayed, task);
+                    delta.fold_write(task);
+                } else {
+                    declare_read(&mut replayed);
+                    delta.fold_read();
+                }
+            }
+            let mut batched = start;
+            apply_sync(&mut batched, delta);
+            assert_eq!(batched, replayed);
+        }
+    }
+
+    #[test]
+    fn empty_sync_delta_is_a_no_op() {
+        let start = LocalDataState {
+            nb_reads_since_write: 3,
+            last_registered_write: TaskId(9),
+        };
+        let mut local = start;
+        assert!(SyncDelta::EMPTY.is_empty());
+        assert!(SyncDelta::default().is_empty());
+        apply_sync(&mut local, SyncDelta::EMPTY);
+        assert_eq!(local, start);
+    }
+
+    #[test]
+    fn sync_delta_fold_dispatches_on_mode() {
+        use rio_stf::AccessMode;
+        let mut delta = SyncDelta::EMPTY;
+        delta.fold(AccessMode::Read, TaskId(1));
+        delta.fold(AccessMode::Read, TaskId(2));
+        assert_eq!(delta.reads_delta, 2);
+        assert_eq!(delta.new_last_write, TaskId::NONE);
+        delta.fold(AccessMode::ReadWrite, TaskId(3));
+        assert_eq!(delta.reads_delta, 0);
+        assert_eq!(delta.new_last_write, TaskId(3));
+        delta.fold(AccessMode::Read, TaskId(4));
+        assert_eq!(delta.reads_delta, 1);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn declare_batch_matches_per_access_declares() {
+        use rio_stf::{Access, DataId};
+        let accesses = [
+            Access::read(DataId(0)),
+            Access::write(DataId(1)),
+            Access::read_write(DataId(2)),
+        ];
+        let mut batched = vec![LocalDataState::default(); 3];
+        declare_batch(&mut batched, TaskId(5), &accesses);
+        let mut replayed = vec![LocalDataState::default(); 3];
+        for a in &accesses {
+            let l = &mut replayed[a.data.index()];
+            if a.mode.writes() {
+                declare_write(l, TaskId(5));
+            } else {
+                declare_read(l);
+            }
+        }
+        assert_eq!(batched, replayed);
+        assert_eq!(batched[0].nb_reads_since_write, 1);
+        assert_eq!(batched[1].last_registered_write, TaskId(5));
+        assert_eq!(batched[2].last_registered_write, TaskId(5));
     }
 
     #[test]

@@ -51,38 +51,86 @@ impl PruneStats {
     }
 }
 
+/// Pass 1 of the pruning pre-pass: per-worker bitsets over data objects
+/// — which data does each worker's own work touch? Returns `workers`
+/// consecutive rows of `num_data.div_ceil(64)` words each. `owners[i]`
+/// is the worker index the mapping assigns to flow index `i` (computed
+/// once by the caller so the mapping is evaluated once per task, not
+/// once per task per pass). Shared with [`crate::compile`], whose
+/// relevance criterion is the same.
+pub(crate) fn worker_data_bitsets(graph: &TaskGraph, owners: &[u32], workers: usize) -> Vec<u64> {
+    let words = graph.num_data().div_ceil(64);
+    let mut touched: Vec<u64> = vec![0; workers * words];
+    for (t, &w) in graph.tasks().iter().zip(owners) {
+        for a in &t.accesses {
+            let d = a.data.index();
+            touched[w as usize * words + d / 64] |= 1u64 << (d % 64);
+        }
+    }
+    touched
+}
+
 /// Computes each worker's visit list (flow indices, ascending order).
 ///
 /// Exposed separately so callers can amortize the pre-pass over repeated
 /// executions of the same (graph, mapping) pair.
+///
+/// Cost: O(tasks × accesses × workers/64). The naive formulation of
+/// pass 2 — for every task, for every worker, scan the task's accesses
+/// against the worker's bitset — is O(workers × tasks × accesses) and
+/// dominated the pre-pass at high worker counts; instead the per-worker
+/// data bitsets are inverted once into per-*data* worker bitsets, so
+/// each task ORs one `workers`-bit row per access and emits its visit
+/// entries by iterating set bits.
 pub fn compute_visit_lists<M>(graph: &TaskGraph, mapping: &M, workers: usize) -> Vec<Vec<u32>>
 where
     M: Mapping + ?Sized,
 {
+    let owners: Vec<u32> = graph
+        .tasks()
+        .iter()
+        .map(|t| mapping.worker_of(t.id, workers).index() as u32)
+        .collect();
+
     // Pass 1: which data objects does each worker's own work touch?
-    // A bitset per worker over data objects.
     let words = graph.num_data().div_ceil(64);
-    let mut touched: Vec<u64> = vec![0; workers * words];
-    for t in graph.tasks() {
-        let w = mapping.worker_of(t.id, workers).index();
-        for a in &t.accesses {
-            let d = a.data.index();
-            touched[w * words + d / 64] |= 1u64 << (d % 64);
+    let touched = worker_data_bitsets(graph, &owners, workers);
+
+    // Invert: which workers watch each data object? One `workers`-bit
+    // row per datum; built by iterating only the set bits of pass 1.
+    let wwords = workers.div_ceil(64);
+    let mut watchers: Vec<u64> = vec![0; graph.num_data() * wwords];
+    for w in 0..workers {
+        for (word, &bits) in touched[w * words..(w + 1) * words].iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let d = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                watchers[d * wwords + w / 64] |= 1u64 << (w % 64);
+            }
         }
     }
 
-    // Pass 2: build visit lists.
+    // Pass 2: per task, the visiting set is the owner plus the union of
+    // the accessed data's watcher rows.
     let mut lists: Vec<Vec<u32>> = vec![Vec::new(); workers];
+    let mut visiting: Vec<u64> = vec![0; wwords];
     for (i, t) in graph.tasks().iter().enumerate() {
-        let owner = mapping.worker_of(t.id, workers).index();
-        for (w, list) in lists.iter_mut().enumerate() {
-            let relevant = w == owner
-                || t.accesses.iter().any(|a| {
-                    let d = a.data.index();
-                    touched[w * words + d / 64] & (1u64 << (d % 64)) != 0
-                });
-            if relevant {
-                list.push(i as u32);
+        visiting.fill(0);
+        let owner = owners[i] as usize;
+        visiting[owner / 64] |= 1u64 << (owner % 64);
+        for a in &t.accesses {
+            let row = a.data.index() * wwords;
+            for (acc, &watch) in visiting.iter_mut().zip(&watchers[row..row + wwords]) {
+                *acc |= watch;
+            }
+        }
+        for (k, &bits) in visiting.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let w = k * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                lists[w].push(i as u32);
             }
         }
     }

@@ -20,6 +20,10 @@ use crate::trace_api::{Trace, WorkerTrace};
 pub struct OpCounts {
     /// `declare_read`/`declare_write` calls (non-local tasks' accesses).
     pub declares: u64,
+    /// `apply_sync` calls — coalesced declare batches applied by a
+    /// compiled run ([`crate::compile`]). Always zero on interpreted runs;
+    /// compiled runs report syncs here instead of per-access `declares`.
+    pub syncs: u64,
     /// `get_read`/`get_write` calls (local tasks' accesses).
     pub gets: u64,
     /// `get_*` calls that had to wait at least one poll.
@@ -34,6 +38,7 @@ impl OpCounts {
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &OpCounts) {
         self.declares += other.declares;
+        self.syncs += other.syncs;
         self.gets += other.gets;
         self.waits += other.waits;
         self.poll_loops += other.poll_loops;
@@ -248,6 +253,7 @@ mod tests {
     fn op_counts_merge() {
         let mut a = OpCounts {
             declares: 1,
+            syncs: 6,
             gets: 2,
             waits: 3,
             poll_loops: 4,
@@ -255,6 +261,7 @@ mod tests {
         };
         a.merge(&a.clone());
         assert_eq!(a.declares, 2);
+        assert_eq!(a.syncs, 12);
         assert_eq!(a.terminates, 10);
     }
 }

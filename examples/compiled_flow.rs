@@ -1,0 +1,116 @@
+//! Ahead-of-time flow compilation: compile once, run repeatedly.
+//!
+//! Run with: `cargo run --release --example compiled_flow`
+//!
+//! A solver that replays the same task flow every iteration (time
+//! stepping, iterative refinement, …) pays the interpreted walk — one
+//! mapping evaluation and one private declare per access, for every
+//! task, on every worker — on **every** run. `Executor::compile` lowers
+//! the `(graph, mapping, workers)` triple into one flat per-worker
+//! instruction stream up front: runs of consecutive non-local tasks
+//! collapse into a single `Sync` delta per touched data object, tasks
+//! nobody here cares about vanish entirely (pruning is subsumed), and
+//! preflight validation happens once instead of per run.
+
+use std::time::Instant;
+
+use rio::core::{Executor, RioConfig, WaitStrategy};
+use rio::stf::{Access, DataId, DataStore, TableMapping, TaskGraph, WorkerId};
+
+const NUM_DATA: u32 = 16;
+const CHAIN: u32 = 32; // updates per datum per sweep
+const SWEEPS: u32 = 8;
+
+fn main() {
+    // Sweeps of per-datum update chains plus one reduction per sweep —
+    // the shape of a time-stepping solver. Owner-computes mapping: the
+    // chain on datum d runs on worker d % workers, so between two of a
+    // worker's own chains the flow registers long runs of *foreign*
+    // updates on few data objects — exactly what coalescing collapses.
+    let workers = 16;
+    let acc = DataId(NUM_DATA);
+    let mut b = TaskGraph::builder(NUM_DATA as usize + 1);
+    for _ in 0..SWEEPS {
+        for d in 0..NUM_DATA {
+            for _ in 0..CHAIN {
+                b.task(&[Access::read_write(DataId(d))], 1, "update");
+            }
+        }
+        let mut accesses: Vec<Access> = (0..NUM_DATA).map(|d| Access::read(DataId(d))).collect();
+        accesses.push(Access::read_write(acc));
+        b.task(&accesses, 4, "reduce");
+    }
+    let graph = b.build();
+    let mapping = TableMapping::from_fn(graph.len(), |i| {
+        let t = graph.task(rio::stf::TaskId::from_index(i));
+        match t.kind {
+            "update" => WorkerId(t.accesses[0].data.0 % workers as u32),
+            _ => WorkerId(0),
+        }
+    });
+
+    let cfg = RioConfig::with_workers(workers)
+        .wait(WaitStrategy::Park)
+        .check_determinism(false);
+    let store = DataStore::filled(NUM_DATA as usize + 1, 0u64);
+    let kernel = |_: WorkerId, t: &rio::stf::TaskDesc| match t.kind {
+        "update" => *store.write(t.accesses[0].data) += 1,
+        _ => {
+            let total: u64 = (0..NUM_DATA).map(|d| *store.read(DataId(d))).sum();
+            *store.write(acc) += total;
+        }
+    };
+
+    // Compile once: mapping evaluated, preflight validated, foreign
+    // declares coalesced — all before the first run.
+    let flow = Executor::new(cfg.clone()).mapping(&mapping).compile(&graph);
+    let stats = flow.stats();
+    println!(
+        "flow: {} tasks -> {} instructions total across {} workers",
+        stats.flow_len,
+        stats.instructions(),
+        flow.config().workers,
+    );
+    println!(
+        "  per worker: runs {:?}, syncs {:?}",
+        stats.runs_per_worker, stats.syncs_per_worker
+    );
+    println!(
+        "  {} foreign declares folded into syncs ({:.1} declares per sync), {} irrelevant",
+        stats.folded_declares,
+        stats.coalesce_factor(),
+        stats.irrelevant_declares,
+    );
+
+    // Steady state: run the same program many times (fresh protocol
+    // state per run, so results are identical every time).
+    let reps = 100;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        flow.run(kernel);
+    }
+    let compiled = t0.elapsed();
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        Executor::new(cfg.clone())
+            .mapping(&mapping)
+            .run(&graph, kernel);
+    }
+    let interpreted = t0.elapsed();
+
+    println!("{reps} runs compiled:    {compiled:?}");
+    println!("{reps} runs interpreted: {interpreted:?}");
+    println!(
+        "steady-state speedup here: {:.2}x (controlled measurement: `repro compiled --json`)",
+        interpreted.as_secs_f64() / compiled.as_secs_f64().max(1e-12)
+    );
+
+    // Both paths executed the identical schedule 2x`reps` times.
+    let values = store.into_vec();
+    let per_datum = u64::from(CHAIN * SWEEPS);
+    assert!(values[..NUM_DATA as usize]
+        .iter()
+        .all(|&v| v == 2 * reps * per_datum));
+    println!("store verified: {} updates per datum", values[0]);
+}

@@ -1,0 +1,202 @@
+//! Equivalence of compiled and interpreted execution: on random flows,
+//! mappings, worker counts and wait strategies, `Executor::compile` +
+//! `CompiledFlow::run` must be observationally identical to
+//! `Executor::run` — same per-worker kernel invocation orders, same
+//! final store contents — and both must equal the sequential oracle.
+//! Coalescing only changes *how* private state is updated between a
+//! worker's own tasks, never which tasks run where in what order.
+
+use proptest::prelude::*;
+use rio::core::{Executor, RioConfig, WaitStrategy};
+use rio::stf::{
+    Access, AccessMode, DataId, DataStore, ExecError, RoundRobin, TableMapping, TaskDesc,
+    TaskGraph, TaskId, WorkerId,
+};
+use std::sync::Mutex;
+
+/// Strategy: a random well-formed task flow over `num_data` objects.
+fn arb_graph(max_tasks: usize, num_data: usize) -> impl Strategy<Value = TaskGraph> {
+    let access = (0..num_data as u32, 0..3u8).prop_map(|(d, m)| {
+        let mode = match m {
+            0 => AccessMode::Read,
+            1 => AccessMode::Write,
+            _ => AccessMode::ReadWrite,
+        };
+        Access::new(DataId(d), mode)
+    });
+    let task_accesses = proptest::collection::vec(access, 0..4).prop_map(move |mut accesses| {
+        // Deduplicate data objects within a task (writes win over reads).
+        accesses.sort_by_key(|a| (a.data, a.mode.writes()));
+        accesses.reverse();
+        accesses.dedup_by_key(|a| a.data);
+        accesses
+    });
+    proptest::collection::vec(task_accesses, 1..=max_tasks).prop_map(move |tasks| {
+        let mut b = TaskGraph::builder(num_data);
+        for accesses in tasks {
+            b.task(&accesses, 1, "prop");
+        }
+        b.build()
+    })
+}
+
+/// A deterministic pseudo-random total mapping derived from `seed`.
+fn arb_table_mapping(len: usize, workers: usize, seed: u64) -> TableMapping {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let table = (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            WorkerId((s % workers as u64) as u32)
+        })
+        .collect();
+    TableMapping::new(table)
+}
+
+/// The state-hashing kernel: final store contents identify the
+/// schedule's observable semantics.
+fn hash_kernel(store: &DataStore<u64>, t: &TaskDesc) {
+    let mut h = t.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for d in t.reads() {
+        h = (h ^ *store.read(d)).wrapping_mul(0x100_0000_01b3);
+    }
+    for d in t.writes() {
+        *store.write(d) = h;
+    }
+}
+
+fn run_sequential(graph: &TaskGraph) -> Vec<u64> {
+    let store = DataStore::filled(graph.num_data(), 0u64);
+    rio::stf::sequential::run_graph(graph, |tid| hash_kernel(&store, graph.task(tid)));
+    store.into_vec()
+}
+
+const WAITS: [WaitStrategy; 3] = [
+    WaitStrategy::Spin,
+    WaitStrategy::SpinYield,
+    WaitStrategy::Park,
+];
+
+/// Runs `graph` under `cfg`/`mapping`, compiled or interpreted, and
+/// returns `(final store, per-worker kernel invocation orders)`.
+fn observe(
+    graph: &TaskGraph,
+    cfg: &RioConfig,
+    mapping: &TableMapping,
+    compiled: bool,
+) -> (Vec<u64>, Vec<Vec<TaskId>>) {
+    let store = DataStore::filled(graph.num_data(), 0u64);
+    let orders: Vec<Mutex<Vec<TaskId>>> =
+        (0..cfg.workers).map(|_| Mutex::new(Vec::new())).collect();
+    let kernel = |w: WorkerId, t: &TaskDesc| {
+        orders[w.index()].lock().unwrap().push(t.id);
+        hash_kernel(&store, t);
+    };
+    if compiled {
+        Executor::new(cfg.clone())
+            .mapping(mapping)
+            .compile(graph)
+            .run(kernel);
+    } else {
+        Executor::new(cfg.clone())
+            .mapping(mapping)
+            .run(graph, kernel);
+    }
+    (
+        store.into_vec(),
+        orders
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence: compiled and interpreted runs agree on
+    /// per-worker kernel invocation orders and final store contents —
+    /// and both match the sequential oracle — for random graphs, random
+    /// table mappings, any worker count and every wait strategy.
+    #[test]
+    fn compiled_matches_interpreted(
+        graph in arb_graph(40, 5),
+        workers in 1usize..5,
+        map_seed in 0u64..1000,
+        wait_idx in 0usize..3,
+    ) {
+        let cfg = RioConfig::with_workers(workers).wait(WAITS[wait_idx]);
+        let mapping = arb_table_mapping(graph.len(), workers, map_seed);
+        let (interp_store, interp_orders) = observe(&graph, &cfg, &mapping, false);
+        let (comp_store, comp_orders) = observe(&graph, &cfg, &mapping, true);
+        prop_assert_eq!(&comp_orders, &interp_orders,
+            "per-worker kernel invocation orders diverged");
+        prop_assert_eq!(&comp_store, &interp_store);
+        prop_assert_eq!(comp_store, run_sequential(&graph), "oracle mismatch");
+    }
+
+    /// Compilation is also equivalent to the *pruned* interpreted path
+    /// (which it subsumes): same orders, same stores.
+    #[test]
+    fn compiled_matches_pruned(
+        graph in arb_graph(35, 4),
+        workers in 1usize..4,
+        map_seed in 0u64..1000,
+    ) {
+        let cfg = RioConfig::with_workers(workers).wait(WaitStrategy::Park);
+        let mapping = arb_table_mapping(graph.len(), workers, map_seed);
+
+        let store = DataStore::filled(graph.num_data(), 0u64);
+        let orders: Vec<Mutex<Vec<TaskId>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        Executor::new(cfg.clone())
+            .mapping(&mapping)
+            .pruning(true)
+            .run(&graph, |w: WorkerId, t: &TaskDesc| {
+                orders[w.index()].lock().unwrap().push(t.id);
+                hash_kernel(&store, t);
+            });
+        let pruned_store = store.into_vec();
+        let pruned_orders: Vec<Vec<TaskId>> = orders
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
+
+        let (comp_store, comp_orders) = observe(&graph, &cfg, &mapping, true);
+        prop_assert_eq!(comp_orders, pruned_orders);
+        prop_assert_eq!(comp_store, pruned_store);
+    }
+
+    /// Compiled state is per-run: after a run aborts with
+    /// `TaskPanicked`, a fresh `CompiledFlow::run` of the *same* program
+    /// completes and still matches the sequential oracle.
+    #[test]
+    fn compiled_flow_survives_an_aborted_run(
+        graph in arb_graph(30, 4),
+        workers in 1usize..4,
+        victim_seed in 0usize..1000,
+    ) {
+        let victim = TaskId::from_index(victim_seed % graph.len());
+        let cfg = RioConfig::with_workers(workers).wait(WaitStrategy::Park);
+        let flow = Executor::new(cfg).mapping(&RoundRobin).compile(&graph);
+
+        let err = flow
+            .try_run(|_, t: &TaskDesc| {
+                if t.id == victim {
+                    panic!("injected kernel panic");
+                }
+            })
+            .expect_err("the injected panic must abort the run");
+        match err {
+            ExecError::TaskPanicked { task, .. } => prop_assert_eq!(task, victim),
+            other => prop_assert!(false, "expected TaskPanicked, got {}", other),
+        }
+
+        // Same program, fresh run: complete and correct.
+        let store = DataStore::filled(graph.num_data(), 0u64);
+        let run = flow.run(|_, t: &TaskDesc| hash_kernel(&store, t));
+        prop_assert_eq!(run.report.tasks_executed(), graph.len() as u64);
+        prop_assert_eq!(store.into_vec(), run_sequential(&graph));
+    }
+}
