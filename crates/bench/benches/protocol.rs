@@ -67,6 +67,36 @@ fn bench_get_terminate_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Satellite of the single-word protocol rework: the uncontended
+/// Park-mode terminate in isolation. With waiter-aware wake elision this
+/// is one atomic store (write) or one `fetch_add` (read) plus a waiters
+/// check — no mutex, no condvar, no syscall.
+fn bench_terminate_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/terminate_uncontended");
+    g.bench_function("terminate_write_park", |b| {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let mut id = 1u64;
+        b.iter(|| {
+            terminate_write(
+                black_box(&shared),
+                &mut local,
+                TaskId(id),
+                WaitStrategy::Park,
+            );
+            id += 1;
+        });
+    });
+    g.bench_function("terminate_read_park", |b| {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        b.iter(|| {
+            terminate_read(black_box(&shared), &mut local, WaitStrategy::Park);
+        });
+    });
+    g.finish();
+}
+
 fn bench_store_guards(c: &mut Criterion) {
     let mut g = c.benchmark_group("store/guards");
     let store = DataStore::from_vec(vec![0u64; 4]);
@@ -96,6 +126,6 @@ fn bench_store_guards(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_declares, bench_get_terminate_cycle, bench_store_guards
+    targets = bench_declares, bench_get_terminate_cycle, bench_terminate_uncontended, bench_store_guards
 }
 criterion_main!(benches);

@@ -488,6 +488,149 @@ pub fn compiled(
 }
 
 // ---------------------------------------------------------------------
+// Park microbench — waiter-aware wake elision on the terminate path
+// ---------------------------------------------------------------------
+
+/// One row of the park microbench: per-operation cost of an uncontended
+/// Park-mode get+terminate cycle with wake elision, against an emulation
+/// of the pre-elision behaviour (unconditional lock + notify per
+/// terminate).
+#[derive(Debug, Clone)]
+pub struct ParkRow {
+    /// Which protocol operation the row measures (`write` or `read`).
+    pub op: &'static str,
+    /// ns/op with waiter-aware elision (the shipped path).
+    pub elided_ns: f64,
+    /// ns/op with an unconditional wake after every terminate.
+    pub always_wake_ns: f64,
+}
+
+/// `repro park`: the terminate-side cost of [`WaitStrategy::Park`]
+/// without waiters. With wake elision, an uncontended terminate is one
+/// atomic store (or `fetch_add`) plus one relaxed-cost waiters check; the
+/// pre-elision protocol took a mutex and notified a condvar on **every**
+/// terminate. The always-wake column emulates that old behaviour by
+/// pairing each elided terminate with exactly the lock + `notify_all`
+/// the old `SharedDataState` performed.
+pub fn park(opt: &Options) -> (String, Vec<ParkRow>) {
+    use rio_core::protocol::{
+        get_read, get_write, terminate_read, terminate_write, LocalDataState, Poison,
+        SharedDataState,
+    };
+    use rio_stf::TaskId;
+    use std::sync::{Condvar, Mutex};
+
+    let iters: u64 = if opt.quick { 200_000 } else { 2_000_000 };
+    let wait = WaitStrategy::Park;
+    // Stand-in for the per-object `Mutex<()> + Condvar` the pre-elision
+    // shared state carried: its wake path was `drop(lock()); notify_all()`.
+    let old_lock = Mutex::new(());
+    let old_cond = Condvar::new();
+    let always_wake = || {
+        drop(old_lock.lock().expect("bench mutex never poisoned"));
+        old_cond.notify_all();
+    };
+
+    let time_min = |f: &dyn Fn() -> Duration| {
+        let mut best = Duration::MAX;
+        for _ in 0..opt.reps.max(1) {
+            best = best.min(f());
+        }
+        best.as_nanos() as f64 / iters as f64
+    };
+
+    // Shared state is created inside each timed run: the private view
+    // starts fresh every rep, so the shared word must too — reusing one
+    // object across reps would leave the second rep's first `get` waiting
+    // on an epoch it never registered.
+    let write_elided = || {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let t0 = Instant::now();
+        for id in 1..=iters {
+            get_write(&shared, &local, wait, &poison);
+            terminate_write(&shared, &mut local, TaskId(id), wait);
+        }
+        t0.elapsed()
+    };
+    let read_elided = || {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            get_read(&shared, &local, wait, &poison);
+            terminate_read(&shared, &mut local, wait);
+        }
+        t0.elapsed()
+    };
+    let write_always = || {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let t0 = Instant::now();
+        for id in 1..=iters {
+            get_write(&shared, &local, wait, &poison);
+            terminate_write(&shared, &mut local, TaskId(id), wait);
+            always_wake();
+        }
+        t0.elapsed()
+    };
+    let read_always = || {
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        let poison = Poison::new();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            get_read(&shared, &local, wait, &poison);
+            terminate_read(&shared, &mut local, wait);
+            always_wake();
+        }
+        t0.elapsed()
+    };
+
+    let mut table = Table::new(["op", "elided", "always_wake", "speedup"]);
+    let mut rows = Vec::with_capacity(2);
+    let mut measure =
+        |op: &'static str, elided: &dyn Fn() -> Duration, always: &dyn Fn() -> Duration| {
+            let elided_ns = time_min(elided);
+            let always_wake_ns = time_min(always);
+            for (runtime, ns) in [
+                ("rio_elided", elided_ns),
+                ("rio_always_wake", always_wake_ns),
+            ] {
+                json::record(json::Record {
+                    figure: "park".into(),
+                    workload: format!("terminate-uncontended/op={op}"),
+                    runtime: runtime.into(),
+                    threads: 1,
+                    tasks: iters as usize,
+                    ns_per_task: ns,
+                });
+            }
+            table.row([
+                op.to_string(),
+                format!("{elided_ns:.1}ns"),
+                format!("{always_wake_ns:.1}ns"),
+                format!("{:.2}", always_wake_ns / elided_ns.max(1e-9)),
+            ]);
+            rows.push(ParkRow {
+                op,
+                elided_ns,
+                always_wake_ns,
+            });
+        };
+    measure("write", &write_elided, &write_always);
+    measure("read", &read_elided, &read_always);
+    let out = opt.emit(
+        "Park microbench — uncontended get+terminate cycle, wake elision vs unconditional wake",
+        &table,
+    );
+    (out, rows)
+}
+
+// ---------------------------------------------------------------------
 // Fig. 8 — efficiency decomposition per experiment
 // ---------------------------------------------------------------------
 

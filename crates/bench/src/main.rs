@@ -17,6 +17,8 @@
 //!   mapping     mapping-quality sweep on the LU DAG
 //!   costmodel   validate cost models (1) and (2)
 //!   compiled    interpreted vs pruned vs compiled management cost
+//!   park        uncontended Park terminate: wake elision vs always-wake
+//!   baseline    fig6 + fig7 + compiled + park in one process (for --json)
 //!   all         run everything
 //!
 //! Options:
@@ -31,6 +33,7 @@
 //!   --quick          reduced sweeps
 //!   --json           also write per-task timings to BENCH_repro.json
 //!   --assert-faster  (compiled) exit 1 if compiled ns/task exceeds interpreted
+//!                    (park) exit 1 if the elided path is not faster
 //! ```
 
 use rio_bench::figures::{self, Options};
@@ -126,6 +129,23 @@ fn main() {
                 assert_compiled_faster(&rows);
             }
         }
+        "park" => {
+            let (_, rows) = figures::park(&opt);
+            if args.iter().any(|a| a == "--assert-faster") {
+                write_json();
+                assert_park_faster(&rows);
+            }
+        }
+        "baseline" => {
+            // The committed-baseline sweep: every figure that feeds
+            // BENCH_repro.json, in one process, so a single `--json` run
+            // rewrites the whole file coherently (the JSON sink is
+            // drained into the file once, on exit).
+            figures::fig6(&opt);
+            figures::fig7(&opt, tpw, &workers);
+            figures::compiled(&opt, tpw, &workers);
+            figures::park(&opt);
+        }
         "all" => {
             figures::table1(&opt);
             figures::protocol_table(&opt);
@@ -135,6 +155,7 @@ fn main() {
             figures::fig6(&opt);
             figures::fig7(&opt, tpw, &workers);
             figures::compiled(&opt, tpw, &workers);
+            figures::park(&opt);
             for e in 1..=4 {
                 figures::fig8(&opt, e);
             }
@@ -144,7 +165,7 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|all> [options]");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|baseline|all> [options]");
             eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick --json --assert-faster");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
@@ -191,4 +212,23 @@ fn assert_compiled_faster(rows: &[figures::CompiledRow]) {
         std::process::exit(1);
     }
     eprintln!("compiled <= interpreted on all {} rows", rows.len());
+}
+
+/// The CI gate behind `park --assert-faster`: the wake-elided terminate
+/// path must beat the emulated always-wake path on every measured op.
+fn assert_park_faster(rows: &[figures::ParkRow]) {
+    let mut ok = true;
+    for r in rows {
+        if r.elided_ns > r.always_wake_ns {
+            eprintln!(
+                "REGRESSION: elided terminate_{} {:.1}ns/op > always-wake {:.1}ns/op",
+                r.op, r.elided_ns, r.always_wake_ns
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!("wake elision faster on all {} ops", rows.len());
 }

@@ -71,7 +71,10 @@ use rio_stf::{ExecError, FlatAccesses, Mapping, TaskDesc, TaskGraph, WorkerId};
 use crate::config::RioConfig;
 use crate::executor::Execution;
 use crate::graph::WorkerCtx;
-use crate::protocol::{AbortFlag, SharedDataState, SyncDelta};
+use crate::protocol::{
+    declare_read, declare_write, expected_read_word, expected_write_word, AbortFlag,
+    LocalDataState, SharedDataState, SyncDelta,
+};
 use crate::report::ExecReport;
 use crate::status::StatusTable;
 
@@ -177,6 +180,14 @@ pub struct CompiledFlow<'g> {
     cfg: RioConfig,
     graph: &'g TaskGraph,
     flat: FlatAccesses,
+    /// The precomputed expected epoch word of every access, parallel to
+    /// the access arena: `expected[k]` is the packed word
+    /// ([`crate::protocol::pack_epoch`]) that arena entry `k`'s `get_*`
+    /// waits for. Computed once by simulating the flow's declares at
+    /// compile time (worker-independent: every worker's private view
+    /// before a task equals the sequential replay of all earlier
+    /// accesses, whether it declared or performed them).
+    expected: Vec<u64>,
     programs: Vec<WorkerProgram>,
     stats: CompileStats,
 }
@@ -192,6 +203,11 @@ pub(crate) fn try_compile<'g>(
     if cfg.preflight {
         rio_stf::validate_mapping(mapping, graph.len(), cfg.workers)?;
     }
+    // The packed epoch word caps task ids and per-epoch read counts at
+    // u32; reject anything the expected-word simulation below could not
+    // represent. (Targeted — a full `graph.validate()` would also reject
+    // structural defects this path has historically tolerated.)
+    graph.validate_limits(u64::from(u32::MAX), u64::from(u32::MAX))?;
     let workers = cfg.workers;
     let tasks = graph.tasks();
     // One mapping evaluation per task, reused by every worker's pass.
@@ -200,6 +216,36 @@ pub(crate) fn try_compile<'g>(
         .map(|t| mapping.worker_of(t.id, workers).index() as u32)
         .collect();
     let flat = graph.flat_accesses();
+    // Precompute every access's expected epoch word by replaying the
+    // flow's declares once. The simulated view before task t is the same
+    // for every worker — declares and terminates update private state
+    // identically, and all of a task's gets use the pre-task view (its
+    // own terminates happen after the body; a task never declares one
+    // data object twice) — so one sequential pass serves all workers.
+    let expected: Vec<u64> = {
+        let mut sim: Vec<LocalDataState> = vec![LocalDataState::default(); graph.num_data()];
+        let mut words = vec![0u64; flat.arena().len()];
+        for (i, t) in tasks.iter().enumerate() {
+            let (start, _) = flat.range(i);
+            for (j, a) in flat.of(i).iter().enumerate() {
+                let l = &sim[a.data.index()];
+                words[start as usize + j] = if a.mode.writes() {
+                    expected_write_word(l)
+                } else {
+                    expected_read_word(l)
+                };
+            }
+            for a in flat.of(i) {
+                let l = &mut sim[a.data.index()];
+                if a.mode.writes() {
+                    declare_write(l, t.id);
+                } else {
+                    declare_read(l);
+                }
+            }
+        }
+        words
+    };
     // Relevance bitsets: which data does each worker's own work touch?
     // (Pass 1 of the §3.5 pruning pre-pass.)
     let words = graph.num_data().div_ceil(64);
@@ -266,6 +312,7 @@ pub(crate) fn try_compile<'g>(
         cfg: cfg.clone(),
         graph,
         flat,
+        expected,
         programs,
         stats,
     })
@@ -397,7 +444,8 @@ impl<'g> CompiledFlow<'g> {
                 let r = &prog.runs[code as usize];
                 let t = &tasks[r.task as usize];
                 ctx.tasks_visited += 1;
-                if !ctx.exec_task(kernel, t, &arena[r.start as usize..r.end as usize]) {
+                let range = r.start as usize..r.end as usize;
+                if !ctx.exec_task_pre(kernel, t, &arena[range.clone()], &self.expected[range]) {
                     break;
                 }
             }
@@ -710,6 +758,27 @@ mod tests {
             });
             assert_eq!(store.into_vec(), vec![50, 50], "strategy {wait}");
         }
+    }
+
+    #[test]
+    fn expected_words_follow_the_flow_simulation() {
+        use crate::protocol::pack_epoch;
+        // T1 writes d0; T2, T3 read it; T4 writes it again.
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::write(DataId(0))], 1, "w2");
+        let g = b.build();
+        let flow = compile(cfg(2), &g);
+        // T1's write waits for the initial epoch (no write, no reads).
+        assert_eq!(flow.expected[0], pack_epoch(TaskId::NONE, 0));
+        // The reads wait for T1's write (the high half; the low half of a
+        // read's expected word is masked off at wait time).
+        assert_eq!(flow.expected[1] >> 32, 1);
+        assert_eq!(flow.expected[2] >> 32, 1);
+        // T4's write waits for T1's write AND both reads.
+        assert_eq!(flow.expected[3], pack_epoch(TaskId(1), 2));
     }
 
     #[test]

@@ -289,6 +289,14 @@ impl<'a, T> FlowCtx<'a, T> {
     /// Returns the task's id (identical on every worker).
     pub fn task(&mut self, accesses: &[Access], body: impl FnOnce(&TaskView<'_, T>)) -> TaskId {
         let id = self.next_task;
+        // The packed epoch word stores task ids in 32 bits. Dynamic flows
+        // have no graph-build validation, so the limit is enforced here
+        // (one perfectly-predicted compare; reads-per-epoch is bounded by
+        // the task count, so this check covers the read half too).
+        assert!(
+            id.0 <= u64::from(u32::MAX),
+            "flow exceeds the u32 task-id limit of the packed epoch protocol"
+        );
         self.next_task = id.next();
 
         // Fold the task shape into the determinism checksum.

@@ -21,8 +21,10 @@ use rio_stf::Access;
 
 use crate::config::RioConfig;
 use crate::protocol::{
-    apply_sync, declare_batch, get_read_cx, get_write_cx, terminate_read, terminate_write,
-    AbortCause, AbortFlag, LocalDataState, SharedDataState, SyncDelta, WaitCx, WaitVerdict,
+    apply_sync, declare_batch, expected_read_word, expected_write_word, get_read_cx,
+    get_read_word_cx, get_write_cx, get_write_word_cx, terminate_read, terminate_write,
+    unpack_epoch, AbortCause, AbortFlag, LocalDataState, SharedDataState, SyncDelta, WaitCx,
+    WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
@@ -40,7 +42,11 @@ pub(crate) fn stall_diagnostic(
     waited: Duration,
     status: &StatusTable,
 ) -> Box<StallDiagnostic> {
-    let (shared_reads, shared_write) = shared.snapshot();
+    // One coherent load: both shared counters are decoded from the same
+    // packed epoch word, so the dump can never pair a new write id with a
+    // stale read count.
+    let word = shared.epoch_word();
+    let (shared_reads, shared_write) = unpack_epoch(word);
     Box::new(StallDiagnostic {
         worker: me,
         waited,
@@ -52,6 +58,7 @@ pub(crate) fn stall_diagnostic(
             local_last_registered_write: local.last_registered_write,
             shared_reads_since_write: shared_reads,
             shared_last_executed_write: shared_write,
+            shared_epoch_word: word,
         },
         workers: status.snapshot(),
     })
@@ -110,6 +117,9 @@ where
     cfg.validate();
     if cfg.preflight {
         rio_stf::validate_mapping(mapping, graph.len(), cfg.workers)?;
+        // The packed epoch word caps task ids and per-epoch read counts
+        // at u32; reject flows the protocol cannot represent.
+        graph.validate_limits(u64::from(u32::MAX), u64::from(u32::MAX))?;
     }
     let shared = SharedDataState::new_table(graph.num_data());
     let kernel = &kernel;
@@ -229,6 +239,36 @@ impl<'a> WorkerCtx<'a> {
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
+        self.exec_task_inner(kernel, t, accesses, None)
+    }
+
+    /// [`WorkerCtx::exec_task`] with the expected epoch words of every
+    /// access precomputed (by [`crate::compile`]'s flow simulation):
+    /// `pre[i]` is the word access `i` waits for, saving the interpreter's
+    /// per-get pack of the private view.
+    pub(crate) fn exec_task_pre<K>(
+        &mut self,
+        kernel: &K,
+        t: &TaskDesc,
+        accesses: &[Access],
+        pre: &[u64],
+    ) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        self.exec_task_inner(kernel, t, accesses, Some(pre))
+    }
+
+    fn exec_task_inner<K>(
+        &mut self,
+        kernel: &K,
+        t: &TaskDesc,
+        accesses: &[Access],
+        pre: Option<&[u64]>,
+    ) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
         // Containment guarantee: no body starts once the abort is
         // observed.
         if self.abort.armed() {
@@ -237,7 +277,7 @@ impl<'a> WorkerCtx<'a> {
         // Acquire every declared access, in declaration order. The
         // waits are pure condition polls (no resource is held), so no
         // acquisition order can deadlock.
-        for a in accesses {
+        for (i, a) in accesses.iter().enumerate() {
             self.ops.gets += 1;
             let s = &self.shared[a.data.index()];
             let l = &self.locals[a.data.index()];
@@ -249,10 +289,36 @@ impl<'a> WorkerCtx<'a> {
             if self.wd {
                 self.status.begin_wait(self.me, a.data);
             }
-            let wr = if a.mode.writes() {
-                get_write_cx(s, l, &self.cx)
-            } else {
-                get_read_cx(s, l, &self.cx)
+            let wr = match pre {
+                Some(words) => {
+                    // The compiled path's precomputed word must equal what
+                    // the interpreter would pack from the private view —
+                    // the compile-time simulation invariant.
+                    debug_assert_eq!(
+                        words[i],
+                        if a.mode.writes() {
+                            expected_write_word(l)
+                        } else {
+                            expected_read_word(l)
+                        },
+                        "compiled expected word diverges from the private view \
+                         ({} access {i} on {})",
+                        t.id,
+                        a.data,
+                    );
+                    if a.mode.writes() {
+                        get_write_word_cx(s, words[i], &self.cx)
+                    } else {
+                        get_read_word_cx(s, words[i], &self.cx)
+                    }
+                }
+                None => {
+                    if a.mode.writes() {
+                        get_write_cx(s, l, &self.cx)
+                    } else {
+                        get_read_cx(s, l, &self.cx)
+                    }
+                }
             };
             if self.wd {
                 self.status.end_wait(self.me);

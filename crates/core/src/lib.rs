@@ -15,10 +15,12 @@
 //!   task mapped elsewhere boils down to one or two *private* memory writes
 //!   per dependency ([`protocol`]).
 //! * **Decentralized data synchronization** (Algorithms 1–2). Each data
-//!   object carries two shared integers (`nb_reads_since_write`,
-//!   `last_executed_write`) and two private integers per worker. `get_*`
-//!   operations wait until the private view matches the shared state;
-//!   `terminate_*` operations publish completions.
+//!   object carries two shared counters (`nb_reads_since_write`,
+//!   `last_executed_write`) — packed into a single 64-bit epoch word — and
+//!   two private integers per worker. `get_*` operations wait until the
+//!   private view matches the shared state (one atomic load against one
+//!   expected word); `terminate_*` operations publish completions (one
+//!   atomic store or add).
 //!
 //! ## Entry points
 //!
@@ -72,6 +74,7 @@ pub mod executor;
 pub mod flow;
 pub mod graph;
 pub mod hybrid;
+mod park;
 pub mod protocol;
 pub mod pruning;
 pub mod redux;

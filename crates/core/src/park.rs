@@ -1,0 +1,134 @@
+//! Address-keyed parking for [`crate::wait::WaitStrategy::Park`].
+//!
+//! The packed-epoch protocol (see [`crate::protocol`]) keeps **no** mutex
+//! or condvar inside `SharedDataState`: a parked `get_*` waits on a
+//! process-wide bucket selected by hashing the address of the data
+//! object's epoch word, in the style of `parking_lot_core` / Linux
+//! futexes. This shrinks the per-data shared state to a single padded
+//! cache line and moves all blocking bookkeeping off the hot path.
+//!
+//! Bucket collisions (two data objects hashing to the same bucket) are
+//! benign: an unpark on one object may spuriously wake a waiter of the
+//! other, which re-checks its epoch word and parks again. Correctness
+//! never depends on *which* bucket a waiter sits in, only on the
+//! terminate-side protocol (see the wake-elision argument in
+//! `protocol.rs`): a waiter advertises itself *before* parking and
+//! re-checks its condition under the bucket lock, and an unpark
+//! acquires that same lock before notifying, so a published epoch can
+//! never slip between a waiter's last check and its park.
+
+use parking_lot::{Condvar, Mutex};
+
+/// One parking bucket: the mutex orders park/unpark, the condvar blocks.
+pub(crate) struct Bucket {
+    pub(crate) lock: Mutex<()>,
+    pub(crate) cond: Condvar,
+}
+
+/// Bucket count. Power of two so the hash reduces with a shift; 64 keeps
+/// the table at a couple of KiB while making collisions unlikely for the
+/// handful of objects that are ever contended at once.
+const BUCKETS: usize = 64;
+
+#[allow(clippy::declare_interior_mutable_const)] // used only as an array initializer
+const EMPTY_BUCKET: Bucket = Bucket {
+    lock: Mutex::new(()),
+    cond: Condvar::new(),
+};
+
+static TABLE: [Bucket; BUCKETS] = [EMPTY_BUCKET; BUCKETS];
+
+/// The bucket a waiter on `addr` parks in. Fibonacci hashing of the
+/// address; the top bits select the bucket.
+#[inline]
+pub(crate) fn bucket_for<T>(addr: *const T) -> &'static Bucket {
+    let h = (addr as usize as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &TABLE[(h >> (64 - BUCKETS.trailing_zeros())) as usize]
+}
+
+/// Wakes every waiter parked on `addr` (and, harmlessly, every waiter
+/// sharing its bucket).
+///
+/// Taking (and immediately releasing) the bucket lock before notifying
+/// guarantees that a waiter which checked its condition before the
+/// caller's state update is either already inside `cond.wait` (and will
+/// receive the notify) or still holds the bucket lock (in which case the
+/// caller blocks here until the waiter parks, then notifies it).
+#[cold]
+pub(crate) fn unpark_all<T>(addr: *const T) {
+    let b = bucket_for(addr);
+    drop(b.lock.lock());
+    b.cond.notify_all();
+}
+
+/// Wakes every parked waiter in the entire process — all buckets. Used by
+/// abort broadcast and spurious-wake storms, where hitting every waiter
+/// of a table in O(buckets) beats walking the table in O(data objects).
+#[cold]
+pub(crate) fn unpark_everything() {
+    for b in &TABLE {
+        drop(b.lock.lock());
+        b.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_selection_is_stable_and_in_range() {
+        let xs = [0u64; 16];
+        for x in &xs {
+            let a = bucket_for(x as *const u64) as *const Bucket;
+            let b = bucket_for(x as *const u64) as *const Bucket;
+            assert_eq!(a, b, "same address, same bucket");
+        }
+    }
+
+    #[test]
+    fn unpark_all_wakes_a_parked_thread() {
+        let word = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&word);
+        let waiter = std::thread::spawn(move || {
+            let b = bucket_for(&*w as *const AtomicU64);
+            let mut guard = b.lock.lock();
+            while w.load(Ordering::SeqCst) == 0 {
+                b.cond.wait(&mut guard);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        word.store(1, Ordering::SeqCst);
+        unpark_all(&*word as *const AtomicU64);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn unpark_everything_reaches_every_bucket() {
+        // Several words that (very likely) hash to distinct buckets.
+        let words: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let handles: Vec<_> = words
+            .iter()
+            .map(|w| {
+                let w = Arc::clone(w);
+                std::thread::spawn(move || {
+                    let b = bucket_for(&*w as *const AtomicU64);
+                    let mut guard = b.lock.lock();
+                    while w.load(Ordering::SeqCst) == 0 {
+                        b.cond.wait(&mut guard);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for w in &words {
+            w.store(1, Ordering::SeqCst);
+        }
+        unpark_everything();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

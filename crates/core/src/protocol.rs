@@ -4,9 +4,11 @@
 //! Each runtime-managed data object is a pair of states:
 //!
 //! * a **shared** state ([`SharedDataState`]), written only by workers that
-//!   *execute* tasks on the object: `nb_reads_since_write` (reads
-//!   *performed* since the last performed write) and `last_executed_write`
-//!   (id of the last write *performed*);
+//!   *execute* tasks on the object. Both counters of Algorithm 1 —
+//!   `nb_reads_since_write` (reads *performed* since the last performed
+//!   write) and `last_executed_write` (id of the last write *performed*) —
+//!   live packed in a **single 64-bit epoch word**
+//!   (`last_executed_write << 32 | nb_reads_since_write`);
 //! * a **private** state per worker ([`LocalDataState`]): `nb_reads_since_write`
 //!   (reads *encountered* in the flow since the last encountered write) and
 //!   `last_registered_write` (id of the last write *encountered*).
@@ -28,24 +30,107 @@
 //! The shared `last_executed_write` can never "skip past" the value a
 //! waiter expects: a later write W₂ itself waits for all accesses
 //! registered before it, including the waiter's task. The formal version of
-//! this argument is checked by `rio-mc` (refinement of the STF spec).
+//! this argument is checked by `rio-mc` (refinement of the STF spec, on the
+//! same packed-word encoding).
 //!
-//! ## Memory ordering
+//! ## The packed epoch word
 //!
-//! `terminate_write` resets `nb_reads_since_write` with a relaxed store
-//! *before* publishing `last_executed_write` with `Release`; `get_*` loads
-//! `last_executed_write` with `Acquire`. Observing the expected write id
-//! therefore also makes the reset — and the task body's data writes —
-//! visible. `terminate_read` publishes with `Release` so that a writer that
-//! acquires the matching reader count is ordered after the read body.
+//! ```text
+//!  63                              32 31                               0
+//! ┌───────────────────────────────────┬───────────────────────────────────┐
+//! │      last_executed_write (u32)    │     nb_reads_since_write (u32)    │
+//! └───────────────────────────────────┴───────────────────────────────────┘
+//! ```
+//!
+//! Packing turns both `get_*` guards into **one atomic load compared
+//! against one precomputed expected word** ([`expected_read_word`] /
+//! [`expected_write_word`]; a read ignores the low half via
+//! [`READ_EPOCH_MASK`]), `terminate_write` into **one store** of
+//! `pack(task, 0)` and `terminate_read` into **one `fetch_add(1)`** (the
+//! low half increments; graph validation caps per-epoch read counts at
+//! `u32::MAX`, so the increment can never carry into the write id).
+//! There is no two-load window: a write id and its epoch's read count are
+//! observed together, by construction.
+//!
+//! ## Memory ordering & wake elision
+//!
+//! Publications use `Release` stores and `get_*` uses `Acquire` loads, so
+//! observing an expected epoch word also makes the task body's data writes
+//! visible. Under [`WaitStrategy::Park`] both sides upgrade to `SeqCst`
+//! to support **waiter-aware wake elision**: a terminate only wakes anyone
+//! if the sibling `waiters` counter is non-zero, so the uncontended
+//! completion path does zero mutex traffic and zero wakes. The lost-wakeup
+//! argument needs a total order between four accesses — the terminator's
+//! word store `S` then waiters load `L`, and the waiter's waiters
+//! increment `I` then word re-check `R`:
+//!
+//! * if `L` reads 0, then `I` is after `L` in the SeqCst total order, so
+//!   `R` (after `I`) observes `S` (before `L`) — the waiter never parks;
+//! * if `L` reads ≥ 1, the terminator unparks through the waiter's bucket
+//!   ([`crate::park`]): it acquires the bucket lock before notifying, so a
+//!   waiter that re-checked before `S` is either already inside
+//!   `Condvar::wait` (and receives the notify; the mutex handover makes
+//!   `S` visible to its next re-check) or still holds the bucket lock (the
+//!   unpark blocks until the waiter parks, then notifies).
+//!
+//! Abort broadcast and spurious-wake storms bypass the waiters check and
+//! unpark *every* bucket — they are cold paths whose job is to guarantee
+//! that every wait terminates (abort, watchdog deadline) no matter what.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use rio_stf::{ExecError, StallDiagnostic, TaskId, WorkerId};
 
+use crate::park;
 use crate::wait::WaitStrategy;
+
+/// Mask selecting the `last_executed_write` half of an epoch word — the
+/// part a `get_read` compares ([`expected_read_word`]).
+pub const READ_EPOCH_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Mask selecting the whole epoch word — what a `get_write` compares.
+pub const WRITE_EPOCH_MASK: u64 = u64::MAX;
+
+/// Packs `(last_executed_write, nb_reads_since_write)` into one epoch
+/// word. Both halves must fit in `u32` — graph validation
+/// ([`rio_stf::TaskGraph::validate`]) enforces this for every flow the
+/// runtime accepts.
+#[inline]
+pub const fn pack_epoch(write: TaskId, reads: u64) -> u64 {
+    debug_assert!(
+        write.0 <= u32::MAX as u64,
+        "task id overflows the epoch word"
+    );
+    debug_assert!(
+        reads <= u32::MAX as u64,
+        "read count overflows the epoch word"
+    );
+    (write.0 << 32) | reads
+}
+
+/// Unpacks an epoch word into `(nb_reads_since_write, last_executed_write)`
+/// — the order [`SharedDataState::snapshot`] reports.
+#[inline]
+pub const fn unpack_epoch(word: u64) -> (u64, TaskId) {
+    (word & 0xFFFF_FFFF, TaskId(word >> 32))
+}
+
+/// The epoch word a `get_read` of this private view waits for: the
+/// registered write in the high half, the low half ignored via
+/// [`READ_EPOCH_MASK`].
+#[inline]
+pub fn expected_read_word(local: &LocalDataState) -> u64 {
+    pack_epoch(local.last_registered_write, 0)
+}
+
+/// The epoch word a `get_write` of this private view waits for: the
+/// registered write *and* the registered reader count, compared whole.
+#[inline]
+pub fn expected_write_word(local: &LocalDataState) -> u64 {
+    pack_epoch(local.last_registered_write, local.nb_reads_since_write)
+}
 
 /// Why a run is being aborted — recorded (first failure wins) in the
 /// [`AbortFlag`] by the worker that detected it, converted into an
@@ -134,13 +219,16 @@ impl AbortFlag {
     }
 
     /// Arms the flag and wakes every worker parked on any data object of
-    /// `table` so they can observe it.
+    /// `_table` so they can observe it.
+    ///
+    /// With address-keyed parking this broadcasts through every parking
+    /// bucket — O(buckets), independent of the table size — rather than
+    /// walking the data objects. Waiters of unrelated runs absorb the
+    /// resulting spurious wakes by re-checking their own condition.
     #[cold]
-    pub fn arm_and_wake(&self, table: &[SharedDataState]) {
+    pub fn arm_and_wake(&self, _table: &[SharedDataState]) {
         self.arm();
-        for shared in table {
-            shared.wake_all();
-        }
+        park::unpark_everything();
     }
 
     /// Records `cause` (first failure wins), arms the flag and wakes every
@@ -259,42 +347,40 @@ impl Default for LocalDataState {
     }
 }
 
-/// Shared, synchronized state of one data object: two integers plus the
-/// parking facility used by [`WaitStrategy::Park`]. Padded to its own cache
-/// lines — this is the only memory the protocol contends on.
+/// Shared, synchronized state of one data object: the packed epoch word
+/// plus the waiter indicator that lets `terminate_*` elide wakes. One
+/// padded cache line — this is the only memory the protocol contends on.
+///
+/// The initial state packs to word `0`: no write performed
+/// (`TaskId::NONE = 0`), no reads in the current epoch.
 #[repr(align(128))]
 pub struct SharedDataState {
-    /// Reads *performed* since the last performed write.
-    nb_reads_since_write: AtomicU64,
-    /// Id of the last write *performed* (`TaskId::NONE` initially).
-    last_executed_write: AtomicU64,
-    /// Parking lot for blocked `get_*` calls (Park strategy only).
-    lock: Mutex<()>,
-    cond: Condvar,
+    /// `last_executed_write << 32 | nb_reads_since_write` (see the module
+    /// docs for the layout and ordering arguments).
+    word: AtomicU64,
+    /// Number of workers parked (or about to park) on this object. A
+    /// terminate only unparks when this is non-zero.
+    waiters: AtomicU32,
 }
 
 impl Default for SharedDataState {
     fn default() -> Self {
         SharedDataState {
-            nb_reads_since_write: AtomicU64::new(0),
-            last_executed_write: AtomicU64::new(TaskId::NONE.0),
-            lock: Mutex::new(()),
-            cond: Condvar::new(),
+            word: AtomicU64::new(pack_epoch(TaskId::NONE, 0)),
+            waiters: AtomicU32::new(0),
         }
     }
 }
 
 impl std::fmt::Debug for SharedDataState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let word = self.word.load(Ordering::Relaxed);
+        let (reads, write) = unpack_epoch(word);
         f.debug_struct("SharedDataState")
-            .field(
-                "nb_reads_since_write",
-                &self.nb_reads_since_write.load(Ordering::Relaxed),
-            )
-            .field(
-                "last_executed_write",
-                &self.last_executed_write.load(Ordering::Relaxed),
-            )
+            .field("nb_reads_since_write", &reads)
+            .field("last_executed_write", &write.0)
+            .field("epoch_word", &format_args!("{word:#018x}"))
+            .field("waiters", &self.waiters.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -305,43 +391,50 @@ impl SharedDataState {
         (0..n).map(|_| SharedDataState::default()).collect()
     }
 
-    /// Snapshot of `(nb_reads_since_write, last_executed_write)` for tests
-    /// and diagnostics.
+    /// Coherent snapshot of `(nb_reads_since_write, last_executed_write)`
+    /// for tests and diagnostics — one atomic load of the epoch word, so
+    /// the pair can never mix a new write id with a stale read count.
     pub fn snapshot(&self) -> (u64, TaskId) {
-        (
-            self.nb_reads_since_write.load(Ordering::Acquire),
-            TaskId(self.last_executed_write.load(Ordering::Acquire)),
-        )
+        unpack_epoch(self.word.load(Ordering::Acquire))
     }
 
-    /// Wakes every worker parked on this object.
-    #[cold]
-    fn wake_all(&self) {
-        // Taking (and immediately releasing) the lock guarantees that any
-        // waiter which checked the condition before our state update is
-        // either already inside `cond.wait` (and will receive the notify)
-        // or will re-check after acquiring the lock and see the update.
-        drop(self.lock.lock());
-        self.cond.notify_all();
+    /// The raw packed epoch word (diagnostics).
+    pub fn epoch_word(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
     }
 
-    /// Waits until `ready()` holds, the run aborts, or the deadline (if
-    /// any) expires, according to `cx`. `ready` is the *pure* protocol
-    /// condition; the abort flag is re-checked here, on every poll, so the
-    /// condition closures stay oblivious to failure handling.
+    /// Unparks this object's waiters if — and only if — there are any.
+    /// The caller must already have published its state update with
+    /// `SeqCst` (see the module-level wake-elision argument).
+    #[inline]
+    fn wake_if_waiters(&self) {
+        if self.waiters.load(Ordering::SeqCst) != 0 {
+            park::unpark_all(self.word.as_ptr());
+        }
+    }
+
+    /// Waits until the epoch word masked with `mask` equals `expected`,
+    /// the run aborts, or the deadline (if any) expires, according to
+    /// `cx`. The abort flag is re-checked on every poll.
     ///
     /// Spurious wake-ups are harmless by construction: every strategy —
-    /// including the `Park` branch, whose `cond.wait`/`wait_for` may
-    /// return without a matching notify — loops back to re-check `ready()`
-    /// before concluding anything, and only a *timed* wait can yield
-    /// [`WaitVerdict::DeadlineExceeded`] (after the full deadline, never on
-    /// a stray wake).
-    fn wait_until_cx(&self, cx: &WaitCx<'_>, ready: impl Fn() -> bool) -> WaitResult {
+    /// including the `Park` branch, whose `Condvar::wait`/`wait_for` may
+    /// return without a matching notify (bucket collisions guarantee some)
+    /// — loops back to re-check the word before concluding anything, and
+    /// only a *timed* wait can yield [`WaitVerdict::DeadlineExceeded`]
+    /// (after the full deadline, never on a stray wake).
+    ///
+    /// Ordering: the fast and spinning paths load with `Acquire` (enough
+    /// to synchronize with the `Release`/`SeqCst` publication they match);
+    /// the parked path re-checks with `SeqCst` after announcing itself in
+    /// `waiters`, which the elision argument requires.
+    fn wait_until_cx(&self, cx: &WaitCx<'_>, expected: u64, mask: u64) -> WaitResult {
         let done = |polls, parks, verdict| WaitResult {
             outcome: WaitOutcome { polls, parks },
             verdict,
         };
-        if ready() {
+        let ready = |order: Ordering| self.word.load(order) & mask == expected;
+        if ready(Ordering::Acquire) {
             return done(0, 0, WaitVerdict::Ready);
         }
         let mut polls: u64 = 0;
@@ -349,7 +442,7 @@ impl SharedDataState {
         while polls < u64::from(cx.spin_limit) {
             std::hint::spin_loop();
             polls += 1;
-            if ready() {
+            if ready(Ordering::Acquire) {
                 return done(polls, 0, WaitVerdict::Ready);
             }
             if cx.abort.armed() {
@@ -363,7 +456,7 @@ impl SharedDataState {
             WaitStrategy::Spin => loop {
                 std::hint::spin_loop();
                 polls += 1;
-                if ready() {
+                if ready(Ordering::Acquire) {
                     return done(polls, 0, WaitVerdict::Ready);
                 }
                 if cx.abort.armed() {
@@ -378,7 +471,7 @@ impl SharedDataState {
             WaitStrategy::SpinYield => loop {
                 std::thread::yield_now();
                 polls += 1;
-                if ready() {
+                if ready(Ordering::Acquire) {
                     return done(polls, 0, WaitVerdict::Ready);
                 }
                 if cx.abort.armed() {
@@ -389,44 +482,50 @@ impl SharedDataState {
                 }
             },
             WaitStrategy::Park => {
+                // Announce before parking; terminates elide their wake
+                // only when this counter is zero.
+                self.waiters.fetch_add(1, Ordering::SeqCst);
+                let bucket = park::bucket_for(self.word.as_ptr());
                 let mut parks: u64 = 0;
-                let mut guard = self.lock.lock();
-                loop {
-                    if ready() {
-                        return done(polls, parks, WaitVerdict::Ready);
+                let mut guard = bucket.lock.lock();
+                let result = loop {
+                    if ready(Ordering::SeqCst) {
+                        break done(polls, parks, WaitVerdict::Ready);
                     }
                     if cx.abort.armed() {
-                        return done(polls, parks, WaitVerdict::Aborted);
+                        break done(polls, parks, WaitVerdict::Aborted);
                     }
                     match timer {
-                        None => self.cond.wait(&mut guard),
+                        None => bucket.cond.wait(&mut guard),
                         Some((start, d)) => {
                             let remaining = d.saturating_sub(start.elapsed());
                             if remaining.is_zero() {
-                                return done(polls, parks, WaitVerdict::DeadlineExceeded);
+                                break done(polls, parks, WaitVerdict::DeadlineExceeded);
                             }
                             // Timed-out or woken, the loop re-checks the
                             // condition either way.
-                            let _ = self.cond.wait_for(&mut guard, remaining);
+                            let _ = bucket.cond.wait_for(&mut guard, remaining);
                         }
                     }
                     polls += 1;
                     parks += 1;
-                }
+                };
+                drop(guard);
+                self.waiters.fetch_sub(1, Ordering::Release);
+                result
             }
         }
     }
 }
 
-/// Wakes every parked waiter of every data object in `table` **without any
-/// state change** — a spurious-wakeup storm. A correct `Park` wait loop
-/// absorbs this by re-checking its condition; the `fault-inject` runtimes
-/// call it when a [`rio_stf::FaultHook`] requests a storm, and tests may
-/// hammer it directly.
-pub fn spurious_wake_all(table: &[SharedDataState]) {
-    for shared in table {
-        shared.wake_all();
-    }
+/// Wakes every parked waiter of every data object **without any state
+/// change** — a spurious-wakeup storm. A correct `Park` wait loop absorbs
+/// this by re-checking its condition; the `fault-inject` runtimes call it
+/// when a [`rio_stf::FaultHook`] requests a storm, and tests may hammer it
+/// directly. Broadcasts through every parking bucket, so it reaches (at
+/// least) every waiter of `_table` regardless of bucket collisions.
+pub fn spurious_wake_all(_table: &[SharedDataState]) {
+    park::unpark_everything();
 }
 
 /// Declares (without executing) a read encountered in the flow
@@ -537,6 +636,23 @@ pub fn declare_batch(locals: &mut [LocalDataState], task: TaskId, accesses: &[ri
     }
 }
 
+/// Blocks until the epoch word's write half equals the precomputed
+/// `expected` word ([`expected_read_word`]) — the `get_read` guard with
+/// the expected-word computation hoisted out (the compiled path computes
+/// it once, at compile time).
+#[inline]
+pub fn get_read_word_cx(shared: &SharedDataState, expected: u64, cx: &WaitCx<'_>) -> WaitResult {
+    shared.wait_until_cx(cx, expected, READ_EPOCH_MASK)
+}
+
+/// Blocks until the whole epoch word equals the precomputed `expected`
+/// word ([`expected_write_word`]) — the `get_write` guard with the
+/// expected-word computation hoisted out.
+#[inline]
+pub fn get_write_word_cx(shared: &SharedDataState, expected: u64, cx: &WaitCx<'_>) -> WaitResult {
+    shared.wait_until_cx(cx, expected, WRITE_EPOCH_MASK)
+}
+
 /// Blocks until the data object may be read by the current task
 /// (Algorithm 2, `get_read`), the run aborts, or `cx`'s deadline expires:
 /// every flow-earlier write must have been performed. The full-featured
@@ -547,10 +663,7 @@ pub fn get_read_cx(
     local: &LocalDataState,
     cx: &WaitCx<'_>,
 ) -> WaitResult {
-    let expected = local.last_registered_write.0;
-    shared.wait_until_cx(cx, || {
-        shared.last_executed_write.load(Ordering::Acquire) == expected
-    })
+    get_read_word_cx(shared, expected_read_word(local), cx)
 }
 
 /// Blocks until the data object may be read by the current task
@@ -588,15 +701,7 @@ pub fn get_write_cx(
     local: &LocalDataState,
     cx: &WaitCx<'_>,
 ) -> WaitResult {
-    let expected_write = local.last_registered_write.0;
-    let expected_reads = local.nb_reads_since_write;
-    shared.wait_until_cx(cx, || {
-        // Order matters: acquiring the expected `last_executed_write` makes
-        // the matching epoch's `nb_reads_since_write` (reset included)
-        // visible, so the equality below cannot observe a stale epoch.
-        shared.last_executed_write.load(Ordering::Acquire) == expected_write
-            && shared.nb_reads_since_write.load(Ordering::Acquire) == expected_reads
-    })
+    get_write_word_cx(shared, expected_write_word(local), cx)
 }
 
 /// Blocks until the data object may be written by the current task
@@ -626,22 +731,28 @@ pub fn get_write(
 }
 
 /// Publishes a performed read (Algorithm 2, `terminate_read`) and updates
-/// the executing worker's private view.
+/// the executing worker's private view. One `fetch_add(1)` on the epoch
+/// word: the low (reader-count) half increments; validation caps per-epoch
+/// reads at `u32::MAX`, so the add can never carry into the write id.
 #[inline]
 pub fn terminate_read(
     shared: &SharedDataState,
     local: &mut LocalDataState,
     strategy: WaitStrategy,
 ) {
-    shared.nb_reads_since_write.fetch_add(1, Ordering::Release);
     if strategy == WaitStrategy::Park {
-        shared.wake_all();
+        shared.word.fetch_add(1, Ordering::SeqCst);
+        shared.wake_if_waiters();
+    } else {
+        shared.word.fetch_add(1, Ordering::Release);
     }
     declare_read(local);
 }
 
 /// Publishes a performed write (Algorithm 2, `terminate_write`) and updates
-/// the executing worker's private view.
+/// the executing worker's private view. One store of the new epoch word
+/// `pack(task, 0)` — the reader-count reset and the write-id publication
+/// are indivisible by construction.
 #[inline]
 pub fn terminate_write(
     shared: &SharedDataState,
@@ -649,12 +760,12 @@ pub fn terminate_write(
     task: TaskId,
     strategy: WaitStrategy,
 ) {
-    // Reset the reader count *before* the Release publication of the write
-    // id: observers that acquire the new id also observe the reset.
-    shared.nb_reads_since_write.store(0, Ordering::Relaxed);
-    shared.last_executed_write.store(task.0, Ordering::Release);
+    let word = pack_epoch(task, 0);
     if strategy == WaitStrategy::Park {
-        shared.wake_all();
+        shared.word.store(word, Ordering::SeqCst);
+        shared.wake_if_waiters();
+    } else {
+        shared.word.store(word, Ordering::Release);
     }
     declare_write(local, task);
 }
@@ -668,6 +779,40 @@ mod tests {
 
     fn ok() -> Poison {
         Poison::new()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for (write, reads) in [
+            (TaskId::NONE, 0),
+            (TaskId(1), 0),
+            (TaskId(1), 1),
+            (TaskId(u32::MAX as u64), u32::MAX as u64),
+            (TaskId(12345), 678),
+        ] {
+            let word = pack_epoch(write, reads);
+            assert_eq!(unpack_epoch(word), (reads, write), "({write:?}, {reads})");
+        }
+        // The initial state is word zero.
+        assert_eq!(pack_epoch(TaskId::NONE, 0), 0);
+    }
+
+    #[test]
+    fn expected_words_match_the_guards() {
+        let local = LocalDataState {
+            nb_reads_since_write: 3,
+            last_registered_write: TaskId(9),
+        };
+        assert_eq!(
+            expected_write_word(&local),
+            pack_epoch(TaskId(9), 3),
+            "a write compares the whole word"
+        );
+        assert_eq!(
+            expected_read_word(&local) & READ_EPOCH_MASK,
+            pack_epoch(TaskId(9), 7) & READ_EPOCH_MASK,
+            "a read ignores the reader count"
+        );
     }
 
     #[test]
@@ -797,6 +942,22 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_one_coherent_word() {
+        // A snapshot decodes one load: after terminate_write(T2) the pair
+        // is exactly (0, T2) — it can never pair T2 with the old epoch's
+        // read count, because both live in the same word.
+        let shared = SharedDataState::default();
+        let mut local = LocalDataState::default();
+        terminate_read(&shared, &mut local, S);
+        terminate_read(&shared, &mut local, S);
+        terminate_write(&shared, &mut local, TaskId(2), S);
+        assert_eq!(shared.snapshot(), (0, TaskId(2)));
+        assert_eq!(shared.epoch_word(), pack_epoch(TaskId(2), 0));
+        let dbg = format!("{shared:?}");
+        assert!(dbg.contains("epoch_word"), "{dbg}");
+    }
+
+    #[test]
     fn single_worker_wrw_sequence_never_waits() {
         // One worker owning every task never waits: its private view always
         // matches the shared state it itself produced.
@@ -885,6 +1046,58 @@ mod tests {
     }
 
     #[test]
+    fn waiters_counter_returns_to_zero() {
+        let shared = Arc::new(SharedDataState::default());
+        let mut local_b = LocalDataState::default();
+        declare_write(&mut local_b, TaskId(1));
+
+        let s = Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            get_read(&s, &local_b, WaitStrategy::Park, &ok());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut local_a = LocalDataState::default();
+        terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
+        waiter.join().unwrap();
+        assert_eq!(
+            shared.waiters.load(Ordering::SeqCst),
+            0,
+            "every wait exit deregisters"
+        );
+    }
+
+    #[test]
+    fn elided_wake_never_loses_a_parked_waiter() {
+        // Stress the elision race: a waiter parks on an object while the
+        // terminator publishes. Whatever the interleaving — terminator
+        // sees no waiter (the waiter must then see the new word and not
+        // park) or sees one (and unparks it) — the wait must complete.
+        for round in 0..200 {
+            let shared = Arc::new(SharedDataState::default());
+            let mut local_b = LocalDataState::default();
+            declare_write(&mut local_b, TaskId(1));
+            let s = Arc::clone(&shared);
+            let waiter = std::thread::spawn(move || {
+                // Tiny spin budget maximizes the chance of actually parking.
+                let flag = AbortFlag::new();
+                let cx = WaitCx {
+                    strategy: WaitStrategy::Park,
+                    spin_limit: 0,
+                    deadline: None,
+                    abort: &flag,
+                };
+                get_write_cx(&s, &local_b, &cx).verdict
+            });
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            let mut local_a = LocalDataState::default();
+            terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Park);
+            assert_eq!(waiter.join().unwrap(), WaitVerdict::Ready, "round {round}");
+        }
+    }
+
+    #[test]
     fn wait_outcome_counts_parks_only_under_park() {
         // Fast path: no polls, no parks.
         let shared = SharedDataState::default();
@@ -964,6 +1177,7 @@ mod tests {
     #[test]
     fn shared_state_is_cache_line_padded() {
         assert!(std::mem::align_of::<SharedDataState>() >= 128);
+        assert!(std::mem::size_of::<SharedDataState>() <= 128, "one line");
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! | write        | last write, all prior reads **and** accs performed    |
 //!
 //! Accumulations never wait for each other; their bodies are serialized by
-//! a per-object mutex.
+//! a per-object mutex. Blocked waits use the same waiter-aware wake
+//! elision as the base protocol (see [`crate::protocol`]): a terminator
+//! only touches the process-wide parking table (see `park.rs`) when a
+//! waiter has advertised itself first, so uncontended completions do no
+//! mutex traffic at all.
 //!
 //! ```
 //! use rio_core::redux::{RAccess, ReduxRio};
@@ -43,14 +47,15 @@
 //! });
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use rio_stf::store::{ReadGuard, WriteGuard};
 use rio_stf::{DataId, DataStore, Mapping, TaskId, WorkerId};
 
 use crate::config::RioConfig;
+use crate::park;
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::wait::WaitStrategy;
 
@@ -117,16 +122,23 @@ struct RLocal {
 }
 
 /// Shared state of one data object in the extended protocol.
+///
+/// Like [`crate::protocol::SharedDataState`] this carries no mutex or
+/// condvar for *waiting*: parked waiters sit in the process-wide bucket
+/// table keyed by the address of `last_executed_write`, and advertise
+/// themselves in `waiters` so terminators can elide the wake entirely
+/// when nobody is parked. (The `body_lock` is unrelated: it serializes
+/// accumulation *bodies*, not protocol waits.)
 #[repr(align(128))]
 struct RShared {
     nb_reads_since_write: AtomicU64,
     nb_accs_since_write: AtomicU64,
     last_executed_write: AtomicU64,
+    /// Number of threads that are parked (or committing to park) on this
+    /// object. See the wake-elision argument in `protocol.rs`.
+    waiters: AtomicU32,
     /// Serializes accumulation bodies.
     body_lock: Mutex<()>,
-    /// Parking facility for blocked waits.
-    lock: Mutex<()>,
-    cond: Condvar,
 }
 
 impl Default for RShared {
@@ -135,30 +147,40 @@ impl Default for RShared {
             nb_reads_since_write: AtomicU64::new(0),
             nb_accs_since_write: AtomicU64::new(0),
             last_executed_write: AtomicU64::new(TaskId::NONE.0),
+            waiters: AtomicU32::new(0),
             body_lock: Mutex::new(()),
-            lock: Mutex::new(()),
-            cond: Condvar::new(),
         }
     }
 }
 
 impl RShared {
-    #[cold]
-    fn wake_all(&self) {
-        drop(self.lock.lock());
-        self.cond.notify_all();
+    /// Wakes parked waiters only if at least one advertised itself. The
+    /// `SeqCst` load pairs with the waiter's `SeqCst` increment exactly as
+    /// in the base protocol's elision proof (`protocol.rs`): the
+    /// terminator publishes with `SeqCst` *before* this load, so either it
+    /// sees the waiter here, or the waiter's post-increment re-check sees
+    /// the published state and never parks.
+    #[inline]
+    fn wake_if_waiters(&self) {
+        if self.waiters.load(Ordering::SeqCst) != 0 {
+            park::unpark_all(self.last_executed_write.as_ptr());
+        }
     }
 
+    /// Waits until `cond` holds. The closure receives the memory ordering
+    /// it must use for its loads: `Acquire` on the fast/spin paths,
+    /// `SeqCst` for the parked re-check that anchors the wake-elision
+    /// argument.
     #[inline]
-    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn() -> bool) -> u64 {
-        if cond() {
+    fn wait_until(&self, strategy: WaitStrategy, cond: impl Fn(Ordering) -> bool) -> u64 {
+        if cond(Ordering::Acquire) {
             return 0;
         }
         let mut polls = 0u64;
         while polls < u64::from(WaitStrategy::DEFAULT_SPIN_LIMIT) {
             std::hint::spin_loop();
             polls += 1;
-            if cond() {
+            if cond(Ordering::Acquire) {
                 return polls;
             }
         }
@@ -166,26 +188,28 @@ impl RShared {
             WaitStrategy::Spin => loop {
                 std::hint::spin_loop();
                 polls += 1;
-                if cond() {
+                if cond(Ordering::Acquire) {
                     return polls;
                 }
             },
             WaitStrategy::SpinYield => loop {
                 std::thread::yield_now();
                 polls += 1;
-                if cond() {
+                if cond(Ordering::Acquire) {
                     return polls;
                 }
             },
             WaitStrategy::Park => {
-                let mut guard = self.lock.lock();
-                loop {
-                    if cond() {
-                        return polls;
-                    }
-                    self.cond.wait(&mut guard);
+                self.waiters.fetch_add(1, Ordering::SeqCst);
+                let bucket = park::bucket_for(self.last_executed_write.as_ptr());
+                let mut guard = bucket.lock.lock();
+                while !cond(Ordering::SeqCst) {
+                    bucket.cond.wait(&mut guard);
                     polls += 1;
                 }
+                drop(guard);
+                self.waiters.fetch_sub(1, Ordering::Release);
+                polls
             }
         }
     }
@@ -317,18 +341,18 @@ impl<'a, T> ReduxCtx<'a, T> {
                     None
                 };
                 let polls = match a.mode {
-                    RMode::Read => s.wait_until(self.wait, || {
-                        s.last_executed_write.load(Ordering::Acquire) == expected_write
-                            && s.nb_accs_since_write.load(Ordering::Acquire) == expected_accs
+                    RMode::Read => s.wait_until(self.wait, |o| {
+                        s.last_executed_write.load(o) == expected_write
+                            && s.nb_accs_since_write.load(o) == expected_accs
                     }),
-                    RMode::Accumulate => s.wait_until(self.wait, || {
-                        s.last_executed_write.load(Ordering::Acquire) == expected_write
-                            && s.nb_reads_since_write.load(Ordering::Acquire) == expected_reads
+                    RMode::Accumulate => s.wait_until(self.wait, |o| {
+                        s.last_executed_write.load(o) == expected_write
+                            && s.nb_reads_since_write.load(o) == expected_reads
                     }),
-                    RMode::Write | RMode::ReadWrite => s.wait_until(self.wait, || {
-                        s.last_executed_write.load(Ordering::Acquire) == expected_write
-                            && s.nb_reads_since_write.load(Ordering::Acquire) == expected_reads
-                            && s.nb_accs_since_write.load(Ordering::Acquire) == expected_accs
+                    RMode::Write | RMode::ReadWrite => s.wait_until(self.wait, |o| {
+                        s.last_executed_write.load(o) == expected_write
+                            && s.nb_reads_since_write.load(o) == expected_reads
+                            && s.nb_accs_since_write.load(o) == expected_accs
                     }),
                 };
                 if polls > 0 {
@@ -372,26 +396,35 @@ impl<'a, T> ReduxCtx<'a, T> {
                 self.ops.terminates += 1;
                 let s = &self.shared[a.data.index()];
                 let l = &mut self.locals[a.data.index()];
+                // Under Park the publishing store is SeqCst so it takes a
+                // place in the total order against the waiter's SeqCst
+                // increment-then-re-check (see `wake_if_waiters`).
+                let park = self.wait == WaitStrategy::Park;
+                let publish = if park {
+                    Ordering::SeqCst
+                } else {
+                    Ordering::Release
+                };
                 match a.mode {
                     RMode::Read => {
-                        s.nb_reads_since_write.fetch_add(1, Ordering::Release);
+                        s.nb_reads_since_write.fetch_add(1, publish);
                         l.nb_reads_since_write += 1;
                     }
                     RMode::Accumulate => {
-                        s.nb_accs_since_write.fetch_add(1, Ordering::Release);
+                        s.nb_accs_since_write.fetch_add(1, publish);
                         l.nb_accs_since_write += 1;
                     }
                     RMode::Write | RMode::ReadWrite => {
                         s.nb_reads_since_write.store(0, Ordering::Relaxed);
                         s.nb_accs_since_write.store(0, Ordering::Relaxed);
-                        s.last_executed_write.store(id.0, Ordering::Release);
+                        s.last_executed_write.store(id.0, publish);
                         l.nb_reads_since_write = 0;
                         l.nb_accs_since_write = 0;
                         l.last_registered_write = id.0;
                     }
                 }
-                if self.wait == WaitStrategy::Park {
-                    s.wake_all();
+                if park {
+                    s.wake_if_waiters();
                 }
             }
         } else {

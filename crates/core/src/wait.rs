@@ -11,10 +11,12 @@
 //! * [`WaitStrategy::SpinYield`] — spin briefly, then `yield_now` between
 //!   polls. Keeps latency low while letting the OS run somebody else;
 //!   a good default on oversubscribed machines.
-//! * [`WaitStrategy::Park`] — spin briefly, then block on the data object's
-//!   mutex + condvar (the paper's prototype "uses mutexes for
-//!   synchronization"). Zero CPU while blocked, which also makes idle time
-//!   directly observable from CPU-time accounting, exactly like the paper's
+//! * [`WaitStrategy::Park`] — spin briefly, then park on an address-keyed
+//!   bucket derived from the data object's epoch word (the paper's
+//!   prototype "uses mutexes for synchronization"; ours hides them in a
+//!   process-wide parking table so the per-data state stays one cache
+//!   line). Zero CPU while blocked, which also makes idle time directly
+//!   observable from CPU-time accounting, exactly like the paper's
 //!   measurement methodology (§5.1).
 
 /// How a worker waits inside `get_read` / `get_write`.
@@ -25,8 +27,8 @@ pub enum WaitStrategy {
     /// Busy-wait with `std::thread::yield_now` between polls after a short
     /// pure-spin phase.
     SpinYield,
-    /// Short spin, then block on the per-data condition variable until a
-    /// `terminate_*` wakes us.
+    /// Short spin, then park on the data object's address-keyed bucket
+    /// until a `terminate_*` (or an abort broadcast) wakes us.
     Park,
 }
 

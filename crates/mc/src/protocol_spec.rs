@@ -36,9 +36,25 @@
 //!
 //! This is the single-threaded-logic analogue of what `loom` would test,
 //! with the memory-model side covered separately: the implementation's
-//! Release/Acquire pairs establish the happens-before edges the
+//! ordered atomics establish the happens-before edges the
 //! sequentially-consistent model assumes (see `rio-core::protocol` docs).
+//!
+//! **Packed representation.** Since the single-word protocol rework, the
+//! implementation encodes each object's shared state as one 64-bit epoch
+//! word `(last_executed_write << 32) | nb_reads_since_write`, and every
+//! `get` is a masked comparison of that word against an expected word
+//! derived from the private view. The model mirrors this exactly: it
+//! derives the shared *word* with [`rio_core::protocol::pack_epoch`] and
+//! guards gets with the very same
+//! [`expected_read_word`]/[`expected_write_word`] helpers and
+//! [`READ_EPOCH_MASK`]/[`WRITE_EPOCH_MASK`] masks the runtime compares
+//! with, so a divergence between the model's guard and the shipped guard
+//! is a compile-time impossibility rather than a transcription hazard.
 
+use rio_core::protocol::{
+    expected_read_word, expected_write_word, pack_epoch, LocalDataState, READ_EPOCH_MASK,
+    WRITE_EPOCH_MASK,
+};
 use rio_stf::{AccessMode, Mapping, RoundRobin, TaskGraph, TaskId};
 
 use crate::explorer::{explore, ExploreReport, TransitionSystem};
@@ -63,12 +79,8 @@ pub struct ProtocolSpec<'g> {
     owner: Vec<usize>,
 }
 
-/// Derived view of one worker's private counters for one data object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-struct LocalView {
-    nb_reads_since_write: u32,
-    last_registered_write: u64,
-}
+// The private per-worker view is the implementation's own
+// `LocalDataState`, so the expected-word helpers apply verbatim.
 
 impl<'g> ProtocolSpec<'g> {
     /// Builds the system for `graph`, `workers` workers and `mapping`.
@@ -112,36 +124,37 @@ impl<'g> ProtocolSpec<'g> {
         step > k && (step - k) > acc_idx
     }
 
-    /// The shared counters of data object `d`, derived from the performed
-    /// terminates: `(nb_reads_since_write, last_executed_write)`.
-    fn shared_view(&self, state: &[ControlPoint], d: rio_stf::DataId) -> (u32, u64) {
-        let mut last_write = TaskId::NONE.0;
-        let mut reads_since = 0u32;
+    /// The shared epoch word of data object `d`, derived from the
+    /// performed terminates — exactly what the implementation's single
+    /// `AtomicU64` would hold in this state.
+    fn shared_word(&self, state: &[ControlPoint], d: rio_stf::DataId) -> u64 {
+        let mut last_write = TaskId::NONE;
+        let mut reads_since = 0u64;
         for (ti, t) in self.graph.tasks().iter().enumerate() {
             for (ai, a) in t.accesses.iter().enumerate() {
                 if a.data != d || !self.terminate_done(state, ti, ai) {
                     continue;
                 }
                 if a.mode.writes() {
-                    last_write = t.id.0;
+                    last_write = t.id;
                     reads_since = 0;
                 } else {
                     reads_since += 1;
                 }
             }
         }
-        (reads_since, last_write)
+        pack_epoch(last_write, reads_since)
     }
 
     /// Worker `w`'s private counters for object `d`, derived from its
     /// control point. Declares of non-owned tasks happen when the worker
     /// passes them; the owner's own registrations happen at each
     /// terminate (Algorithm 2 lines 26/32).
-    fn local_view(&self, state: &[ControlPoint], w: usize, d: rio_stf::DataId) -> LocalView {
+    fn local_view(&self, state: &[ControlPoint], w: usize, d: rio_stf::DataId) -> LocalDataState {
         let (pos, step) = state[w];
         let pos = pos as usize;
-        let mut v = LocalView::default();
-        let mut register = |mode: AccessMode, id: u64| {
+        let mut v = LocalDataState::default();
+        let mut register = |mode: AccessMode, id: TaskId| {
             if mode.writes() {
                 v.nb_reads_since_write = 0;
                 v.last_registered_write = id;
@@ -155,7 +168,7 @@ impl<'g> ProtocolSpec<'g> {
             let _ = ti;
             for a in &t.accesses {
                 if a.data == d {
-                    register(a.mode, t.id.0);
+                    register(a.mode, t.id);
                 }
             }
         }
@@ -169,7 +182,7 @@ impl<'g> ProtocolSpec<'g> {
             if step > k {
                 for a in t.accesses.iter().take(step - k) {
                     if a.data == d {
-                        register(a.mode, t.id.0);
+                        register(a.mode, t.id);
                     }
                 }
             }
@@ -178,16 +191,16 @@ impl<'g> ProtocolSpec<'g> {
     }
 
     /// The Algorithm-2 guard of the `acc_idx`-th `get` of the task at
-    /// `state[w].0`.
+    /// `state[w].0` — the implementation's masked single-word comparison.
     fn get_ready(&self, state: &[ControlPoint], w: usize, acc_idx: usize) -> bool {
         let pos = state[w].0 as usize;
         let a = self.accesses_of(pos)[acc_idx];
         let local = self.local_view(state, w, a.data);
-        let (s_reads, s_write) = self.shared_view(state, a.data);
+        let word = self.shared_word(state, a.data);
         if a.mode.writes() {
-            s_write == local.last_registered_write && s_reads == local.nb_reads_since_write
+            word & WRITE_EPOCH_MASK == expected_write_word(&local)
         } else {
-            s_write == local.last_registered_write
+            word & READ_EPOCH_MASK == expected_read_word(&local)
         }
     }
 
@@ -444,6 +457,63 @@ mod tests {
         let g = b.build();
         let r = explore_protocol(&g, 2);
         assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    /// The masked single-word guard must decide exactly like the
+    /// two-counter condition of Algorithm 2 it replaced. Enumerate a grid
+    /// of control points (reachable or not — both sides are pure
+    /// derivations) and compare.
+    #[test]
+    fn packed_guard_refines_the_counter_guard() {
+        use rio_core::protocol::unpack_epoch;
+        let mut b = TaskGraph::builder(2);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(
+            &[Access::read(DataId(0)), Access::write(DataId(1))],
+            1,
+            "rw",
+        );
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::write(DataId(0))], 1, "w2");
+        let g = b.build();
+        let spec = ProtocolSpec::new(&g, 2, &RoundRobin);
+        let mut checked = 0u32;
+        for p0 in 0..=4u16 {
+            for s0 in 0..=3u16 {
+                for p1 in 0..=4u16 {
+                    for s1 in 0..=3u16 {
+                        let state = vec![(p0, s0), (p1, s1)];
+                        for w in 0..2usize {
+                            let (pos, step) = state[w];
+                            let posu = pos as usize;
+                            if posu >= g.len() || spec.owner[posu] != w {
+                                continue;
+                            }
+                            let accesses = &g.tasks()[posu].accesses;
+                            if step as usize >= accesses.len() {
+                                continue;
+                            }
+                            let a = accesses[step as usize];
+                            let local = spec.local_view(&state, w, a.data);
+                            let (reads, write) = unpack_epoch(spec.shared_word(&state, a.data));
+                            let unpacked = if a.mode.writes() {
+                                write == local.last_registered_write
+                                    && reads == local.nb_reads_since_write
+                            } else {
+                                write == local.last_registered_write
+                            };
+                            assert_eq!(
+                                spec.get_ready(&state, w, step as usize),
+                                unpacked,
+                                "state {state:?}, worker {w}"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 50, "grid too sparse: {checked}");
     }
 
     /// A deliberately broken variant: if terminates were counted as reads

@@ -24,6 +24,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::graph::GraphError;
 use crate::ids::{DataId, TaskId, WorkerId};
 
 /// Why a run aborted instead of completing.
@@ -47,6 +48,10 @@ pub enum ExecError {
     Stalled(Box<StallDiagnostic>),
     /// The mapping failed pre-flight validation; no worker was spawned.
     InvalidMapping(MappingError),
+    /// The graph failed pre-flight validation (e.g. a task id or
+    /// per-epoch read count overflows the packed epoch word); no worker
+    /// was spawned.
+    InvalidGraph(GraphError),
 }
 
 impl ExecError {
@@ -57,6 +62,7 @@ impl ExecError {
             ExecError::TaskPanicked { .. } => "task-panicked",
             ExecError::Stalled(_) => "stalled",
             ExecError::InvalidMapping(_) => "invalid-mapping",
+            ExecError::InvalidGraph(_) => "invalid-graph",
         }
     }
 
@@ -89,6 +95,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::Stalled(d) => write!(f, "{d}"),
             ExecError::InvalidMapping(e) => write!(f, "invalid mapping: {e}"),
+            ExecError::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
         }
     }
 }
@@ -103,6 +110,7 @@ impl fmt::Debug for ExecError {
                 .finish_non_exhaustive(),
             ExecError::Stalled(d) => f.debug_tuple("Stalled").field(d).finish(),
             ExecError::InvalidMapping(e) => f.debug_tuple("InvalidMapping").field(e).finish(),
+            ExecError::InvalidGraph(e) => f.debug_tuple("InvalidGraph").field(e).finish(),
         }
     }
 }
@@ -130,6 +138,10 @@ pub enum StallSite {
         shared_reads_since_write: u64,
         /// The shared `last_executed_write` at the time of the dump.
         shared_last_executed_write: TaskId,
+        /// The raw packed epoch word the two shared fields were decoded
+        /// from — one coherent atomic load, rendered in hex for
+        /// cross-checking against the runtime's packed representation.
+        shared_epoch_word: u64,
     },
     /// A centralized pool worker found no ready task for the whole
     /// deadline while the run was not finished.
@@ -155,11 +167,13 @@ impl fmt::Display for StallSite {
                 local_last_registered_write,
                 shared_reads_since_write,
                 shared_last_executed_write,
+                shared_epoch_word,
             } => write!(
                 f,
                 "{} of {data} for {task}: registered (reads={local_reads_since_write}, \
                  write={local_last_registered_write}) vs performed \
-                 (reads={shared_reads_since_write}, write={shared_last_executed_write})",
+                 (reads={shared_reads_since_write}, write={shared_last_executed_write}, \
+                 epoch word {shared_epoch_word:#018x})",
                 if *write { "get_write" } else { "get_read" },
             ),
             StallSite::IdleWorker => write!(f, "idle with no ready task"),
@@ -307,6 +321,12 @@ impl From<MappingError> for ExecError {
     }
 }
 
+impl From<GraphError> for ExecError {
+    fn from(e: GraphError) -> ExecError {
+        ExecError::InvalidGraph(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +344,7 @@ mod tests {
                 local_last_registered_write: TaskId(7),
                 shared_reads_since_write: 1,
                 shared_last_executed_write: TaskId(7),
+                shared_epoch_word: (7u64 << 32) | 1,
             },
             workers: vec![WorkerSnapshot {
                 worker: WorkerId(0),
@@ -336,6 +357,10 @@ mod tests {
         assert!(
             text.contains("D4"),
             "diagnostic names the data object: {text}"
+        );
+        assert!(
+            text.contains("0x0000000700000001"),
+            "diagnostic dumps the packed epoch word: {text}"
         );
         assert!(text.contains("T9"), "diagnostic names the task: {text}");
         assert!(text.contains("W2"), "diagnostic names the worker: {text}");
@@ -384,6 +409,18 @@ mod tests {
         let e = MappingError::NonDeterministicClaim { task: TaskId(7) };
         assert!(e.to_string().contains("T7"));
         assert!(e.to_string().contains("claimed"));
+    }
+
+    #[test]
+    fn invalid_graph_wraps_a_graph_error() {
+        let e: ExecError = GraphError::TaskIdOverflow {
+            task: TaskId(5_000_000_000),
+            max: u32::MAX as u64,
+        }
+        .into();
+        assert_eq!(e.kind(), "invalid-graph");
+        assert!(e.to_string().starts_with("invalid graph:"));
+        assert!(format!("{e:?}").contains("InvalidGraph"));
     }
 
     #[test]

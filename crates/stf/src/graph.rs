@@ -94,7 +94,9 @@ impl TaskGraph {
     ///
     /// * task ids are dense and in flow order (`T1, T2, ...`),
     /// * every access refers to a data object `< num_data`,
-    /// * no task declares two accesses to the same data object.
+    /// * no task declares two accesses to the same data object,
+    /// * ids and per-epoch read counts fit the runtime's packed epoch
+    ///   word ([`TaskGraph::validate_limits`] with `u32::MAX`).
     pub fn validate(&self) -> Result<(), GraphError> {
         for (i, t) in self.tasks.iter().enumerate() {
             if t.id != TaskId::from_index(i) {
@@ -119,6 +121,51 @@ impl TaskGraph {
                     });
                 }
                 seen.push(a.data);
+            }
+        }
+        self.validate_limits(u32::MAX as u64, u32::MAX as u64)
+    }
+
+    /// Checks the flow against representation limits of the runtime's
+    /// packed epoch word: every task id must be `≤ max_task_id` and no
+    /// data object may accumulate more than `max_epoch_reads` reads
+    /// between two consecutive writes (one *epoch*). The runtime packs
+    /// both quantities into `u32` halves of one 64-bit word, so
+    /// [`TaskGraph::validate`] applies this with `u32::MAX`; tests may
+    /// pass tiny limits to exercise the rejection paths cheaply.
+    ///
+    /// Mirrors the protocol's accounting: a write (or read-write) access
+    /// starts a new epoch, a pure read increments the current epoch's
+    /// count.
+    pub fn validate_limits(
+        &self,
+        max_task_id: u64,
+        max_epoch_reads: u64,
+    ) -> Result<(), GraphError> {
+        let mut reads_since: Vec<u64> = vec![0; self.num_data];
+        for t in &self.tasks {
+            if t.id.0 > max_task_id {
+                return Err(GraphError::TaskIdOverflow {
+                    task: t.id,
+                    max: max_task_id,
+                });
+            }
+            for a in &t.accesses {
+                let Some(r) = reads_since.get_mut(a.data.index()) else {
+                    continue; // out-of-range data is validate()'s concern
+                };
+                if a.mode.writes() {
+                    *r = 0;
+                } else {
+                    *r += 1;
+                    if *r > max_epoch_reads {
+                        return Err(GraphError::ReadEpochOverflow {
+                            data: a.data,
+                            reads: *r,
+                            max: max_epoch_reads,
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -223,6 +270,12 @@ pub enum GraphError {
     },
     /// A task declares the same data object twice.
     DuplicateAccess { task: TaskId, data: DataId },
+    /// A task id exceeds what the runtime's packed epoch word can
+    /// represent (see [`TaskGraph::validate_limits`]).
+    TaskIdOverflow { task: TaskId, max: u64 },
+    /// A data object accumulates more reads between two writes than the
+    /// packed epoch word's reader count can represent.
+    ReadEpochOverflow { data: DataId, reads: u64, max: u64 },
 }
 
 impl std::fmt::Display for GraphError {
@@ -247,6 +300,21 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::DuplicateAccess { task, data } => {
                 write!(f, "{task} declares {data} more than once")
+            }
+            GraphError::TaskIdOverflow { task, max } => {
+                write!(
+                    f,
+                    "{task} exceeds the maximum representable task id {max} \
+                     (the runtime packs task ids into 32 bits of the epoch word)"
+                )
+            }
+            GraphError::ReadEpochOverflow { data, reads, max } => {
+                write!(
+                    f,
+                    "{data} accumulates {reads} reads in one write epoch, more than \
+                     the maximum representable count {max} \
+                     (the runtime packs per-epoch read counts into 32 bits of the epoch word)"
+                )
             }
         }
     }
@@ -560,6 +628,76 @@ mod tests {
             data: d(0),
         };
         assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn validate_limits_rejects_oversized_task_ids() {
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..4 {
+            b.task(&[Access::read(d(0))], 1, "t");
+        }
+        let g = b.build();
+        // Ids T1..T4 against a ceiling of 2: T3 overflows first.
+        match g.validate_limits(2, u64::MAX) {
+            Err(GraphError::TaskIdOverflow { task, max }) => {
+                assert_eq!(task, TaskId(3));
+                assert_eq!(max, 2);
+            }
+            other => panic!("expected TaskIdOverflow, got {other:?}"),
+        }
+        // The real limit accepts it, of course.
+        assert!(g.validate_limits(u32::MAX as u64, u32::MAX as u64).is_ok());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_limits_rejects_read_epoch_overflow() {
+        // Three reads of d0 in one epoch against a per-epoch cap of 2.
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(d(0))], 1, "w");
+        for _ in 0..3 {
+            b.task(&[Access::read(d(0))], 1, "r");
+        }
+        let g = b.build();
+        match g.validate_limits(u64::MAX, 2) {
+            Err(GraphError::ReadEpochOverflow { data, reads, max }) => {
+                assert_eq!(data, d(0));
+                assert_eq!(reads, 3);
+                assert_eq!(max, 2);
+            }
+            other => panic!("expected ReadEpochOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_write_resets_the_epoch_read_count() {
+        // 2 reads, write, 2 reads: never more than 2 in one epoch, so a
+        // cap of 2 accepts — the counter resets at the write.
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::read(d(0))], 1, "r");
+        b.task(&[Access::read(d(0))], 1, "r");
+        b.task(&[Access::read_write(d(0))], 1, "w");
+        b.task(&[Access::read(d(0))], 1, "r");
+        b.task(&[Access::read(d(0))], 1, "r");
+        let g = b.build();
+        assert!(g.validate_limits(u64::MAX, 2).is_ok());
+        assert!(g.validate_limits(u64::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn overflow_errors_render_helpful_messages() {
+        let e = GraphError::TaskIdOverflow {
+            task: TaskId(5_000_000_000),
+            max: u32::MAX as u64,
+        };
+        assert!(e.to_string().contains("maximum representable task id"));
+        let e = GraphError::ReadEpochOverflow {
+            data: d(3),
+            reads: 7,
+            max: 2,
+        };
+        assert!(e.to_string().contains("D3"));
+        assert!(e.to_string().contains("7 reads"));
     }
 
     #[test]

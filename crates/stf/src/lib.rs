@@ -56,7 +56,7 @@ pub mod validate;
 pub use access::AccessMode;
 pub use error::{ExecError, MappingError, StallDiagnostic, StallSite, WorkerSnapshot};
 pub use fault::{FaultHook, HookHandle};
-pub use graph::{FlatAccesses, GraphBuilder, GraphStats, TaskGraph};
+pub use graph::{FlatAccesses, GraphBuilder, GraphError, GraphStats, TaskGraph};
 pub use ids::{DataId, TaskId, WorkerId};
 pub use mapping::{validate_mapping, BlockMapping, Mapping, RoundRobin, TableMapping};
 pub use store::{DataStore, ReadGuard, WriteGuard};
