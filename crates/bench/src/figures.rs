@@ -631,6 +631,122 @@ pub fn park(opt: &Options) -> (String, Vec<ParkRow>) {
 }
 
 // ---------------------------------------------------------------------
+// Counters overhead — always-on counters vs counters disabled
+// ---------------------------------------------------------------------
+
+/// One row of the counters-overhead measurement.
+#[derive(Debug, Clone)]
+pub struct CountersRow {
+    /// Worker count of the row.
+    pub workers: usize,
+    /// Total tasks.
+    pub tasks: usize,
+    /// ns/task with the always-on counters (the shipped default).
+    pub on_ns: f64,
+    /// ns/task with counters disabled.
+    pub off_ns: f64,
+}
+
+impl CountersRow {
+    /// Overhead of the counters in percent (positive = counters slower).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.on_ns - self.off_ns) * 100.0 / self.off_ns
+    }
+}
+
+/// `repro counters`: the cost of the always-on counters registry on the
+/// fig7 interpreted row — same workload, same mapping, counters on
+/// (default) vs off. A handful of relaxed single-writer increments per
+/// task must stay in the measurement noise; `repro counters
+/// --assert-overhead` gates CI on it (threshold `RIO_COUNTERS_THRESHOLD`
+/// percent, default 1).
+///
+/// Also prints the per-worker counter table of the measured run, the
+/// same snapshot `ExecReport::counters` exposes to every caller.
+pub fn counters_overhead(opt: &Options, tasks_per_worker: usize) -> (String, Vec<CountersRow>) {
+    let task_size = 1u64 << 8;
+    let w = opt.threads.max(1);
+    let n = independent::tasks_for_workers(tasks_per_worker, w);
+    let graph = independent::graph_private_data(n);
+
+    let run_with = |counters: bool| {
+        let cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .check_determinism(false)
+            .counters(counters);
+        let t0 = Instant::now();
+        let run = rio_core::Executor::new(cfg)
+            .mapping(&RoundRobin)
+            .run(&graph, |_, _| counter_kernel(task_size));
+        (t0.elapsed(), run.report.counters)
+    };
+
+    let mut on = Duration::MAX;
+    let mut off = Duration::MAX;
+    let mut snapshot = None;
+    for _ in 0..opt.reps.max(1) {
+        let (d_off, _) = run_with(false);
+        off = off.min(d_off);
+        let (d_on, counters) = run_with(true);
+        if d_on < on {
+            on = d_on;
+            snapshot = Some(counters);
+        }
+    }
+    let per_task = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+    let row = CountersRow {
+        workers: w,
+        tasks: n,
+        on_ns: per_task(on),
+        off_ns: per_task(off),
+    };
+    for (runtime, ns) in [
+        ("rio_counters_on", row.on_ns),
+        ("rio_counters_off", row.off_ns),
+    ] {
+        json::record(json::Record {
+            figure: "counters".into(),
+            workload: format!("independent-private/tpw={tasks_per_worker}"),
+            runtime: runtime.into(),
+            threads: w,
+            tasks: n,
+            ns_per_task: ns,
+        });
+    }
+
+    let mut table = Table::new([
+        "workers",
+        "tasks",
+        "counters_on",
+        "counters_off",
+        "overhead",
+    ]);
+    table.row([
+        row.workers.to_string(),
+        row.tasks.to_string(),
+        format!("{:.1}ns", row.on_ns),
+        format!("{:.1}ns", row.off_ns),
+        format!("{:+.2}%", row.overhead_pct()),
+    ]);
+    let mut out = opt.emit(
+        &format!(
+            "Counters overhead — {tasks_per_worker} independent tasks per worker, \
+             task size {task_size}, interpreted walk"
+        ),
+        &table,
+    );
+    if let Some(s) = snapshot {
+        let rendered = s.table().render();
+        println!("{rendered}");
+        out.push_str(&rendered);
+    }
+    (out, vec![row])
+}
+
+// ---------------------------------------------------------------------
 // Fig. 8 — efficiency decomposition per experiment
 // ---------------------------------------------------------------------
 

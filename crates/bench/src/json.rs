@@ -96,12 +96,18 @@ pub fn to_json(records: &[Record]) -> String {
 }
 
 /// Drains the sink and writes the records to `path` as JSON. Returns how
-/// many records were written.
+/// many records were written. An empty sink leaves `path` untouched — a
+/// `--json` run of a subcommand that records nothing (e.g. `repro
+/// doctor`, which writes its own report file) must not clobber a
+/// previously written or committed `BENCH_repro.json`.
 ///
 /// # Errors
 /// Propagates the I/O error if `path` cannot be written.
 pub fn write(path: &Path) -> std::io::Result<usize> {
     let records = take();
+    if records.is_empty() {
+        return Ok(0);
+    }
     std::fs::write(path, to_json(&records))?;
     Ok(records.len())
 }

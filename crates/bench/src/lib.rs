@@ -15,13 +15,20 @@
 //! | `repro table1` | Table 1 — model-checking state counts for STF and Run-In-Order |
 //! | `repro costmodel` | §3.3 — validation of cost models (1) and (2) |
 //! | `repro compiled` | Extension — interpreted vs pruned vs compiled per-task management cost |
+//! | `repro counters` | Extension — always-on counters overhead gate ([`figures::counters_overhead`]) |
+//! | `repro doctor` | Extension — critical-path / mapping-quality diagnosis + remap ([`doctor`]) |
+//! | `repro regress` | Extension — perf-regression gate against a committed baseline ([`regress`]) |
 //!
 //! With `--json`, the overhead figures additionally write their per-task
 //! timings to `BENCH_repro.json` (see [`json`]); CI's bench-smoke job
-//! diffs these records and gates on `repro compiled --assert-faster`.
+//! diffs these records with `repro regress` and gates on
+//! `repro compiled --assert-faster`, `repro park --assert-faster` and
+//! `repro counters --assert-overhead`.
 
+pub mod doctor;
 pub mod figures;
 pub mod harness;
 pub mod json;
+pub mod regress;
 
 pub use harness::{measure_centralized, measure_rio, measure_sequential, RunSpec};

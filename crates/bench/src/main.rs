@@ -18,26 +18,38 @@
 //!   costmodel   validate cost models (1) and (2)
 //!   compiled    interpreted vs pruned vs compiled management cost
 //!   park        uncontended Park terminate: wake elision vs always-wake
+//!   counters    always-on counters overhead vs counters disabled
+//!   doctor      diagnose Cholesky under round-robin, re-run the remap
+//!   regress     compare BENCH_repro.json runs against a baseline
 //!   baseline    fig6 + fig7 + compiled + park in one process (for --json)
 //!   all         run everything
 //!
 //! Options:
-//!   --threads N      thread count (default 4)
-//!   --tasks N        task count for synthetic experiments (default 2048)
-//!   --reps N         repetitions per point (default 3)
-//!   --exp N          fig8 experiment number (default: all four)
-//!   --n N            matrix size for fig2/3/4 (default 384)
-//!   --tpw N          fig7/compiled tasks per worker (default 8192)
-//!   --workers LIST   fig7/compiled worker counts, comma-separated (default 1,2,4,8)
-//!   --csv            CSV output
-//!   --quick          reduced sweeps
-//!   --json           also write per-task timings to BENCH_repro.json
-//!   --assert-faster  (compiled) exit 1 if compiled ns/task exceeds interpreted
-//!                    (park) exit 1 if the elided path is not faster
+//!   --threads N        thread count (default 4)
+//!   --tasks N          task count for synthetic experiments (default 2048)
+//!   --reps N           repetitions per point (default 3)
+//!   --exp N            fig8 experiment number (default: all four)
+//!   --n N              matrix size for fig2/3/4 (default 384)
+//!   --tpw N            fig7/compiled tasks per worker (default 8192)
+//!   --workers LIST     fig7/compiled worker counts, comma-separated (default 1,2,4,8)
+//!   --grid N           doctor Cholesky tile grid (default 8)
+//!   --cost N           doctor gemm cost hint, kernel iterations (default 4096)
+//!   --baseline FILE    regress baseline records (required for regress)
+//!   --current FILE     regress current records (default BENCH_repro.json)
+//!   --csv              CSV output
+//!   --quick            reduced sweeps
+//!   --json             write per-task timings to BENCH_repro.json
+//!                      (doctor: write the report to DOCTOR_repro.json)
+//!   --assert-faster    (compiled) exit 1 if compiled ns/task exceeds interpreted
+//!                      (park) exit 1 if the elided path is not faster
+//!   --assert-overhead  (counters) exit 1 if counters cost more than
+//!                      RIO_COUNTERS_THRESHOLD percent (default 1)
+//!
+//! regress gates with RIO_REGRESS_THRESHOLD percent (default 10).
 //! ```
 
 use rio_bench::figures::{self, Options};
-use rio_bench::json;
+use rio_bench::{doctor, json, regress};
 
 fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
     args.windows(2)
@@ -47,6 +59,10 @@ fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
                 .unwrap_or_else(|_| panic!("bad value for {key}"))
         })
         .unwrap_or(default)
+}
+
+fn parse_str(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
 }
 
 fn parse_list(args: &[String], key: &str, default: &[usize]) -> Vec<usize> {
@@ -136,6 +152,54 @@ fn main() {
                 assert_park_faster(&rows);
             }
         }
+        "counters" => {
+            let (_, rows) = figures::counters_overhead(&opt, tpw);
+            if args.iter().any(|a| a == "--assert-overhead") {
+                write_json();
+                assert_counters_cheap(&rows);
+            }
+        }
+        "doctor" => {
+            let grid = parse_usize(&args, "--grid", 8);
+            let cost = parse_usize(&args, "--cost", 4096) as u64;
+            let (_, outcome) = doctor::doctor(&opt, grid, cost);
+            if json::enabled() {
+                let path = std::path::Path::new("DOCTOR_repro.json");
+                if let Err(e) = std::fs::write(path, outcome.to_json()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote doctor report to {}", path.display());
+            }
+        }
+        "regress" => {
+            let Some(baseline_path) = parse_str(&args, "--baseline") else {
+                eprintln!("regress requires --baseline FILE");
+                std::process::exit(2);
+            };
+            let current_path =
+                parse_str(&args, "--current").unwrap_or_else(|| "BENCH_repro.json".to_string());
+            let read = |p: &str| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {p}: {e}");
+                    std::process::exit(1);
+                })
+            };
+            let base = regress::parse(&read(&baseline_path));
+            let cur = regress::parse(&read(&current_path));
+            let threshold = regress::threshold_from_env();
+            let cmp = regress::compare(&base, &cur, threshold);
+            print!("{}", cmp.render(threshold));
+            if !cmp.passed() {
+                for r in cmp.regressions() {
+                    eprintln!(
+                        "REGRESSION: {} {:.1}ns/task > baseline {:.1}ns/task ({:+.1}%)",
+                        r.key, r.current, r.baseline, r.pct
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
         "baseline" => {
             // The committed-baseline sweep: every figure that feeds
             // BENCH_repro.json, in one process, so a single `--json` run
@@ -156,6 +220,8 @@ fn main() {
             figures::fig7(&opt, tpw, &workers);
             figures::compiled(&opt, tpw, &workers);
             figures::park(&opt);
+            figures::counters_overhead(&opt, tpw);
+            doctor::doctor(&opt, 8, 4096);
             for e in 1..=4 {
                 figures::fig8(&opt, e);
             }
@@ -165,8 +231,8 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|baseline|all> [options]");
-            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --csv --quick --json --assert-faster");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|doctor|regress|baseline|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
             } else {
@@ -231,4 +297,32 @@ fn assert_park_faster(rows: &[figures::ParkRow]) {
         std::process::exit(1);
     }
     eprintln!("wake elision faster on all {} ops", rows.len());
+}
+
+/// The CI gate behind `counters --assert-overhead`: the always-on counter
+/// increments must stay below `RIO_COUNTERS_THRESHOLD` percent (default 1)
+/// of the counters-off walltime on every measured row.
+fn assert_counters_cheap(rows: &[figures::CountersRow]) {
+    let threshold: f64 = std::env::var("RIO_COUNTERS_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let mut ok = true;
+    for r in rows {
+        let pct = r.overhead_pct();
+        if pct > threshold {
+            eprintln!(
+                "REGRESSION: counters overhead {:+.2}% > {:.2}% at {} workers / {} tasks",
+                pct, threshold, r.workers, r.tasks
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "counters overhead <= {threshold:.2}% on all {} rows",
+        rows.len()
+    );
 }

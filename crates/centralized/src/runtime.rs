@@ -863,7 +863,11 @@ mod tests {
         assert_eq!(trace.workers.len(), 2, "pool workers only record events");
         assert_eq!(trace.extra_threads, 1, "the master counts as a thread");
         assert_eq!(trace.workers.iter().map(|w| w.tasks).sum::<u64>(), 80);
-        assert_eq!(trace.quadruple().threads, 3);
+        // quadruple() counts only workers that executed tasks (a strict
+        // chain may land entirely on one stealing worker) plus the master.
+        let active = trace.workers.iter().filter(|w| w.tasks > 0).count();
+        assert!((1..=2).contains(&active));
+        assert_eq!(trace.quadruple().threads, active + 1);
         assert!(report.take_trace().is_none(), "trace is taken exactly once");
     }
 

@@ -368,6 +368,8 @@ impl<'g> CompiledFlow<'g> {
         let kernel = &kernel;
         let abort = &AbortFlag::new();
         let status = &StatusTable::new(cfg.workers);
+        let registry = crate::counters::CounterRegistry::for_run(cfg);
+        let registry = registry.as_deref();
 
         let start = Instant::now();
         let workers = std::thread::scope(|s| {
@@ -376,7 +378,8 @@ impl<'g> CompiledFlow<'g> {
                     let prog = &self.programs[w];
                     s.spawn(move || {
                         let me = WorkerId::from_index(w);
-                        self.run_program(prog, shared, kernel, me, abort, status, start)
+                        let ctr = registry.map(|r| r.worker(w));
+                        self.run_program(prog, shared, kernel, me, abort, status, start, ctr)
                     })
                 })
                 .collect();
@@ -392,6 +395,7 @@ impl<'g> CompiledFlow<'g> {
             report: ExecReport {
                 wall: start.elapsed(),
                 workers,
+                counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
             },
             ..Execution::default()
         };
@@ -420,6 +424,7 @@ impl<'g> CompiledFlow<'g> {
         abort: &AbortFlag,
         status: &StatusTable,
         epoch: Instant,
+        ctr: Option<&crate::counters::WorkerCounters>,
     ) -> crate::report::WorkerReport
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -434,6 +439,7 @@ impl<'g> CompiledFlow<'g> {
             abort,
             status,
             epoch,
+            ctr,
         );
         let loop_start = Instant::now();
         for &code in &prog.code {

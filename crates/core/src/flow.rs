@@ -127,6 +127,8 @@ impl Rio {
         let flow = &flow;
         let abort = &AbortFlag::new();
         let status = &StatusTable::new(cfg.workers);
+        let registry = crate::counters::CounterRegistry::for_run(cfg);
+        let registry = registry.as_deref();
 
         let start = Instant::now();
         let joined: Vec<std::thread::Result<(WorkerReport, u64)>> = std::thread::scope(|s| {
@@ -160,6 +162,7 @@ impl Rio {
                                 .trace
                                 .as_ref()
                                 .map(|tc| WorkerTracer::new(tc, w as u32, start)),
+                            ctr: registry.map(|r| r.worker(w)),
                         };
                         let loop_start = Instant::now();
                         flow(&mut ctx);
@@ -223,6 +226,7 @@ impl Rio {
         Ok(ExecReport {
             wall,
             workers: workers.into_iter().map(|(r, _)| r).collect(),
+            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         })
     }
 }
@@ -262,6 +266,7 @@ pub struct FlowCtx<'a, T> {
     epoch: Instant,
     spans: Vec<rio_stf::validate::Span>,
     tracer: Option<WorkerTracer>,
+    ctr: Option<&'a crate::counters::WorkerCounters>,
 }
 
 impl<'a, T> FlowCtx<'a, T> {
@@ -348,13 +353,17 @@ impl<'a, T> FlowCtx<'a, T> {
                 if wo.polls > 0 {
                     self.ops.waits += 1;
                     self.ops.poll_loops += wo.polls;
+                    if let Some(c) = self.ctr {
+                        c.add_spins(wo.polls);
+                        c.add_parks(wo.parks);
+                    }
                     if let Some(t0) = wait_start {
                         let t1 = Instant::now();
                         if self.measure {
                             self.idle_time += t1.duration_since(t0);
                         }
                         if let Some(tr) = self.tracer.as_mut() {
-                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                            tr.wait(id, a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
                         }
                     }
                 }
@@ -369,6 +378,9 @@ impl<'a, T> FlowCtx<'a, T> {
                             .or(self.watchdog)
                             .unwrap_or_default();
                         let diag = stall_diagnostic(self.me, id, a, l, s, waited, self.status);
+                        if let Some(c) = self.ctr {
+                            c.inc_aborts();
+                        }
                         self.abort.abort(AbortCause::Stall(diag), self.shared);
                         panic!(
                             "RIO run stalled: {id} waited past the watchdog deadline on {}",
@@ -390,6 +402,9 @@ impl<'a, T> FlowCtx<'a, T> {
                 self.task_time += body_end.duration_since(body_start);
             }
             if let Err(payload) = outcome {
+                if let Some(c) = self.ctr {
+                    c.inc_aborts();
+                }
                 self.abort.abort(
                     AbortCause::Panic {
                         task: id,
@@ -411,6 +426,9 @@ impl<'a, T> FlowCtx<'a, T> {
                 tr.task(id, body_start, body_end);
             }
             self.tasks_executed += 1;
+            if let Some(c) = self.ctr {
+                c.inc_tasks();
+            }
             if wd {
                 self.status.completed(self.me, id, self.tasks_executed);
             }
@@ -419,10 +437,15 @@ impl<'a, T> FlowCtx<'a, T> {
                 self.ops.terminates += 1;
                 let s = &self.shared[a.data.index()];
                 let l = &mut self.locals[a.data.index()];
-                if a.mode.writes() {
-                    terminate_write(s, l, id, self.wait);
+                let elided = if a.mode.writes() {
+                    terminate_write(s, l, id, self.wait)
                 } else {
-                    terminate_read(s, l, self.wait);
+                    terminate_read(s, l, self.wait)
+                };
+                if elided {
+                    if let Some(c) = self.ctr {
+                        c.inc_wakes_elided();
+                    }
                 }
             }
         } else {

@@ -20,6 +20,7 @@ use rio_stf::{ExecError, Mapping, StallDiagnostic, StallSite, TaskDesc, TaskGrap
 use rio_stf::Access;
 
 use crate::config::RioConfig;
+use crate::counters::{CounterRegistry, WorkerCounters};
 use crate::protocol::{
     apply_sync, declare_batch, expected_read_word, expected_write_word, get_read_cx,
     get_read_word_cx, get_write_cx, get_write_word_cx, terminate_read, terminate_write,
@@ -126,6 +127,8 @@ where
     let shared = &shared;
     let abort = &AbortFlag::new();
     let status = &StatusTable::new(cfg.workers);
+    let registry = CounterRegistry::for_run(cfg);
+    let registry = registry.as_deref();
 
     let start = Instant::now();
     let workers = std::thread::scope(|s| {
@@ -133,8 +136,9 @@ where
             .map(|w| {
                 s.spawn(move || {
                     let me = WorkerId::from_index(w);
+                    let ctr = registry.map(|r| r.worker(w));
                     worker_loop(
-                        cfg, graph, mapping, shared, kernel, me, None, abort, status, start,
+                        cfg, graph, mapping, shared, kernel, me, None, abort, status, start, ctr,
                     )
                 })
             })
@@ -150,6 +154,7 @@ where
     Ok(ExecReport {
         wall: start.elapsed(),
         workers,
+        counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
     })
 }
 
@@ -179,6 +184,8 @@ pub(crate) struct WorkerCtx<'a> {
     idle_time: Duration,
     spans: Vec<rio_stf::validate::Span>,
     tracer: Option<WorkerTracer>,
+    /// Always-on counter line of this worker (`None` when disabled).
+    ctr: Option<&'a WorkerCounters>,
     measure: bool,
     record: bool,
     wd: bool,
@@ -186,6 +193,7 @@ pub(crate) struct WorkerCtx<'a> {
 }
 
 impl<'a> WorkerCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'a RioConfig,
         num_data: usize,
@@ -194,6 +202,7 @@ impl<'a> WorkerCtx<'a> {
         abort: &'a AbortFlag,
         status: &'a StatusTable,
         epoch: Instant,
+        ctr: Option<&'a WorkerCounters>,
     ) -> WorkerCtx<'a> {
         let tracer = cfg
             .trace
@@ -221,6 +230,7 @@ impl<'a> WorkerCtx<'a> {
             spans: Vec::new(),
             traced: tracer.is_some(),
             tracer,
+            ctr,
             measure: cfg.measure_time,
             record: cfg.record_spans,
             wd: cfg.watchdog.is_some(),
@@ -327,13 +337,17 @@ impl<'a> WorkerCtx<'a> {
             if wo.polls > 0 {
                 self.ops.waits += 1;
                 self.ops.poll_loops += wo.polls;
+                if let Some(c) = self.ctr {
+                    c.add_spins(wo.polls);
+                    c.add_parks(wo.parks);
+                }
                 if let Some(t0) = wait_start {
                     let t1 = Instant::now();
                     if self.measure {
                         self.idle_time += t1.duration_since(t0);
                     }
                     if let Some(tr) = self.tracer.as_mut() {
-                        tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                        tr.wait(t.id, a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
                     }
                 }
             }
@@ -346,6 +360,9 @@ impl<'a> WorkerCtx<'a> {
                         .or(self.cfg.watchdog)
                         .unwrap_or_default();
                     let diag = stall_diagnostic(self.me, t.id, a, l, s, waited, self.status);
+                    if let Some(c) = self.ctr {
+                        c.inc_aborts();
+                    }
                     self.abort.abort(AbortCause::Stall(diag), self.shared);
                     return false;
                 }
@@ -380,6 +397,9 @@ impl<'a> WorkerCtx<'a> {
             (t0, t1)
         });
         if let Err(payload) = outcome {
+            if let Some(c) = self.ctr {
+                c.inc_aborts();
+            }
             self.abort.abort(
                 AbortCause::Panic {
                     task: t.id,
@@ -391,6 +411,9 @@ impl<'a> WorkerCtx<'a> {
             return false;
         }
         self.tasks_executed += 1;
+        if let Some(c) = self.ctr {
+            c.inc_tasks();
+        }
         if self.wd {
             self.status.completed(self.me, t.id, self.tasks_executed);
         }
@@ -402,10 +425,15 @@ impl<'a> WorkerCtx<'a> {
             self.ops.terminates += 1;
             let s = &self.shared[a.data.index()];
             let l = &mut self.locals[a.data.index()];
-            if a.mode.writes() {
-                terminate_write(s, l, t.id, self.cfg.wait);
+            let elided = if a.mode.writes() {
+                terminate_write(s, l, t.id, self.cfg.wait)
             } else {
-                terminate_read(s, l, self.cfg.wait);
+                terminate_read(s, l, self.cfg.wait)
+            };
+            if elided {
+                if let Some(c) = self.ctr {
+                    c.inc_wakes_elided();
+                }
             }
         }
 
@@ -431,6 +459,9 @@ impl<'a> WorkerCtx<'a> {
     #[inline]
     pub(crate) fn apply_sync(&mut self, data: usize, delta: SyncDelta) {
         self.ops.syncs += 1;
+        if let Some(c) = self.ctr {
+            c.inc_syncs();
+        }
         apply_sync(&mut self.locals[data], delta);
     }
 
@@ -485,12 +516,13 @@ pub(crate) fn worker_loop<M, K>(
     abort: &AbortFlag,
     status: &StatusTable,
     epoch: Instant,
+    ctr: Option<&WorkerCounters>,
 ) -> WorkerReport
 where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    let mut ctx = WorkerCtx::new(cfg, graph.num_data(), shared, me, abort, status, epoch);
+    let mut ctx = WorkerCtx::new(cfg, graph.num_data(), shared, me, abort, status, epoch, ctr);
 
     let loop_start = Instant::now();
     // Returns `false` when the run aborted and the worker must stop.
@@ -727,6 +759,45 @@ mod tests {
         });
         assert!(report.cumulative_task_time() >= Duration::from_millis(8));
         assert!(report.workers[0].loop_time >= report.workers[0].task_time);
+    }
+
+    #[test]
+    fn always_on_counters_ride_along() {
+        // A serialized RW chain over two Park workers: tasks are counted
+        // exactly, and at least some terminates elide their wake.
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..100 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let report = execute_graph(&cfg(2), &g, &RoundRobin, |_, _| {});
+        let total = report.counters.total();
+        assert_eq!(total.tasks, 100);
+        assert_eq!(report.counters.workers.len(), 2);
+        assert!(
+            total.wakes_elided + total.parks > 0,
+            "a Park-mode chain either parks or elides wakes"
+        );
+
+        // With counters disabled the snapshot is empty.
+        let report = execute_graph(&cfg(2).counters(false), &g, &RoundRobin, |_, _| {});
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn external_registry_is_shared_across_runs() {
+        use crate::counters::CounterRegistry;
+        use std::sync::Arc;
+        let reg = Arc::new(CounterRegistry::new(2));
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..10 {
+            b.task(&[], 1, "t");
+        }
+        let g = b.build();
+        let c = cfg(2).counter_registry(Arc::clone(&reg));
+        execute_graph(&c, &g, &RoundRobin, |_, _| {});
+        execute_graph(&c, &g, &RoundRobin, |_, _| {});
+        assert_eq!(reg.snapshot().total().tasks, 20, "counters accumulate");
     }
 
     #[test]

@@ -214,6 +214,8 @@ where
     let kernel = &kernel;
     let shared = &shared;
     let claims = &claims;
+    let registry = crate::counters::CounterRegistry::for_run(cfg);
+    let registry = registry.as_deref();
 
     let start = Instant::now();
     let results: Vec<(WorkerReport, u64, u64)> = std::thread::scope(|s| {
@@ -231,6 +233,7 @@ where
                         abort,
                         status,
                         start,
+                        registry.map(|r| r.worker(w)),
                     )
                 })
             })
@@ -255,6 +258,7 @@ where
         ExecReport {
             wall: start.elapsed(),
             workers,
+            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         },
         stats,
     ))
@@ -272,6 +276,7 @@ fn hybrid_worker_loop<P, K>(
     abort: &AbortFlag,
     status: &StatusTable,
     epoch: Instant,
+    ctr: Option<&crate::counters::WorkerCounters>,
 ) -> (WorkerReport, u64, u64)
 where
     P: PartialMapping + ?Sized,
@@ -362,13 +367,17 @@ where
                 if wo.polls > 0 {
                     ops.waits += 1;
                     ops.poll_loops += wo.polls;
+                    if let Some(c) = ctr {
+                        c.add_spins(wo.polls);
+                        c.add_parks(wo.parks);
+                    }
                     if let Some(t0) = wait_start {
                         let t1 = Instant::now();
                         if measure {
                             idle_time += t1.duration_since(t0);
                         }
                         if let Some(tr) = tracer.as_mut() {
-                            tr.wait(a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
+                            tr.wait(t.id, a.data, a.mode.writes(), t0, t1, wo.polls, wo.parks);
                         }
                     }
                 }
@@ -381,6 +390,9 @@ where
                             .or(cfg.watchdog)
                             .unwrap_or_default();
                         let diag = stall_diagnostic(me, t.id, a, l, s, waited, status);
+                        if let Some(c) = ctr {
+                            c.inc_aborts();
+                        }
                         abort.abort(AbortCause::Stall(diag), shared);
                         break 'flow;
                     }
@@ -408,6 +420,9 @@ where
                 (t0, t1)
             });
             if let Err(payload) = outcome {
+                if let Some(c) = ctr {
+                    c.inc_aborts();
+                }
                 abort.abort(
                     AbortCause::Panic {
                         task: t.id,
@@ -431,6 +446,9 @@ where
                 }
             }
             tasks_executed += 1;
+            if let Some(c) = ctr {
+                c.inc_tasks();
+            }
             if wd {
                 status.completed(me, t.id, tasks_executed);
             }
@@ -439,10 +457,15 @@ where
                 ops.terminates += 1;
                 let s = &shared[a.data.index()];
                 let l = &mut locals[a.data.index()];
-                if a.mode.writes() {
-                    terminate_write(s, l, t.id, wait);
+                let elided = if a.mode.writes() {
+                    terminate_write(s, l, t.id, wait)
                 } else {
-                    terminate_read(s, l, wait);
+                    terminate_read(s, l, wait)
+                };
+                if elided {
+                    if let Some(c) = ctr {
+                        c.inc_wakes_elided();
+                    }
                 }
             }
 

@@ -70,6 +70,7 @@
 
 pub mod compile;
 pub mod config;
+pub mod counters;
 pub mod executor;
 pub mod flow;
 pub mod graph;
@@ -85,6 +86,7 @@ pub mod wait;
 
 pub use compile::{CompileStats, CompiledFlow};
 pub use config::RioConfig;
+pub use counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
 pub use executor::{Execution, Executor};
 pub use flow::{FlowCtx, Rio, TaskView};
 #[allow(deprecated)]
@@ -119,6 +121,7 @@ pub use wait::WaitStrategy;
 pub mod prelude {
     pub use crate::compile::{CompileStats, CompiledFlow};
     pub use crate::config::RioConfig;
+    pub use crate::counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
     pub use crate::executor::{Execution, Executor};
     pub use crate::flow::{FlowCtx, Rio, TaskView};
     pub use crate::hybrid::{

@@ -405,11 +405,16 @@ impl SharedDataState {
 
     /// Unparks this object's waiters if — and only if — there are any.
     /// The caller must already have published its state update with
-    /// `SeqCst` (see the module-level wake-elision argument).
+    /// `SeqCst` (see the module-level wake-elision argument). Returns
+    /// `true` when the wake actually ran (a waiter was advertised),
+    /// `false` when it was elided.
     #[inline]
-    fn wake_if_waiters(&self) {
+    fn wake_if_waiters(&self) -> bool {
         if self.waiters.load(Ordering::SeqCst) != 0 {
             park::unpark_all(self.word.as_ptr());
+            true
+        } else {
+            false
         }
     }
 
@@ -734,40 +739,51 @@ pub fn get_write(
 /// the executing worker's private view. One `fetch_add(1)` on the epoch
 /// word: the low (reader-count) half increments; validation caps per-epoch
 /// reads at `u32::MAX`, so the add can never carry into the write id.
+///
+/// Returns `true` when a Park-mode wake was *elided* (no waiter was
+/// advertised, so no syscall ran) — the always-on counters' signal.
+/// Non-Park strategies never wake, hence never elide: always `false`.
 #[inline]
 pub fn terminate_read(
     shared: &SharedDataState,
     local: &mut LocalDataState,
     strategy: WaitStrategy,
-) {
-    if strategy == WaitStrategy::Park {
+) -> bool {
+    let elided = if strategy == WaitStrategy::Park {
         shared.word.fetch_add(1, Ordering::SeqCst);
-        shared.wake_if_waiters();
+        !shared.wake_if_waiters()
     } else {
         shared.word.fetch_add(1, Ordering::Release);
-    }
+        false
+    };
     declare_read(local);
+    elided
 }
 
 /// Publishes a performed write (Algorithm 2, `terminate_write`) and updates
 /// the executing worker's private view. One store of the new epoch word
 /// `pack(task, 0)` — the reader-count reset and the write-id publication
 /// are indivisible by construction.
+///
+/// Returns `true` when a Park-mode wake was elided (see
+/// [`terminate_read`]); always `false` for non-Park strategies.
 #[inline]
 pub fn terminate_write(
     shared: &SharedDataState,
     local: &mut LocalDataState,
     task: TaskId,
     strategy: WaitStrategy,
-) {
+) -> bool {
     let word = pack_epoch(task, 0);
-    if strategy == WaitStrategy::Park {
+    let elided = if strategy == WaitStrategy::Park {
         shared.word.store(word, Ordering::SeqCst);
-        shared.wake_if_waiters();
+        !shared.wake_if_waiters()
     } else {
         shared.word.store(word, Ordering::Release);
-    }
+        false
+    };
     declare_write(local, task);
+    elided
 }
 
 #[cfg(test)]

@@ -205,6 +205,8 @@ where
     let lists = &lists;
     let abort = &AbortFlag::new();
     let status = &StatusTable::new(cfg.workers);
+    let registry = crate::counters::CounterRegistry::for_run(cfg);
+    let registry = registry.as_deref();
 
     let start = std::time::Instant::now();
     let workers = std::thread::scope(|s| {
@@ -223,6 +225,7 @@ where
                         abort,
                         status,
                         start,
+                        registry.map(|r| r.worker(w)),
                     )
                 })
             })
@@ -239,6 +242,7 @@ where
         ExecReport {
             wall: start.elapsed(),
             workers,
+            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         },
         stats,
     ))

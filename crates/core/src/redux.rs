@@ -159,11 +159,15 @@ impl RShared {
     /// in the base protocol's elision proof (`protocol.rs`): the
     /// terminator publishes with `SeqCst` *before* this load, so either it
     /// sees the waiter here, or the waiter's post-increment re-check sees
-    /// the published state and never parks.
+    /// the published state and never parks. Returns `true` when the wake
+    /// actually ran, `false` when it was elided.
     #[inline]
-    fn wake_if_waiters(&self) {
+    fn wake_if_waiters(&self) -> bool {
         if self.waiters.load(Ordering::SeqCst) != 0 {
             park::unpark_all(self.last_executed_write.as_ptr());
+            true
+        } else {
+            false
         }
     }
 
@@ -241,6 +245,8 @@ impl ReduxRio {
         let shared: Box<[RShared]> = (0..store.len()).map(|_| RShared::default()).collect();
         let shared = &shared;
         let flow = &flow;
+        let registry = crate::counters::CounterRegistry::for_run(cfg);
+        let registry = registry.as_deref();
 
         let start = Instant::now();
         let workers: Vec<WorkerReport> = std::thread::scope(|s| {
@@ -262,6 +268,7 @@ impl ReduxRio {
                             task_time: Duration::ZERO,
                             idle_time: Duration::ZERO,
                             tasks_executed: 0,
+                            ctr: registry.map(|r| r.worker(w)),
                         };
                         let loop_start = Instant::now();
                         flow(&mut ctx);
@@ -287,6 +294,7 @@ impl ReduxRio {
         ExecReport {
             wall: start.elapsed(),
             workers,
+            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -306,6 +314,9 @@ pub struct ReduxCtx<'a, T> {
     task_time: Duration,
     idle_time: Duration,
     tasks_executed: u64,
+    /// Always-on counter line (`None` when disabled). Redux's `wait_until`
+    /// reports polls only, so its parks counter stays zero.
+    ctr: Option<&'a crate::counters::WorkerCounters>,
 }
 
 impl<'a, T> ReduxCtx<'a, T> {
@@ -358,6 +369,9 @@ impl<'a, T> ReduxCtx<'a, T> {
                 if polls > 0 {
                     self.ops.waits += 1;
                     self.ops.poll_loops += polls;
+                    if let Some(c) = self.ctr {
+                        c.add_spins(polls);
+                    }
                     if let Some(t0) = wait_start {
                         self.idle_time += t0.elapsed();
                     }
@@ -390,6 +404,9 @@ impl<'a, T> ReduxCtx<'a, T> {
                 body(&view);
             }
             self.tasks_executed += 1;
+            if let Some(c) = self.ctr {
+                c.inc_tasks();
+            }
             drop(_body_guards);
 
             for a in accesses {
@@ -423,8 +440,10 @@ impl<'a, T> ReduxCtx<'a, T> {
                         l.last_registered_write = id.0;
                     }
                 }
-                if park {
-                    s.wake_if_waiters();
+                if park && !s.wake_if_waiters() {
+                    if let Some(c) = self.ctr {
+                        c.inc_wakes_elided();
+                    }
                 }
             }
         } else {

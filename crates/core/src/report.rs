@@ -13,6 +13,7 @@ use std::time::Duration;
 use rio_stf::validate::{validate_spans, ScheduleViolation, Span};
 use rio_stf::{TaskGraph, WorkerId};
 
+use crate::counters::CountersSnapshot;
 use crate::trace_api::{Trace, WorkerTrace};
 
 /// Counts of protocol operations performed by one worker.
@@ -91,6 +92,9 @@ pub struct ExecReport {
     pub wall: Duration,
     /// One report per worker.
     pub workers: Vec<WorkerReport>,
+    /// Final sample of the always-on protocol counters
+    /// ([`crate::counters`]); empty when `RioConfig::counters` was off.
+    pub counters: CountersSnapshot,
 }
 
 impl ExecReport {
@@ -229,6 +233,7 @@ mod tests {
         let r = ExecReport {
             wall: Duration::from_millis(100),
             workers: vec![wr(50, 10, 100), wr(70, 20, 100)],
+            counters: Default::default(),
         };
         assert_eq!(r.cumulative_task_time(), Duration::from_millis(120));
         assert_eq!(r.cumulative_idle_time(), Duration::from_millis(30));
@@ -242,6 +247,7 @@ mod tests {
         let r = ExecReport {
             wall: Duration::from_millis(5),
             workers: vec![wr(3, 1, 5)],
+            counters: Default::default(),
         };
         let text = format!("{r}");
         assert!(text.contains("on 1 workers"));

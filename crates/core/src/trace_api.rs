@@ -61,8 +61,10 @@ mod stubs {
         pub fn task(&mut self, _task: TaskId, _start: Instant, _end: Instant) {}
 
         #[inline(always)]
+        #[allow(clippy::too_many_arguments)]
         pub fn wait(
             &mut self,
+            _task: TaskId,
             _data: DataId,
             _write: bool,
             _start: Instant,

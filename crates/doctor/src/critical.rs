@@ -1,0 +1,156 @@
+//! Duration-weighted critical-path analysis over the reconstructed DAG.
+
+use rio_stf::deps::DepGraph;
+use rio_stf::TaskId;
+
+/// Critical path and per-task slack of one run.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Length of the longest duration-weighted chain, ns.
+    pub length_ns: u64,
+    /// The tasks of one longest chain, in flow order.
+    pub path: Vec<TaskId>,
+    /// Per-task slack, ns, indexed by flow index: how much the task could
+    /// stretch without lengthening the critical path. Zero for every task
+    /// on a longest chain.
+    pub slack_ns: Vec<u64>,
+    /// Earliest possible finish of each task, ns, indexed by flow index.
+    pub finish_ns: Vec<u64>,
+}
+
+/// Computes the critical path of `deps` with node weights `dur_ns`.
+///
+/// The DAG's edges always point from a smaller flow index to a larger one
+/// (`DepGraph::edges_respect_flow_order`), so a single forward sweep in
+/// flow order is a topological traversal; a backward sweep gives the
+/// longest chain *through* each task and hence its slack.
+pub fn analyze(deps: &DepGraph, dur_ns: &[u64]) -> CriticalPath {
+    let n = deps.len();
+    assert_eq!(n, dur_ns.len(), "one duration per task");
+    if n == 0 {
+        return CriticalPath {
+            length_ns: 0,
+            path: Vec::new(),
+            slack_ns: Vec::new(),
+            finish_ns: Vec::new(),
+        };
+    }
+
+    // Forward: earliest finish = own duration + latest predecessor finish.
+    let mut finish = vec![0u64; n];
+    for i in 0..n {
+        let ready = deps
+            .preds(TaskId::from_index(i))
+            .iter()
+            .map(|p| finish[p.index()])
+            .max()
+            .unwrap_or(0);
+        finish[i] = ready + dur_ns[i];
+    }
+    let length_ns = finish.iter().copied().max().unwrap_or(0);
+
+    // Backward: longest chain hanging off each task (inclusive).
+    let mut tail = vec![0u64; n];
+    for i in (0..n).rev() {
+        let after = deps
+            .succs(TaskId::from_index(i))
+            .iter()
+            .map(|s| tail[s.index()])
+            .max()
+            .unwrap_or(0);
+        tail[i] = after + dur_ns[i];
+    }
+
+    // Longest chain through i = chain up to and incl. i + chain from i,
+    // counting i once; slack is its distance from the critical path.
+    let slack: Vec<u64> = (0..n)
+        .map(|i| length_ns.saturating_sub(finish[i] + tail[i] - dur_ns[i]))
+        .collect();
+
+    // Extract one longest chain: start at a task that finishes last, then
+    // repeatedly step to the predecessor that set its ready time.
+    let mut at = (0..n).max_by_key(|i| finish[*i]).unwrap();
+    let mut path = vec![TaskId::from_index(at)];
+    while let Some(p) = deps
+        .preds(TaskId::from_index(at))
+        .iter()
+        .max_by_key(|p| finish[p.index()])
+    {
+        let p = p.index();
+        if finish[p] + dur_ns[at] != finish[at] {
+            break; // `at` started after its preds finished: chain ends here
+        }
+        path.push(TaskId::from_index(p));
+        at = p;
+    }
+    path.reverse();
+
+    CriticalPath {
+        length_ns,
+        path,
+        slack_ns: slack,
+        finish_ns: finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId, TaskGraph};
+
+    fn d(i: u32) -> DataId {
+        DataId(i)
+    }
+
+    #[test]
+    fn chain_critical_path_is_the_whole_chain() {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(d(0))], 1, "w");
+        b.task(&[Access::read_write(d(0))], 1, "rw");
+        b.task(&[Access::read_write(d(0))], 1, "rw");
+        let deps = DepGraph::derive(&b.build());
+        let cp = analyze(&deps, &[100, 200, 300]);
+        assert_eq!(cp.length_ns, 600);
+        assert_eq!(cp.path, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(cp.slack_ns, vec![0, 0, 0]);
+        assert_eq!(cp.finish_ns, vec![100, 300, 600]);
+    }
+
+    #[test]
+    fn fork_join_slack_lands_on_the_short_branch() {
+        // T1 writes d0; T2 (slow) and T3 (fast) read d0 and write their
+        // own object; T4 reads both.
+        let mut b = TaskGraph::builder(3);
+        b.task(&[Access::write(d(0))], 1, "src");
+        b.task(&[Access::read(d(0)), Access::write(d(1))], 1, "slow");
+        b.task(&[Access::read(d(0)), Access::write(d(2))], 1, "fast");
+        b.task(&[Access::read(d(1)), Access::read(d(2))], 1, "join");
+        let deps = DepGraph::derive(&b.build());
+        let cp = analyze(&deps, &[10, 500, 100, 10]);
+        assert_eq!(cp.length_ns, 520);
+        assert_eq!(cp.path, vec![TaskId(1), TaskId(2), TaskId(4)]);
+        // Only the fast branch has room: 400 ns of it.
+        assert_eq!(cp.slack_ns, vec![0, 0, 400, 0]);
+    }
+
+    #[test]
+    fn independent_tasks_have_singleton_path() {
+        let mut b = TaskGraph::builder(0);
+        for _ in 0..4 {
+            b.task(&[], 1, "ind");
+        }
+        let deps = DepGraph::derive(&b.build());
+        let cp = analyze(&deps, &[10, 40, 20, 30]);
+        assert_eq!(cp.length_ns, 40);
+        assert_eq!(cp.path, vec![TaskId(2)]);
+        assert_eq!(cp.slack_ns, vec![30, 0, 20, 10]);
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let deps = DepGraph::derive(&TaskGraph::builder(0).build());
+        let cp = analyze(&deps, &[]);
+        assert_eq!(cp.length_ns, 0);
+        assert!(cp.path.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-task durations: measured from the trace where possible, estimated
+//! from cost hints where the event ring dropped the record.
+
+use rio_stf::TaskGraph;
+use rio_trace::{EventKind, Trace};
+
+/// Duration of every task of the flow, nanoseconds, indexed by flow index.
+#[derive(Debug, Clone)]
+pub struct Durations {
+    /// Duration per task (measured or estimated), never zero for a task
+    /// with nonzero cost.
+    pub ns: Vec<u64>,
+    /// How many tasks had a surviving `Task` event in the trace.
+    pub measured: usize,
+    /// Sum of all per-task durations (the run's total work).
+    pub total_ns: u64,
+}
+
+/// Extracts per-task durations from `trace`, falling back to
+/// cost-proportional estimates for tasks whose event was dropped.
+///
+/// The estimate scales each unmeasured task's cost hint by the measured
+/// nanoseconds-per-cost-unit rate of the tasks that *were* recorded; with
+/// no measurements at all the cost hints are used verbatim. Tasks re-run
+/// after a fault retry appear as several events — their durations sum,
+/// matching the wall-clock time the task actually consumed.
+pub fn from_trace(graph: &TaskGraph, trace: &Trace) -> Durations {
+    let n = graph.len();
+    let mut ns = vec![0u64; n];
+    let mut seen = vec![false; n];
+    for w in &trace.workers {
+        for e in &w.events {
+            if e.kind == EventKind::Task {
+                let i = e.id as usize;
+                // Task events store the 1-based task id.
+                if i >= 1 && i <= n {
+                    ns[i - 1] += e.duration_ns();
+                    seen[i - 1] = true;
+                }
+            }
+        }
+    }
+
+    let measured = seen.iter().filter(|s| **s).count();
+    let measured_ns: u64 = ns.iter().sum();
+    let measured_cost: u64 = graph
+        .tasks()
+        .iter()
+        .filter(|t| seen[t.id.index()])
+        .map(|t| t.cost)
+        .sum();
+    // ns per cost unit among the measured tasks (1.0 when unknown, so the
+    // cost hints double as nanoseconds).
+    let rate = if measured_cost > 0 {
+        measured_ns as f64 / measured_cost as f64
+    } else {
+        1.0
+    };
+    for t in graph.tasks() {
+        let i = t.id.index();
+        if !seen[i] {
+            ns[i] = ((t.cost as f64 * rate).round() as u64).max(u64::from(t.cost > 0));
+        }
+    }
+
+    let total_ns = ns.iter().sum();
+    Durations {
+        ns,
+        measured,
+        total_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId, TaskId};
+    use rio_trace::{TraceConfig, WorkerTracer};
+    use std::time::{Duration, Instant};
+
+    fn graph3() -> TaskGraph {
+        let mut b = TaskGraph::builder(1);
+        b.task(&[Access::write(DataId(0))], 10, "a");
+        b.task(&[Access::read(DataId(0))], 10, "b");
+        b.task(&[Access::read(DataId(0))], 20, "c");
+        b.build()
+    }
+
+    #[test]
+    fn measured_durations_win() {
+        let g = graph3();
+        let epoch = Instant::now();
+        let mut tr = WorkerTracer::new(&TraceConfig::new(), 0, epoch);
+        let at = |n: u64| epoch + Duration::from_nanos(n);
+        tr.task(TaskId(1), at(0), at(500));
+        tr.task(TaskId(2), at(500), at(800));
+        tr.task(TaskId(3), at(800), at(1000));
+        let t = Trace {
+            wall_ns: 1000,
+            workers: vec![tr.finish()],
+            extra_threads: 0,
+        };
+        let d = from_trace(&g, &t);
+        assert_eq!(d.ns, vec![500, 300, 200]);
+        assert_eq!(d.measured, 3);
+        assert_eq!(d.total_ns, 1000);
+    }
+
+    #[test]
+    fn unmeasured_tasks_estimate_from_the_measured_rate() {
+        let g = graph3();
+        let epoch = Instant::now();
+        let mut tr = WorkerTracer::new(&TraceConfig::new(), 0, epoch);
+        // Only T1 measured: 10 cost units took 1000 ns -> 100 ns/unit.
+        tr.task(TaskId(1), epoch, epoch + Duration::from_nanos(1000));
+        let t = Trace {
+            wall_ns: 1000,
+            workers: vec![tr.finish()],
+            extra_threads: 0,
+        };
+        let d = from_trace(&g, &t);
+        assert_eq!(d.ns, vec![1000, 1000, 2000]);
+        assert_eq!(d.measured, 1);
+    }
+
+    #[test]
+    fn no_trace_at_all_falls_back_to_cost_hints() {
+        let g = graph3();
+        let d = from_trace(&g, &Trace::default());
+        assert_eq!(d.ns, vec![10, 10, 20]);
+        assert_eq!(d.measured, 0);
+        assert_eq!(d.total_ns, 40);
+    }
+
+    #[test]
+    fn retried_tasks_sum_their_events() {
+        let g = graph3();
+        let epoch = Instant::now();
+        let mut tr = WorkerTracer::new(&TraceConfig::new(), 0, epoch);
+        let at = |n: u64| epoch + Duration::from_nanos(n);
+        tr.task(TaskId(1), at(0), at(100));
+        tr.task(TaskId(1), at(100), at(350));
+        let t = Trace {
+            wall_ns: 350,
+            workers: vec![tr.finish()],
+            extra_threads: 0,
+        };
+        let d = from_trace(&g, &t);
+        assert_eq!(d.ns[0], 350);
+    }
+}

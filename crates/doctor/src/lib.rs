@@ -1,0 +1,194 @@
+//! `rio-doctor`: post-mortem analysis of a finished RIO run.
+//!
+//! The decentralized runtime deliberately never materializes the
+//! dependency DAG — every worker replays the flow and synchronizes
+//! through per-object epochs. That makes the runtime cheap but leaves the
+//! *why is this run slow?* question unanswered: nothing at runtime knows
+//! the critical path, which data object serializes the workers, or
+//! whether the static mapping fights the DAG.
+//!
+//! The doctor answers those questions offline. It consumes the artifacts
+//! a run already produces — the [`rio_stf::TaskGraph`] (flow), the
+//! [`rio_stf::Mapping`] and a finished [`rio_trace::Trace`] — and
+//! reconstructs exactly the DAG the epoch protocol enforced (same
+//! last-writer / readers-since sweep, see `DESIGN.md` §11), weighted with
+//! the *measured* kernel durations from the trace:
+//!
+//! * **critical path** — longest duration-weighted chain, per-task slack,
+//!   achievable speedup (total work / critical path) vs measured speedup
+//!   (total work / wall);
+//! * **wait attribution** — every recorded data-wait folded into
+//!   per-object, per-epoch totals, each charged to the writer task (and
+//!   its worker) that ended the epoch the waiter was blocked on;
+//! * **mapping quality** — per-worker busy/wait/idle split, load-imbalance
+//!   factor, cross-worker dependency edges per data object, and a greedy
+//!   suggested remap (critical tasks first, then load balance) that can be
+//!   fed straight back into the runtime as a [`rio_stf::TableMapping`].
+//!
+//! Any total mapping is deadlock-free under the RIO protocol, so applying
+//! the suggested remap is always safe.
+//!
+//! ```
+//! use rio_stf::{Access, DataId, RoundRobin, TaskGraph};
+//! use rio_trace::{TraceConfig, WorkerTracer};
+//!
+//! // A tiny two-task chain "traced" by hand.
+//! let mut b = TaskGraph::builder(1);
+//! let t1 = b.task(&[Access::write(DataId(0))], 1, "produce");
+//! let t2 = b.task(&[Access::read(DataId(0))], 1, "consume");
+//! let g = b.build();
+//!
+//! let epoch = std::time::Instant::now();
+//! let mut w0 = WorkerTracer::new(&TraceConfig::new(), 0, epoch);
+//! let d = std::time::Duration::from_nanos(100);
+//! w0.task(t1, epoch, epoch + d);
+//! w0.task(t2, epoch + d, epoch + 2 * d);
+//! let trace = rio_trace::Trace {
+//!     wall_ns: 200,
+//!     workers: vec![w0.finish()],
+//!     extra_threads: 0,
+//! };
+//!
+//! let report = rio_doctor::diagnose(&g, &RoundRobin, 1, &trace);
+//! assert_eq!(report.critical_path, vec![t1, t2]);
+//! ```
+
+pub mod critical;
+pub mod durations;
+pub mod quality;
+pub mod report;
+pub mod waits;
+
+pub use critical::CriticalPath;
+pub use durations::Durations;
+pub use quality::{MappingQuality, WorkerLoad};
+pub use report::DoctorReport;
+pub use waits::BlockedObject;
+
+use rio_stf::deps::DepGraph;
+use rio_stf::{Mapping, TaskGraph};
+use rio_trace::Trace;
+
+/// Runs every analysis over one finished run and assembles the
+/// [`DoctorReport`].
+///
+/// `workers` is the worker count of the run (the mapping is evaluated
+/// against it); `trace` is the trace that run returned. Tasks whose
+/// duration never reached the trace (ring overflow) are estimated from
+/// their cost hints, scaled to the measured cost rate.
+pub fn diagnose(
+    graph: &TaskGraph,
+    mapping: &dyn Mapping,
+    workers: usize,
+    trace: &Trace,
+) -> DoctorReport {
+    let deps = DepGraph::derive(graph);
+    let dur = durations::from_trace(graph, trace);
+    let cp = critical::analyze(&deps, &dur.ns);
+    let blocking = waits::attribute(graph, mapping, workers, trace);
+    let quality = quality::mapping_quality(graph, mapping, workers, trace);
+    let suggested = quality::suggest_remap(&deps, &dur.ns, workers);
+
+    let moves = suggested
+        .iter()
+        .enumerate()
+        .filter(|(i, w)| mapping.worker_of(rio_stf::TaskId::from_index(*i), workers) != **w)
+        .count();
+    let zero_slack = cp.slack_ns.iter().filter(|s| **s == 0).count();
+    let path_kinds = cp
+        .path
+        .iter()
+        .map(|t| graph.task(*t).kind.to_string())
+        .collect();
+
+    DoctorReport {
+        tasks: graph.len(),
+        workers,
+        wall_ns: trace.wall_ns,
+        total_work_ns: dur.total_ns,
+        measured_tasks: dur.measured,
+        critical_path_ns: cp.length_ns,
+        critical_path: cp.path,
+        critical_path_kinds: path_kinds,
+        zero_slack_tasks: zero_slack,
+        achievable_speedup: speedup(dur.total_ns, cp.length_ns),
+        measured_speedup: speedup(dur.total_ns, trace.wall_ns),
+        blocking,
+        quality,
+        suggested,
+        moves,
+    }
+}
+
+fn speedup(work_ns: u64, over_ns: u64) -> f64 {
+    if over_ns == 0 {
+        0.0
+    } else {
+        work_ns as f64 / over_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, DataId, RoundRobin, TaskId};
+    use rio_trace::{TraceConfig, WorkerTracer};
+    use std::time::{Duration, Instant};
+
+    /// Chain of three tasks through one object, traced on two workers.
+    fn chain_setup() -> (TaskGraph, Trace) {
+        let mut b = TaskGraph::builder(1);
+        let t1 = b.task(&[Access::write(DataId(0))], 1, "w");
+        let t2 = b.task(&[Access::read_write(DataId(0))], 1, "rw");
+        let t3 = b.task(&[Access::read_write(DataId(0))], 1, "rw");
+        let g = b.build();
+
+        let epoch = Instant::now();
+        let ns = |n: u64| epoch + Duration::from_nanos(n);
+        let cfg = TraceConfig::new();
+        let mut w0 = WorkerTracer::new(&cfg, 0, epoch);
+        w0.task(t1, ns(0), ns(100));
+        w0.task(t3, ns(250), ns(400));
+        let mut w1 = WorkerTracer::new(&cfg, 1, epoch);
+        w1.wait(t2, DataId(0), true, ns(0), ns(100), 5, 1);
+        w1.task(t2, ns(100), ns(250));
+        let trace = Trace {
+            wall_ns: 400,
+            workers: vec![w0.finish(), w1.finish()],
+            extra_threads: 0,
+        };
+        (g, trace)
+    }
+
+    #[test]
+    fn diagnose_ties_the_pieces_together() {
+        let (g, trace) = chain_setup();
+        let r = diagnose(&g, &RoundRobin, 2, &trace);
+        assert_eq!(r.tasks, 3);
+        // The whole flow is one chain: critical path covers every task.
+        assert_eq!(r.critical_path, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(r.critical_path_ns, 400);
+        assert_eq!(r.total_work_ns, 400);
+        assert_eq!(r.zero_slack_tasks, 3);
+        // Serial chain: no speedup achievable, none measured.
+        assert!((r.achievable_speedup - 1.0).abs() < 1e-9);
+        assert!((r.measured_speedup - 1.0).abs() < 1e-9);
+        // The one recorded wait is attributed to D0's writer T1 on W0.
+        assert_eq!(r.blocking.len(), 1);
+        assert_eq!(r.blocking[0].data, DataId(0));
+        assert_eq!(r.blocking[0].writer, TaskId(1));
+        assert_eq!(r.blocking[0].wait_ns, 100);
+    }
+
+    #[test]
+    fn remap_moves_are_counted_against_the_input_mapping() {
+        let (g, trace) = chain_setup();
+        let r = diagnose(&g, &RoundRobin, 2, &trace);
+        // A pure chain schedules entirely onto one worker under the greedy
+        // remap; round-robin spread it over two, so at least one task moves.
+        assert!(r.moves >= 1, "chain should be consolidated, moves = 0");
+        let m = r.suggested_mapping();
+        assert!(m.validate(2));
+        assert_eq!(m.len(), 3);
+    }
+}

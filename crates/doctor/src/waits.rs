@@ -1,0 +1,189 @@
+//! Wait attribution: folding recorded data-wait spans into per-object,
+//! per-epoch totals charged to the writer that ended each epoch.
+
+use std::collections::HashMap;
+
+use rio_stf::{DataId, Mapping, TaskGraph, TaskId, WorkerId};
+use rio_trace::Trace;
+
+/// One data object's aggregated blocking profile, ranked by total wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedObject {
+    /// The data object.
+    pub data: DataId,
+    /// Number of recorded waits on this object.
+    pub waits: u64,
+    /// Total recorded wait time, ns.
+    pub wait_ns: u64,
+    /// The writer task whose epoch accounts for the most wait time
+    /// ([`TaskId::NONE`] when waits predate any writer, e.g. dropped
+    /// events attributing to an unknown epoch).
+    pub writer: TaskId,
+    /// The worker the top writer was mapped to.
+    pub writer_worker: WorkerId,
+    /// Wait time attributed to the top writer's epoch, ns.
+    pub writer_ns: u64,
+}
+
+/// Folds every wait event of `trace` into per-object totals.
+///
+/// Each wait span carries the id of the blocked task (see
+/// `rio_trace::TraceEvent::task`); the epoch it was blocked on is
+/// reconstructed with the same last-writer flow sweep the protocol's
+/// epoch word encodes: the wait of task `t` on object `d` is charged to
+/// the last task writing `d` before `t` in flow order. (A blocked *write*
+/// may in fact be draining that epoch's readers, but the epoch — and
+/// therefore the writer that opened it — is the same.)
+///
+/// Returns objects sorted by total wait time, descending; objects that
+/// never blocked anyone are omitted.
+pub fn attribute(
+    graph: &TaskGraph,
+    mapping: &dyn Mapping,
+    workers: usize,
+    trace: &Trace,
+) -> Vec<BlockedObject> {
+    // Flow sweep: epoch writer per (task flow index, data) access pair.
+    let mut last_writer: Vec<TaskId> = vec![TaskId::NONE; graph.num_data()];
+    let mut epoch_of: HashMap<(u64, u32), TaskId> = HashMap::new();
+    for t in graph.tasks() {
+        for a in &t.accesses {
+            epoch_of.insert((t.id.0, a.data.0), last_writer[a.data.index()]);
+        }
+        for a in &t.accesses {
+            if a.mode.writes() {
+                last_writer[a.data.index()] = t.id;
+            }
+        }
+    }
+
+    // Fold the recorded waits: totals per object, plus per (object, epoch
+    // writer) so the top epoch can be named.
+    let mut totals: HashMap<u32, (u64, u64)> = HashMap::new(); // data -> (waits, ns)
+    let mut by_writer: HashMap<(u32, u64), u64> = HashMap::new(); // (data, writer) -> ns
+    for w in &trace.workers {
+        for e in &w.events {
+            if !e.kind.is_wait() {
+                continue;
+            }
+            let ns = e.duration_ns();
+            let entry = totals.entry(e.id).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += ns;
+            let writer = epoch_of
+                .get(&(u64::from(e.task), e.id))
+                .copied()
+                .unwrap_or(TaskId::NONE);
+            *by_writer.entry((e.id, writer.0)).or_insert(0) += ns;
+        }
+    }
+
+    let mut out: Vec<BlockedObject> = totals
+        .into_iter()
+        .map(|(data, (waits, wait_ns))| {
+            let (&(_, writer), &writer_ns) = by_writer
+                .iter()
+                .filter(|((d, _), _)| *d == data)
+                .max_by_key(|(&(_, wr), &ns)| (ns, wr))
+                .expect("object with waits has at least one epoch entry");
+            let writer = TaskId(writer);
+            let writer_worker = if writer == TaskId::NONE {
+                WorkerId(0)
+            } else {
+                mapping.worker_of(writer, workers)
+            };
+            BlockedObject {
+                data: DataId(data),
+                waits,
+                wait_ns,
+                writer,
+                writer_worker,
+                writer_ns,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.data.0.cmp(&b.data.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_stf::{Access, RoundRobin};
+    use rio_trace::{TraceConfig, WorkerTracer};
+    use std::time::{Duration, Instant};
+
+    /// T1 writes d0; T2, T3 read d0; T4 writes d0; T5 reads d0 and d1.
+    fn flow() -> TaskGraph {
+        let mut b = TaskGraph::builder(2);
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::write(DataId(0))], 1, "w");
+        b.task(&[Access::read(DataId(0)), Access::read(DataId(1))], 1, "r");
+        b.build()
+    }
+
+    #[test]
+    fn waits_are_charged_to_their_epoch_writer() {
+        let g = flow();
+        let epoch = Instant::now();
+        let at = |n: u64| epoch + Duration::from_nanos(n);
+        let cfg = TraceConfig::new();
+        let mut w1 = WorkerTracer::new(&cfg, 1, epoch);
+        // T2 blocked on d0 (epoch of writer T1) for 300 ns.
+        w1.wait(TaskId(2), DataId(0), false, at(0), at(300), 3, 0);
+        // T5 blocked on d0 (epoch of writer T4) for 100 ns.
+        w1.wait(TaskId(5), DataId(0), false, at(400), at(500), 1, 0);
+        let trace = Trace {
+            wall_ns: 500,
+            workers: vec![w1.finish()],
+            extra_threads: 0,
+        };
+        let ranked = attribute(&g, &RoundRobin, 2, &trace);
+        assert_eq!(ranked.len(), 1);
+        let b = &ranked[0];
+        assert_eq!(b.data, DataId(0));
+        assert_eq!(b.waits, 2);
+        assert_eq!(b.wait_ns, 400);
+        // T1's epoch dominates (300 > 100).
+        assert_eq!(b.writer, TaskId(1));
+        assert_eq!(b.writer_ns, 300);
+        // Round-robin maps T1 (flow index 0) to W0.
+        assert_eq!(b.writer_worker, WorkerId(0));
+    }
+
+    #[test]
+    fn ranking_is_by_total_wait_descending() {
+        let mut b = TaskGraph::builder(2);
+        b.task(
+            &[Access::write(DataId(0)), Access::write(DataId(1))],
+            1,
+            "w",
+        );
+        b.task(&[Access::read(DataId(0))], 1, "r");
+        b.task(&[Access::read(DataId(1))], 1, "r");
+        let g = b.build();
+        let epoch = Instant::now();
+        let at = |n: u64| epoch + Duration::from_nanos(n);
+        let mut w1 = WorkerTracer::new(&TraceConfig::new(), 1, epoch);
+        w1.wait(TaskId(2), DataId(0), false, at(0), at(10), 1, 0);
+        w1.wait(TaskId(3), DataId(1), false, at(0), at(90), 1, 0);
+        let trace = Trace {
+            wall_ns: 100,
+            workers: vec![w1.finish()],
+            extra_threads: 0,
+        };
+        let ranked = attribute(&g, &RoundRobin, 2, &trace);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].data, DataId(1));
+        assert_eq!(ranked[1].data, DataId(0));
+        assert!(ranked[0].wait_ns > ranked[1].wait_ns);
+    }
+
+    #[test]
+    fn no_waits_no_rows() {
+        let g = flow();
+        assert!(attribute(&g, &RoundRobin, 2, &Trace::default()).is_empty());
+    }
+}

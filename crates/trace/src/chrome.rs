@@ -43,8 +43,8 @@ pub fn to_json(trace: &Trace) -> String {
             if e.kind.is_wait() {
                 let _ = write!(
                     out,
-                    ",\"args\":{{\"polls\":{},\"parks\":{}}}",
-                    e.polls, e.parks
+                    ",\"args\":{{\"task\":{},\"polls\":{},\"parks\":{}}}",
+                    e.task, e.polls, e.parks
                 );
             }
             out.push('}');
@@ -230,7 +230,7 @@ mod tests {
         };
         w0.events = vec![
             TraceEvent::task(TaskId(0), 0, 2_500),
-            TraceEvent::wait(DataId(3), true, 2_500, 4_000, 7, 1),
+            TraceEvent::wait(TaskId(2), DataId(3), true, 2_500, 4_000, 7, 1),
             TraceEvent::task(TaskId(2), 4_000, 9_000),
         ];
         let mut w1 = WorkerTrace {
@@ -238,7 +238,7 @@ mod tests {
             ..WorkerTrace::default()
         };
         w1.events = vec![
-            TraceEvent::wait(DataId(3), false, 0, 1_000, 2, 0),
+            TraceEvent::wait(TaskId(1), DataId(3), false, 0, 1_000, 2, 0),
             TraceEvent::park(1_000, 3_000, 1),
             TraceEvent::task(TaskId(1), 3_000, 8_000),
         ];
@@ -273,8 +273,8 @@ mod tests {
         assert!(json.contains("\"name\":\"wait-read d3\""));
         assert!(json.contains("\"name\":\"park\""));
         assert!(json.contains("\"cat\":\"wait\""));
-        // Wait args carry poll/park counts.
-        assert!(json.contains("\"args\":{\"polls\":7,\"parks\":1}"));
+        // Wait args carry the blocked task plus poll/park counts.
+        assert!(json.contains("\"args\":{\"task\":2,\"polls\":7,\"parks\":1}"));
         // µs conversion: 2500 ns -> 2.5 µs start of the wait on worker 0.
         assert!(json.contains("\"ts\":2.500"));
         // 9000 ns task dur -> 5 µs (4000..9000).

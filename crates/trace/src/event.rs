@@ -26,20 +26,35 @@ impl EventKind {
 
 /// One recorded span. Timestamps are nanoseconds relative to the run's
 /// epoch (thread-spawn time), taken from the worker's own monotonic clock.
+///
+/// The `task` field is the event→analysis bridge consumed by `rio-doctor`:
+/// a wait span carries the id of the task that was blocked, tying each
+/// data wait back to a node of the reconstructed dependency DAG. Poll and
+/// park counts are stored narrowed to `u32` (saturating) to keep the
+/// record within the ring's 40-byte budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Span start, ns since the run epoch.
     pub start_ns: u64,
     /// Span end, ns since the run epoch (`>= start_ns`).
     pub end_ns: u64,
-    /// Poll count for wait spans, 0 otherwise.
-    pub polls: u64,
-    /// Park/wake transitions during this span (wait and park spans).
-    pub parks: u64,
     /// Task id ([`EventKind::Task`]) or data object id (wait kinds).
     pub id: u32,
+    /// For wait spans: the id of the blocked task (`TaskId.0 as u32`).
+    /// Equals `id` for task spans; 0 for park spans.
+    pub task: u32,
+    /// Poll count for wait spans, 0 otherwise (saturating u32).
+    pub polls: u32,
+    /// Park/wake transitions during this span (wait and park spans;
+    /// saturating u32).
+    pub parks: u32,
     /// The span kind.
     pub kind: EventKind,
+}
+
+#[inline]
+fn sat32(n: u64) -> u32 {
+    n.min(u64::from(u32::MAX)) as u32
 }
 
 impl TraceEvent {
@@ -48,15 +63,17 @@ impl TraceEvent {
         TraceEvent {
             start_ns,
             end_ns,
+            id: task.0 as u32,
+            task: task.0 as u32,
             polls: 0,
             parks: 0,
-            id: task.0 as u32,
             kind: EventKind::Task,
         }
     }
 
-    /// A data-wait span.
+    /// A data-wait span of `task` blocked on `data`.
     pub fn wait(
+        task: TaskId,
         data: DataId,
         write: bool,
         start_ns: u64,
@@ -67,9 +84,10 @@ impl TraceEvent {
         TraceEvent {
             start_ns,
             end_ns,
-            polls,
-            parks,
             id: data.0,
+            task: task.0 as u32,
+            polls: sat32(polls),
+            parks: sat32(parks),
             kind: if write {
                 EventKind::WaitWrite
             } else {
@@ -83,9 +101,10 @@ impl TraceEvent {
         TraceEvent {
             start_ns,
             end_ns,
-            polls: 0,
-            parks,
             id: 0,
+            task: 0,
+            polls: 0,
+            parks: sat32(parks),
             kind: EventKind::Park,
         }
     }
@@ -105,20 +124,23 @@ mod tests {
         let t = TraceEvent::task(TaskId(7), 10, 30);
         assert_eq!(t.kind, EventKind::Task);
         assert_eq!(t.id, 7);
+        assert_eq!(t.task, 7);
         assert_eq!(t.duration_ns(), 20);
         assert!(!t.kind.is_wait());
 
-        let w = TraceEvent::wait(DataId(3), true, 5, 9, 4, 1);
+        let w = TraceEvent::wait(TaskId(11), DataId(3), true, 5, 9, 4, 1);
         assert_eq!(w.kind, EventKind::WaitWrite);
         assert_eq!(w.id, 3);
+        assert_eq!(w.task, 11, "wait spans carry the blocked task");
         assert_eq!((w.polls, w.parks), (4, 1));
         assert!(w.kind.is_wait());
 
-        let r = TraceEvent::wait(DataId(2), false, 5, 9, 4, 0);
+        let r = TraceEvent::wait(TaskId(11), DataId(2), false, 5, 9, 4, 0);
         assert_eq!(r.kind, EventKind::WaitRead);
 
         let p = TraceEvent::park(1, 2, 1);
         assert_eq!(p.kind, EventKind::Park);
+        assert_eq!(p.task, 0);
         assert!(!p.kind.is_wait());
     }
 
@@ -133,5 +155,12 @@ mod tests {
         // The ring buffer stores these by the hundred-thousand; keep the
         // record at or under 40 bytes.
         assert!(std::mem::size_of::<TraceEvent>() <= 40);
+    }
+
+    #[test]
+    fn poll_and_park_counts_saturate() {
+        let w = TraceEvent::wait(TaskId(1), DataId(0), false, 0, 1, u64::MAX, u64::MAX);
+        assert_eq!(w.polls, u32::MAX);
+        assert_eq!(w.parks, u32::MAX);
     }
 }

@@ -241,4 +241,95 @@ mod tests {
         assert!(s.contains("samples 2"));
         assert!(format!("{}", Histogram::new()).contains("empty"));
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hist_of(samples: &[u64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merging two histograms is exactly recording the union of
+            /// their samples: counts, totals and max all agree.
+            #[test]
+            fn merge_equals_recording_the_union(
+                a in proptest::collection::vec(0u64..1 << 40, 0..64),
+                b in proptest::collection::vec(0u64..1 << 40, 0..64),
+            ) {
+                let mut merged = hist_of(&a);
+                merged.merge(&hist_of(&b));
+                let union: Vec<u64> =
+                    a.iter().chain(b.iter()).copied().collect();
+                let direct = hist_of(&union);
+                prop_assert_eq!(merged.buckets(), direct.buckets());
+                prop_assert_eq!(merged.count(), direct.count());
+                prop_assert_eq!(merged.total_ns(), direct.total_ns());
+                prop_assert_eq!(merged.max_ns(), direct.max_ns());
+                prop_assert_eq!(merged.mean_ns(), direct.mean_ns());
+            }
+
+            /// Quantile upper bounds are unaffected by how the samples
+            /// were split across the merged parts.
+            #[test]
+            fn merge_preserves_quantile_bounds(
+                samples in proptest::collection::vec(0u64..1 << 40, 1..96),
+                split in 0usize..96,
+            ) {
+                let cut = split.min(samples.len());
+                let mut merged = hist_of(&samples[..cut]);
+                merged.merge(&hist_of(&samples[cut..]));
+                let direct = hist_of(&samples);
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(
+                        merged.quantile_upper_bound_ns(q),
+                        direct.quantile_upper_bound_ns(q),
+                        "q = {}", q
+                    );
+                }
+            }
+
+            /// Merging is commutative and the empty histogram is its
+            /// identity.
+            #[test]
+            fn merge_is_commutative_with_identity(
+                a in proptest::collection::vec(0u64..1 << 40, 0..64),
+                b in proptest::collection::vec(0u64..1 << 40, 0..64),
+            ) {
+                let (ha, hb) = (hist_of(&a), hist_of(&b));
+                let mut ab = ha.clone();
+                ab.merge(&hb);
+                let mut ba = hb.clone();
+                ba.merge(&ha);
+                prop_assert_eq!(&ab, &ba);
+                let mut with_empty = ha.clone();
+                with_empty.merge(&Histogram::new());
+                prop_assert_eq!(&with_empty, &ha);
+            }
+
+            /// Every recorded sample lands in the bucket whose range
+            /// contains it, and the quantile upper bound never under-cuts
+            /// the true maximum's bucket.
+            #[test]
+            fn buckets_cover_their_samples(
+                samples in proptest::collection::vec(0u64..1 << 40, 1..64),
+            ) {
+                let h = hist_of(&samples);
+                for &s in &samples {
+                    let b = Histogram::bucket_of(s);
+                    prop_assert!(h.buckets()[b] > 0);
+                    prop_assert!(s == 0 || Histogram::bucket_floor(b) <= s.max(1));
+                }
+                let max = *samples.iter().max().unwrap();
+                prop_assert!(h.quantile_upper_bound_ns(1.0) >= max.min(h.max_ns()));
+            }
+        }
+    }
 }

@@ -28,11 +28,20 @@ pub struct Trace {
 impl Trace {
     /// The `(p, t_p, τ_{p,t}, τ_{p,i})` quadruple of this run, ready for
     /// [`rio_metrics::decompose`].
+    ///
+    /// `p` counts only workers that executed at least one task (plus
+    /// [`Trace::extra_threads`]). A worker that recorded park events but
+    /// ran zero tasks — e.g. a thread the mapping never targets — would
+    /// otherwise inflate the decomposition denominator `p · t_p`, charging
+    /// the run for capacity the mapping never intended to use
+    /// (double-charging: the idle thread's whole lifetime would land in
+    /// runtime-management time).
     pub fn quadruple(&self) -> CumulativeTimes {
         let task: u64 = self.workers.iter().map(|w| w.task_ns).sum();
         let idle: u64 = self.workers.iter().map(|w| w.idle_ns()).sum();
+        let active = self.workers.iter().filter(|w| w.tasks > 0).count();
         CumulativeTimes {
-            threads: self.workers.len() + self.extra_threads,
+            threads: active + self.extra_threads,
             wall: Duration::from_nanos(self.wall_ns),
             task: Duration::from_nanos(task),
             idle: Duration::from_nanos(idle),
@@ -99,6 +108,9 @@ mod tests {
     fn worker(id: u32, task_ns: u64, wait_ns: u64, park_ns: u64) -> WorkerTrace {
         WorkerTrace {
             worker: id,
+            // Helpers model active workers; quadruple() only counts
+            // workers with tasks > 0.
+            tasks: 1,
             task_ns,
             wait_ns,
             park_ns,
@@ -124,6 +136,23 @@ mod tests {
     }
 
     #[test]
+    fn quadruple_excludes_workers_that_ran_no_tasks() {
+        // A park-only worker (zero tasks) must not inflate `p`: its park
+        // time still lands in idle, but the denominator counts only the
+        // two workers the mapping actually used.
+        let mut idle_worker = worker(2, 0, 0, 400);
+        idle_worker.tasks = 0;
+        let t = Trace {
+            wall_ns: 1_000,
+            workers: vec![worker(0, 600, 100, 0), worker(1, 500, 150, 50), idle_worker],
+            extra_threads: 0,
+        };
+        let q = t.quadruple();
+        assert_eq!(q.threads, 2, "zero-task workers are not charged to p");
+        assert_eq!(q.idle, Duration::from_nanos(700));
+    }
+
+    #[test]
     fn quadruple_feeds_decompose() {
         let t = Trace {
             wall_ns: 1_000,
@@ -143,12 +172,12 @@ mod tests {
     fn per_data_histograms_split_by_data_id() {
         let mut w0 = worker(0, 0, 0, 0);
         w0.events = vec![
-            TraceEvent::wait(DataId(1), false, 0, 100, 1, 0),
-            TraceEvent::wait(DataId(2), true, 0, 200, 1, 0),
+            TraceEvent::wait(TaskId(1), DataId(1), false, 0, 100, 1, 0),
+            TraceEvent::wait(TaskId(2), DataId(2), true, 0, 200, 1, 0),
             TraceEvent::task(TaskId(0), 0, 50), // not a wait: excluded
         ];
         let mut w1 = worker(1, 0, 0, 0);
-        w1.events = vec![TraceEvent::wait(DataId(1), true, 0, 300, 1, 0)];
+        w1.events = vec![TraceEvent::wait(TaskId(3), DataId(1), true, 0, 300, 1, 0)];
         let t = Trace {
             wall_ns: 1,
             workers: vec![w0, w1],

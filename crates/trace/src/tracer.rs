@@ -106,11 +106,13 @@ impl WorkerTracer {
         self.ring.push(TraceEvent::task(task, s, e));
     }
 
-    /// Records one `get_read`/`get_write` that actually blocked
+    /// Records one `get_read`/`get_write` of `task` that actually blocked
     /// (`polls > 0`); zero-poll fast paths should not call this.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn wait(
         &mut self,
+        task: TaskId,
         data: DataId,
         write: bool,
         start: Instant,
@@ -124,7 +126,7 @@ impl WorkerTracer {
         self.parks += parks;
         self.wait_hist.record(dur);
         self.ring
-            .push(TraceEvent::wait(data, write, s, e, polls, parks));
+            .push(TraceEvent::wait(task, data, write, s, e, polls, parks));
     }
 
     /// Records an idle span outside any data wait (scheduler doorbell).
@@ -213,7 +215,7 @@ mod tests {
         let t1 = epoch + Duration::from_nanos(400);
         let t2 = epoch + Duration::from_nanos(1000);
         tr.task(TaskId(9), t0, t1);
-        tr.wait(DataId(2), true, t1, t2, 5, 1);
+        tr.wait(TaskId(10), DataId(2), true, t1, t2, 5, 1);
         tr.park(t2, t2 + Duration::from_nanos(50), 1);
 
         let wt = tr.finish();
@@ -236,6 +238,7 @@ mod tests {
         assert_eq!(wt.events[1].polls, 5);
         assert_eq!(wt.events[0].id, 9);
         assert_eq!(wt.events[1].id, 2);
+        assert_eq!(wt.events[1].task, 10);
     }
 
     #[test]
@@ -245,7 +248,15 @@ mod tests {
         let mut tr = WorkerTracer::new(&cfg, 0, epoch);
         for i in 0..10u64 {
             let s = epoch + Duration::from_nanos(i * 10);
-            tr.wait(DataId(1), false, s, s + Duration::from_nanos(7), 1, 0);
+            tr.wait(
+                TaskId(1),
+                DataId(1),
+                false,
+                s,
+                s + Duration::from_nanos(7),
+                1,
+                0,
+            );
         }
         let wt = tr.finish();
         assert_eq!(wt.events.len(), 2);

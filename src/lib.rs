@@ -15,10 +15,13 @@
 //! * [`mc`] — explicit-state model checker for the STF and Run-In-Order
 //!   specifications.
 //! * [`trace`] — worker-local tracing and wait-time observability.
+//! * [`doctor`] — post-mortem trace analysis: critical path, wait
+//!   attribution, mapping quality and remap suggestions.
 
 pub use rio_centralized as centralized;
 pub use rio_core as core;
 pub use rio_dense as dense;
+pub use rio_doctor as doctor;
 pub use rio_mc as mc;
 pub use rio_metrics as metrics;
 pub use rio_stf as stf;
