@@ -17,18 +17,20 @@
 //! | `repro compiled` | Extension — interpreted vs pruned vs compiled per-task management cost |
 //! | `repro counters` | Extension — always-on counters overhead gate ([`figures::counters_overhead`]) |
 //! | `repro doctor` | Extension — critical-path / mapping-quality diagnosis + remap ([`doctor`]) |
+//! | `repro tune` | Extension — closed-loop trace → diagnose → remap → recompile ([`tune`]) |
 //! | `repro regress` | Extension — perf-regression gate against a committed baseline ([`regress`]) |
 //!
 //! With `--json`, the overhead figures additionally write their per-task
 //! timings to `BENCH_repro.json` (see [`json`]); CI's bench-smoke job
 //! diffs these records with `repro regress` and gates on
-//! `repro compiled --assert-faster`, `repro park --assert-faster` and
-//! `repro counters --assert-overhead`.
+//! `repro compiled --assert-faster`, `repro park --assert-faster`,
+//! `repro counters --assert-overhead` and `repro tune --assert-improves`.
 
 pub mod doctor;
 pub mod figures;
 pub mod harness;
 pub mod json;
 pub mod regress;
+pub mod tune;
 
 pub use harness::{measure_centralized, measure_rio, measure_sequential, RunSpec};

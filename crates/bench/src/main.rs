@@ -20,6 +20,7 @@
 //!   park        uncontended Park terminate: wake elision vs always-wake
 //!   counters    always-on counters overhead vs counters disabled
 //!   doctor      diagnose Cholesky under round-robin, re-run the remap
+//!   tune        closed-loop trace -> diagnose -> remap -> recompile
 //!   regress     compare BENCH_repro.json runs against a baseline
 //!   baseline    fig6 + fig7 + compiled + park in one process (for --json)
 //!   all         run everything
@@ -32,24 +33,28 @@
 //!   --n N              matrix size for fig2/3/4 (default 384)
 //!   --tpw N            fig7/compiled tasks per worker (default 8192)
 //!   --workers LIST     fig7/compiled worker counts, comma-separated (default 1,2,4,8)
-//!   --grid N           doctor Cholesky tile grid (default 8)
-//!   --cost N           doctor gemm cost hint, kernel iterations (default 4096)
+//!   --grid N           doctor/tune Cholesky tile grid (default 8)
+//!   --cost N           doctor/tune gemm cost hint, kernel iterations (default 4096)
 //!   --baseline FILE    regress baseline records (required for regress)
 //!   --current FILE     regress current records (default BENCH_repro.json)
 //!   --csv              CSV output
 //!   --quick            reduced sweeps
 //!   --json             write per-task timings to BENCH_repro.json
-//!                      (doctor: write the report to DOCTOR_repro.json)
+//!                      (doctor: write the report to DOCTOR_repro.json;
+//!                      tune: write the loop record to TUNE_repro.json)
 //!   --assert-faster    (compiled) exit 1 if compiled ns/task exceeds interpreted
 //!                      (park) exit 1 if the elided path is not faster
 //!   --assert-overhead  (counters) exit 1 if counters cost more than
 //!                      RIO_COUNTERS_THRESHOLD percent (default 1)
+//!   --assert-improves  (tune) exit 1 if the loop fails to converge or the
+//!                      tuned run is not faster than the untuned baseline
+//!                      (RIO_TUNE_THRESHOLD percent of headroom, default 0)
 //!
 //! regress gates with RIO_REGRESS_THRESHOLD percent (default 10).
 //! ```
 
 use rio_bench::figures::{self, Options};
-use rio_bench::{doctor, json, regress};
+use rio_bench::{doctor, json, regress, tune};
 
 fn parse_usize(args: &[String], key: &str, default: usize) -> usize {
     args.windows(2)
@@ -172,6 +177,22 @@ fn main() {
                 eprintln!("wrote doctor report to {}", path.display());
             }
         }
+        "tune" => {
+            let grid = parse_usize(&args, "--grid", 8);
+            let cost = parse_usize(&args, "--cost", 4096) as u64;
+            let (_, outcome) = tune::tune(&opt, grid, cost);
+            if json::enabled() {
+                let path = std::path::Path::new("TUNE_repro.json");
+                if let Err(e) = std::fs::write(path, outcome.to_json()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote tuning record to {}", path.display());
+            }
+            if args.iter().any(|a| a == "--assert-improves") {
+                assert_tune_improves(&outcome);
+            }
+        }
         "regress" => {
             let Some(baseline_path) = parse_str(&args, "--baseline") else {
                 eprintln!("regress requires --baseline FILE");
@@ -222,6 +243,7 @@ fn main() {
             figures::park(&opt);
             figures::counters_overhead(&opt, tpw);
             doctor::doctor(&opt, 8, 4096);
+            tune::tune(&opt, 8, 4096);
             for e in 1..=4 {
                 figures::fig8(&opt, e);
             }
@@ -231,8 +253,8 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|doctor|regress|baseline|all> [options]");
-            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|doctor|tune|regress|baseline|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead --assert-improves");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
             } else {
@@ -297,6 +319,42 @@ fn assert_park_faster(rows: &[figures::ParkRow]) {
         std::process::exit(1);
     }
     eprintln!("wake elision faster on all {} ops", rows.len());
+}
+
+/// The CI gate behind `tune --assert-improves`: the closed loop must
+/// converge within its iteration cap AND the plan it settles on must beat
+/// the untuned round-robin baseline in the best-of-reps re-measurement,
+/// up to `RIO_TUNE_THRESHOLD` percent of wall-clock noise headroom
+/// (default 0: strictly faster). Hosted runners need the headroom for
+/// the same reason the regress gate does — two best-of-reps walls a few
+/// hundred µs apart land well inside scheduler jitter.
+fn assert_tune_improves(outcome: &rio_bench::tune::TuneOutcome) {
+    let threshold: f64 = std::env::var("RIO_TUNE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let mut ok = true;
+    if !outcome.converged {
+        eprintln!(
+            "REGRESSION: tuning loop hit its cap after {} iterations without converging",
+            outcome.iterations.len()
+        );
+        ok = false;
+    }
+    let delta = outcome.delta_pct();
+    if delta >= threshold {
+        eprintln!(
+            "REGRESSION: tuned run not faster than untuned baseline ({delta:+.1}%, allowed < {threshold:+.1}%)"
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "tune converged in {} iterations, {delta:+.1}% vs untuned",
+        outcome.iterations.len()
+    );
 }
 
 /// The CI gate behind `counters --assert-overhead`: the always-on counter

@@ -399,6 +399,7 @@ impl<'g> CompiledFlow<'g> {
             },
             ..Execution::default()
         };
+        run.counters = run.report.counters.clone();
         run.trace = run.report.take_trace();
         if let (Some(trace), Some(path)) = (
             run.trace.as_ref(),

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use crate::counters::CounterRegistry;
 use crate::trace_api::TraceConfig;
-use crate::wait::WaitStrategy;
+use crate::wait::{WaitPolicy, WaitStrategy};
 
 /// Configuration of a RIO execution.
 #[derive(Debug, Clone)]
@@ -19,6 +19,16 @@ pub struct RioConfig {
     /// the configured [`RioConfig::wait`] strategy (yield or park).
     /// Default: [`WaitStrategy::DEFAULT_SPIN_LIMIT`].
     pub spin_limit: u32,
+    /// Per-object wait policies, indexed by [`rio_stf::DataId`]: entry
+    /// `d` overrides [`RioConfig::wait`]/[`RioConfig::spin_limit`] for
+    /// every wait *and* terminate on data object `d`. Objects past the
+    /// end of the table (and all objects when `None`, the default) use
+    /// the run-wide pair. Shared by every worker of the run, which is
+    /// what makes mixed policies safe: an object whose policy never
+    /// parks never has a parked waiter, so its terminates may skip the
+    /// wake (see [`WaitPolicy`]). Typically produced by the tuner
+    /// ([`crate::tune`]) rather than written by hand.
+    pub wait_policies: Option<Arc<[WaitPolicy]>>,
     /// Stall watchdog: when `Some(d)`, a worker blocked in a `get_*` for
     /// longer than `d` (past its spin phase) aborts the run with
     /// [`rio_stf::ExecError::Stalled`], carrying a diagnostic dump of the
@@ -90,6 +100,14 @@ impl RioConfig {
     /// Sets the pure-spin poll budget (builder style).
     pub fn spin_limit(mut self, polls: u32) -> RioConfig {
         self.spin_limit = polls;
+        self
+    }
+
+    /// Installs a per-object wait-policy table (builder style): entry `d`
+    /// governs every wait and terminate on [`rio_stf::DataId`] `d`. See
+    /// [`RioConfig::wait_policies`].
+    pub fn wait_policies(mut self, table: impl Into<Arc<[WaitPolicy]>>) -> RioConfig {
+        self.wait_policies = Some(table.into());
         self
     }
 
@@ -167,6 +185,7 @@ impl Default for RioConfig {
                 .unwrap_or(1),
             wait: WaitStrategy::default(),
             spin_limit: WaitStrategy::DEFAULT_SPIN_LIMIT,
+            wait_policies: None,
             watchdog: None,
             preflight: true,
             #[cfg(feature = "fault-inject")]
@@ -237,6 +256,17 @@ mod tests {
         RioConfig::with_workers(1)
             .watchdog(Duration::ZERO)
             .validate();
+    }
+
+    #[test]
+    fn wait_policy_table_builds() {
+        let c = RioConfig::with_workers(1);
+        assert!(c.wait_policies.is_none(), "per-object policies are opt-in");
+        let c = c.wait_policies(vec![WaitPolicy::hot(256), WaitPolicy::cold()]);
+        let table = c.wait_policies.as_deref().expect("table installed");
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0], WaitPolicy::hot(256));
+        c.validate();
     }
 
     #[test]

@@ -215,6 +215,28 @@ impl CounterRow {
         self.wakes_elided += other.wakes_elided;
         self.aborts += other.aborts;
     }
+
+    /// Fraction of blocking progress checks that escalated to a park:
+    /// `parks / (spins + parks)`, `0.0` when nothing ever waited.
+    ///
+    /// The tuner's ([`crate::tune`]) counters-only contention signal: a
+    /// run whose waits all resolve inside the spin phase has zero park
+    /// fraction (spinning is cheap — raise the budget), while a high
+    /// fraction means waits are long (parking is right, and the elided
+    /// wakes say the waiter advertisement is already paying off).
+    pub fn park_fraction(&self) -> f64 {
+        let polls = self.spins + self.parks;
+        if polls == 0 {
+            0.0
+        } else {
+            self.parks as f64 / polls as f64
+        }
+    }
+
+    /// Did this row record any blocking wait at all?
+    pub fn waited(&self) -> bool {
+        self.spins + self.parks > 0
+    }
 }
 
 /// A sampled [`CounterRegistry`]: one [`CounterRow`] per worker. Attached
@@ -238,6 +260,14 @@ impl CountersSnapshot {
     /// Were counters recorded at all?
     pub fn is_empty(&self) -> bool {
         self.workers.is_empty()
+    }
+
+    /// Per-worker executed-task counts, in worker order — the
+    /// counters-only stand-in for a trace's per-worker load split,
+    /// consumed by the doctor's trace-free fast path
+    /// (`rio_doctor::diagnose_counters`).
+    pub fn tasks_per_worker(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.tasks).collect()
     }
 
     /// Renders the snapshot as a [`rio_metrics::Table`]: one row per
@@ -298,6 +328,34 @@ mod tests {
         assert_eq!(total.tasks, 2);
         assert_eq!(total.spins, 5);
         assert_eq!(total.parks, 3);
+    }
+
+    #[test]
+    fn heuristic_inputs_derive_from_the_rows() {
+        let quiet = CounterRow::default();
+        assert!(!quiet.waited());
+        assert_eq!(quiet.park_fraction(), 0.0);
+        let spinny = CounterRow {
+            spins: 90,
+            parks: 10,
+            ..CounterRow::default()
+        };
+        assert!(spinny.waited());
+        assert!((spinny.park_fraction() - 0.1).abs() < 1e-9);
+
+        let snap = CountersSnapshot {
+            workers: vec![
+                CounterRow {
+                    tasks: 7,
+                    ..CounterRow::default()
+                },
+                CounterRow {
+                    tasks: 3,
+                    ..CounterRow::default()
+                },
+            ],
+        };
+        assert_eq!(snap.tasks_per_worker(), vec![7, 3]);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! Historically the crate exposed one free function per variant
 //! (`execute_graph`, `execute_graph_pruned`, `execute_graph_hybrid`),
 //! each with its own signature and return type. [`Executor`] subsumes
-//! them: configure a [`RioConfig`], choose a mapping (total or partial),
-//! toggle pruning and tracing, and [`Executor::run`] — one call shape for
-//! every variant, one [`Execution`] result carrying whatever the chosen
-//! variant produces. The free functions remain as deprecated wrappers.
+//! them (the free functions are gone): configure a [`RioConfig`], choose
+//! a mapping (total or partial), toggle pruning and tracing, and
+//! [`Executor::run`] — one call shape for every variant, one
+//! [`Execution`] result carrying whatever the chosen variant produces.
 //!
 //! ```
 //! use rio_core::prelude::*;
@@ -28,17 +28,20 @@
 //! assert_eq!(store.into_vec(), vec![100]);
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rio_stf::{ExecError, Mapping, RoundRobin, TaskDesc, TaskGraph, WorkerId};
 
 use crate::compile::CompiledFlow;
 use crate::config::RioConfig;
+use crate::counters::CountersSnapshot;
 use crate::graph::try_execute_graph_impl;
 use crate::hybrid::{try_execute_graph_hybrid_impl, HybridStats, PartialMapping};
 use crate::pruning::{try_execute_graph_pruned_impl, PruneStats};
 use crate::report::ExecReport;
 use crate::trace_api::{Trace, TraceConfig};
+use crate::tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
 
 /// Builder for a RIO execution. See the [module docs](self).
 ///
@@ -67,6 +70,11 @@ pub struct Executor<'a> {
 pub struct Execution {
     /// The execution report (wall time, per-worker times, op counts).
     pub report: ExecReport,
+    /// The run's always-on counters snapshot — present for every variant
+    /// (plain, pruned, hybrid, compiled; empty only when
+    /// [`RioConfig::counters`] was disabled), so tuner input
+    /// ([`crate::tune`]) is uniform regardless of how the run executed.
+    pub counters: CountersSnapshot,
     /// Pruning statistics (`Some` iff pruning was enabled).
     pub prune: Option<PruneStats>,
     /// Dynamic-claim statistics (`Some` iff a hybrid run).
@@ -232,6 +240,7 @@ impl<'a> Executor<'a> {
                 }
             }
         };
+        run.counters = run.report.counters.clone();
         run.trace = run.report.take_trace();
         if let (Some(trace), Some(path)) = (
             run.trace.as_ref(),
@@ -242,6 +251,126 @@ impl<'a> Executor<'a> {
                 .unwrap_or_else(|e| panic!("cannot write Chrome trace to {}: {e}", path.display()));
         }
         Ok(run)
+    }
+
+    /// Diagnoses a finished `run` of `graph` into a [`TuningPlan`]:
+    /// shorthand for [`Tuner::plan`] with default [`TuneOptions`], this
+    /// executor's worker count and its configured mapping. Feed the plan
+    /// to [`Executor::apply`] to get an executor that runs under it —
+    /// or let [`Executor::tuned_run`] drive the whole loop.
+    pub fn plan(&self, graph: &TaskGraph, run: &Execution) -> TuningPlan {
+        Tuner::new(graph, self.cfg.workers).plan(self.mapping.unwrap_or(&RoundRobin), run)
+    }
+
+    /// A new executor with `plan` baked in: the plan's remap replaces
+    /// the mapping, and its per-object wait-policy table is installed
+    /// into the configuration ([`RioConfig::wait_policies`]). Everything
+    /// else — worker count, run-wide wait strategy, tracing, watchdog,
+    /// pruning — carries over from `self`.
+    ///
+    /// # Panics
+    /// If a partial mapping was set with [`Executor::hybrid`]: tuning
+    /// presupposes a static total mapping to remap.
+    pub fn apply<'p>(&self, plan: &'p TuningPlan) -> Executor<'p> {
+        assert!(
+            self.partial.is_none(),
+            "tuning requires a static total mapping: a hybrid executor \
+             claims its unmapped tasks at run time, so there is no \
+             mapping to remap"
+        );
+        let mut cfg = self.cfg.clone();
+        cfg.wait_policies = Some(Arc::clone(&plan.policies));
+        Executor {
+            cfg,
+            mapping: Some(&plan.mapping),
+            partial: None,
+            pruning: self.pruning,
+        }
+    }
+
+    /// Closed-loop self-optimizing execution with default
+    /// [`TuneOptions`]: run → diagnose → remap → recompile, iterated
+    /// until the imbalance factor converges or the iteration cap hits.
+    /// See [`Executor::tuned_run_with`].
+    pub fn tuned_run<K>(&self, graph: &TaskGraph, kernel: K) -> TunedRun
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        self.tuned_run_with(graph, kernel, TuneOptions::default())
+    }
+
+    /// Closed-loop self-optimizing execution (see [`crate::tune`]).
+    ///
+    /// Each round compiles the current plan (round 0: this executor's
+    /// own mapping, no policy table) into per-worker instruction
+    /// streams, runs it, and diagnoses the run into the next
+    /// [`TuningPlan`] — from its trace when tracing is enabled
+    /// ([`Executor::trace`]), else from its always-on counters. The loop
+    /// stops when the diagnosis would move nothing, or a round's wall
+    /// time failed to improve on the previous round's by more than the
+    /// [`TuneOptions::tolerance`] fraction ([`TunedRun::converged`] —
+    /// note wall time, not the imbalance factor: a mapping can be
+    /// perfectly load-balanced yet slow because every dependency chain
+    /// hops workers, and the remap fixes exactly that), or after
+    /// [`TuneOptions::max_iters`] rounds.
+    ///
+    /// The kernel runs once per task per round — `max_iters` full
+    /// executions in the worst case — so every round mutating shared
+    /// data must either be idempotent across runs or reset by the
+    /// caller; determinism checking across rounds is the
+    /// `check_determinism` harness's job, not this one's.
+    ///
+    /// # Panics
+    /// As [`Executor::run`]; additionally if a partial mapping was set
+    /// with [`Executor::hybrid`] or the options are invalid.
+    pub fn tuned_run_with<K>(&self, graph: &TaskGraph, kernel: K, opts: TuneOptions) -> TunedRun
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        opts.validate();
+        let tuner = Tuner::new(graph, self.cfg.workers).options(opts.clone());
+        let mut iterations = Vec::new();
+        let mut applied: Option<TuningPlan> = None;
+        let mut converged = false;
+        let mut last: Option<Execution> = None;
+        let mut prev_wall: Option<Duration> = None;
+        for iter in 0..opts.max_iters {
+            let (run, next) = match &applied {
+                None => {
+                    let run = self.compile(graph).run(&kernel);
+                    let next = tuner.plan(self.mapping.unwrap_or(&RoundRobin), &run);
+                    (run, next)
+                }
+                Some(plan) => {
+                    let run = self.apply(plan).compile(graph).run(&kernel);
+                    let next = tuner.plan(&plan.mapping, &run);
+                    (run, next)
+                }
+            };
+            let wall = run.report.wall;
+            iterations.push(TuneIteration {
+                iter,
+                wall,
+                imbalance: next.imbalance,
+                moves: next.moves,
+            });
+            last = Some(run);
+            let stalled = prev_wall.is_some_and(|prev| {
+                wall.as_secs_f64() >= prev.as_secs_f64() * (1.0 - opts.tolerance)
+            });
+            if next.moves == 0 || stalled {
+                converged = true;
+                break;
+            }
+            prev_wall = Some(wall);
+            applied = Some(next);
+        }
+        TunedRun {
+            execution: last.expect("max_iters >= 1 ensures at least one run"),
+            iterations,
+            converged,
+            plan: applied,
+        }
     }
 }
 
@@ -329,31 +458,25 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_work() {
-        #![allow(deprecated)]
-        let g = chain_graph(50);
-        let store = DataStore::from_vec(vec![0u64]);
-        let report = crate::execute_graph(&RioConfig::with_workers(2), &g, &RoundRobin, |_, _| {
-            *store.write(DataId(0)) += 1;
-        });
-        assert_eq!(report.tasks_executed(), 50);
-
-        let store2 = DataStore::from_vec(vec![0u64]);
-        let (report, _stats) =
-            crate::execute_graph_pruned(&RioConfig::with_workers(2), &g, &RoundRobin, |_, _| {
-                *store2.write(DataId(0)) += 1;
-            });
-        assert_eq!(report.tasks_executed(), 50);
-
-        let store3 = DataStore::from_vec(vec![0u64]);
-        let (report, _stats) =
-            crate::execute_graph_hybrid(&RioConfig::with_workers(2), &g, &Unmapped, |_, _| {
-                *store3.write(DataId(0)) += 1;
-            });
-        assert_eq!(report.tasks_executed(), 50);
-        assert_eq!(store.into_vec(), vec![50]);
-        assert_eq!(store2.into_vec(), vec![50]);
-        assert_eq!(store3.into_vec(), vec![50]);
+    fn every_variant_carries_the_counters_snapshot() {
+        // Tuner input is uniform: plain, pruned, hybrid and compiled runs
+        // all surface the same always-on counters on the Execution.
+        let g = chain_graph(60);
+        let base = || RioConfig::with_workers(2).wait(WaitStrategy::Park);
+        let plain = Executor::new(base()).run(&g, |_, _| {});
+        let pruned = Executor::new(base()).pruning(true).run(&g, |_, _| {});
+        let hybrid = Executor::new(base()).hybrid(&Unmapped).run(&g, |_, _| {});
+        let compiled = Executor::new(base()).compile(&g).run(|_, _| {});
+        for run in [&plain, &pruned, &hybrid, &compiled] {
+            assert_eq!(run.counters.total().tasks, 60);
+            assert_eq!(
+                run.counters, run.report.counters,
+                "snapshot mirrors the report"
+            );
+        }
+        // Counters off: the snapshot is present but empty.
+        let off = Executor::new(base().counters(false)).run(&g, |_, _| {});
+        assert!(off.counters.is_empty());
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub(crate) fn stall_diagnostic(
     })
 }
 
-/// Executes `graph` with `cfg.workers` decentralized in-order workers.
+/// Executes `graph` with `cfg.workers` decentralized in-order workers:
+/// the panicking test shorthand over [`try_execute_graph_impl`] (the
+/// production shell is [`crate::Executor::run`]).
 ///
 /// `kernel(worker, task)` is invoked exactly once per task, on the worker
 /// the `mapping` designates, only after all of the task's dependencies
@@ -74,21 +76,7 @@ pub(crate) fn stall_diagnostic(
 /// # Panics
 /// If the mapping designates a worker `>= cfg.workers`, or `cfg` is
 /// invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::new(cfg).mapping(&m).run(graph, kernel)` instead"
-)]
-pub fn execute_graph<M, K>(cfg: &RioConfig, graph: &TaskGraph, mapping: &M, kernel: K) -> ExecReport
-where
-    M: Mapping + ?Sized,
-    K: Fn(WorkerId, &TaskDesc) + Sync,
-{
-    execute_graph_impl(cfg, graph, mapping, kernel)
-}
-
-/// Shared implementation behind [`execute_graph`] (deprecated wrapper) and
-/// [`crate::Executor::run`]: the panicking shell over
-/// [`try_execute_graph_impl`].
+#[cfg(test)]
 pub(crate) fn execute_graph_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
@@ -176,6 +164,10 @@ pub(crate) struct WorkerCtx<'a> {
     status: &'a StatusTable,
     epoch: Instant,
     cx: WaitCx<'a>,
+    /// Per-object wait-policy table ([`RioConfig::wait_policies`]):
+    /// `policies[d]` overrides `cx`'s strategy/spin budget for waits and
+    /// terminates on data object `d`. Shared by every worker of the run.
+    policies: Option<&'a [crate::wait::WaitPolicy]>,
     pub locals: Vec<LocalDataState>,
     pub ops: OpCounts,
     pub tasks_executed: u64,
@@ -221,6 +213,7 @@ impl<'a> WorkerCtx<'a> {
                 deadline: cfg.watchdog,
                 abort,
             },
+            policies: cfg.wait_policies.as_deref(),
             locals: vec![LocalDataState::default(); num_data],
             ops: OpCounts::default(),
             tasks_executed: 0,
@@ -235,6 +228,30 @@ impl<'a> WorkerCtx<'a> {
             record: cfg.record_spans,
             wd: cfg.watchdog.is_some(),
         }
+    }
+
+    /// The wait context governing data object `data`: the per-object
+    /// policy when the table names one, the run-wide `cx` otherwise.
+    #[inline]
+    fn wait_cx(&self, data: usize) -> WaitCx<'a> {
+        match self.policies.and_then(|p| p.get(data)) {
+            Some(p) => WaitCx {
+                strategy: p.strategy,
+                spin_limit: p.spin_limit,
+                ..self.cx
+            },
+            None => self.cx,
+        }
+    }
+
+    /// The wait strategy `terminate_*` on `data` must assume its waiters
+    /// use. Must agree with [`WorkerCtx::wait_cx`]: a terminate that
+    /// believes waiters never park skips the waiter check and the wake.
+    #[inline]
+    fn strategy_of(&self, data: usize) -> crate::wait::WaitStrategy {
+        self.policies
+            .and_then(|p| p.get(data))
+            .map_or(self.cfg.wait, |p| p.strategy)
     }
 
     /// Executes one task mapped to this worker: acquire every access in
@@ -299,6 +316,7 @@ impl<'a> WorkerCtx<'a> {
             if self.wd {
                 self.status.begin_wait(self.me, a.data);
             }
+            let cx = self.wait_cx(a.data.index());
             let wr = match pre {
                 Some(words) => {
                     // The compiled path's precomputed word must equal what
@@ -317,16 +335,16 @@ impl<'a> WorkerCtx<'a> {
                         a.data,
                     );
                     if a.mode.writes() {
-                        get_write_word_cx(s, words[i], &self.cx)
+                        get_write_word_cx(s, words[i], &cx)
                     } else {
-                        get_read_word_cx(s, words[i], &self.cx)
+                        get_read_word_cx(s, words[i], &cx)
                     }
                 }
                 None => {
                     if a.mode.writes() {
-                        get_write_cx(s, l, &self.cx)
+                        get_write_cx(s, l, &cx)
                     } else {
-                        get_read_cx(s, l, &self.cx)
+                        get_read_cx(s, l, &cx)
                     }
                 }
             };
@@ -423,12 +441,13 @@ impl<'a> WorkerCtx<'a> {
 
         for a in accesses {
             self.ops.terminates += 1;
+            let strategy = self.strategy_of(a.data.index());
             let s = &self.shared[a.data.index()];
             let l = &mut self.locals[a.data.index()];
             let elided = if a.mode.writes() {
-                terminate_write(s, l, t.id, self.cfg.wait)
+                terminate_write(s, l, t.id, strategy)
             } else {
-                terminate_read(s, l, self.cfg.wait)
+                terminate_read(s, l, strategy)
             };
             if elided {
                 if let Some(c) = self.ctr {
@@ -490,8 +509,8 @@ impl<'a> WorkerCtx<'a> {
     }
 }
 
-/// The per-worker flow loop shared by [`execute_graph`] and the pruned
-/// variant: when `visit` is `Some`, only the listed flow indices are
+/// The per-worker flow loop shared by [`execute_graph_impl`] and the
+/// pruned variant: when `visit` is `Some`, only the listed flow indices are
 /// walked (they must include every task whose accesses this worker needs
 /// to register — see [`crate::pruning`]). Both cases interpret the flow
 /// through the same [`WorkerCtx`] engine; a visit list merely restricts
@@ -782,6 +801,39 @@ mod tests {
         // With counters disabled the snapshot is empty.
         let report = execute_graph(&cfg(2).counters(false), &g, &RoundRobin, |_, _| {});
         assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn per_object_wait_policies_override_the_run_wide_strategy() {
+        // A serialized RW chain on D0 under Park workers. Without a
+        // policy table the chain parks or elides wakes; with D0 marked
+        // hot (never park) both counters must stay at zero — waits spin,
+        // terminates skip the waiter check — and the result stays exact.
+        use crate::wait::WaitPolicy;
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..200 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+
+        let park = execute_graph(&cfg(2).spin_limit(4), &g, &RoundRobin, |_, _| {});
+        let t = park.counters.total();
+        assert!(
+            t.parks + t.wakes_elided > 0,
+            "a Park-mode chain either parks or elides wakes"
+        );
+
+        let store = DataStore::from_vec(vec![0u64]);
+        let c = cfg(2)
+            .spin_limit(4)
+            .wait_policies(vec![WaitPolicy::hot(1 << 20)]);
+        let hot = execute_graph(&c, &g, &RoundRobin, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(store.into_vec(), vec![200]);
+        let t = hot.counters.total();
+        assert_eq!(t.parks, 0, "hot policy never parks");
+        assert_eq!(t.wakes_elided, 0, "hot terminates never consider waking");
     }
 
     #[test]

@@ -156,27 +156,10 @@ where
 }
 
 /// Executes `graph` with the hybrid model: mapped tasks on their fixed
-/// workers, unmapped tasks claimed dynamically. See the module docs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::new(cfg).hybrid(&pmap).run(graph, kernel)` instead"
-)]
-pub fn execute_graph_hybrid<P, K>(
-    cfg: &RioConfig,
-    graph: &TaskGraph,
-    pmap: &P,
-    kernel: K,
-) -> (ExecReport, HybridStats)
-where
-    P: PartialMapping,
-    K: Fn(WorkerId, &TaskDesc) + Sync,
-{
-    execute_graph_hybrid_impl(cfg, graph, pmap, kernel)
-}
-
-/// Shared implementation behind [`execute_graph_hybrid`] (deprecated
-/// wrapper) and [`crate::Executor::run`]: the panicking shell over
-/// [`try_execute_graph_hybrid_impl`].
+/// workers, unmapped tasks claimed dynamically — the panicking test
+/// shorthand over [`try_execute_graph_hybrid_impl`] (the production
+/// shell is [`crate::Executor::run`]). See the module docs.
+#[cfg(test)]
 pub(crate) fn execute_graph_hybrid_impl<P, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,

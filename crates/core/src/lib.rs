@@ -34,11 +34,15 @@
 //!   SuperGlue): commutative *accumulation* accesses that relax in-order
 //!   execution for reductions.
 //!
-//! The historical free functions (`execute_graph`, `execute_graph_pruned`,
-//! `execute_graph_hybrid`) remain as deprecated wrappers around the same
-//! implementations; new code should use [`Executor`]. The variant modules
+//! [`Executor`] is the only run entry point — the historical free
+//! functions (`execute_graph`, `execute_graph_pruned`,
+//! `execute_graph_hybrid`) have been removed. The variant modules
 //! ([`pruning`] §3.5, [`hybrid`] partial mappings with CAS-based claiming)
-//! still expose their statistics types and pre-pass helpers.
+//! still expose their statistics types and pre-pass helpers, and
+//! [`tune`] closes the loop: a finished run's counters (and optional
+//! trace) feed a [`tune::Tuner`] whose [`tune::TuningPlan`] — a remap
+//! plus per-object wait policies — recompiles into a faster next run
+//! ([`Executor::tuned_run`]).
 //!
 //! ## Observability
 //!
@@ -82,6 +86,7 @@ pub mod redux;
 pub mod report;
 pub mod status;
 pub mod trace_api;
+pub mod tune;
 pub mod wait;
 
 pub use compile::{CompileStats, CompiledFlow};
@@ -89,18 +94,13 @@ pub use config::RioConfig;
 pub use counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
 pub use executor::{Execution, Executor};
 pub use flow::{FlowCtx, Rio, TaskView};
-#[allow(deprecated)]
-pub use graph::execute_graph;
-#[allow(deprecated)]
-pub use hybrid::execute_graph_hybrid;
 pub use hybrid::{validate_partial_mapping, HybridStats, PartialMapping};
-#[allow(deprecated)]
-pub use pruning::execute_graph_pruned;
 pub use pruning::PruneStats;
 pub use report::{ExecReport, OpCounts, WorkerReport};
 pub use status::StatusTable;
 pub use trace_api::{Trace, TraceConfig, WorkerTrace};
-pub use wait::WaitStrategy;
+pub use tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
+pub use wait::{WaitPolicy, WaitStrategy};
 
 /// Everything a typical RIO program needs, in one `use`.
 ///
@@ -131,7 +131,8 @@ pub mod prelude {
     pub use crate::report::{ExecReport, OpCounts, WorkerReport};
     pub use crate::status::StatusTable;
     pub use crate::trace_api::{Trace, TraceConfig, WorkerTrace};
-    pub use crate::wait::WaitStrategy;
+    pub use crate::tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
+    pub use crate::wait::{WaitPolicy, WaitStrategy};
     pub use rio_stf::{
         validate_mapping, Access, AccessMode, DataId, DataStore, ExecError, Mapping, MappingError,
         RoundRobin, StallDiagnostic, StallSite, TableMapping, TaskDesc, TaskGraph, TaskId,

@@ -146,29 +146,12 @@ pub fn prune_stats(graph: &TaskGraph, lists: &[Vec<u32>]) -> PruneStats {
 }
 
 /// Executes `graph` like plain decentralized execution, but with
-/// per-worker task pruning derived from the mapping.
+/// per-worker task pruning derived from the mapping: the panicking test
+/// shorthand over [`try_execute_graph_pruned_impl`] (the production
+/// shell is [`crate::Executor::run`]).
 ///
 /// Returns the execution report together with the pruning statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::new(cfg).mapping(&m).pruning(true).run(graph, kernel)` instead"
-)]
-pub fn execute_graph_pruned<M, K>(
-    cfg: &RioConfig,
-    graph: &TaskGraph,
-    mapping: &M,
-    kernel: K,
-) -> (ExecReport, PruneStats)
-where
-    M: Mapping + ?Sized,
-    K: Fn(WorkerId, &TaskDesc) + Sync,
-{
-    execute_graph_pruned_impl(cfg, graph, mapping, kernel)
-}
-
-/// Shared implementation behind [`execute_graph_pruned`] (deprecated
-/// wrapper) and [`crate::Executor::run`]: the panicking shell over
-/// [`try_execute_graph_pruned_impl`].
+#[cfg(test)]
 pub(crate) fn execute_graph_pruned_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,

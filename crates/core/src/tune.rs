@@ -1,0 +1,564 @@
+//! Closed-loop self-optimizing execution: run → diagnose → remap →
+//! recompile, in process, with zero manual steps.
+//!
+//! The offline loop already works: `rio-doctor` reads a finished run's
+//! trace, reconstructs the DAG the epoch protocol enforced, and suggests
+//! a remap (`repro doctor` measures a ~23% wall-time cut on
+//! Cholesky/round-robin). This module closes that loop behind the
+//! [`Executor`](crate::Executor): a run's [`Execution`] — its always-on
+//! counters snapshot plus, when tracing was enabled, its event trace —
+//! feeds a [`Tuner`] that produces a [`TuningPlan`]:
+//!
+//! * a **remap** — the doctor's greedy earliest-finish
+//!   [`TableMapping`], keeping dependency chains on one worker and
+//!   balancing the rest;
+//! * **per-object wait policies** — data objects whose recorded waits
+//!   resolve within a few polls and never park are marked *hot*
+//!   ([`WaitPolicy::hot`]: spin with a raised budget, never park — so
+//!   their terminates skip the waiter check and the wake entirely),
+//!   everything else stays *cold* ([`WaitPolicy::cold`]: park). Decided
+//!   per object from the trace's wait events, or globally from the
+//!   spins/parks/elided-wakes counters when no trace was recorded.
+//!
+//! Because the paper's mapping is **static**, applying a plan is just a
+//! recompile: [`Executor::apply`] yields a new executor whose
+//! [`compile`](crate::Executor::compile) bakes the remap into fresh
+//! per-worker instruction streams and the policy table into the run's
+//! configuration. [`Executor::tuned_run`] iterates the whole loop until
+//! it converges — nothing left to move, or the measured wall time stops
+//! improving — or the iteration cap hits.
+//!
+//! ```
+//! use rio_core::prelude::*;
+//!
+//! let mut b = TaskGraph::builder(1);
+//! for _ in 0..100 {
+//!     b.task(&[Access::read_write(DataId(0))], 1, "inc");
+//! }
+//! let g = b.build();
+//!
+//! // One call: run, diagnose, remap, recompile, re-run — until the
+//! // imbalance factor stops improving or the cap hits.
+//! let tuned = Executor::new(RioConfig::with_workers(2))
+//!     .mapping(&RoundRobin)
+//!     .tuned_run(&g, |_, _| {});
+//! assert!(!tuned.iterations.is_empty());
+//! assert_eq!(tuned.execution.report.tasks_executed(), 100);
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rio_stf::{Mapping, TableMapping, TaskGraph};
+
+use crate::counters::CountersSnapshot;
+use crate::executor::Execution;
+use crate::wait::{WaitPolicy, WaitStrategy};
+
+/// Knobs of the closed tuning loop.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Iteration cap of [`Executor::tuned_run`](crate::Executor::tuned_run):
+    /// at most this many run → diagnose → remap → recompile rounds.
+    /// Must be ≥ 1. Default: 3.
+    pub max_iters: usize,
+    /// Convergence tolerance, a wall-time fraction: a round that fails
+    /// to beat the previous round's wall time by more than `tolerance`
+    /// (e.g. `0.05` = 5% faster) stalls the loop, which then stops as
+    /// converged. Deliberately *not* an imbalance threshold — a mapping
+    /// can be perfectly load-balanced yet slow because every dependency
+    /// chain hops workers, and the remap fixes exactly that.
+    /// Default: 0.05.
+    pub tolerance: f64,
+    /// Spin budget granted to hot objects' [`WaitPolicy::hot`] entries.
+    /// Default: 4 × [`WaitStrategy::DEFAULT_SPIN_LIMIT`].
+    pub hot_spin_limit: u32,
+    /// An object is hot only if its mean recorded polls-per-wait stays at
+    /// or below this (and it never parked). Default:
+    /// 4 × [`WaitStrategy::DEFAULT_SPIN_LIMIT`].
+    pub hot_poll_cutoff: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            max_iters: 3,
+            tolerance: 0.05,
+            hot_spin_limit: 4 * WaitStrategy::DEFAULT_SPIN_LIMIT,
+            hot_poll_cutoff: 4 * u64::from(WaitStrategy::DEFAULT_SPIN_LIMIT),
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Panics on nonsensical options.
+    pub fn validate(&self) {
+        assert!(self.max_iters >= 1, "tuning needs at least one iteration");
+        assert!(
+            self.tolerance >= 0.0 && self.tolerance.is_finite(),
+            "tolerance must be finite and non-negative"
+        );
+    }
+}
+
+/// What one diagnosis round decided: the remap and the per-object wait
+/// policies to compile the next run with, plus the numbers the decision
+/// was based on. Produced by [`Tuner::plan`] /
+/// [`Executor::plan`](crate::Executor::plan); consumed by
+/// [`Executor::apply`](crate::Executor::apply).
+#[derive(Debug, Clone)]
+pub struct TuningPlan {
+    /// The suggested remap (greedy earliest-finish over the diagnosed
+    /// durations), one worker per flow index. Any total mapping is
+    /// deadlock-free under the RIO protocol, so applying it is always
+    /// safe.
+    pub mapping: TableMapping,
+    /// Per-object wait policies, indexed by [`rio_stf::DataId`] — the
+    /// table [`crate::RioConfig::wait_policies`] installs.
+    pub policies: Arc<[WaitPolicy]>,
+    /// Imbalance factor of the diagnosed run (max busy / mean busy;
+    /// 1.0 = perfect balance).
+    pub imbalance: f64,
+    /// Tasks whose worker changes under [`TuningPlan::mapping`].
+    pub moves: usize,
+}
+
+impl TuningPlan {
+    /// How many objects the plan marks hot (spin, never park).
+    pub fn hot_objects(&self) -> usize {
+        self.policies
+            .iter()
+            .filter(|p| p.strategy != WaitStrategy::Park)
+            .count()
+    }
+}
+
+/// One round of a [tuned run](crate::Executor::tuned_run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneIteration {
+    /// Round index, 0-based (round 0 runs the untuned baseline).
+    pub iter: usize,
+    /// Wall-clock time of this round's run.
+    pub wall: Duration,
+    /// Imbalance factor diagnosed from this round's run.
+    pub imbalance: f64,
+    /// Remap moves the diagnosis of this round suggested.
+    pub moves: usize,
+}
+
+/// Outcome of [`Executor::tuned_run`](crate::Executor::tuned_run): the
+/// final run plus the loop's per-iteration record.
+#[derive(Debug)]
+pub struct TunedRun {
+    /// The final (best-plan) run.
+    pub execution: Execution,
+    /// One row per round, in order; `iterations[0]` is the untuned
+    /// baseline.
+    pub iterations: Vec<TuneIteration>,
+    /// `true` when the loop stopped because it converged — nothing left
+    /// to move, or a round's wall time stopped improving by more than
+    /// the tolerance fraction — rather than by exhausting the iteration
+    /// cap.
+    pub converged: bool,
+    /// The plan the final run executed under (`None` when the very first
+    /// diagnosis already reported convergence, so no plan was applied).
+    pub plan: Option<TuningPlan>,
+}
+
+impl TunedRun {
+    /// Wall time of the untuned first round.
+    pub fn baseline_wall(&self) -> Duration {
+        self.iterations.first().map(|i| i.wall).unwrap_or_default()
+    }
+
+    /// Wall time of the final round.
+    pub fn final_wall(&self) -> Duration {
+        self.iterations.last().map(|i| i.wall).unwrap_or_default()
+    }
+
+    /// Final-vs-baseline wall-time delta in percent (negative = the
+    /// tuned run is faster).
+    pub fn delta_pct(&self) -> f64 {
+        let base = self.baseline_wall().as_nanos() as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.final_wall().as_nanos() as f64 - base) / base * 100.0
+    }
+}
+
+/// Derives a [`TuningPlan`] from one finished run.
+///
+/// Prefers the run's event trace (per-object wait shapes, measured task
+/// durations); falls back to the always-on counters snapshot — hint-
+/// weighted remap via `rio_doctor::diagnose_counters`, one global wait
+/// policy from the aggregate spins/parks split — when no trace was
+/// recorded (or the `trace` feature is off).
+#[derive(Debug)]
+pub struct Tuner<'g> {
+    graph: &'g TaskGraph,
+    workers: usize,
+    opts: TuneOptions,
+}
+
+impl<'g> Tuner<'g> {
+    /// A tuner for runs of `graph` on `workers` workers, with default
+    /// [`TuneOptions`].
+    pub fn new(graph: &'g TaskGraph, workers: usize) -> Tuner<'g> {
+        Tuner {
+            graph,
+            workers,
+            opts: TuneOptions::default(),
+        }
+    }
+
+    /// Replaces the options (builder style).
+    pub fn options(mut self, opts: TuneOptions) -> Tuner<'g> {
+        opts.validate();
+        self.opts = opts;
+        self
+    }
+
+    /// Diagnoses `run` (executed under `mapping`) into a [`TuningPlan`].
+    pub fn plan(&self, mapping: &dyn Mapping, run: &Execution) -> TuningPlan {
+        #[cfg(feature = "trace")]
+        if let Some(trace) = run.trace.as_ref() {
+            return self.plan_from_trace(mapping, trace);
+        }
+        self.plan_from_counters(mapping, &run.counters)
+    }
+
+    /// Trace-fed path: measured durations weight the remap, and each
+    /// object's recorded wait events decide its policy individually.
+    #[cfg(feature = "trace")]
+    fn plan_from_trace(&self, mapping: &dyn Mapping, trace: &rio_trace::Trace) -> TuningPlan {
+        let report = rio_doctor::diagnose(self.graph, mapping, self.workers, trace);
+        TuningPlan {
+            mapping: report.suggested_mapping(),
+            policies: self.policies_from_trace(trace),
+            imbalance: report.quality.imbalance,
+            moves: report.moves,
+        }
+    }
+
+    /// Per-object policies from the trace's wait events: an object is hot
+    /// — spin with a raised budget, never park — iff it was waited on,
+    /// never parked anyone, and its waits resolved within
+    /// [`TuneOptions::hot_poll_cutoff`] polls on average. Objects that
+    /// parked (long waits) or were never waited on (no contention to
+    /// speed up) stay cold.
+    #[cfg(feature = "trace")]
+    fn policies_from_trace(&self, trace: &rio_trace::Trace) -> Arc<[WaitPolicy]> {
+        let n = self.graph.num_data();
+        let mut waits = vec![0u64; n];
+        let mut polls = vec![0u64; n];
+        let mut parks = vec![0u64; n];
+        for w in &trace.workers {
+            for e in &w.events {
+                if e.kind.is_wait() {
+                    if let Some(d) = waits.get_mut(e.id as usize) {
+                        *d += 1;
+                        polls[e.id as usize] += u64::from(e.polls);
+                        parks[e.id as usize] += u64::from(e.parks);
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|d| {
+                let hot = waits[d] > 0
+                    && parks[d] == 0
+                    && polls[d] / waits[d] <= self.opts.hot_poll_cutoff;
+                if hot {
+                    WaitPolicy::hot(self.opts.hot_spin_limit)
+                } else {
+                    WaitPolicy::cold()
+                }
+            })
+            .collect()
+    }
+
+    /// Counters-only path: the remap comes from the doctor's trace-free
+    /// fast path (cost hints weight the schedule, the counters supply the
+    /// per-worker task counts), and one global policy covers every
+    /// object — hot when the run waited without ever parking (all waits
+    /// resolved inside the spin phase), cold otherwise. Coarser than the
+    /// trace path, but requires nothing beyond the always-on counters.
+    fn plan_from_counters(&self, mapping: &dyn Mapping, counters: &CountersSnapshot) -> TuningPlan {
+        let tasks = counters.tasks_per_worker();
+        let report = rio_doctor::diagnose_counters(self.graph, mapping, self.workers, &tasks);
+        let total = counters.total();
+        let policy = if total.waited() && total.park_fraction() == 0.0 {
+            WaitPolicy::hot(self.opts.hot_spin_limit)
+        } else {
+            WaitPolicy::cold()
+        };
+        TuningPlan {
+            mapping: report.suggested_mapping(),
+            policies: vec![policy; self.graph.num_data()].into(),
+            imbalance: report.quality.imbalance,
+            moves: report.moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RioConfig;
+    use crate::executor::Executor;
+    use rio_stf::{Access, DataId, RoundRobin, TaskGraph, WorkerId};
+
+    /// Two independent unit-cost chains, submitted one after the other
+    /// (flow indices `0..len` on D0, `len..2len` on D1); round-robin
+    /// over two workers cuts every edge of both, the tuner should put
+    /// each chain on one worker.
+    fn two_chains(len: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(2);
+        for i in 0..2 * len {
+            b.task(&[Access::read_write(DataId((i / len) as u32))], 1, "inc");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counters_only_plan_consolidates_chains() {
+        let g = two_chains(20);
+        let ex = Executor::new(RioConfig::with_workers(2)).mapping(&RoundRobin);
+        let run = ex.run(&g, |_, _| {});
+        let plan = ex.plan(&g, &run);
+        // Each chain lands entirely on one worker.
+        let w_of = |i: usize| plan.mapping.worker_of(rio_stf::TaskId::from_index(i), 2);
+        for i in 0..20 {
+            assert_eq!(w_of(i), w_of(0), "chain A stays together");
+            assert_eq!(w_of(20 + i), w_of(20), "chain B stays together");
+        }
+        assert_ne!(w_of(0), w_of(20), "chains on different workers");
+        assert_eq!(plan.policies.len(), 2);
+        assert!(plan.moves > 0);
+    }
+
+    #[test]
+    fn plan_marks_spin_resolved_runs_hot() {
+        // Spin strategy: waits resolve without parking, so the counters
+        // path must grant the raised spin budget.
+        let g = two_chains(10);
+        let ex = Executor::new(RioConfig::with_workers(2).wait(crate::wait::WaitStrategy::Spin))
+            .mapping(&RoundRobin);
+        let run = ex.run(&g, |_, _| {});
+        let plan = ex.plan(&g, &run);
+        let t = run.counters.total();
+        if t.waited() && t.parks == 0 {
+            assert_eq!(plan.hot_objects(), 2, "all objects hot");
+            assert_eq!(
+                plan.policies[0],
+                WaitPolicy::hot(TuneOptions::default().hot_spin_limit)
+            );
+        } else {
+            assert_eq!(plan.hot_objects(), 0);
+        }
+    }
+
+    #[test]
+    fn apply_bakes_the_plan_into_a_new_executor() {
+        let g = two_chains(15);
+        let ex = Executor::new(RioConfig::with_workers(2)).mapping(&RoundRobin);
+        let run = ex.run(&g, |_, _| {});
+        let plan = ex.plan(&g, &run);
+        let tuned = ex.apply(&plan);
+        assert!(tuned.config().wait_policies.is_some());
+        let rerun = tuned.run(&g, |_, _| {});
+        assert_eq!(rerun.report.tasks_executed(), 30);
+        // The remap really is in effect: per-worker executed counts match
+        // the plan's table.
+        let mut per_worker = [0u64; 2];
+        for i in 0..30 {
+            per_worker[plan
+                .mapping
+                .worker_of(rio_stf::TaskId::from_index(i), 2)
+                .index()] += 1;
+        }
+        for (w, r) in rerun.report.workers.iter().enumerate() {
+            assert_eq!(r.tasks_executed, per_worker[w]);
+        }
+    }
+
+    #[test]
+    fn tuned_run_converges_within_the_cap() {
+        let g = two_chains(25);
+        // A huge tolerance makes the stall check immune to wall-clock
+        // noise: round 1 would have to run 20× faster than round 0 to
+        // keep the loop going, so it must stop as converged right after
+        // applying the consolidation plan.
+        let opts = TuneOptions {
+            tolerance: 0.95,
+            ..TuneOptions::default()
+        };
+        let tuned = Executor::new(RioConfig::with_workers(2))
+            .mapping(&RoundRobin)
+            .tuned_run_with(&g, |_, _| {}, opts.clone());
+        assert!(!tuned.iterations.is_empty());
+        assert!(tuned.iterations.len() <= opts.max_iters);
+        assert_eq!(tuned.execution.report.tasks_executed(), 50);
+        for (i, it) in tuned.iterations.iter().enumerate() {
+            assert_eq!(it.iter, i);
+            assert!(it.imbalance >= 1.0 - 1e-9);
+        }
+        assert!(tuned.converged, "stall must end the loop before the cap");
+        // Round 0 diagnosed the round-robin chain-cutting, so a plan was
+        // applied and the final run executed under it.
+        let plan = tuned.plan.expect("consolidation plan applied");
+        assert!(plan.moves > 0);
+    }
+
+    #[test]
+    fn tuned_run_with_cap_one_only_baselines() {
+        let g = two_chains(5);
+        let tuned = Executor::new(RioConfig::with_workers(2))
+            .mapping(&RoundRobin)
+            .tuned_run_with(
+                &g,
+                |_, _| {},
+                TuneOptions {
+                    max_iters: 1,
+                    ..TuneOptions::default()
+                },
+            );
+        assert_eq!(tuned.iterations.len(), 1);
+        assert_eq!(tuned.execution.report.tasks_executed(), 10);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_plan_decides_policies_per_object() {
+        use crate::trace_api::TraceConfig;
+        // D0 carries a cross-worker chain (contended); D1 is written by
+        // one worker only (never waited on). The trace-fed plan must
+        // leave the never-waited object cold while deciding D0 from its
+        // recorded wait shape.
+        let mut b = TaskGraph::builder(2);
+        for i in 0..60u32 {
+            if i % 3 == 2 {
+                b.task(&[Access::write(DataId(1))], 1, "solo");
+            } else {
+                b.task(&[Access::read_write(DataId(0))], 1, "chain");
+            }
+        }
+        let g = b.build();
+        let m = rio_stf::TableMapping::from_fn(60, |i| WorkerId::from_index((i % 3 == 1) as usize));
+        let ex = Executor::new(RioConfig::with_workers(2))
+            .mapping(&m)
+            .trace(TraceConfig::new());
+        let run = ex.run(&g, |_, _| {});
+        assert!(run.trace.is_some());
+        let plan = ex.plan(&g, &run);
+        assert_eq!(plan.policies.len(), 2);
+        assert_eq!(
+            plan.policies[1],
+            WaitPolicy::cold(),
+            "an uncontended object stays cold"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iteration_caps_are_rejected() {
+        TuneOptions {
+            max_iters: 0,
+            ..TuneOptions::default()
+        }
+        .validate();
+    }
+}
+
+/// Property: tuning never changes results. For random small flows, a
+/// plan-applied run — remapped, per-object wait policies installed,
+/// recompiled — produces byte-identical per-datum stores and the
+/// identical per-datum *writer* order as the untuned baseline, under
+/// every wait strategy. (Only writers are compared: readers within one
+/// epoch are legitimately unordered even between two identical baseline
+/// runs. Since every writer mutates its object deterministically from
+/// the previous value, identical stores ⟺ identical writer order — the
+/// two assertions cross-check each other.)
+#[cfg(test)]
+mod equivalence {
+    use crate::config::RioConfig;
+    use crate::executor::Executor;
+    use crate::wait::WaitStrategy;
+    use proptest::prelude::*;
+    use rio_stf::{Access, DataId, DataStore, RoundRobin, TaskGraph};
+    use std::sync::Mutex;
+
+    const NUM_DATA: usize = 5;
+
+    /// Decodes one task per seed: 1–3 distinct objects, each accessed
+    /// read / write / read-write, with a small random cost hint.
+    fn graph_from(seeds: &[u64]) -> TaskGraph {
+        let mut b = TaskGraph::builder(NUM_DATA);
+        for &s in seeds {
+            let mut acc: Vec<Access> = Vec::new();
+            let n = 1 + (s % 3) as usize;
+            let mut x = s / 3;
+            for _ in 0..n {
+                let d = DataId((x % NUM_DATA as u64) as u32);
+                x /= NUM_DATA as u64;
+                if acc.iter().any(|a| a.data == d) {
+                    continue;
+                }
+                acc.push(match x % 3 {
+                    0 => Access::read(d),
+                    1 => Access::write(d),
+                    _ => Access::read_write(d),
+                });
+                x /= 3;
+            }
+            b.task(&acc, 1 + s % 7, "p");
+        }
+        b.build()
+    }
+
+    /// Runs `ex` over `g` with a kernel that mutates every written
+    /// object deterministically from its previous value and the writer's
+    /// id, recording the per-datum writer order. Returns (stores, order).
+    fn observe(ex: &Executor<'_>, g: &TaskGraph) -> (Vec<u64>, Vec<Vec<u64>>) {
+        let store = DataStore::new_with(NUM_DATA, |i| i as u64);
+        let order: Vec<Mutex<Vec<u64>>> = (0..NUM_DATA).map(|_| Mutex::new(Vec::new())).collect();
+        ex.run(g, |_, t| {
+            for d in t.writes() {
+                let mut w = store.write(d);
+                *w = (*w ^ t.id.0)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t.id.0);
+                order[d.index()].lock().unwrap().push(t.id.0);
+            }
+        });
+        (
+            store.into_vec(),
+            order.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn tuned_runs_replay_the_baseline_exactly(
+            seeds in proptest::collection::vec(0u64..u64::MAX, 1..40),
+            workers in 2usize..5,
+        ) {
+            let g = graph_from(&seeds);
+            for wait in [WaitStrategy::Spin, WaitStrategy::SpinYield, WaitStrategy::Park] {
+                let ex = Executor::new(RioConfig::with_workers(workers).wait(wait))
+                    .mapping(&RoundRobin);
+                let (base_store, base_order) = observe(&ex, &g);
+                // Diagnose a throwaway run into a plan, apply it, re-observe.
+                let probe = ex.run(&g, |_, _| {});
+                let plan = ex.plan(&g, &probe);
+                let tuned = ex.apply(&plan);
+                let (tuned_store, tuned_order) = observe(&tuned, &g);
+                prop_assert_eq!(&tuned_store, &base_store, "stores diverge under {}", wait);
+                prop_assert_eq!(&tuned_order, &base_order, "writer order diverges under {}", wait);
+            }
+        }
+    }
+}

@@ -120,6 +120,58 @@ pub fn diagnose(
     }
 }
 
+/// Counters-only fast path: diagnoses a run that recorded **no trace**,
+/// from the flow, the mapping and the run's always-on per-worker
+/// executed-task counts (`tasks_per_worker`, e.g.
+/// `rio_core`'s `CountersSnapshot::tasks_per_worker`).
+///
+/// With no measured durations the per-task cost hints stand in verbatim
+/// (the same fallback [`durations::from_trace`] uses for a fully dropped
+/// ring), so the critical path, the per-worker busy split and the greedy
+/// remap are all *hint-weighted predictions* rather than measurements:
+/// `wall_ns`/`measured_speedup` are zero, wait attribution is empty, and
+/// the imbalance factor is computed from the hint-weighted load each
+/// worker's mapped tasks represent. That is exactly what a closed tuning
+/// loop needs between untraced iterations — the remap it suggests is the
+/// same one a cost-hint-only trace would produce.
+pub fn diagnose_counters(
+    graph: &TaskGraph,
+    mapping: &dyn Mapping,
+    workers: usize,
+    tasks_per_worker: &[u64],
+) -> DoctorReport {
+    let empty = Trace::default();
+    let mut report = diagnose(graph, mapping, workers, &empty);
+    // The empty trace left every per-worker row blank; fill busy from the
+    // hint-weighted durations of each worker's mapped tasks and the task
+    // counts from the run's counters.
+    let dur = durations::from_trace(graph, &empty);
+    for t in graph.tasks() {
+        let w = mapping.worker_of(t.id, workers).index();
+        if let Some(row) = report.quality.per_worker.get_mut(w) {
+            row.busy_ns += dur.ns[t.id.index()];
+        }
+    }
+    for (row, &tasks) in report.quality.per_worker.iter_mut().zip(tasks_per_worker) {
+        row.tasks = tasks;
+    }
+    let busy_total: u64 = report.quality.per_worker.iter().map(|w| w.busy_ns).sum();
+    let busy_max: u64 = report
+        .quality
+        .per_worker
+        .iter()
+        .map(|w| w.busy_ns)
+        .max()
+        .unwrap_or(0);
+    let mean = busy_total as f64 / workers.max(1) as f64;
+    report.quality.imbalance = if mean > 0.0 {
+        busy_max as f64 / mean
+    } else {
+        1.0
+    };
+    report
+}
+
 fn speedup(work_ns: u64, over_ns: u64) -> f64 {
     if over_ns == 0 {
         0.0
@@ -178,6 +230,27 @@ mod tests {
         assert_eq!(r.blocking[0].data, DataId(0));
         assert_eq!(r.blocking[0].writer, TaskId(1));
         assert_eq!(r.blocking[0].wait_ns, 100);
+    }
+
+    #[test]
+    fn counters_only_fast_path_predicts_from_hints() {
+        // Same chain, no trace: the fast path must find the same critical
+        // path (hint-weighted), an imbalance reflecting the round-robin
+        // split of a serial chain, and a usable remap.
+        let (g, _) = chain_setup();
+        let r = diagnose_counters(&g, &RoundRobin, 2, &[2, 1]);
+        assert_eq!(r.critical_path, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(r.wall_ns, 0, "nothing was measured");
+        assert_eq!(r.measured_tasks, 0);
+        assert!(r.blocking.is_empty(), "no wait events without a trace");
+        // Hint-weighted busy: W0 carries 2 of 3 unit-cost tasks.
+        assert_eq!(r.quality.per_worker[0].busy_ns, 2);
+        assert_eq!(r.quality.per_worker[1].busy_ns, 1);
+        assert_eq!(r.quality.per_worker[0].tasks, 2, "tasks from counters");
+        assert!((r.quality.imbalance - 2.0 / 1.5).abs() < 1e-9);
+        // The remap still consolidates the chain.
+        assert!(r.moves >= 1);
+        assert!(r.suggested_mapping().validate(2));
     }
 
     #[test]
