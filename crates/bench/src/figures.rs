@@ -746,6 +746,117 @@ pub fn counters_overhead(opt: &Options, tasks_per_worker: usize) -> (String, Vec
     (out, vec![row])
 }
 
+/// One row of the `repro faults` recovery-overhead ablation.
+#[derive(Debug, Clone)]
+pub struct FaultsRow {
+    /// Worker count of the row.
+    pub workers: usize,
+    /// Total tasks.
+    pub tasks: usize,
+    /// ns/task with no `RecoveryPolicy` installed (the shipped default).
+    pub off_ns: f64,
+    /// ns/task with a retrying `RecoveryPolicy` armed on a fault-free run.
+    pub on_ns: f64,
+}
+
+impl FaultsRow {
+    /// Overhead of arming recovery in percent (positive = armed slower).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.on_ns - self.off_ns) * 100.0 / self.off_ns
+    }
+}
+
+/// `repro faults`: the cost of the graceful-degradation layer on the
+/// fig7 interpreted row — same workload, same mapping, recovery disabled
+/// (default) vs a retrying `RecoveryPolicy` armed on a fault-free run.
+///
+/// Arming recovery routes every task through the retrying body wrapper
+/// (one `catch_unwind` it already paid, plus one poison-bitmap load per
+/// access); the disabled row takes the original abort-on-panic path
+/// untouched. Both must coincide within the noise: `repro faults
+/// --assert-overhead` gates CI on it (threshold `RIO_RECOVERY_THRESHOLD`
+/// percent, default 1), and the disabled row doubles as the
+/// recovery-disabled regression row `repro regress` tracks against the
+/// committed baseline.
+pub fn faults(opt: &Options, tasks_per_worker: usize) -> (String, Vec<FaultsRow>) {
+    let task_size = 1u64 << 8;
+    let w = opt.threads.max(1);
+    let n = independent::tasks_for_workers(tasks_per_worker, w);
+    let graph = independent::graph_private_data(n);
+
+    let run_with = |recovery: bool| {
+        let mut cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .check_determinism(false);
+        if recovery {
+            cfg = cfg.recovery(rio_core::RecoveryPolicy::default());
+        }
+        let t0 = Instant::now();
+        let run = rio_core::Executor::new(cfg)
+            .mapping(&RoundRobin)
+            .try_run(&graph, |_, _| counter_kernel(task_size))
+            .expect("fault-free ablation run failed");
+        assert!(
+            run.outcome.is_complete(),
+            "fault-free run reported degradation"
+        );
+        t0.elapsed()
+    };
+
+    let mut on = Duration::MAX;
+    let mut off = Duration::MAX;
+    for _ in 0..opt.reps.max(1) {
+        off = off.min(run_with(false));
+        on = on.min(run_with(true));
+    }
+    let per_task = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+    let row = FaultsRow {
+        workers: w,
+        tasks: n,
+        off_ns: per_task(off),
+        on_ns: per_task(on),
+    };
+    for (runtime, ns) in [
+        ("rio_recovery_off", row.off_ns),
+        ("rio_recovery_on", row.on_ns),
+    ] {
+        json::record(json::Record {
+            figure: "faults".into(),
+            workload: format!("independent-private/tpw={tasks_per_worker}"),
+            runtime: runtime.into(),
+            threads: w,
+            tasks: n,
+            ns_per_task: ns,
+        });
+    }
+
+    let mut table = Table::new([
+        "workers",
+        "tasks",
+        "recovery_off",
+        "recovery_on",
+        "overhead",
+    ]);
+    table.row([
+        row.workers.to_string(),
+        row.tasks.to_string(),
+        format!("{:.1} ns/task", row.off_ns),
+        format!("{:.1} ns/task", row.on_ns),
+        format!("{:+.2}%", row.overhead_pct()),
+    ]);
+    let out = opt.emit(
+        &format!(
+            "Recovery overhead — {tasks_per_worker} independent tasks per worker, \
+             task size {task_size}, interpreted walk, zero faults"
+        ),
+        &table,
+    );
+    (out, vec![row])
+}
+
 // ---------------------------------------------------------------------
 // Fig. 8 — efficiency decomposition per experiment
 // ---------------------------------------------------------------------

@@ -19,6 +19,7 @@
 //!   compiled    interpreted vs pruned vs compiled management cost
 //!   park        uncontended Park terminate: wake elision vs always-wake
 //!   counters    always-on counters overhead vs counters disabled
+//!   faults      recovery-policy overhead on a fault-free run vs disabled
 //!   doctor      diagnose Cholesky under round-robin, re-run the remap
 //!   tune        closed-loop trace -> diagnose -> remap -> recompile
 //!   regress     compare BENCH_repro.json runs against a baseline
@@ -46,6 +47,8 @@
 //!                      (park) exit 1 if the elided path is not faster
 //!   --assert-overhead  (counters) exit 1 if counters cost more than
 //!                      RIO_COUNTERS_THRESHOLD percent (default 1)
+//!                      (faults) exit 1 if arming recovery costs more than
+//!                      RIO_RECOVERY_THRESHOLD percent (default 1)
 //!   --assert-improves  (tune) exit 1 if the loop fails to converge or the
 //!                      tuned run is not faster than the untuned baseline
 //!                      (RIO_TUNE_THRESHOLD percent of headroom, default 0)
@@ -164,6 +167,13 @@ fn main() {
                 assert_counters_cheap(&rows);
             }
         }
+        "faults" => {
+            let (_, rows) = figures::faults(&opt, tpw);
+            if args.iter().any(|a| a == "--assert-overhead") {
+                write_json();
+                assert_recovery_cheap(&rows);
+            }
+        }
         "doctor" => {
             let grid = parse_usize(&args, "--grid", 8);
             let cost = parse_usize(&args, "--cost", 4096) as u64;
@@ -230,6 +240,7 @@ fn main() {
             figures::fig7(&opt, tpw, &workers);
             figures::compiled(&opt, tpw, &workers);
             figures::park(&opt);
+            figures::faults(&opt, tpw);
         }
         "all" => {
             figures::table1(&opt);
@@ -242,6 +253,7 @@ fn main() {
             figures::compiled(&opt, tpw, &workers);
             figures::park(&opt);
             figures::counters_overhead(&opt, tpw);
+            figures::faults(&opt, tpw);
             doctor::doctor(&opt, 8, 4096);
             tune::tune(&opt, 8, 4096);
             for e in 1..=4 {
@@ -253,7 +265,7 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|doctor|tune|regress|baseline|all> [options]");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|faults|doctor|tune|regress|baseline|all> [options]");
             eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead --assert-improves");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
@@ -354,6 +366,35 @@ fn assert_tune_improves(outcome: &rio_bench::tune::TuneOutcome) {
     eprintln!(
         "tune converged in {} iterations, {delta:+.1}% vs untuned",
         outcome.iterations.len()
+    );
+}
+
+/// The CI gate behind `faults --assert-overhead`: arming a
+/// `RecoveryPolicy` on a fault-free run must stay below
+/// `RIO_RECOVERY_THRESHOLD` percent (default 1) of the recovery-disabled
+/// walltime on every measured row.
+fn assert_recovery_cheap(rows: &[figures::FaultsRow]) {
+    let threshold: f64 = std::env::var("RIO_RECOVERY_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let mut ok = true;
+    for r in rows {
+        let pct = r.overhead_pct();
+        if pct > threshold {
+            eprintln!(
+                "REGRESSION: recovery overhead {:+.2}% > {:.2}% at {} workers / {} tasks",
+                pct, threshold, r.workers, r.tasks
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "recovery overhead <= {threshold:.2}% on all {} rows",
+        rows.len()
     );
 }
 

@@ -370,6 +370,11 @@ impl<'g> CompiledFlow<'g> {
         let status = &StatusTable::new(cfg.workers);
         let registry = crate::counters::CounterRegistry::for_run(cfg);
         let registry = registry.as_deref();
+        let recovery = cfg
+            .recovery
+            .clone()
+            .map(|p| crate::protocol::RecoveryCtx::new(p, self.graph.num_data()));
+        let rec = recovery.as_ref();
 
         let start = Instant::now();
         let workers = std::thread::scope(|s| {
@@ -379,7 +384,7 @@ impl<'g> CompiledFlow<'g> {
                     s.spawn(move || {
                         let me = WorkerId::from_index(w);
                         let ctr = registry.map(|r| r.worker(w));
-                        self.run_program(prog, shared, kernel, me, abort, status, start, ctr)
+                        self.run_program(prog, shared, kernel, me, abort, status, start, ctr, rec)
                     })
                 })
                 .collect();
@@ -397,6 +402,9 @@ impl<'g> CompiledFlow<'g> {
                 workers,
                 counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
             },
+            outcome: recovery
+                .and_then(crate::protocol::RecoveryCtx::into_report)
+                .into(),
             ..Execution::default()
         };
         run.counters = run.report.counters.clone();
@@ -426,6 +434,7 @@ impl<'g> CompiledFlow<'g> {
         status: &StatusTable,
         epoch: Instant,
         ctr: Option<&crate::counters::WorkerCounters>,
+        rec: Option<&crate::protocol::RecoveryCtx>,
     ) -> crate::report::WorkerReport
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -441,6 +450,7 @@ impl<'g> CompiledFlow<'g> {
             status,
             epoch,
             ctr,
+            rec,
         );
         let loop_start = Instant::now();
         for &code in &prog.code {

@@ -7,6 +7,107 @@ use crate::counters::CounterRegistry;
 use crate::trace_api::TraceConfig;
 use crate::wait::{WaitPolicy, WaitStrategy};
 
+/// Graceful-degradation policy: retry failed task bodies, then
+/// **skip-but-sync** on exhaustion.
+///
+/// With a policy installed ([`RioConfig::recovery`]), a panicking kernel
+/// no longer aborts the whole run. The owning worker re-runs the body up
+/// to [`max_retries`](RecoveryPolicy::max_retries) times with capped
+/// exponential backoff between attempts; if every attempt fails (or the
+/// per-task [`deadline`](RecoveryPolicy::deadline) expires first) the
+/// task is *skipped but synced*: its `terminate_*` protocol effects still
+/// run — so no downstream worker ever stalls — while its written data is
+/// marked poisoned in a sideband bitmap. Dependents that acquire a
+/// poisoned datum skip their own kernel, poison their own writes, and
+/// keep advancing epochs. The run then returns
+/// [`RunOutcome::Degraded`](crate::executor::RunOutcome::Degraded) with a
+/// [`rio_stf::PartialReport`] naming the failed tasks, the poisoned cone
+/// and the skipped dependents; every store outside the cone holds its
+/// fault-free value.
+///
+/// Retried kernels must be **idempotent up to their declared writes**: a
+/// retry re-runs the whole body, so partial writes from a failed attempt
+/// are overwritten only if the body rewrites them. See DESIGN.md §13.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Re-attempts after the first failure (0 = fail straight to
+    /// skip-but-sync). Default 3.
+    pub max_retries: u32,
+    /// Sleep before the first retry. Default 100µs.
+    pub backoff: Duration,
+    /// Multiplier applied to the backoff after each failed retry
+    /// (capped by [`max_backoff`](RecoveryPolicy::max_backoff)).
+    /// Default 2.
+    pub backoff_multiplier: u32,
+    /// Upper bound on any single backoff sleep. Default 10ms.
+    pub max_backoff: Duration,
+    /// Per-task deadline across *all* attempts and backoff sleeps; when
+    /// it expires the task fails with
+    /// [`rio_stf::FailureDetail::TaskTimedOut`] without using the rest of
+    /// its retry budget. `None` (default): attempts alone bound the task.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_micros(100),
+            backoff_multiplier: 2,
+            max_backoff: Duration::from_millis(10),
+            deadline: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: every failure goes straight to
+    /// skip-but-sync (useful when the kernels are known non-idempotent).
+    pub fn no_retries() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Sets the retry budget (builder style).
+    pub fn max_retries(mut self, n: u32) -> RecoveryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the initial backoff (builder style).
+    pub fn backoff(mut self, d: Duration) -> RecoveryPolicy {
+        self.backoff = d;
+        self
+    }
+
+    /// Sets the backoff cap (builder style).
+    pub fn max_backoff(mut self, d: Duration) -> RecoveryPolicy {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Sets the per-task deadline (builder style).
+    pub fn deadline(mut self, d: Duration) -> RecoveryPolicy {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The backoff sleep before retry number `attempt` (1-based), i.e.
+    /// `backoff * multiplier^(attempt-1)` capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let mut d = self.backoff;
+        for _ in 1..attempt {
+            d = d.saturating_mul(self.backoff_multiplier);
+            if d >= self.max_backoff {
+                return self.max_backoff;
+            }
+        }
+        d.min(self.max_backoff)
+    }
+}
+
 /// Configuration of a RIO execution.
 #[derive(Debug, Clone)]
 pub struct RioConfig {
@@ -74,6 +175,13 @@ pub struct RioConfig {
     /// line (gated <1% on the fig7 interpreted row by `repro counters`).
     /// Disable only for peak-overhead measurements.
     pub counters: bool,
+    /// Graceful-degradation policy ([`RecoveryPolicy`]): retry failed
+    /// task bodies with backoff, then skip-but-sync into a
+    /// [`rio_stf::PartialReport`]. `None` (the default) keeps the PR 2
+    /// abort semantics: the first panic aborts the whole run. The
+    /// disabled cost is one branch per executed task (gated <1% by
+    /// `repro faults`).
+    pub recovery: Option<RecoveryPolicy>,
     /// External [`CounterRegistry`] for the run to publish into, enabling
     /// mid-run sampling from a monitoring thread. `None` (the default):
     /// each run allocates its own registry and attaches the final snapshot
@@ -161,6 +269,13 @@ impl RioConfig {
         self
     }
 
+    /// Installs a graceful-degradation policy (builder style). See
+    /// [`RecoveryPolicy`].
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> RioConfig {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Publishes this run's counters into an externally owned registry so
     /// another thread can sample them mid-run (builder style).
     pub fn counter_registry(mut self, registry: Arc<CounterRegistry>) -> RioConfig {
@@ -173,6 +288,15 @@ impl RioConfig {
         assert!(self.workers >= 1, "RIO needs at least one worker");
         if let Some(d) = self.watchdog {
             assert!(!d.is_zero(), "watchdog deadline must be nonzero");
+        }
+        if let Some(r) = &self.recovery {
+            assert!(
+                r.backoff_multiplier >= 1,
+                "backoff multiplier must be at least 1"
+            );
+            if let Some(d) = r.deadline {
+                assert!(!d.is_zero(), "recovery deadline must be nonzero");
+            }
         }
     }
 }
@@ -195,6 +319,7 @@ impl Default for RioConfig {
             record_spans: false,
             trace: None,
             counters: true,
+            recovery: None,
             counter_registry: None,
         }
     }
@@ -273,6 +398,39 @@ mod tests {
     fn trace_builder_sets_the_flag() {
         let c = RioConfig::with_workers(1).trace(TraceConfig::new());
         assert!(c.trace.is_some());
+    }
+
+    #[test]
+    fn recovery_policy_defaults_and_backoff_schedule() {
+        let c = RioConfig::with_workers(1);
+        assert!(c.recovery.is_none(), "recovery is opt-in");
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.backoff_for(1), Duration::from_micros(100));
+        assert_eq!(p.backoff_for(2), Duration::from_micros(200));
+        assert_eq!(p.backoff_for(3), Duration::from_micros(400));
+        // The schedule is capped.
+        assert_eq!(p.backoff_for(30), p.max_backoff);
+        assert_eq!(RecoveryPolicy::no_retries().max_retries, 0);
+        let c = c.recovery(
+            RecoveryPolicy::default()
+                .max_retries(5)
+                .backoff(Duration::from_micros(10))
+                .max_backoff(Duration::from_millis(1))
+                .deadline(Duration::from_secs(1)),
+        );
+        let p = c.recovery.as_ref().expect("policy installed");
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.deadline, Some(Duration::from_secs(1)));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery deadline must be nonzero")]
+    fn zero_recovery_deadline_rejected() {
+        RioConfig::with_workers(1)
+            .recovery(RecoveryPolicy::default().deadline(Duration::ZERO))
+            .validate();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Tracing ([`crate::trace_api`]) records *events* and costs two clock
 //! reads per span — too heavy to leave enabled in production. This module
-//! is the complementary layer: six monotonic counters per worker, each a
+//! is the complementary layer: eight monotonic counters per worker, each a
 //! plain `Relaxed` increment on a cache line owned by that worker, cheap
 //! enough to stay on under full traffic (the `repro counters` gate bounds
 //! the overhead to <1% on the fig7 interpreted row). A
@@ -15,7 +15,8 @@
 //! The counters deliberately mirror the protocol's cost model rather than
 //! the trace's time model: tasks run, coalesced syncs, epoch-guard spins
 //! (condition re-checks in `get_*`), parks, wakes elided by the
-//! waiter-aware terminate, and aborts detected.
+//! waiter-aware terminate, aborts detected, kernel retries and poison
+//! bits set under a recovery policy.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,6 +35,8 @@ pub struct WorkerCounters {
     parks: AtomicU64,
     wakes_elided: AtomicU64,
     aborts: AtomicU64,
+    retries: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 /// Single-writer increment: the owning worker is the only incrementer,
@@ -89,6 +92,21 @@ impl WorkerCounters {
         bump(&self.aborts, 1);
     }
 
+    /// One kernel re-attempt under a recovery policy.
+    #[inline]
+    pub fn inc_retries(&self) {
+        bump(&self.retries, 1);
+    }
+
+    /// `n` poison bits newly set by this worker (a failed or skipped
+    /// task marking its written data).
+    #[inline]
+    pub fn add_poisoned(&self, n: u64) {
+        if n != 0 {
+            bump(&self.poisoned, n);
+        }
+    }
+
     /// A point-in-time sample of this worker's counters.
     pub fn row(&self) -> CounterRow {
         CounterRow {
@@ -98,6 +116,8 @@ impl WorkerCounters {
             parks: self.parks.load(Ordering::Relaxed),
             wakes_elided: self.wakes_elided.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
         }
     }
 
@@ -110,6 +130,8 @@ impl WorkerCounters {
         self.parks.store(0, Ordering::Relaxed);
         self.wakes_elided.store(0, Ordering::Relaxed);
         self.aborts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.poisoned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -203,6 +225,11 @@ pub struct CounterRow {
     pub wakes_elided: u64,
     /// Aborts detected (body panics, watchdog stalls).
     pub aborts: u64,
+    /// Kernel re-attempts under a recovery policy.
+    pub retries: u64,
+    /// Poison bits set (data marked untrustworthy by failed/skipped
+    /// tasks).
+    pub poisoned: u64,
 }
 
 impl CounterRow {
@@ -214,6 +241,8 @@ impl CounterRow {
         self.parks += other.parks;
         self.wakes_elided += other.wakes_elided;
         self.aborts += other.aborts;
+        self.retries += other.retries;
+        self.poisoned += other.poisoned;
     }
 
     /// Fraction of blocking progress checks that escalated to a park:
@@ -281,6 +310,8 @@ impl CountersSnapshot {
             "parks",
             "wakes_elided",
             "aborts",
+            "retries",
+            "poisoned",
         ]);
         let row = |label: String, r: &CounterRow| {
             vec![
@@ -291,6 +322,8 @@ impl CountersSnapshot {
                 r.parks.to_string(),
                 r.wakes_elided.to_string(),
                 r.aborts.to_string(),
+                r.retries.to_string(),
+                r.poisoned.to_string(),
             ]
         };
         for (w, r) in self.workers.iter().enumerate() {
@@ -316,10 +349,14 @@ mod tests {
         reg.worker(1).add_parks(3);
         reg.worker(1).inc_wakes_elided();
         reg.worker(1).inc_aborts();
+        reg.worker(0).inc_retries();
+        reg.worker(0).add_poisoned(2);
         let snap = reg.snapshot();
         assert_eq!(snap.workers.len(), 2);
         assert_eq!(snap.workers[0].tasks, 2);
         assert_eq!(snap.workers[0].spins, 5);
+        assert_eq!(snap.workers[0].retries, 1);
+        assert_eq!(snap.workers[0].poisoned, 2);
         assert_eq!(snap.workers[1].syncs, 1);
         assert_eq!(snap.workers[1].parks, 3);
         assert_eq!(snap.workers[1].wakes_elided, 1);
@@ -328,6 +365,8 @@ mod tests {
         assert_eq!(total.tasks, 2);
         assert_eq!(total.spins, 5);
         assert_eq!(total.parks, 3);
+        assert_eq!(total.retries, 1);
+        assert_eq!(total.poisoned, 2);
     }
 
     #[test]
@@ -363,6 +402,7 @@ mod tests {
         let c = WorkerCounters::default();
         c.add_spins(0);
         c.add_parks(0);
+        c.add_poisoned(0);
         assert_eq!(c.row(), CounterRow::default());
     }
 
@@ -410,6 +450,8 @@ mod tests {
         reg.worker(1).add_spins(7);
         let text = reg.snapshot().table().render();
         assert!(text.contains("wakes_elided"));
+        assert!(text.contains("retries"));
+        assert!(text.contains("poisoned"));
         assert!(text.contains("W0"));
         assert!(text.contains("total"));
         assert!(text.contains('7'));

@@ -64,12 +64,53 @@ pub struct Executor<'a> {
     pruning: bool,
 }
 
+/// How an [`Execution`] finished: cleanly, or degraded by permanent task
+/// failures that the installed [`crate::RecoveryPolicy`] contained.
+#[derive(Debug, Default)]
+pub enum RunOutcome {
+    /// Every task executed successfully (always the case when no
+    /// recovery policy is installed — failures surface as [`ExecError`]).
+    #[default]
+    Complete,
+    /// At least one task exhausted its retries: the
+    /// [`PartialReport`](rio_stf::PartialReport) lists the failed tasks
+    /// (with captured payloads and retry counts), the poisoned data cone
+    /// and the transitively skipped dependents. Every task outside the
+    /// cone executed normally and its results are valid.
+    Degraded(rio_stf::PartialReport),
+}
+
+impl RunOutcome {
+    /// `true` when every task executed successfully.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete)
+    }
+
+    /// The degraded run's partial report, if any.
+    pub fn partial(&self) -> Option<&rio_stf::PartialReport> {
+        match self {
+            RunOutcome::Complete => None,
+            RunOutcome::Degraded(p) => Some(p),
+        }
+    }
+}
+
+impl From<Option<rio_stf::PartialReport>> for RunOutcome {
+    fn from(partial: Option<rio_stf::PartialReport>) -> RunOutcome {
+        partial.map_or(RunOutcome::Complete, RunOutcome::Degraded)
+    }
+}
+
 /// Result of an [`Executor::run`]: the report plus whatever the selected
 /// variant additionally produced.
 #[derive(Debug, Default)]
 pub struct Execution {
     /// The execution report (wall time, per-worker times, op counts).
     pub report: ExecReport,
+    /// Whether the run completed cleanly or degraded under the
+    /// [`crate::RecoveryPolicy`] (always [`RunOutcome::Complete`] without
+    /// one).
+    pub outcome: RunOutcome,
     /// The run's always-on counters snapshot — present for every variant
     /// (plain, pruned, hybrid, compiled; empty only when
     /// [`RioConfig::counters`] was disabled), so tuner input
@@ -217,25 +258,30 @@ impl<'a> Executor<'a> {
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
         let mut run = if let Some(partial) = self.partial {
-            let (report, stats) = try_execute_graph_hybrid_impl(&self.cfg, graph, partial, kernel)?;
+            let (report, stats, degraded) =
+                try_execute_graph_hybrid_impl(&self.cfg, graph, partial, kernel)?;
             Execution {
                 report,
+                outcome: degraded.into(),
                 hybrid: Some(stats),
                 ..Execution::default()
             }
         } else {
             let mapping: &dyn Mapping = self.mapping.unwrap_or(&RoundRobin);
             if self.pruning {
-                let (report, stats) =
+                let (report, stats, degraded) =
                     try_execute_graph_pruned_impl(&self.cfg, graph, mapping, kernel)?;
                 Execution {
                     report,
+                    outcome: degraded.into(),
                     prune: Some(stats),
                     ..Execution::default()
                 }
             } else {
+                let (report, degraded) = try_execute_graph_impl(&self.cfg, graph, mapping, kernel)?;
                 Execution {
-                    report: try_execute_graph_impl(&self.cfg, graph, mapping, kernel)?,
+                    report,
+                    outcome: degraded.into(),
                     ..Execution::default()
                 }
             }

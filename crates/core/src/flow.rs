@@ -47,10 +47,11 @@ use rio_stf::store::{ReadGuard, WriteGuard};
 use rio_stf::{Access, DataId, DataStore, ExecError, Mapping, TaskId, WorkerId};
 
 use crate::config::RioConfig;
+use crate::executor::RunOutcome;
 use crate::graph::stall_diagnostic;
 use crate::protocol::{
     declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
-    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
+    AbortCause, AbortFlag, LocalDataState, RecoveryCtx, SharedDataState, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
@@ -109,12 +110,43 @@ impl Rio {
     ///
     /// # Errors
     /// See [`ExecError`] for the post-abort state guarantees.
+    ///
+    /// With a [`crate::RecoveryPolicy`] installed
+    /// ([`RioConfig::recovery`]), permanent task failures degrade the run
+    /// instead of failing it; this method returns the report alone — use
+    /// [`Rio::try_run_with_outcome`] to observe the partial report.
     pub fn try_run<T, M, F>(
         &self,
         store: &DataStore<T>,
         mapping: &M,
         flow: F,
     ) -> Result<ExecReport, ExecError>
+    where
+        T: Send,
+        M: Mapping,
+        F: Fn(&mut FlowCtx<'_, T>) + Sync,
+    {
+        self.try_run_with_outcome(store, mapping, flow)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`Rio::try_run`], additionally reporting how the run finished
+    /// under the installed [`crate::RecoveryPolicy`]. One caveat is
+    /// specific to the flow API: a dynamic task body is `FnOnce` and
+    /// cannot be replayed, so the policy's retry budget does not apply
+    /// here — a body panic permanently fails its task on the first
+    /// attempt (recorded with `retries: 0`), poisons its written data and
+    /// skips the downstream cone, exactly like an exhausted retry budget
+    /// in the graph runtimes.
+    ///
+    /// # Errors
+    /// See [`ExecError`] for the post-abort state guarantees.
+    pub fn try_run_with_outcome<T, M, F>(
+        &self,
+        store: &DataStore<T>,
+        mapping: &M,
+        flow: F,
+    ) -> Result<(ExecReport, RunOutcome), ExecError>
     where
         T: Send,
         M: Mapping,
@@ -129,6 +161,11 @@ impl Rio {
         let status = &StatusTable::new(cfg.workers);
         let registry = crate::counters::CounterRegistry::for_run(cfg);
         let registry = registry.as_deref();
+        let recovery = cfg
+            .recovery
+            .clone()
+            .map(|p| RecoveryCtx::new(p, store.len()));
+        let rec = recovery.as_ref();
 
         let start = Instant::now();
         let joined: Vec<std::thread::Result<(WorkerReport, u64)>> = std::thread::scope(|s| {
@@ -163,6 +200,7 @@ impl Rio {
                                 .as_ref()
                                 .map(|tc| WorkerTracer::new(tc, w as u32, start)),
                             ctr: registry.map(|r| r.worker(w)),
+                            rec,
                         };
                         let loop_start = Instant::now();
                         flow(&mut ctx);
@@ -223,11 +261,14 @@ impl Rio {
             }
         }
 
-        Ok(ExecReport {
-            wall,
-            workers: workers.into_iter().map(|(r, _)| r).collect(),
-            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
-        })
+        Ok((
+            ExecReport {
+                wall,
+                workers: workers.into_iter().map(|(r, _)| r).collect(),
+                counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+            },
+            recovery.and_then(RecoveryCtx::into_report).into(),
+        ))
     }
 }
 
@@ -267,6 +308,7 @@ pub struct FlowCtx<'a, T> {
     spans: Vec<rio_stf::validate::Span>,
     tracer: Option<WorkerTracer>,
     ctr: Option<&'a crate::counters::WorkerCounters>,
+    rec: Option<&'a RecoveryCtx>,
 }
 
 impl<'a, T> FlowCtx<'a, T> {
@@ -390,49 +432,86 @@ impl<'a, T> FlowCtx<'a, T> {
                 }
             }
 
-            let view = TaskView {
-                accesses,
-                store: self.store,
-            };
-            let run = std::panic::AssertUnwindSafe(|| body(&view));
-            let body_start = Instant::now();
-            let outcome = std::panic::catch_unwind(run);
-            let body_end = Instant::now();
-            if self.measure {
-                self.task_time += body_end.duration_since(body_start);
-            }
-            if let Err(payload) = outcome {
-                if let Some(c) = self.ctr {
-                    c.inc_aborts();
+            // Degraded mode: a poisoned input means the body is skipped
+            // outright (the gets above admitted every access, so upstream
+            // poison is visible here).
+            let skip = self
+                .rec
+                .is_some_and(|rec| accesses.iter().any(|a| rec.is_poisoned(a.data)));
+            let ran = if skip {
+                let rec = self.rec.unwrap();
+                rec.record_skipped(id);
+                crate::graph::poison_writes(rec, accesses, self.ctr);
+                false
+            } else {
+                let view = TaskView {
+                    accesses,
+                    store: self.store,
+                };
+                let run = std::panic::AssertUnwindSafe(|| body(&view));
+                let body_start = Instant::now();
+                let outcome = std::panic::catch_unwind(run);
+                let body_end = Instant::now();
+                if self.measure {
+                    self.task_time += body_end.duration_since(body_start);
                 }
-                self.abort.abort(
-                    AbortCause::Panic {
-                        task: id,
-                        worker: self.me,
-                        payload,
+                match outcome {
+                    Err(payload) => match self.rec {
+                        Some(rec) => {
+                            // A dynamic body is `FnOnce` — it cannot be
+                            // replayed, so the retry budget does not apply
+                            // here: the first panic fails the task
+                            // permanently (see `try_run_with_outcome`).
+                            rec.record_failed(rio_stf::FailedTask {
+                                task: id,
+                                worker: self.me,
+                                retries: 0,
+                                detail: rio_stf::FailureDetail::TaskFailed { payload },
+                            });
+                            crate::graph::poison_writes(rec, accesses, self.ctr);
+                            false
+                        }
+                        None => {
+                            if let Some(c) = self.ctr {
+                                c.inc_aborts();
+                            }
+                            self.abort.abort(
+                                AbortCause::Panic {
+                                    task: id,
+                                    worker: self.me,
+                                    payload,
+                                },
+                                self.shared,
+                            );
+                            panic!("RIO run poisoned: this worker's task body panicked");
+                        }
                     },
-                    self.shared,
-                );
-                panic!("RIO run poisoned: this worker's task body panicked");
-            }
-            if self.record_spans {
-                self.spans.push(rio_stf::validate::Span {
-                    task: id,
-                    start: body_start.duration_since(self.epoch).as_nanos() as u64,
-                    end: body_end.duration_since(self.epoch).as_nanos() as u64,
-                });
-            }
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.task(id, body_start, body_end);
-            }
-            self.tasks_executed += 1;
-            if let Some(c) = self.ctr {
-                c.inc_tasks();
+                    Ok(()) => {
+                        if self.record_spans {
+                            self.spans.push(rio_stf::validate::Span {
+                                task: id,
+                                start: body_start.duration_since(self.epoch).as_nanos() as u64,
+                                end: body_end.duration_since(self.epoch).as_nanos() as u64,
+                            });
+                        }
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.task(id, body_start, body_end);
+                        }
+                        true
+                    }
+                }
+            };
+            if ran {
+                self.tasks_executed += 1;
+                if let Some(c) = self.ctr {
+                    c.inc_tasks();
+                }
             }
             if wd {
                 self.status.completed(self.me, id, self.tasks_executed);
             }
 
+            // Skip-but-sync: terminates run regardless of `ran`.
             for a in accesses {
                 self.ops.terminates += 1;
                 let s = &self.shared[a.data.index()];

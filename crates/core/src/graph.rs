@@ -15,7 +15,9 @@
 
 use std::time::{Duration, Instant};
 
-use rio_stf::{ExecError, Mapping, StallDiagnostic, StallSite, TaskDesc, TaskGraph, WorkerId};
+use rio_stf::{
+    ExecError, Mapping, PartialReport, StallDiagnostic, StallSite, TaskDesc, TaskGraph, WorkerId,
+};
 
 use rio_stf::Access;
 
@@ -24,8 +26,8 @@ use crate::counters::{CounterRegistry, WorkerCounters};
 use crate::protocol::{
     apply_sync, declare_batch, expected_read_word, expected_write_word, get_read_cx,
     get_read_word_cx, get_write_cx, get_write_word_cx, terminate_read, terminate_write,
-    unpack_epoch, AbortCause, AbortFlag, LocalDataState, SharedDataState, SyncDelta, WaitCx,
-    WaitVerdict,
+    unpack_epoch, AbortCause, AbortFlag, LocalDataState, RecoveryCtx, SharedDataState, SyncDelta,
+    WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
@@ -87,18 +89,23 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    try_execute_graph_impl(cfg, graph, mapping, kernel).unwrap_or_else(|e| e.resume())
+    try_execute_graph_impl(cfg, graph, mapping, kernel)
+        .unwrap_or_else(|e| e.resume())
+        .0
 }
 
 /// Fallible execution behind [`crate::Executor::try_run`]: instead of
 /// panicking, a failed run returns a structured [`ExecError`] — after
-/// joining every worker, with no task body started past the abort.
+/// joining every worker, with no task body started past the abort. With
+/// a [`crate::config::RecoveryPolicy`] installed, panics degrade instead
+/// of aborting; the second tuple element is the resulting
+/// [`PartialReport`] (`None` when the run completed cleanly).
 pub(crate) fn try_execute_graph_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
     mapping: &M,
     kernel: K,
-) -> Result<ExecReport, ExecError>
+) -> Result<(ExecReport, Option<PartialReport>), ExecError>
 where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -117,6 +124,11 @@ where
     let status = &StatusTable::new(cfg.workers);
     let registry = CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let recovery = cfg
+        .recovery
+        .clone()
+        .map(|p| RecoveryCtx::new(p, graph.num_data()));
+    let rec = recovery.as_ref();
 
     let start = Instant::now();
     let workers = std::thread::scope(|s| {
@@ -127,6 +139,7 @@ where
                     let ctr = registry.map(|r| r.worker(w));
                     worker_loop(
                         cfg, graph, mapping, shared, kernel, me, None, abort, status, start, ctr,
+                        rec,
                     )
                 })
             })
@@ -139,11 +152,14 @@ where
     if let Some(cause) = abort.take_cause() {
         return Err(cause.into_error());
     }
-    Ok(ExecReport {
-        wall: start.elapsed(),
-        workers,
-        counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
-    })
+    Ok((
+        ExecReport {
+            wall: start.elapsed(),
+            workers,
+            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+        },
+        recovery.and_then(RecoveryCtx::into_report),
+    ))
 }
 
 /// Per-worker execution context: the private protocol state, counters,
@@ -178,6 +194,10 @@ pub(crate) struct WorkerCtx<'a> {
     tracer: Option<WorkerTracer>,
     /// Always-on counter line of this worker (`None` when disabled).
     ctr: Option<&'a WorkerCounters>,
+    /// Recovery state shared by every worker of the run (`None` when no
+    /// [`crate::config::RecoveryPolicy`] is installed — the abort-on-panic
+    /// fast path costs exactly one branch per executed task).
+    rec: Option<&'a RecoveryCtx>,
     measure: bool,
     record: bool,
     wd: bool,
@@ -195,6 +215,7 @@ impl<'a> WorkerCtx<'a> {
         status: &'a StatusTable,
         epoch: Instant,
         ctr: Option<&'a WorkerCounters>,
+        rec: Option<&'a RecoveryCtx>,
     ) -> WorkerCtx<'a> {
         let tracer = cfg
             .trace
@@ -224,6 +245,7 @@ impl<'a> WorkerCtx<'a> {
             traced: tracer.is_some(),
             tracer,
             ctr,
+            rec,
             measure: cfg.measure_time,
             record: cfg.record_spans,
             wd: cfg.watchdog.is_some(),
@@ -387,58 +409,76 @@ impl<'a> WorkerCtx<'a> {
             }
         }
 
-        let body = std::panic::AssertUnwindSafe(|| {
-            #[cfg(feature = "fault-inject")]
-            if let Some(hook) = self.cfg.fault_hook.as_ref() {
-                hook.before_task(self.me, t.id);
-            }
-            kernel(self.me, t)
-        });
-        let body_start = if self.measure || self.record || self.traced {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        let outcome = std::panic::catch_unwind(body);
-        let body_span = body_start.map(|t0| {
-            let t1 = Instant::now();
-            if self.measure {
-                self.task_time += t1.duration_since(t0);
-            }
-            if self.record {
-                self.spans.push(rio_stf::validate::Span {
-                    task: t.id,
-                    start: t0.duration_since(self.epoch).as_nanos() as u64,
-                    end: t1.duration_since(self.epoch).as_nanos() as u64,
+        let ran = match self.rec {
+            None => {
+                // Abort semantics (no recovery policy): the first panic
+                // records its cause and ends the whole run.
+                let body = std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    if let Some(hook) = self.cfg.fault_hook.as_ref() {
+                        hook.before_task(self.me, t.id);
+                    }
+                    kernel(self.me, t)
                 });
+                let body_start = if self.measure || self.record || self.traced {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let outcome = std::panic::catch_unwind(body);
+                let body_span = body_start.map(|t0| {
+                    let t1 = Instant::now();
+                    if self.measure {
+                        self.task_time += t1.duration_since(t0);
+                    }
+                    if self.record {
+                        self.spans.push(rio_stf::validate::Span {
+                            task: t.id,
+                            start: t0.duration_since(self.epoch).as_nanos() as u64,
+                            end: t1.duration_since(self.epoch).as_nanos() as u64,
+                        });
+                    }
+                    (t0, t1)
+                });
+                if let Err(payload) = outcome {
+                    if let Some(c) = self.ctr {
+                        c.inc_aborts();
+                    }
+                    self.abort.abort(
+                        AbortCause::Panic {
+                            task: t.id,
+                            worker: self.me,
+                            payload,
+                        },
+                        self.shared,
+                    );
+                    return false;
+                }
+                if let (Some((t0, t1)), Some(tr)) = (body_span, self.tracer.as_mut()) {
+                    tr.task(t.id, t0, t1);
+                }
+                true
             }
-            (t0, t1)
-        });
-        if let Err(payload) = outcome {
+            Some(rec) => self.exec_task_recovering(kernel, t, accesses, rec),
+        };
+        if ran {
+            self.tasks_executed += 1;
             if let Some(c) = self.ctr {
-                c.inc_aborts();
+                c.inc_tasks();
             }
-            self.abort.abort(
-                AbortCause::Panic {
-                    task: t.id,
-                    worker: self.me,
-                    payload,
-                },
-                self.shared,
-            );
-            return false;
         }
-        self.tasks_executed += 1;
-        if let Some(c) = self.ctr {
-            c.inc_tasks();
-        }
+        // Skipped and permanently-failed tasks still report watchdog
+        // progress: the worker is alive and the flow is advancing.
         if self.wd {
             self.status.completed(self.me, t.id, self.tasks_executed);
         }
-        if let (Some((t0, t1)), Some(tr)) = (body_span, self.tracer.as_mut()) {
-            tr.task(t.id, t0, t1);
-        }
 
+        // Skip-but-sync: the terminates below run regardless of `ran`. A
+        // skipped or permanently-failed task still publishes every epoch
+        // advance its completion owes the protocol, so no downstream
+        // worker ever stalls on a failure — they observe the poison bits
+        // instead (published before these stores, so the Release edge of
+        // each terminate carries them).
         for a in accesses {
             self.ops.terminates += 1;
             let strategy = self.strategy_of(a.data.index());
@@ -463,6 +503,54 @@ impl<'a> WorkerCtx<'a> {
             }
         }
         true
+    }
+
+    /// The degraded-mode body path: skip the kernel outright when an
+    /// input datum is poisoned (the failure already happened upstream and
+    /// this task's outputs would be garbage), otherwise run it under the
+    /// retry policy. Returns `true` when an attempt succeeded — the task
+    /// counts as executed; `false` when it was skipped or permanently
+    /// failed. Either way the caller proceeds to the terminates.
+    fn exec_task_recovering<K>(
+        &mut self,
+        kernel: &K,
+        t: &TaskDesc,
+        accesses: &[Access],
+        rec: &'a RecoveryCtx,
+    ) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        // The get loop above already admitted every access, so any poison
+        // a producer published before its terminate is visible here (the
+        // bit rides the protocol's own Release/Acquire edge).
+        if accesses.iter().any(|a| rec.is_poisoned(a.data)) {
+            rec.record_skipped(t.id);
+            poison_writes(rec, accesses, self.ctr);
+            return false;
+        }
+        let timed = self.measure || self.record || self.traced;
+        match run_body_with_recovery(self.cfg, rec, kernel, self.me, t, accesses, self.ctr, timed) {
+            Some(span) => {
+                if let Some((t0, t1)) = span {
+                    if self.measure {
+                        self.task_time += t1.duration_since(t0);
+                    }
+                    if self.record {
+                        self.spans.push(rio_stf::validate::Span {
+                            task: t.id,
+                            start: t0.duration_since(self.epoch).as_nanos() as u64,
+                            end: t1.duration_since(self.epoch).as_nanos() as u64,
+                        });
+                    }
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.task(t.id, t0, t1);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Registers one non-local task in the interpreted walk: one or two
@@ -509,6 +597,166 @@ impl<'a> WorkerCtx<'a> {
     }
 }
 
+/// Poisons every datum `accesses` writes, crediting newly-set bits to
+/// the worker's `poisoned` counter (re-poisoning an already-poisoned
+/// datum is counted once, by whoever set the bit first).
+pub(crate) fn poison_writes(rec: &RecoveryCtx, accesses: &[Access], ctr: Option<&WorkerCounters>) {
+    let mut newly = 0u64;
+    for a in accesses {
+        if a.mode.writes() && rec.poison(a.data) {
+            newly += 1;
+        }
+    }
+    if let Some(c) = ctr {
+        c.add_poisoned(newly);
+    }
+}
+
+/// Runs one task body under `rec`'s retry policy — shared by the
+/// interpreted/compiled engine ([`WorkerCtx`]) and the hybrid worker
+/// loop. Panicking attempts are retried with capped exponential backoff
+/// until the policy's `max_retries` or per-task `deadline` is exhausted;
+/// a permanent failure is recorded in `rec` and the task's written data
+/// poisoned. Returns `None` on permanent failure (the caller still
+/// terminates every access — skip-but-sync), `Some(span)` on success,
+/// where the span of the winning attempt is only taken when `timed` asked
+/// for one — the fault-free fast path stays clock-free so an armed policy
+/// costs nothing measurable per task. With `timed` off, the first failed
+/// attempt's body is the one interval `retry_time` cannot include; every
+/// later attempt and every backoff sleep is timed regardless.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn run_body_with_recovery<K>(
+    cfg: &RioConfig,
+    rec: &RecoveryCtx,
+    kernel: &K,
+    me: WorkerId,
+    t: &TaskDesc,
+    accesses: &[Access],
+    ctr: Option<&WorkerCounters>,
+    timed: bool,
+) -> Option<Option<(Instant, Instant)>>
+where
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    // Fast path: attempt 0, shaped exactly like the abort path — one
+    // `catch_unwind`, the same `timed`-gated clocks, no retry
+    // bookkeeping. An armed-but-unused policy must cost nothing
+    // measurable per task; the deadline clock is the one extra a policy
+    // that sets a deadline opts into.
+    let first_start = rec.policy.deadline.is_some().then(Instant::now);
+    let body = std::panic::AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        if let Some(hook) = cfg.fault_hook.as_ref() {
+            hook.before_attempt(me, t.id, 0);
+        }
+        kernel(me, t)
+    });
+    let t0 = (timed || first_start.is_some()).then(Instant::now);
+    match std::panic::catch_unwind(body) {
+        Ok(()) => Some(t0.map(|t0| (t0, Instant::now()))),
+        Err(payload) => retry_after_failure(
+            cfg,
+            rec,
+            kernel,
+            me,
+            t,
+            accesses,
+            ctr,
+            payload,
+            first_start,
+            t0,
+        ),
+    }
+}
+
+/// The retry loop behind [`run_body_with_recovery`], entered only after
+/// attempt 0 has already panicked (so its cost is irrelevant to the
+/// fault-free path). Attempts `1..` are always timed: `retry_time`
+/// covers every retried body and backoff sleep, missing only attempt 0's
+/// body when the run wasn't measuring.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn retry_after_failure<K>(
+    cfg: &RioConfig,
+    rec: &RecoveryCtx,
+    kernel: &K,
+    me: WorkerId,
+    t: &TaskDesc,
+    accesses: &[Access],
+    ctr: Option<&WorkerCounters>,
+    mut payload: Box<dyn std::any::Any + Send>,
+    first_start: Option<Instant>,
+    first_t0: Option<Instant>,
+) -> Option<Option<(Instant, Instant)>>
+where
+    K: Fn(WorkerId, &TaskDesc) + Sync,
+{
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = cfg;
+    let policy = &rec.policy;
+    let mut attempt = 0u32;
+    // Time this task spent failing: failed attempt bodies plus backoff
+    // sleeps. Successful retries report it too — recovery that
+    // eventually worked still cost wall-clock the doctor should see.
+    let mut recover_ns = first_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+    loop {
+        let spent = first_start.map_or(Duration::ZERO, |s| s.elapsed());
+        let timed_out = policy.deadline.is_some_and(|d| spent >= d);
+        if attempt >= policy.max_retries || timed_out {
+            // Retries exhausted (or the deadline passed first): record the
+            // permanent failure — keeping the panic payload when both
+            // bounds tripped at once — and poison the writes *before* the
+            // caller's terminates publish the epoch advances, so every
+            // admitted dependent sees the bits.
+            let detail = match policy.deadline {
+                Some(deadline) if timed_out && attempt < policy.max_retries => {
+                    rio_stf::FailureDetail::TaskTimedOut { spent, deadline }
+                }
+                _ => rio_stf::FailureDetail::TaskFailed { payload },
+            };
+            rec.record_failed(rio_stf::FailedTask {
+                task: t.id,
+                worker: me,
+                retries: attempt,
+                detail,
+            });
+            rec.add_retry_ns(recover_ns);
+            poison_writes(rec, accesses, ctr);
+            return None;
+        }
+        attempt += 1;
+        if let Some(c) = ctr {
+            c.inc_retries();
+        }
+        let backoff = policy.backoff_for(attempt);
+        if !backoff.is_zero() {
+            let s0 = Instant::now();
+            std::thread::sleep(backoff);
+            recover_ns += s0.elapsed().as_nanos() as u64;
+        }
+        let body = std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-inject")]
+            if let Some(hook) = cfg.fault_hook.as_ref() {
+                hook.before_attempt(me, t.id, attempt);
+            }
+            kernel(me, t)
+        });
+        let t0 = Instant::now();
+        match std::panic::catch_unwind(body) {
+            Ok(()) => {
+                let t1 = Instant::now();
+                rec.add_retry_ns(recover_ns);
+                return Some(Some((t0, t1)));
+            }
+            Err(p) => {
+                recover_ns += t0.elapsed().as_nanos() as u64;
+                payload = p;
+            }
+        }
+    }
+}
+
 /// The per-worker flow loop shared by [`execute_graph_impl`] and the
 /// pruned variant: when `visit` is `Some`, only the listed flow indices are
 /// walked (they must include every task whose accesses this worker needs
@@ -536,12 +784,23 @@ pub(crate) fn worker_loop<M, K>(
     status: &StatusTable,
     epoch: Instant,
     ctr: Option<&WorkerCounters>,
+    rec: Option<&RecoveryCtx>,
 ) -> WorkerReport
 where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    let mut ctx = WorkerCtx::new(cfg, graph.num_data(), shared, me, abort, status, epoch, ctr);
+    let mut ctx = WorkerCtx::new(
+        cfg,
+        graph.num_data(),
+        shared,
+        me,
+        abort,
+        status,
+        epoch,
+        ctr,
+        rec,
+    );
 
     let loop_start = Instant::now();
     // Returns `false` when the run aborted and the worker must stop.
@@ -929,6 +1188,85 @@ mod poison_tests {
         });
         // The RW chain serializes execution, so nothing past T10 ran.
         assert!(highest.load(Ordering::Relaxed) < 10);
+    }
+
+    /// A flaky task (two failing attempts, then success) recovers under
+    /// the retry policy: the run completes cleanly — no partial report —
+    /// with the sequential result and two retries on the counters.
+    #[test]
+    fn retry_policy_recovers_flaky_tasks() {
+        use crate::config::RecoveryPolicy;
+        use rio_stf::DataStore;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..20 {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64]);
+        let failures_left = AtomicU64::new(2);
+        let cfg = RioConfig::with_workers(2)
+            .wait(WaitStrategy::Park)
+            .recovery(RecoveryPolicy::default().backoff(std::time::Duration::from_micros(1)));
+        let (report, partial) = try_execute_graph_impl(&cfg, &g, &RoundRobin, |_, t| {
+            if t.id.0 == 5
+                && failures_left
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("flaky");
+            }
+            *store.write(DataId(0)) += 1;
+        })
+        .expect("recovered run must not abort");
+        assert!(partial.is_none(), "a recovered run is not degraded");
+        assert_eq!(store.into_vec(), vec![20]);
+        assert_eq!(report.tasks_executed(), 20);
+        assert_eq!(report.counters.total().retries, 2);
+        assert_eq!(report.counters.total().poisoned, 0);
+    }
+
+    /// A permanently-failing task degrades the run instead of aborting
+    /// it: the failure is recorded, its written datum poisoned, every
+    /// dependent on the chain skipped — and the independent chain (and
+    /// the run itself) completes, because skipped tasks still sync.
+    #[test]
+    fn permanent_failure_degrades_and_poisons_the_cone() {
+        use crate::config::RecoveryPolicy;
+        use rio_stf::{DataStore, TaskId};
+        let mut b = TaskGraph::builder(2);
+        for _ in 0..10 {
+            b.task(&[Access::read_write(DataId(0))], 1, "a");
+        }
+        for _ in 0..10 {
+            b.task(&[Access::read_write(DataId(1))], 1, "b");
+        }
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64, 0]);
+        let cfg = RioConfig::with_workers(2)
+            .wait(WaitStrategy::Park)
+            .recovery(RecoveryPolicy::no_retries());
+        let (report, partial) = try_execute_graph_impl(&cfg, &g, &RoundRobin, |_, t| {
+            if t.id.0 == 5 {
+                panic!("T5 is beyond saving");
+            }
+            *store.write(t.accesses[0].data) += 1;
+        })
+        .expect("degraded run must not abort");
+        let partial = partial.expect("a permanent failure degrades the run");
+        assert_eq!(partial.failed.len(), 1);
+        assert_eq!(partial.failed[0].task, TaskId(5));
+        assert_eq!(partial.failed[0].retries, 0);
+        assert_eq!(partial.failed[0].detail.kind(), "task-failed");
+        assert_eq!(partial.poisoned, vec![DataId(0)]);
+        let skipped: Vec<_> = (6..=10).map(TaskId).collect();
+        assert_eq!(partial.skipped, skipped, "the rest of the D0 chain skips");
+        // 20 tasks minus 1 failed minus 5 skipped executed; the healthy
+        // D1 chain is untouched by the poison.
+        assert_eq!(report.tasks_executed(), 14);
+        assert_eq!(store.into_vec(), vec![4, 10]);
+        assert_eq!(report.counters.total().poisoned, 1);
+        assert_eq!(report.counters.total().retries, 0);
     }
 
     /// Pruned execution propagates panics the same way.

@@ -39,10 +39,10 @@ use std::time::{Duration, Instant};
 use rio_stf::{ExecError, Mapping, MappingError, TaskDesc, TaskGraph, TaskId, WorkerId};
 
 use crate::config::RioConfig;
-use crate::graph::stall_diagnostic;
+use crate::graph::{poison_writes, run_body_with_recovery, stall_diagnostic};
 use crate::protocol::{
     declare_read, declare_write, get_read_cx, get_write_cx, terminate_read, terminate_write,
-    AbortCause, AbortFlag, LocalDataState, SharedDataState, WaitCx, WaitVerdict,
+    AbortCause, AbortFlag, LocalDataState, RecoveryCtx, SharedDataState, WaitCx, WaitVerdict,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
@@ -170,16 +170,21 @@ where
     P: PartialMapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    try_execute_graph_hybrid_impl(cfg, graph, pmap, kernel).unwrap_or_else(|e| e.resume())
+    let (report, stats, _) =
+        try_execute_graph_hybrid_impl(cfg, graph, pmap, kernel).unwrap_or_else(|e| e.resume());
+    (report, stats)
 }
 
-/// Fallible hybrid execution behind [`crate::Executor::try_run`].
+/// Fallible hybrid execution behind [`crate::Executor::try_run`]. With a
+/// [`crate::config::RecoveryPolicy`] installed, the third tuple element
+/// is the degraded run's [`rio_stf::PartialReport`] (`None` on a clean
+/// run).
 pub(crate) fn try_execute_graph_hybrid_impl<P, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
     pmap: &P,
     kernel: K,
-) -> Result<(ExecReport, HybridStats), ExecError>
+) -> Result<(ExecReport, HybridStats, Option<rio_stf::PartialReport>), ExecError>
 where
     P: PartialMapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -199,6 +204,11 @@ where
     let claims = &claims;
     let registry = crate::counters::CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let recovery = cfg
+        .recovery
+        .clone()
+        .map(|p| RecoveryCtx::new(p, graph.num_data()));
+    let rec = recovery.as_ref();
 
     let start = Instant::now();
     let results: Vec<(WorkerReport, u64, u64)> = std::thread::scope(|s| {
@@ -217,6 +227,7 @@ where
                         status,
                         start,
                         registry.map(|r| r.worker(w)),
+                        rec,
                     )
                 })
             })
@@ -244,6 +255,7 @@ where
             counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         },
         stats,
+        recovery.and_then(RecoveryCtx::into_report),
     ))
 }
 
@@ -260,6 +272,7 @@ fn hybrid_worker_loop<P, K>(
     status: &StatusTable,
     epoch: Instant,
     ctr: Option<&crate::counters::WorkerCounters>,
+    rec: Option<&RecoveryCtx>,
 ) -> (WorkerReport, u64, u64)
 where
     P: PartialMapping + ?Sized,
@@ -382,60 +395,104 @@ where
                 }
             }
 
-            let body = std::panic::AssertUnwindSafe(|| {
-                #[cfg(feature = "fault-inject")]
-                if let Some(hook) = cfg.fault_hook.as_ref() {
-                    hook.before_task(me, t.id);
-                }
-                kernel(me, t)
-            });
-            let body_start = if measure || record || traced {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            let outcome = std::panic::catch_unwind(body);
-            let body_span = body_start.map(|t0| {
-                let t1 = Instant::now();
-                if measure {
-                    task_time += t1.duration_since(t0);
-                }
-                (t0, t1)
-            });
-            if let Err(payload) = outcome {
-                if let Some(c) = ctr {
-                    c.inc_aborts();
-                }
-                abort.abort(
-                    AbortCause::Panic {
-                        task: t.id,
-                        worker: me,
-                        payload,
-                    },
-                    shared,
-                );
-                break 'flow;
-            }
-            if let Some((t0, t1)) = body_span {
-                if record {
-                    spans.push(rio_stf::validate::Span {
-                        task: t.id,
-                        start: t0.duration_since(epoch).as_nanos() as u64,
-                        end: t1.duration_since(epoch).as_nanos() as u64,
+            let ran = match rec {
+                None => {
+                    // Abort semantics (no recovery policy): the first
+                    // panic ends the whole run.
+                    let body = std::panic::AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        if let Some(hook) = cfg.fault_hook.as_ref() {
+                            hook.before_task(me, t.id);
+                        }
+                        kernel(me, t)
                     });
+                    let body_start = if measure || record || traced {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    let outcome = std::panic::catch_unwind(body);
+                    let body_span = body_start.map(|t0| {
+                        let t1 = Instant::now();
+                        if measure {
+                            task_time += t1.duration_since(t0);
+                        }
+                        (t0, t1)
+                    });
+                    if let Err(payload) = outcome {
+                        if let Some(c) = ctr {
+                            c.inc_aborts();
+                        }
+                        abort.abort(
+                            AbortCause::Panic {
+                                task: t.id,
+                                worker: me,
+                                payload,
+                            },
+                            shared,
+                        );
+                        break 'flow;
+                    }
+                    if let Some((t0, t1)) = body_span {
+                        if record {
+                            spans.push(rio_stf::validate::Span {
+                                task: t.id,
+                                start: t0.duration_since(epoch).as_nanos() as u64,
+                                end: t1.duration_since(epoch).as_nanos() as u64,
+                            });
+                        }
+                        if let Some(tr) = tracer.as_mut() {
+                            tr.task(t.id, t0, t1);
+                        }
+                    }
+                    true
                 }
-                if let Some(tr) = tracer.as_mut() {
-                    tr.task(t.id, t0, t1);
+                // Degraded mode: same skip-but-sync semantics as the
+                // static engine ([`crate::graph::WorkerCtx`]) — the gets
+                // above admitted every access, so upstream poison is
+                // visible here.
+                Some(rec) if t.accesses.iter().any(|a| rec.is_poisoned(a.data)) => {
+                    rec.record_skipped(t.id);
+                    poison_writes(rec, &t.accesses, ctr);
+                    false
                 }
-            }
-            tasks_executed += 1;
-            if let Some(c) = ctr {
-                c.inc_tasks();
+                Some(rec) => {
+                    let timed = measure || record || traced;
+                    match run_body_with_recovery(cfg, rec, kernel, me, t, &t.accesses, ctr, timed) {
+                        Some(span) => {
+                            if let Some((t0, t1)) = span {
+                                if measure {
+                                    task_time += t1.duration_since(t0);
+                                }
+                                if record {
+                                    spans.push(rio_stf::validate::Span {
+                                        task: t.id,
+                                        start: t0.duration_since(epoch).as_nanos() as u64,
+                                        end: t1.duration_since(epoch).as_nanos() as u64,
+                                    });
+                                }
+                                if let Some(tr) = tracer.as_mut() {
+                                    tr.task(t.id, t0, t1);
+                                }
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                }
+            };
+            if ran {
+                tasks_executed += 1;
+                if let Some(c) = ctr {
+                    c.inc_tasks();
+                }
             }
             if wd {
                 status.completed(me, t.id, tasks_executed);
             }
 
+            // Skip-but-sync: terminates run regardless of `ran`, so a
+            // failed or skipped task still publishes its epoch advances.
             for a in &t.accesses {
                 ops.terminates += 1;
                 let s = &shared[a.data.index()];

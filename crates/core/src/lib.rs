@@ -90,9 +90,9 @@ pub mod tune;
 pub mod wait;
 
 pub use compile::{CompileStats, CompiledFlow};
-pub use config::RioConfig;
+pub use config::{RecoveryPolicy, RioConfig};
 pub use counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
-pub use executor::{Execution, Executor};
+pub use executor::{Execution, Executor, RunOutcome};
 pub use flow::{FlowCtx, Rio, TaskView};
 pub use hybrid::{validate_partial_mapping, HybridStats, PartialMapping};
 pub use pruning::PruneStats;
@@ -120,9 +120,9 @@ pub use wait::{WaitPolicy, WaitStrategy};
 /// ```
 pub mod prelude {
     pub use crate::compile::{CompileStats, CompiledFlow};
-    pub use crate::config::RioConfig;
+    pub use crate::config::{RecoveryPolicy, RioConfig};
     pub use crate::counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
-    pub use crate::executor::{Execution, Executor};
+    pub use crate::executor::{Execution, Executor, RunOutcome};
     pub use crate::flow::{FlowCtx, Rio, TaskView};
     pub use crate::hybrid::{
         validate_partial_mapping, HybridStats, PartialFn, PartialMapping, Total, Unmapped,
@@ -134,15 +134,15 @@ pub mod prelude {
     pub use crate::tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
     pub use crate::wait::{WaitPolicy, WaitStrategy};
     pub use rio_stf::{
-        validate_mapping, Access, AccessMode, DataId, DataStore, ExecError, Mapping, MappingError,
-        RoundRobin, StallDiagnostic, StallSite, TableMapping, TaskDesc, TaskGraph, TaskId,
-        WorkerId, WorkerSnapshot,
+        validate_mapping, Access, AccessMode, DataId, DataStore, ExecError, FailedTask,
+        FailureDetail, Mapping, MappingError, PartialReport, RoundRobin, StallDiagnostic,
+        StallSite, TableMapping, TaskDesc, TaskGraph, TaskId, WorkerId, WorkerSnapshot,
     };
 }
 
 // The substrate types remain re-exported at the root for backward
 // compatibility; `prelude` is the intended import path.
 pub use rio_stf::{
-    Access, AccessMode, DataId, DataStore, ExecError, Mapping, MappingError, StallDiagnostic,
-    TaskGraph, TaskId, WorkerId,
+    Access, AccessMode, DataId, DataStore, ExecError, FailedTask, FailureDetail, Mapping,
+    MappingError, PartialReport, StallDiagnostic, TaskGraph, TaskId, WorkerId,
 };

@@ -81,7 +81,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use rio_stf::{ExecError, StallDiagnostic, TaskId, WorkerId};
+use rio_stf::{DataId, ExecError, FailedTask, PartialReport, StallDiagnostic, TaskId, WorkerId};
 
 use crate::park;
 use crate::wait::WaitStrategy;
@@ -249,6 +249,120 @@ impl AbortFlag {
     /// joining the workers.
     pub fn take_cause(&self) -> Option<AbortCause> {
         self.cause.lock().take()
+    }
+}
+
+/// Sideband recovery state of one run under a
+/// [`RecoveryPolicy`](crate::config::RecoveryPolicy): the per-datum
+/// atomic poison bitmap plus the failure/skip records assembled into a
+/// [`PartialReport`] after joining.
+///
+/// ## Why the bitmap never reorders the protocol
+///
+/// A failed (or skipped) task sets its written data's poison bits
+/// *before* running its `terminate_*` calls. A terminate publishes with
+/// a `Release` (or `SeqCst`) store/add on the epoch word, and a
+/// dependent's `get_*` admits the access with an `Acquire` (or `SeqCst`)
+/// load of that same word — so the moment a dependent's guard passes, the
+/// poison bit set by the producer is visible too (it is sequenced before
+/// the release publication). The bits therefore ride the protocol's
+/// existing happens-before edges; the bitmap itself needs only the `Or`
+/// to be atomic (concurrent writers poison *different* conclusions of
+/// the same serialized history, never racing on correctness).
+///
+/// Poison is monotonic (set, never cleared) and only changes at write
+/// epochs — data writes are serialized by the protocol — so whether a
+/// task observes a poisoned input is a pure function of the flow, the
+/// mapping and the failure set: the poisoned cone is deterministic
+/// across wait strategies and across the interpreted/compiled/hybrid
+/// paths.
+pub(crate) struct RecoveryCtx {
+    /// The installed policy.
+    pub(crate) policy: crate::config::RecoveryPolicy,
+    /// One bit per data object; set = final value untrustworthy.
+    poison: Box<[AtomicU64]>,
+    /// Permanently-failed tasks, appended by their owning workers.
+    failed: Mutex<Vec<FailedTask>>,
+    /// Kernels skipped because an accessed datum was poisoned.
+    skipped: Mutex<Vec<TaskId>>,
+    /// Nanoseconds spent in failed attempts and backoff sleeps.
+    retry_ns: AtomicU64,
+}
+
+impl RecoveryCtx {
+    /// Fresh recovery state for a run over `num_data` data objects.
+    pub(crate) fn new(policy: crate::config::RecoveryPolicy, num_data: usize) -> RecoveryCtx {
+        RecoveryCtx {
+            policy,
+            poison: (0..num_data.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            failed: Mutex::new(Vec::new()),
+            skipped: Mutex::new(Vec::new()),
+            retry_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks `data` poisoned. Returns `true` when the bit was newly set.
+    /// Must be called *before* the caller's `terminate_*` on the same
+    /// datum (see the type docs for the visibility argument).
+    #[cold]
+    pub(crate) fn poison(&self, data: DataId) -> bool {
+        let bit = 1u64 << (data.index() % 64);
+        self.poison[data.index() / 64].fetch_or(bit, Ordering::Release) & bit == 0
+    }
+
+    /// Is `data` inside the poisoned cone? Safe to answer right after a
+    /// `get_*` on `data` succeeded: the guard's acquire load made any
+    /// producer-set bit visible.
+    #[inline]
+    pub(crate) fn is_poisoned(&self, data: DataId) -> bool {
+        self.poison[data.index() / 64].load(Ordering::Acquire) & (1 << (data.index() % 64)) != 0
+    }
+
+    /// Records one permanently-failed task.
+    #[cold]
+    pub(crate) fn record_failed(&self, ft: FailedTask) {
+        self.failed.lock().push(ft);
+    }
+
+    /// Records one dependent whose kernel was skipped.
+    #[cold]
+    pub(crate) fn record_skipped(&self, task: TaskId) {
+        self.skipped.lock().push(task);
+    }
+
+    /// Accumulates time spent in failed attempts and backoff sleeps.
+    #[cold]
+    pub(crate) fn add_retry_ns(&self, ns: u64) {
+        self.retry_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Assembles the partial report after every worker joined. `None`
+    /// when nothing failed (the run completed cleanly despite the policy
+    /// being installed).
+    pub(crate) fn into_report(self) -> Option<PartialReport> {
+        let mut failed = self.failed.into_inner();
+        let mut skipped = self.skipped.into_inner();
+        if failed.is_empty() && skipped.is_empty() {
+            return None;
+        }
+        failed.sort_by_key(|f| f.task);
+        skipped.sort();
+        let mut poisoned = Vec::new();
+        for (w, word) in self.poison.iter().enumerate() {
+            let mut bits = word.load(Ordering::Acquire);
+            while bits != 0 {
+                poisoned.push(DataId::from_index(w * 64 + bits.trailing_zeros() as usize));
+                bits &= bits - 1;
+            }
+        }
+        Some(PartialReport {
+            failed,
+            poisoned,
+            skipped,
+            retry_time: Duration::from_nanos(self.retry_ns.into_inner()),
+        })
     }
 }
 
@@ -1297,6 +1411,115 @@ mod tests {
         let r = waiter.join().unwrap();
         assert_eq!(r.verdict, WaitVerdict::Ready);
         assert_eq!(shared.snapshot().1, TaskId(1));
+    }
+
+    #[test]
+    fn poison_bitmap_sets_and_queries_bits() {
+        let rec = RecoveryCtx::new(crate::config::RecoveryPolicy::default(), 130);
+        assert!(!rec.is_poisoned(DataId(0)));
+        assert!(rec.poison(DataId(0)), "first set is new");
+        assert!(!rec.poison(DataId(0)), "second set is idempotent");
+        assert!(rec.is_poisoned(DataId(0)));
+        // Bits across word boundaries are independent.
+        assert!(rec.poison(DataId(63)));
+        assert!(rec.poison(DataId(64)));
+        assert!(rec.poison(DataId(129)));
+        assert!(!rec.is_poisoned(DataId(1)));
+        assert!(rec.is_poisoned(DataId(129)));
+    }
+
+    #[test]
+    fn poison_bitmap_concurrent_setters_lose_no_bits() {
+        // 8 threads each poison a disjoint slice of one shared bitmap;
+        // every bit must survive (fetch_or is atomic). This is the unit
+        // the nightly TSan job hammers.
+        let rec = Arc::new(RecoveryCtx::new(
+            crate::config::RecoveryPolicy::default(),
+            512,
+        ));
+        let threads: Vec<_> = (0u32..8)
+            .map(|k| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0u32..64 {
+                        assert!(rec.poison(DataId(k * 64 + i)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = Arc::into_inner(rec).unwrap();
+        report.record_skipped(TaskId(1)); // make the report non-empty
+        let report = report.into_report().expect("non-empty");
+        assert_eq!(report.poisoned.len(), 512, "no bit lost");
+        assert!(report.is_poisoned(DataId(511)));
+    }
+
+    #[test]
+    fn poison_bit_is_visible_after_the_epoch_guard_passes() {
+        // The skip-but-sync visibility contract: producer poisons, then
+        // terminates; a consumer whose get_read observed the terminate
+        // must observe the poison bit.
+        for _ in 0..200 {
+            let shared = Arc::new(SharedDataState::default());
+            let rec = Arc::new(RecoveryCtx::new(
+                crate::config::RecoveryPolicy::default(),
+                1,
+            ));
+            let mut local_b = LocalDataState::default();
+            declare_write(&mut local_b, TaskId(1));
+
+            let (s, r) = (Arc::clone(&shared), Arc::clone(&rec));
+            let consumer = std::thread::spawn(move || {
+                get_read(&s, &local_b, WaitStrategy::Spin, &ok());
+                r.is_poisoned(DataId(0))
+            });
+            let mut local_a = LocalDataState::default();
+            rec.poison(DataId(0));
+            terminate_write(&shared, &mut local_a, TaskId(1), WaitStrategy::Spin);
+            assert!(
+                consumer.join().unwrap(),
+                "guard passed but poison not visible"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_ctx_report_is_sorted_and_timed() {
+        let rec = RecoveryCtx::new(crate::config::RecoveryPolicy::default(), 8);
+        rec.record_failed(rio_stf::FailedTask {
+            task: TaskId(7),
+            worker: WorkerId(1),
+            retries: 2,
+            detail: rio_stf::FailureDetail::TaskFailed {
+                payload: Box::new("x"),
+            },
+        });
+        rec.record_failed(rio_stf::FailedTask {
+            task: TaskId(3),
+            worker: WorkerId(0),
+            retries: 0,
+            detail: rio_stf::FailureDetail::TaskFailed {
+                payload: Box::new("y"),
+            },
+        });
+        rec.record_skipped(TaskId(9));
+        rec.record_skipped(TaskId(8));
+        rec.poison(DataId(5));
+        rec.poison(DataId(2));
+        rec.add_retry_ns(1_000);
+        rec.add_retry_ns(500);
+        let report = rec.into_report().expect("non-empty");
+        assert_eq!(report.failed[0].task, TaskId(3));
+        assert_eq!(report.failed[1].task, TaskId(7));
+        assert_eq!(report.skipped, vec![TaskId(8), TaskId(9)]);
+        assert_eq!(report.poisoned, vec![DataId(2), DataId(5)]);
+        assert_eq!(report.retry_time, Duration::from_nanos(1_500));
+
+        let clean = RecoveryCtx::new(crate::config::RecoveryPolicy::default(), 8);
+        assert!(clean.into_report().is_none(), "clean run yields no report");
     }
 
     #[test]

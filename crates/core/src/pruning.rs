@@ -162,16 +162,20 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
-    try_execute_graph_pruned_impl(cfg, graph, mapping, kernel).unwrap_or_else(|e| e.resume())
+    let (report, stats, _) =
+        try_execute_graph_pruned_impl(cfg, graph, mapping, kernel).unwrap_or_else(|e| e.resume());
+    (report, stats)
 }
 
-/// Fallible pruned execution behind [`crate::Executor::try_run`].
+/// Fallible pruned execution behind [`crate::Executor::try_run`]. With a
+/// [`crate::config::RecoveryPolicy`] installed, the third tuple element
+/// is the degraded run's [`PartialReport`] (`None` on a clean run).
 pub(crate) fn try_execute_graph_pruned_impl<M, K>(
     cfg: &RioConfig,
     graph: &TaskGraph,
     mapping: &M,
     kernel: K,
-) -> Result<(ExecReport, PruneStats), ExecError>
+) -> Result<(ExecReport, PruneStats, Option<rio_stf::PartialReport>), ExecError>
 where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -190,6 +194,11 @@ where
     let status = &StatusTable::new(cfg.workers);
     let registry = crate::counters::CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let recovery = cfg
+        .recovery
+        .clone()
+        .map(|p| crate::protocol::RecoveryCtx::new(p, graph.num_data()));
+    let rec = recovery.as_ref();
 
     let start = std::time::Instant::now();
     let workers = std::thread::scope(|s| {
@@ -209,6 +218,7 @@ where
                         status,
                         start,
                         registry.map(|r| r.worker(w)),
+                        rec,
                     )
                 })
             })
@@ -228,6 +238,7 @@ where
             counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
         },
         stats,
+        recovery.and_then(crate::protocol::RecoveryCtx::into_report),
     ))
 }
 

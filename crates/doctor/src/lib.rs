@@ -62,7 +62,7 @@ pub mod waits;
 pub use critical::CriticalPath;
 pub use durations::Durations;
 pub use quality::{MappingQuality, WorkerLoad};
-pub use report::DoctorReport;
+pub use report::{DoctorReport, RecoverySummary};
 pub use waits::BlockedObject;
 
 use rio_stf::deps::DepGraph;
@@ -117,6 +117,7 @@ pub fn diagnose(
         quality,
         suggested,
         moves,
+        recovery: None,
     }
 }
 

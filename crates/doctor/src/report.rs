@@ -42,12 +42,62 @@ pub struct DoctorReport {
     pub suggested: Vec<WorkerId>,
     /// Tasks whose worker changes under the suggested remap.
     pub moves: usize,
+    /// Recovery attribution (`None` when the run neither retried nor
+    /// degraded); see [`DoctorReport::with_recovery`].
+    pub recovery: Option<RecoverySummary>,
+}
+
+/// What graceful degradation cost one run: how much wall time went into
+/// failed attempts and backoff, and how big the poisoned cone grew.
+///
+/// Built by [`DoctorReport::with_recovery`] from the run's
+/// `rio_stf::PartialReport` (if it degraded) and its `retries` counter
+/// total.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// Tasks that permanently failed after exhausting their retries.
+    pub failed: usize,
+    /// Downstream tasks skipped-but-synced because an input was poisoned.
+    pub skipped: usize,
+    /// Data objects in the poisoned cone.
+    pub poisoned: usize,
+    /// Kernel attempts that were retried (from the `retries` counter).
+    pub retries: u64,
+    /// Wall time spent in failed attempts and backoff sleeps, ns.
+    pub retry_time_ns: u64,
 }
 
 impl DoctorReport {
     /// The suggested remap as a runnable [`TableMapping`].
     pub fn suggested_mapping(&self) -> TableMapping {
         TableMapping::new(self.suggested.clone())
+    }
+
+    /// Attributes the run's recovery activity: `partial` is the
+    /// `PartialReport` of a degraded run (from
+    /// `rio_core::RunOutcome::partial`), `retries` the run's `retries`
+    /// counter total. A run that neither retried nor degraded keeps
+    /// `recovery` at `None` so the report renders unchanged.
+    pub fn with_recovery(
+        mut self,
+        partial: Option<&rio_stf::PartialReport>,
+        retries: u64,
+    ) -> DoctorReport {
+        self.recovery = match partial {
+            None if retries == 0 => None,
+            None => Some(RecoverySummary {
+                retries,
+                ..RecoverySummary::default()
+            }),
+            Some(p) => Some(RecoverySummary {
+                failed: p.failed.len(),
+                skipped: p.skipped.len(),
+                poisoned: p.poisoned.len(),
+                retries,
+                retry_time_ns: p.retry_time.as_nanos() as u64,
+            }),
+        };
+        self
     }
 
     /// Renders the report as aligned text tables.
@@ -140,6 +190,17 @@ impl DoctorReport {
         }
         out.push_str(&t.render());
 
+        if let Some(rec) = &self.recovery {
+            out.push_str("\nrecovery:\n");
+            let mut t = Table::new(["metric", "value"]);
+            t.row(["failed tasks".to_string(), rec.failed.to_string()]);
+            t.row(["skipped (cone)".to_string(), rec.skipped.to_string()]);
+            t.row(["poisoned data".to_string(), rec.poisoned.to_string()]);
+            t.row(["retries".to_string(), rec.retries.to_string()]);
+            t.row(["retry time".to_string(), fmt_ns(rec.retry_time_ns)]);
+            out.push_str(&t.render());
+        }
+
         let _ = writeln!(
             out,
             "\nsuggested remap: {} of {} tasks move (greedy earliest-finish)",
@@ -201,6 +262,17 @@ impl DoctorReport {
             );
         }
         o.push_str("  ],\n");
+        match &self.recovery {
+            None => o.push_str("  \"recovery\": null,\n"),
+            Some(rec) => {
+                let _ = writeln!(
+                    o,
+                    "  \"recovery\": {{\"failed\": {}, \"skipped\": {}, \
+                     \"poisoned\": {}, \"retries\": {}, \"retry_time_ns\": {}}},",
+                    rec.failed, rec.skipped, rec.poisoned, rec.retries, rec.retry_time_ns
+                );
+            }
+        }
         let _ = writeln!(o, "  \"remap_moves\": {},", self.moves);
         let table: Vec<String> = self.suggested.iter().map(|w| w.0.to_string()).collect();
         let _ = writeln!(o, "  \"remap\": [{}]", table.join(", "));
@@ -280,6 +352,50 @@ mod tests {
         // Balanced braces/brackets as a cheap structural check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn recovery_attribution_is_opt_in_and_rendered() {
+        // No recovery activity: the report is unchanged.
+        let clean = sample_report().with_recovery(None, 0);
+        assert!(clean.recovery.is_none());
+        assert!(!clean.render().contains("recovery:"));
+        assert!(clean.to_json().contains("\"recovery\": null"));
+
+        // Retries without degradation: only the retry count is attributed.
+        let retried = sample_report().with_recovery(None, 4);
+        let rec = retried.recovery.as_ref().unwrap();
+        assert_eq!((rec.failed, rec.retries), (0, 4));
+
+        // A degraded run: failed/skipped/poisoned and retry time carry
+        // over from the partial report.
+        let partial = rio_stf::PartialReport {
+            failed: vec![rio_stf::FailedTask {
+                task: rio_stf::TaskId(1),
+                worker: rio_stf::WorkerId(0),
+                retries: 3,
+                detail: rio_stf::FailureDetail::TaskFailed {
+                    payload: Box::new("boom"),
+                },
+            }],
+            poisoned: vec![DataId(0)],
+            skipped: vec![rio_stf::TaskId(2)],
+            retry_time: Duration::from_micros(7),
+        };
+        let degraded = sample_report().with_recovery(Some(&partial), 3);
+        let rec = degraded.recovery.as_ref().unwrap();
+        assert_eq!(rec.failed, 1);
+        assert_eq!(rec.skipped, 1);
+        assert_eq!(rec.poisoned, 1);
+        assert_eq!(rec.retries, 3);
+        assert_eq!(rec.retry_time_ns, 7_000);
+        let text = degraded.render();
+        assert!(text.contains("recovery:"));
+        assert!(text.contains("poisoned data"));
+        assert!(text.contains("7.00 µs"));
+        let json = degraded.to_json();
+        assert!(json.contains("\"recovery\": {\"failed\": 1, \"skipped\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -62,6 +62,13 @@ pub struct FaultPlan {
     worker_delays: BTreeMap<WorkerId, Duration>,
     /// Completions after which a spurious wake-up storm is requested.
     storms: BTreeSet<TaskId>,
+    /// Transient failures: `task -> n` panics the first `n` attempts of
+    /// `task` and lets later attempts through — the canonical workload
+    /// for a retrying [`rio_core::RecoveryPolicy`].
+    fail_counts: BTreeMap<TaskId, u32>,
+    /// Permanent failures: every attempt of these tasks panics, so a
+    /// recovery policy must exhaust its budget and poison the cone.
+    always_fail: BTreeSet<TaskId>,
 }
 
 impl FaultPlan {
@@ -96,9 +103,36 @@ impl FaultPlan {
         self
     }
 
+    /// Panics the first `n` attempts of `task` and lets later attempts
+    /// through (payload `"injected fault: transient failure at {task}
+    /// (attempt {k})"`). Without a recovery policy only attempt 0 ever
+    /// runs, so `n >= 1` behaves like [`FaultPlan::panic_at`].
+    pub fn fail_n_times(mut self, task: TaskId, n: u32) -> FaultPlan {
+        self.fail_counts.insert(task, n);
+        self
+    }
+
+    /// Panics *every* attempt of `task` (payload `"injected fault:
+    /// unrecoverable failure at {task}"`): under a recovery policy the
+    /// task permanently fails and poisons its written data.
+    pub fn always_fail(mut self, task: TaskId) -> FaultPlan {
+        self.always_fail.insert(task);
+        self
+    }
+
     /// The tasks this plan panics, in ascending order.
     pub fn panic_tasks(&self) -> Vec<TaskId> {
         self.panics.iter().copied().collect()
+    }
+
+    /// The tasks this plan fails on every attempt, in ascending order.
+    pub fn always_failing_tasks(&self) -> Vec<TaskId> {
+        self.always_fail.iter().copied().collect()
+    }
+
+    /// The tasks this plan fails transiently, with their attempt counts.
+    pub fn transiently_failing_tasks(&self) -> Vec<(TaskId, u32)> {
+        self.fail_counts.iter().map(|(&t, &n)| (t, n)).collect()
     }
 
     /// Does this plan inject anything at all?
@@ -107,6 +141,8 @@ impl FaultPlan {
             && self.task_delays.is_empty()
             && self.worker_delays.is_empty()
             && self.storms.is_empty()
+            && self.fail_counts.is_empty()
+            && self.always_fail.is_empty()
     }
 
     /// A randomized plan over a flow of `tasks` tasks and `workers`
@@ -139,6 +175,45 @@ impl FaultPlan {
         plan
     }
 
+    /// A randomized *recovery* plan over a flow of `tasks` tasks and
+    /// `workers` workers, fully determined by `seed` — the companion of
+    /// [`FaultPlan::seeded`] for runs with a retrying
+    /// `rio_core::RecoveryPolicy` installed:
+    ///
+    /// * exactly **one** transient failure (1–3 failing attempts) at a
+    ///   uniformly random task — a retry budget of ≥3 recovers it;
+    /// * with probability ¼, one uniformly random task fails
+    ///   **permanently**, exercising poisoning and skip-but-sync;
+    /// * with probability ½, one uniformly random worker delayed by up to
+    ///   500 µs per task;
+    /// * a spurious-wakeup storm after roughly every fourth task.
+    ///
+    /// # Panics
+    /// If `tasks` or `workers` is zero (there is nothing to inject into).
+    pub fn seeded_recovery(seed: u64, tasks: usize, workers: usize) -> FaultPlan {
+        assert!(tasks > 0, "a seeded plan needs at least one task");
+        assert!(workers > 0, "a seeded plan needs at least one worker");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new().fail_n_times(
+            TaskId::from_index(rng.gen_range(0..tasks)),
+            rng.gen_range(1..=3u32),
+        );
+        if rng.gen_range(0..4u32) == 0 {
+            plan = plan.always_fail(TaskId::from_index(rng.gen_range(0..tasks)));
+        }
+        if rng.gen::<bool>() {
+            let worker = WorkerId::from_index(rng.gen_range(0..workers));
+            let delay = Duration::from_micros(rng.gen_range(1..=500u64));
+            plan = plan.delay_worker(worker, delay);
+        }
+        for i in 0..tasks {
+            if rng.gen_range(0..4u32) == 0 {
+                plan = plan.wake_storm_after(TaskId::from_index(i));
+            }
+        }
+        plan
+    }
+
     /// Wraps the plan into the handle the run configurations accept
     /// (`RioConfig::fault_hook` / `CentralConfig::fault_hook`).
     pub fn handle(&self) -> HookHandle {
@@ -148,6 +223,11 @@ impl FaultPlan {
 
 impl FaultHook for FaultPlan {
     fn before_task(&self, worker: WorkerId, task: TaskId) {
+        // Without a recovery policy the runtimes only ever run attempt 0.
+        self.before_attempt(worker, task, 0);
+    }
+
+    fn before_attempt(&self, worker: WorkerId, task: TaskId, attempt: u32) {
         if let Some(&d) = self.task_delays.get(&task) {
             std::thread::sleep(d);
         }
@@ -156,6 +236,14 @@ impl FaultHook for FaultPlan {
         }
         if self.panics.contains(&task) {
             panic!("injected fault: panic at {task}");
+        }
+        if self.always_fail.contains(&task) {
+            panic!("injected fault: unrecoverable failure at {task}");
+        }
+        if let Some(&n) = self.fail_counts.get(&task) {
+            if attempt < n {
+                panic!("injected fault: transient failure at {task} (attempt {attempt})");
+            }
         }
     }
 
@@ -208,6 +296,57 @@ mod tests {
             distinct.windows(2).any(|w| w[0] != w[1]),
             "the seed must actually select the plan"
         );
+    }
+
+    #[test]
+    fn transient_failures_stop_after_n_attempts() {
+        let plan = FaultPlan::new().fail_n_times(TaskId(4), 2);
+        for attempt in 0..2 {
+            std::panic::catch_unwind(|| plan.before_attempt(WorkerId(0), TaskId(4), attempt))
+                .expect_err("attempts below the count must fail");
+        }
+        plan.before_attempt(WorkerId(0), TaskId(4), 2); // recovered
+
+        // Without recovery only attempt 0 runs: behaves like panic_at.
+        std::panic::catch_unwind(|| plan.before_task(WorkerId(0), TaskId(4)))
+            .expect_err("before_task is attempt 0");
+        assert_eq!(plan.transiently_failing_tasks(), vec![(TaskId(4), 2)]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn always_fail_panics_on_every_attempt() {
+        let plan = FaultPlan::new().always_fail(TaskId(9));
+        for attempt in [0u32, 1, 7, 1000] {
+            std::panic::catch_unwind(|| plan.before_attempt(WorkerId(0), TaskId(9), attempt))
+                .expect_err("every attempt must fail");
+        }
+        plan.before_attempt(WorkerId(0), TaskId(8), 0); // others untouched
+        assert_eq!(plan.always_failing_tasks(), vec![TaskId(9)]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_recovery_plans_are_reproducible() {
+        let a = FaultPlan::seeded_recovery(7, 64, 4);
+        assert_eq!(
+            a,
+            FaultPlan::seeded_recovery(7, 64, 4),
+            "same seed, same plan"
+        );
+        assert_eq!(
+            a.transiently_failing_tasks().len(),
+            1,
+            "one transient failure"
+        );
+        assert!(
+            a.panic_tasks().is_empty(),
+            "no hard panic in recovery plans"
+        );
+        let distinct = (0..16)
+            .map(|s| FaultPlan::seeded_recovery(s, 64, 8))
+            .collect::<Vec<_>>();
+        assert!(distinct.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

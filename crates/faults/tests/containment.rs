@@ -234,6 +234,183 @@ fn spurious_wakeup_storms_are_absorbed_under_park() {
     assert_eq!(store.into_vec(), vec![TASKS as u64]);
 }
 
+/// ISSUE acceptance (recovery): on ≥100 seeds, an 8-worker run with a
+/// retrying `RecoveryPolicy` absorbs the seeded transient failure (plus
+/// delays and wake-up storms) and — when the seed also plants a permanent
+/// failure — degrades *exactly*: the partial report names the failed
+/// task, its poisoned datum and the skipped downstream cone, the store
+/// stops at the failure, and the run returns within the deadline. Zero
+/// hangs, zero lost wakeups.
+#[test]
+fn the_seeded_recovery_corpus_degrades_instead_of_hanging() {
+    const SEEDS: u64 = 100;
+    const TASKS: usize = 64;
+    const WORKERS: usize = 8;
+    let policy = RecoveryPolicy::default()
+        .backoff(Duration::from_micros(10))
+        .max_backoff(Duration::from_micros(100));
+    for seed in 0..SEEDS {
+        let plan = FaultPlan::seeded_recovery(seed, TASKS, WORKERS);
+        let permanent = plan.always_failing_tasks();
+        let g = chain_graph(TASKS);
+        let store = DataStore::from_vec(vec![0u64]);
+        let t0 = Instant::now();
+        let run = Executor::new(
+            RioConfig::with_workers(WORKERS)
+                .wait(WaitStrategy::Park)
+                .fault_hook(plan.handle())
+                .recovery(policy.clone()),
+        )
+        .watchdog(BACKSTOP)
+        .try_run(&g, |_, t| {
+            let d = t.accesses[0].data;
+            *store.write(d) += 1;
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery run errored: {e}"));
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < BACKSTOP,
+            "seed {seed}: run took {elapsed:?} — possible lost wakeup"
+        );
+        match run.outcome.partial() {
+            None => {
+                // Only the recoverable transient failure was planted: the
+                // retry loop must absorb it and the run completes exactly.
+                assert!(
+                    permanent.is_empty(),
+                    "seed {seed}: permanent failure at {} vanished",
+                    permanent[0]
+                );
+                assert_eq!(
+                    store.into_vec(),
+                    vec![TASKS as u64],
+                    "seed {seed}: recovered run lost writes"
+                );
+                assert!(
+                    run.outcome.is_complete(),
+                    "seed {seed}: complete run reported degradation"
+                );
+                let total = run.counters.total();
+                assert!(
+                    total.retries >= 1,
+                    "seed {seed}: the transient failure retried zero times"
+                );
+                assert_eq!(total.poisoned, 0, "seed {seed}: spurious poisoning");
+            }
+            Some(partial) => {
+                assert_eq!(permanent.len(), 1, "seed {seed}: unplanned degradation");
+                let failed = permanent[0];
+                assert_eq!(partial.failed.len(), 1, "seed {seed}");
+                assert_eq!(
+                    partial.failed[0].task, failed,
+                    "seed {seed}: wrong task blamed"
+                );
+                assert_eq!(
+                    partial.failed[0].retries, 3,
+                    "seed {seed}: retry budget not exhausted before giving up"
+                );
+                assert_eq!(
+                    partial.failed[0].detail.kind(),
+                    "task-failed",
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    partial.poisoned,
+                    vec![DataId(0)],
+                    "seed {seed}: the chain datum must be poisoned"
+                );
+                let cone: Vec<TaskId> = (failed.0 + 1..=TASKS as u64).map(TaskId).collect();
+                assert_eq!(
+                    partial.skipped, cone,
+                    "seed {seed}: skip-but-sync cone mismatch"
+                );
+                // Skip-but-sync containment: every task before the failure
+                // ran (the transient one after retrying), none after.
+                assert_eq!(
+                    store.into_vec(),
+                    vec![failed.index() as u64],
+                    "seed {seed}: store shows writes inside the poisoned cone"
+                );
+            }
+        }
+    }
+}
+
+/// ISSUE satellite: multi-tenant isolation. Two independent `Executor`s
+/// run concurrently on separate stores; one tenant suffers a seeded
+/// panic storm (half the rounds aborting, half degrading under a
+/// `RecoveryPolicy`), the other is fault-free. The healthy tenant must
+/// keep completing *exactly* — identical store every round, within the
+/// backstop — while its neighbour fails.
+#[test]
+fn a_tenants_panic_storm_never_leaks_into_its_neighbour() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const TASKS: usize = 64;
+    const ROUNDS: u64 = 16;
+    let storm_done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Faulty tenant: alternate between the abort path (no recovery:
+        // the seeded panic must surface as `TaskPanicked`) and the
+        // degrade path (recovery + a permanent failure).
+        s.spawn(|| {
+            for seed in 0..ROUNDS {
+                let g = chain_graph(TASKS);
+                let store = DataStore::from_vec(vec![0u64]);
+                if seed % 2 == 0 {
+                    let plan = FaultPlan::seeded(seed, TASKS, 4);
+                    let err = Executor::new(
+                        RioConfig::with_workers(4)
+                            .wait(WaitStrategy::Park)
+                            .fault_hook(plan.handle()),
+                    )
+                    .watchdog(BACKSTOP)
+                    .try_run(&g, |_, _| *store.write(DataId(0)) += 1)
+                    .unwrap_err();
+                    assert_eq!(err.kind(), "task-panicked", "round {seed}");
+                } else {
+                    let failed = TaskId(1 + seed % TASKS as u64);
+                    let plan = FaultPlan::new().always_fail(failed);
+                    let run = Executor::new(
+                        RioConfig::with_workers(4)
+                            .wait(WaitStrategy::Park)
+                            .fault_hook(plan.handle())
+                            .recovery(RecoveryPolicy::no_retries()),
+                    )
+                    .watchdog(BACKSTOP)
+                    .try_run(&g, |_, _| *store.write(DataId(0)) += 1)
+                    .unwrap_or_else(|e| panic!("round {seed}: degrade path errored: {e}"));
+                    let partial = run.outcome.partial().expect("must degrade");
+                    assert_eq!(partial.failed[0].task, failed, "round {seed}");
+                }
+            }
+            storm_done.store(true, Ordering::Release);
+        });
+        // Healthy tenant: loop until the storm subsides; every run must
+        // complete with the exact store and no stall.
+        s.spawn(|| {
+            let g = chain_graph(TASKS);
+            let mut rounds = 0u64;
+            while !storm_done.load(Ordering::Acquire) || rounds == 0 {
+                let store = DataStore::from_vec(vec![0u64]);
+                let t0 = Instant::now();
+                let run = Executor::new(RioConfig::with_workers(4).wait(WaitStrategy::Park))
+                    .watchdog(BACKSTOP)
+                    .try_run(&g, |_, _| *store.write(DataId(0)) += 1)
+                    .expect("healthy tenant must not observe the neighbour's storm");
+                assert!(
+                    t0.elapsed() < BACKSTOP,
+                    "healthy tenant stalled during the storm"
+                );
+                assert!(run.outcome.is_complete());
+                assert_eq!(run.report.tasks_executed(), TASKS as u64);
+                assert_eq!(store.into_vec(), vec![TASKS as u64]);
+                rounds += 1;
+            }
+        });
+    });
+}
+
 /// Centralized runtime: a hook-injected panic mid-drain, with the master
 /// throttled on a small submission window, still comes back as a
 /// structured error (the master is unblocked, the pool is drained).

@@ -117,6 +117,148 @@ impl fmt::Debug for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Why a task failed permanently under a recovery policy.
+///
+/// Produced by the recovery layer after the retry budget is exhausted;
+/// carried inside [`FailedTask`] within a [`PartialReport`].
+pub enum FailureDetail {
+    /// Every attempt panicked. The payload is from the *last* attempt,
+    /// unmodified, suitable for [`std::panic::resume_unwind`].
+    TaskFailed {
+        /// The final panic payload.
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// The per-task retry deadline expired before any attempt succeeded
+    /// (the payload of the last attempt, if one panicked, is dropped —
+    /// the deadline, not the panic, is what ended the task).
+    TaskTimedOut {
+        /// How long the task spent across all attempts (bodies plus
+        /// backoff sleeps) before the deadline cut it off.
+        spent: Duration,
+        /// The configured per-task deadline.
+        deadline: Duration,
+    },
+}
+
+impl FailureDetail {
+    /// Short machine-friendly tag (`task-failed`, `task-timed-out`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureDetail::TaskFailed { .. } => "task-failed",
+            FailureDetail::TaskTimedOut { .. } => "task-timed-out",
+        }
+    }
+}
+
+impl fmt::Display for FailureDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureDetail::TaskFailed { payload } => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_owned)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string payload>".to_owned());
+                write!(f, "failed every attempt: {msg}")
+            }
+            FailureDetail::TaskTimedOut { spent, deadline } => {
+                write!(f, "timed out after {spent:?} (deadline {deadline:?})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FailureDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureDetail::TaskFailed { .. } => {
+                f.debug_struct("TaskFailed").finish_non_exhaustive()
+            }
+            FailureDetail::TaskTimedOut { spent, deadline } => f
+                .debug_struct("TaskTimedOut")
+                .field("spent", spent)
+                .field("deadline", deadline)
+                .finish(),
+        }
+    }
+}
+
+/// One permanently-failed task in a degraded run.
+#[derive(Debug)]
+pub struct FailedTask {
+    /// The task that exhausted its retry budget.
+    pub task: TaskId,
+    /// The worker that owned it.
+    pub worker: WorkerId,
+    /// How many *re*-attempts ran (0 means the first attempt was also the
+    /// last — the policy allowed no retries or the deadline was already
+    /// past).
+    pub retries: u32,
+    /// Why the task was finally given up on.
+    pub detail: FailureDetail,
+}
+
+impl fmt::Display for FailedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} on {} ({} retries): {}",
+            self.task, self.worker, self.retries, self.detail
+        )
+    }
+}
+
+/// What survived a degraded run: the failure set, the poisoned cone, and
+/// the dependents that were skipped to keep the flow in-order.
+///
+/// Every datum *not* listed in [`poisoned`](PartialReport::poisoned)
+/// holds exactly the value a fault-free run would have produced — the
+/// protocol kept advancing (skip-but-sync), so the healthy part of the
+/// flow ran to completion.
+#[derive(Debug, Default)]
+pub struct PartialReport {
+    /// Tasks that exhausted their retry budget, in task order.
+    pub failed: Vec<FailedTask>,
+    /// Data objects whose final value is untrustworthy: everything
+    /// written by a failed task or by a skipped dependent, in id order.
+    pub poisoned: Vec<DataId>,
+    /// Dependents whose kernels were skipped because they accessed a
+    /// poisoned datum, in task order. Disjoint from the failed set.
+    pub skipped: Vec<TaskId>,
+    /// Wall-clock time spent inside retry backoff sleeps and failed
+    /// attempts, summed over all workers (for doctor attribution).
+    pub retry_time: Duration,
+}
+
+impl PartialReport {
+    /// `true` when nothing failed (the run was not actually degraded).
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty() && self.poisoned.is_empty() && self.skipped.is_empty()
+    }
+
+    /// Is `data` inside the poisoned cone?
+    pub fn is_poisoned(&self, data: DataId) -> bool {
+        self.poisoned.binary_search(&data).is_ok()
+    }
+}
+
+impl fmt::Display for PartialReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded: {} failed, {} skipped, {} poisoned data",
+            self.failed.len(),
+            self.skipped.len(),
+            self.poisoned.len()
+        )?;
+        for ft in &self.failed {
+            write!(f, "\n  {ft}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Where a stalled worker was blocked when the watchdog fired.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StallSite {
@@ -421,6 +563,48 @@ mod tests {
         assert_eq!(e.kind(), "invalid-graph");
         assert!(e.to_string().starts_with("invalid graph:"));
         assert!(format!("{e:?}").contains("InvalidGraph"));
+    }
+
+    #[test]
+    fn partial_report_renders_and_queries() {
+        let r = PartialReport {
+            failed: vec![FailedTask {
+                task: TaskId(3),
+                worker: WorkerId(1),
+                retries: 2,
+                detail: FailureDetail::TaskFailed {
+                    payload: Box::new("boom"),
+                },
+            }],
+            poisoned: vec![DataId(0), DataId(4)],
+            skipped: vec![TaskId(5)],
+            retry_time: Duration::from_millis(1),
+        };
+        assert!(!r.is_empty());
+        assert!(r.is_poisoned(DataId(4)));
+        assert!(!r.is_poisoned(DataId(2)));
+        let text = r.to_string();
+        assert!(text.contains("1 failed"), "{text}");
+        assert!(text.contains("T3"), "{text}");
+        assert!(text.contains("W1"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert!(PartialReport::default().is_empty());
+        // Debug never dumps the payload.
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("TaskFailed"));
+        assert!(dbg.contains(".."), "payload elided: {dbg}");
+    }
+
+    #[test]
+    fn timed_out_detail_renders_both_durations() {
+        let d = FailureDetail::TaskTimedOut {
+            spent: Duration::from_millis(35),
+            deadline: Duration::from_millis(30),
+        };
+        assert_eq!(d.kind(), "task-timed-out");
+        let text = d.to_string();
+        assert!(text.contains("35ms"), "{text}");
+        assert!(text.contains("30ms"), "{text}");
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub trait FaultHook: Send + Sync + std::panic::RefUnwindSafe {
         let _ = (worker, task);
     }
 
+    /// Like [`before_task`](FaultHook::before_task), but carries the
+    /// attempt index (`0` for the first try, `n` for the `n`-th retry)
+    /// when a recovery policy is re-running a failed body. The default
+    /// delegates to `before_task`, so plans that don't care about retries
+    /// fire identically on every attempt; attempt-aware plans (e.g.
+    /// fail-n-times-then-succeed) override this instead.
+    fn before_attempt(&self, worker: WorkerId, task: TaskId, attempt: u32) {
+        let _ = attempt;
+        self.before_task(worker, task);
+    }
+
     /// Called on `worker` right after it published the completion of
     /// `task`. Return `true` to request a spurious wake-up of every parked
     /// waiter.

@@ -54,7 +54,10 @@ pub mod task;
 pub mod validate;
 
 pub use access::AccessMode;
-pub use error::{ExecError, MappingError, StallDiagnostic, StallSite, WorkerSnapshot};
+pub use error::{
+    ExecError, FailedTask, FailureDetail, MappingError, PartialReport, StallDiagnostic, StallSite,
+    WorkerSnapshot,
+};
 pub use fault::{FaultHook, HookHandle};
 pub use graph::{FlatAccesses, GraphBuilder, GraphError, GraphStats, TaskGraph};
 pub use ids::{DataId, TaskId, WorkerId};
