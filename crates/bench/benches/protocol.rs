@@ -97,6 +97,34 @@ fn bench_terminate_uncontended(c: &mut Criterion) {
     g.finish();
 }
 
+/// Satellite of the bounded work-stealing layer: the per-task claim slot
+/// in isolation. `claim_cas` is the owner/thief claim — one acquire load
+/// plus one AcqRel `compare_exchange` on an uncontended padded slot (the
+/// armed-but-idle cost every owned task pays). `owner_check` is the
+/// fast-path re-read a scan does before attempting the CAS — one acquire
+/// load. `begin_run` per iteration keeps every CAS uncontended-fresh
+/// without zeroing the slots (epoch recycling).
+fn bench_steal_claim(c: &mut Criterion) {
+    use rio_core::steal::ClaimTable;
+    let mut g = c.benchmark_group("protocol/steal_claim");
+    g.bench_function("claim_cas", |b| {
+        let claims = ClaimTable::new(1);
+        b.iter(|| {
+            let epoch = claims.begin_run();
+            black_box(claims.try_claim(black_box(0), epoch, 0));
+        });
+    });
+    g.bench_function("owner_check", |b| {
+        let claims = ClaimTable::new(1);
+        let epoch = claims.begin_run();
+        claims.try_claim(0, epoch, 0);
+        b.iter(|| {
+            black_box(claims.claimant(black_box(0), epoch));
+        });
+    });
+    g.finish();
+}
+
 fn bench_store_guards(c: &mut Criterion) {
     let mut g = c.benchmark_group("store/guards");
     let store = DataStore::from_vec(vec![0u64; 4]);
@@ -126,6 +154,6 @@ fn bench_store_guards(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_declares, bench_get_terminate_cycle, bench_terminate_uncontended, bench_store_guards
+    targets = bench_declares, bench_get_terminate_cycle, bench_terminate_uncontended, bench_steal_claim, bench_store_guards
 }
 criterion_main!(benches);

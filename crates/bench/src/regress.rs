@@ -300,6 +300,33 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_folding_never_crosses_thread_counts() {
+        // The fastest-duplicate fold must key on the full
+        // (figure, workload, runtime, threads, tasks) tuple: a fast
+        // 8-thread rerun must never mask a slow 4-thread row.
+        let mut base4 = rec("fig7", "rio", 100.0);
+        base4.threads = 4;
+        let mut base8 = rec("fig7", "rio", 40.0);
+        base8.threads = 8;
+        let mut cur4 = rec("fig7", "rio", 150.0); // 4-thread regression
+        cur4.threads = 4;
+        let mut cur8 = rec("fig7", "rio", 39.0); // 8-thread fine (and fast)
+        cur8.threads = 8;
+        let cmp = compare(&[base4, base8], &[cur4, cur8], DEFAULT_THRESHOLD_PCT);
+        assert_eq!(cmp.rows.len(), 2, "thread counts stay separate rows");
+        assert!(
+            !cmp.passed(),
+            "the 4-thread regression must not be folded away by the 8-thread row"
+        );
+        let reg: Vec<_> = cmp.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert!(
+            reg[0].key.contains("@4x"),
+            "the regressed row is the 4-thread one"
+        );
+    }
+
+    #[test]
     fn committed_baseline_parses_and_self_compares() {
         // The repo ships BENCH_repro.json; the gate must at minimum accept
         // a file against itself.

@@ -79,15 +79,16 @@ use crate::report::ExecReport;
 use crate::status::StatusTable;
 
 /// Tag bit of one code word: set → `Sync` instruction, clear → `Run`.
-const SYNC_BIT: u32 = 1 << 31;
+/// Crate-visible: the steal layer decodes victim programs directly.
+pub(crate) const SYNC_BIT: u32 = 1 << 31;
 
 /// `Run` instruction: execute the task at flow index `task`; its accesses
 /// are `arena[start..end]`.
 #[derive(Debug, Clone, Copy)]
-struct RunInstr {
-    task: u32,
-    start: u32,
-    end: u32,
+pub(crate) struct RunInstr {
+    pub(crate) task: u32,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
 }
 
 /// `Sync` instruction: apply `delta` to the private state of `data`.
@@ -103,9 +104,9 @@ struct SyncInstr {
 /// walks `code` linearly; both payload arrays are read in order, so the
 /// whole program streams through the cache.
 #[derive(Debug, Default)]
-struct WorkerProgram {
-    code: Vec<u32>,
-    runs: Vec<RunInstr>,
+pub(crate) struct WorkerProgram {
+    pub(crate) code: Vec<u32>,
+    pub(crate) runs: Vec<RunInstr>,
     syncs: Vec<SyncInstr>,
 }
 
@@ -375,6 +376,22 @@ impl<'g> CompiledFlow<'g> {
             .clone()
             .map(|p| crate::protocol::RecoveryCtx::new(p, self.graph.num_data()));
         let rec = recovery.as_ref();
+        // Per-run steal state: a claim slot per task plus one published
+        // instruction cursor per worker (thieves scan victims' remaining
+        // code from there). All per-run, so the program stays reusable.
+        let steal_claims = cfg
+            .stealing
+            .as_ref()
+            .map(|_| crate::steal::ClaimTable::new(self.graph.len()));
+        let steal_epoch = steal_claims
+            .as_ref()
+            .map_or(0, crate::steal::ClaimTable::begin_run);
+        let steal_cursors = cfg
+            .stealing
+            .as_ref()
+            .map(|_| crate::steal::Cursor::new_table(cfg.workers));
+        let steal_claims = steal_claims.as_ref();
+        let steal_cursors = steal_cursors.as_deref();
 
         let start = Instant::now();
         let workers = std::thread::scope(|s| {
@@ -384,7 +401,26 @@ impl<'g> CompiledFlow<'g> {
                     s.spawn(move || {
                         let me = WorkerId::from_index(w);
                         let ctr = registry.map(|r| r.worker(w));
-                        self.run_program(prog, shared, kernel, me, abort, status, start, ctr, rec)
+                        let steal = match (cfg.stealing.as_ref(), steal_claims, steal_cursors) {
+                            (Some(policy), Some(claims), Some(cursors)) => {
+                                Some(crate::steal::StealState {
+                                    policy,
+                                    claims,
+                                    epoch: steal_epoch,
+                                    scan: crate::steal::ScanSource::Compiled {
+                                        tasks: self.graph.tasks(),
+                                        arena: self.flat.arena(),
+                                        expected: &self.expected,
+                                        programs: &self.programs,
+                                        cursors,
+                                    },
+                                })
+                            }
+                            _ => None,
+                        };
+                        self.run_program(
+                            prog, shared, kernel, me, abort, status, start, ctr, rec, steal,
+                        )
                     })
                 })
                 .collect();
@@ -435,6 +471,7 @@ impl<'g> CompiledFlow<'g> {
         epoch: Instant,
         ctr: Option<&crate::counters::WorkerCounters>,
         rec: Option<&crate::protocol::RecoveryCtx>,
+        steal: Option<crate::steal::StealState<'_>>,
     ) -> crate::report::WorkerReport
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
@@ -452,12 +489,27 @@ impl<'g> CompiledFlow<'g> {
             ctr,
             rec,
         );
+        ctx.steal = steal;
+        let cursor = steal.and_then(|st| match st.scan {
+            crate::steal::ScanSource::Compiled { cursors, .. } => Some(&cursors[me.index()].0),
+            _ => None,
+        });
         let loop_start = Instant::now();
-        for &code in &prog.code {
+        for (pc, &code) in prog.code.iter().enumerate() {
             if code & SYNC_BIT != 0 {
                 let s = &prog.syncs[(code & !SYNC_BIT) as usize];
                 ctx.apply_sync(s.data as usize, s.delta);
             } else {
+                if let Some(c) = cursor {
+                    // Publish where this worker's remaining code starts so
+                    // thieves scan forward from here. Run instructions
+                    // only: syncs carry nothing stealable, and skipping
+                    // them keeps the armed-but-idle cost off the sync fast
+                    // path. Relaxed is enough — staleness only wastes a
+                    // thief's window budget (anything already executed is
+                    // already claimed).
+                    c.store(pc, std::sync::atomic::Ordering::Relaxed);
+                }
                 let r = &prog.runs[code as usize];
                 let t = &tasks[r.task as usize];
                 ctx.tasks_visited += 1;
@@ -466,6 +518,12 @@ impl<'g> CompiledFlow<'g> {
                     break;
                 }
             }
+        }
+        // Release: this worker's program is over (or the run aborted and
+        // no thief will execute past the abort), so thieves should skip
+        // straight past its stream.
+        if let Some(c) = cursor {
+            c.store(prog.code.len(), std::sync::atomic::Ordering::Relaxed);
         }
         ctx.finish(loop_start.elapsed())
     }

@@ -2,7 +2,7 @@
 //!
 //! Tracing ([`crate::trace_api`]) records *events* and costs two clock
 //! reads per span — too heavy to leave enabled in production. This module
-//! is the complementary layer: eight monotonic counters per worker, each a
+//! is the complementary layer: ten monotonic counters per worker, each a
 //! plain `Relaxed` increment on a cache line owned by that worker, cheap
 //! enough to stay on under full traffic (the `repro counters` gate bounds
 //! the overhead to <1% on the fig7 interpreted row). A
@@ -16,7 +16,8 @@
 //! the trace's time model: tasks run, coalesced syncs, epoch-guard spins
 //! (condition re-checks in `get_*`), parks, wakes elided by the
 //! waiter-aware terminate, aborts detected, kernel retries and poison
-//! bits set under a recovery policy.
+//! bits set under a recovery policy, plus tasks stolen and claim races
+//! lost under a steal policy.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,6 +38,8 @@ pub struct WorkerCounters {
     aborts: AtomicU64,
     retries: AtomicU64,
     poisoned: AtomicU64,
+    steals: AtomicU64,
+    steal_aborts: AtomicU64,
 }
 
 /// Single-writer increment: the owning worker is the only incrementer,
@@ -107,6 +110,20 @@ impl WorkerCounters {
         }
     }
 
+    /// One foreign task claimed and executed by this worker (the thief's
+    /// counter — the owner's `tasks` does not move for a stolen task).
+    #[inline]
+    pub fn inc_steals(&self) {
+        bump(&self.steals, 1);
+    }
+
+    /// One claim CAS this worker lost — to the owner or to another thief
+    /// (the abandoned steal attempt costs a scan, nothing else).
+    #[inline]
+    pub fn inc_steal_aborts(&self) {
+        bump(&self.steal_aborts, 1);
+    }
+
     /// A point-in-time sample of this worker's counters.
     pub fn row(&self) -> CounterRow {
         CounterRow {
@@ -118,6 +135,8 @@ impl WorkerCounters {
             aborts: self.aborts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             poisoned: self.poisoned.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_aborts: self.steal_aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -132,6 +151,8 @@ impl WorkerCounters {
         self.aborts.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.poisoned.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.steal_aborts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -230,6 +251,11 @@ pub struct CounterRow {
     /// Poison bits set (data marked untrustworthy by failed/skipped
     /// tasks).
     pub poisoned: u64,
+    /// Foreign tasks claimed and executed by this worker under a steal
+    /// policy.
+    pub steals: u64,
+    /// Claim races this worker lost while trying to steal.
+    pub steal_aborts: u64,
 }
 
 impl CounterRow {
@@ -243,6 +269,8 @@ impl CounterRow {
         self.aborts += other.aborts;
         self.retries += other.retries;
         self.poisoned += other.poisoned;
+        self.steals += other.steals;
+        self.steal_aborts += other.steal_aborts;
     }
 
     /// Fraction of blocking progress checks that escalated to a park:
@@ -301,6 +329,11 @@ impl CountersSnapshot {
 
     /// Renders the snapshot as a [`rio_metrics::Table`]: one row per
     /// worker plus a total row.
+    ///
+    /// Numeric columns right-align (the table layer's numeric heuristic);
+    /// the recovery and steal counters — `retries`, `poisoned`, `steals`,
+    /// `steal_aborts` — render as `-` when zero, so a healthy run's table
+    /// stays scannable instead of ending in a wall of zeros.
     pub fn table(&self) -> rio_metrics::Table {
         let mut t = rio_metrics::Table::new([
             "worker",
@@ -312,7 +345,18 @@ impl CountersSnapshot {
             "aborts",
             "retries",
             "poisoned",
+            "steals",
+            "steal_aborts",
         ]);
+        // Zero is the steady state for the opt-in layers' counters; a dash
+        // reads as "feature idle" where a 0 reads as "measured nothing".
+        let dash = |n: u64| {
+            if n == 0 {
+                "-".to_string()
+            } else {
+                n.to_string()
+            }
+        };
         let row = |label: String, r: &CounterRow| {
             vec![
                 label,
@@ -322,8 +366,10 @@ impl CountersSnapshot {
                 r.parks.to_string(),
                 r.wakes_elided.to_string(),
                 r.aborts.to_string(),
-                r.retries.to_string(),
-                r.poisoned.to_string(),
+                dash(r.retries),
+                dash(r.poisoned),
+                dash(r.steals),
+                dash(r.steal_aborts),
             ]
         };
         for (w, r) in self.workers.iter().enumerate() {
@@ -351,6 +397,9 @@ mod tests {
         reg.worker(1).inc_aborts();
         reg.worker(0).inc_retries();
         reg.worker(0).add_poisoned(2);
+        reg.worker(1).inc_steals();
+        reg.worker(1).inc_steal_aborts();
+        reg.worker(1).inc_steal_aborts();
         let snap = reg.snapshot();
         assert_eq!(snap.workers.len(), 2);
         assert_eq!(snap.workers[0].tasks, 2);
@@ -361,12 +410,16 @@ mod tests {
         assert_eq!(snap.workers[1].parks, 3);
         assert_eq!(snap.workers[1].wakes_elided, 1);
         assert_eq!(snap.workers[1].aborts, 1);
+        assert_eq!(snap.workers[1].steals, 1);
+        assert_eq!(snap.workers[1].steal_aborts, 2);
         let total = snap.total();
         assert_eq!(total.tasks, 2);
         assert_eq!(total.spins, 5);
         assert_eq!(total.parks, 3);
         assert_eq!(total.retries, 1);
         assert_eq!(total.poisoned, 2);
+        assert_eq!(total.steals, 1);
+        assert_eq!(total.steal_aborts, 2);
     }
 
     #[test]
@@ -452,8 +505,32 @@ mod tests {
         assert!(text.contains("wakes_elided"));
         assert!(text.contains("retries"));
         assert!(text.contains("poisoned"));
+        assert!(text.contains("steals"));
+        assert!(text.contains("steal_aborts"));
         assert!(text.contains("W0"));
         assert!(text.contains("total"));
         assert!(text.contains('7'));
+    }
+
+    #[test]
+    fn idle_opt_in_counters_render_as_dashes() {
+        let reg = CounterRegistry::new(1);
+        reg.worker(0).inc_tasks();
+        let text = reg.snapshot().table().render();
+        // Recovery and steal layers idle: dashes, not zeros.
+        assert!(text.contains('-'), "zero retries/steals render as dashes");
+        // Core protocol counters keep their zeros (0 syncs is a real
+        // measurement of the interpreted path, not an idle feature).
+        assert!(text.contains('0'));
+
+        let reg = CounterRegistry::new(1);
+        reg.worker(0).inc_steals();
+        reg.worker(0).inc_retries();
+        let text = reg.snapshot().table().render();
+        let steals_line = text.lines().find(|l| l.contains("W0")).unwrap();
+        assert!(
+            steals_line.contains('1'),
+            "active steal/recovery counters render numerically: {steals_line}"
+        );
     }
 }

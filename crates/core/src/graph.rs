@@ -24,14 +24,17 @@ use rio_stf::Access;
 use crate::config::RioConfig;
 use crate::counters::{CounterRegistry, WorkerCounters};
 use crate::protocol::{
-    apply_sync, declare_batch, expected_read_word, expected_write_word, get_read_cx,
-    get_read_word_cx, get_write_cx, get_write_word_cx, terminate_read, terminate_write,
-    unpack_epoch, AbortCause, AbortFlag, LocalDataState, RecoveryCtx, SharedDataState, SyncDelta,
-    WaitCx, WaitVerdict,
+    apply_sync, declare_batch, declare_read, declare_write, expected_read_word,
+    expected_write_word, get_read_word_cx, get_write_word_cx, publish_read, publish_write,
+    terminate_read, terminate_write, unpack_epoch, AbortCause, AbortFlag, LocalDataState,
+    RecoveryCtx, SharedDataState, SyncDelta, WaitCx, WaitOutcome, WaitResult, WaitVerdict,
+    READ_EPOCH_MASK, WRITE_EPOCH_MASK,
 };
 use crate::report::{ExecReport, OpCounts, WorkerReport};
 use crate::status::StatusTable;
+use crate::steal::{ClaimTable, ScanSource, StealState, EMPTY_SCAN_LIMIT};
 use crate::trace_api::WorkerTracer;
+use crate::wait::WaitStrategy;
 
 /// Builds the stall diagnostic for a `get_*` whose watchdog deadline
 /// expired: the blocked worker, the private-vs-shared counters of the
@@ -129,6 +132,51 @@ where
         .clone()
         .map(|p| RecoveryCtx::new(p, graph.num_data()));
     let rec = recovery.as_ref();
+    // Bounded stealing (interpreted path): one claim slot per flow entry,
+    // the owner of every task (one mapping evaluation, shared by all
+    // workers — the thief scan must price tasks it would never map), and
+    // the expected epoch word of every access, precomputed by one flow
+    // simulation. The simulated private view at task `j` is what *any*
+    // worker's view will be at flow position `j` (§3.4 assumption 2), so
+    // one shared table prices guards for every thief.
+    let steal_pre = cfg.stealing.as_ref().map(|_| {
+        let tasks = graph.tasks();
+        let mut owners = Vec::with_capacity(tasks.len());
+        let mut offsets = Vec::with_capacity(tasks.len() + 1);
+        let mut expected = Vec::new();
+        let mut sim: Vec<LocalDataState> = vec![LocalDataState::default(); graph.num_data()];
+        offsets.push(0u32);
+        for t in tasks {
+            owners.push(mapping.worker_of(t.id, cfg.workers).index() as u32);
+            for a in &t.accesses {
+                let l = &sim[a.data.index()];
+                expected.push(if a.mode.writes() {
+                    expected_write_word(l)
+                } else {
+                    expected_read_word(l)
+                });
+            }
+            offsets.push(expected.len() as u32);
+            for a in &t.accesses {
+                let l = &mut sim[a.data.index()];
+                if a.mode.writes() {
+                    declare_write(l, t.id);
+                } else {
+                    declare_read(l);
+                }
+            }
+        }
+        (
+            owners,
+            offsets,
+            expected,
+            crate::steal::Cursor::new_table(cfg.workers),
+        )
+    });
+    let steal_claims = cfg.stealing.as_ref().map(|_| ClaimTable::new(graph.len()));
+    let steal_epoch = steal_claims.as_ref().map_or(0, ClaimTable::begin_run);
+    let steal_pre = steal_pre.as_ref();
+    let steal_claims = steal_claims.as_ref();
 
     let start = Instant::now();
     let workers = std::thread::scope(|s| {
@@ -137,9 +185,28 @@ where
                 s.spawn(move || {
                     let me = WorkerId::from_index(w);
                     let ctr = registry.map(|r| r.worker(w));
+                    let steal = match (cfg.stealing.as_ref(), steal_claims, steal_pre) {
+                        (
+                            Some(policy),
+                            Some(claims),
+                            Some((owners, offsets, expected, cursors)),
+                        ) => Some(StealState {
+                            policy,
+                            claims,
+                            epoch: steal_epoch,
+                            scan: ScanSource::Flow {
+                                tasks: graph.tasks(),
+                                owners,
+                                expected,
+                                offsets,
+                                cursors,
+                            },
+                        }),
+                        _ => None,
+                    };
                     worker_loop(
                         cfg, graph, mapping, shared, kernel, me, None, abort, status, start, ctr,
-                        rec,
+                        rec, steal,
                     )
                 })
             })
@@ -198,6 +265,11 @@ pub(crate) struct WorkerCtx<'a> {
     /// [`crate::config::RecoveryPolicy`] is installed — the abort-on-panic
     /// fast path costs exactly one branch per executed task).
     rec: Option<&'a RecoveryCtx>,
+    /// Steal state shared by every worker of the run (`None` when no
+    /// [`crate::steal::StealPolicy`] is installed, or on paths that don't
+    /// support stealing — pruned/hybrid). Installed by the runtime shell
+    /// after construction.
+    pub(crate) steal: Option<StealState<'a>>,
     measure: bool,
     record: bool,
     wd: bool,
@@ -246,6 +318,7 @@ impl<'a> WorkerCtx<'a> {
             tracer,
             ctr,
             rec,
+            steal: None,
             measure: cfg.measure_time,
             record: cfg.record_spans,
             wd: cfg.watchdog.is_some(),
@@ -323,13 +396,30 @@ impl<'a> WorkerCtx<'a> {
         if self.abort.armed() {
             return false;
         }
+        // With stealing armed, the owner must CAS-claim its own task
+        // *before* waiting on any guard: a thief only claims tasks whose
+        // guards are already satisfied, so deciding by a plain load here
+        // would race the claim against the thief's and run the body
+        // twice. Losing the CAS means a thief holds the body — the task
+        // becomes foreign work: private declares only, no kernel, no
+        // terminates (the thief publishes them). See DESIGN.md §14.
+        if let Some(st) = self.steal {
+            if !st
+                .claims
+                .try_claim(t.id.index(), st.epoch, self.me.index() as u32)
+            {
+                self.skip_stolen(t, accesses);
+                return true;
+            }
+        }
         // Acquire every declared access, in declaration order. The
         // waits are pure condition polls (no resource is held), so no
         // acquisition order can deadlock.
         for (i, a) in accesses.iter().enumerate() {
             self.ops.gets += 1;
-            let s = &self.shared[a.data.index()];
-            let l = &self.locals[a.data.index()];
+            let data = a.data.index();
+            let shared = self.shared;
+            let s = &shared[data];
             let wait_start = if self.measure || self.traced || self.wd {
                 Some(Instant::now())
             } else {
@@ -338,37 +428,37 @@ impl<'a> WorkerCtx<'a> {
             if self.wd {
                 self.status.begin_wait(self.me, a.data);
             }
-            let cx = self.wait_cx(a.data.index());
-            let wr = match pre {
-                Some(words) => {
-                    // The compiled path's precomputed word must equal what
-                    // the interpreter would pack from the private view —
-                    // the compile-time simulation invariant.
-                    debug_assert_eq!(
-                        words[i],
-                        if a.mode.writes() {
-                            expected_write_word(l)
-                        } else {
-                            expected_read_word(l)
-                        },
-                        "compiled expected word diverges from the private view \
-                         ({} access {i} on {})",
-                        t.id,
-                        a.data,
-                    );
-                    if a.mode.writes() {
-                        get_write_word_cx(s, words[i], &cx)
-                    } else {
-                        get_read_word_cx(s, words[i], &cx)
+            let cx = self.wait_cx(data);
+            let writes = a.mode.writes();
+            let expected = {
+                let l = &self.locals[data];
+                let interp = if writes {
+                    expected_write_word(l)
+                } else {
+                    expected_read_word(l)
+                };
+                match pre {
+                    Some(words) => {
+                        // The compiled path's precomputed word must equal
+                        // what the interpreter would pack from the private
+                        // view — the compile-time simulation invariant.
+                        debug_assert_eq!(
+                            words[i], interp,
+                            "compiled expected word diverges from the private view \
+                             ({} access {i} on {})",
+                            t.id, a.data,
+                        );
+                        words[i]
                     }
+                    None => interp,
                 }
-                None => {
-                    if a.mode.writes() {
-                        get_write_cx(s, l, &cx)
-                    } else {
-                        get_read_cx(s, l, &cx)
-                    }
-                }
+            };
+            let wr = if self.steal.is_some() {
+                self.wait_or_steal(kernel, expected, writes, data, &cx)
+            } else if writes {
+                get_write_word_cx(s, expected, &cx)
+            } else {
+                get_read_word_cx(s, expected, &cx)
             };
             if self.wd {
                 self.status.end_wait(self.me);
@@ -399,6 +489,7 @@ impl<'a> WorkerCtx<'a> {
                         .map(|t0| t0.elapsed())
                         .or(self.cfg.watchdog)
                         .unwrap_or_default();
+                    let l = &self.locals[data];
                     let diag = stall_diagnostic(self.me, t.id, a, l, s, waited, self.status);
                     if let Some(c) = self.ctr {
                         c.inc_aborts();
@@ -550,6 +641,409 @@ impl<'a> WorkerCtx<'a> {
                 true
             }
             None => false,
+        }
+    }
+
+    /// The owner's half of a stolen task: a thief claimed it and runs
+    /// (or already ran) the body and every terminate's shared publication,
+    /// so the owner registers it exactly like foreign work — private
+    /// declares only. (A terminate's local effect *is* the declare, so
+    /// this leaves the owner's private view bit-identical to having
+    /// executed the task itself.)
+    fn skip_stolen(&mut self, t: &TaskDesc, accesses: &[Access]) {
+        self.ops.declares += accesses.len() as u64;
+        for a in accesses {
+            let l = &mut self.locals[a.data.index()];
+            if a.mode.writes() {
+                declare_write(l, t.id);
+            } else {
+                declare_read(l);
+            }
+        }
+        // The flow is advancing even though the owner ran nothing.
+        if self.wd {
+            self.status.completed(self.me, t.id, self.tasks_executed);
+        }
+    }
+
+    /// A guard wait with the steal layer interleaved: bounded non-parking
+    /// slices of the wait alternate with scans for ready foreign tasks,
+    /// until the guard opens, the steal budget runs dry, or scans keep
+    /// coming up empty — only then does the wait fall back to the
+    /// object's real strategy (under `Park`, this is the moment the
+    /// worker actually parks: "park only after a failed scan").
+    fn wait_or_steal<K>(
+        &mut self,
+        kernel: &K,
+        expected: u64,
+        writes: bool,
+        data: usize,
+        cx: &WaitCx<'a>,
+    ) -> WaitResult
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let st = self
+            .steal
+            .expect("wait_or_steal requires an armed steal layer");
+        let shared = self.shared;
+        let s = &shared[data];
+        // Ready fast path before any slice/clock machinery: an armed-but-
+        // never-blocked run must pay the same one acquire-load per get as
+        // an unarmed one.
+        let mask = if writes {
+            WRITE_EPOCH_MASK
+        } else {
+            READ_EPOCH_MASK
+        };
+        if s.satisfied(expected, mask) {
+            return WaitResult {
+                outcome: WaitOutcome { polls: 0, parks: 0 },
+                verdict: WaitVerdict::Ready,
+            };
+        }
+        let wait = |cx: &WaitCx<'_>| {
+            if writes {
+                get_write_word_cx(s, expected, cx)
+            } else {
+                get_read_word_cx(s, expected, cx)
+            }
+        };
+        let mut agg = WaitOutcome { polls: 0, parks: 0 };
+        let merge = |agg: WaitOutcome, wr: WaitResult| WaitResult {
+            outcome: WaitOutcome {
+                polls: agg.polls + wr.outcome.polls,
+                parks: agg.parks + wr.outcome.parks,
+            },
+            verdict: wr.verdict,
+        };
+        // The real watchdog clock for this whole wait; each slice gets its
+        // own short deadline, so `DeadlineExceeded` from a slice means
+        // "time to scan", not "stalled".
+        let wd_start = cx.deadline.map(|_| Instant::now());
+        let mut steals = 0usize;
+        let mut empty = 0usize;
+        while steals < st.policy.max_steals && empty < EMPTY_SCAN_LIMIT {
+            let slice = WaitCx {
+                strategy: WaitStrategy::SpinYield,
+                spin_limit: cx.spin_limit,
+                deadline: Some(st.policy.min_wait_before_steal),
+                abort: cx.abort,
+            };
+            let wr = wait(&slice);
+            match wr.verdict {
+                WaitVerdict::Ready | WaitVerdict::Aborted => return merge(agg, wr),
+                WaitVerdict::DeadlineExceeded => {
+                    agg.polls += wr.outcome.polls;
+                    agg.parks += wr.outcome.parks;
+                    if let (Some(t0), Some(d)) = (wd_start, cx.deadline) {
+                        if t0.elapsed() >= d {
+                            // The *watchdog* expired, not just the slice.
+                            return WaitResult {
+                                outcome: agg,
+                                verdict: WaitVerdict::DeadlineExceeded,
+                            };
+                        }
+                    }
+                    if self.try_steal_one(kernel) {
+                        steals += 1;
+                        empty = 0;
+                    } else {
+                        empty += 1;
+                    }
+                }
+            }
+        }
+        // Budget exhausted: the rest of the wait runs under the object's
+        // configured strategy (minus the watchdog time already burned).
+        let rest = cx
+            .deadline
+            .map(|d| wd_start.map_or(d, |t0| d.saturating_sub(t0.elapsed())));
+        let final_cx = WaitCx {
+            deadline: rest,
+            ..*cx
+        };
+        merge(agg, wait(&final_cx))
+    }
+
+    /// One scan-and-claim attempt. Returns `true` when a foreign task was
+    /// claimed and executed in place.
+    fn try_steal_one<K>(&mut self, kernel: &K) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        // A tearing-down run must not start new bodies: the abort wakes
+        // every waiter, so stealing past it would run a task whose owner
+        // (and its waiters) already abandoned the flow.
+        if self.abort.armed() {
+            return false;
+        }
+        let st = self.steal.expect("armed");
+        match st.scan {
+            ScanSource::Flow {
+                tasks,
+                owners,
+                expected,
+                offsets,
+                cursors,
+            } => self.steal_scan_flow(kernel, st, tasks, owners, expected, offsets, cursors),
+            ScanSource::Compiled {
+                tasks,
+                arena,
+                expected,
+                programs,
+                cursors,
+            } => self.steal_scan_compiled(kernel, st, tasks, arena, expected, programs, cursors),
+        }
+    }
+
+    /// Interpreted-path scan: walk the sequential flow from the ready
+    /// frontier, pricing every unclaimed foreign task's guards with the
+    /// precomputed expected words (one masked acquire-load per access).
+    ///
+    /// The start is sound by construction: a worker's published cursor
+    /// only passes a task once that task is claimed (the owner claims
+    /// before its guard waits), so no unclaimed task sits below the
+    /// minimum cursor; and the claim-table frontier only advances over
+    /// prefixes observed fully claimed. `window` bounds the candidates
+    /// priced; a larger cap bounds the total indices walked so claimed
+    /// stretches cannot make a scan O(flow).
+    #[allow(clippy::too_many_arguments)]
+    fn steal_scan_flow<K>(
+        &mut self,
+        kernel: &K,
+        st: StealState<'a>,
+        tasks: &'a [TaskDesc],
+        owners: &'a [u32],
+        expected: &'a [u64],
+        offsets: &'a [u32],
+        cursors: &'a [crate::steal::Cursor],
+    ) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let me = self.me.index() as u32;
+        let shared = self.shared;
+        let min_cursor = cursors
+            .iter()
+            .map(|c| c.0.load(std::sync::atomic::Ordering::Relaxed))
+            .min()
+            .unwrap_or(0);
+        let start = st.claims.frontier().max(min_cursor);
+        let mut budget = st.policy.window;
+        let mut walk = st.policy.window.saturating_mul(8);
+        let mut prefix_claimed = true;
+        let mut j = start;
+        while j < tasks.len() && budget > 0 && walk > 0 {
+            walk -= 1;
+            if st.claims.claimant(j, st.epoch).is_some() {
+                j += 1;
+                continue;
+            }
+            if prefix_claimed {
+                // First unclaimed entry: everything in [start, j) is
+                // claimed, so later scans can start here.
+                st.claims.advance_frontier(j);
+                prefix_claimed = false;
+            }
+            if owners[j] != me {
+                budget -= 1;
+                let t = &tasks[j];
+                let range = offsets[j] as usize..offsets[j + 1] as usize;
+                let ready = t.accesses.iter().zip(&expected[range]).all(|(a, &e)| {
+                    let mask = if a.mode.writes() {
+                        WRITE_EPOCH_MASK
+                    } else {
+                        READ_EPOCH_MASK
+                    };
+                    shared[a.data.index()].satisfied(e, mask)
+                });
+                if ready {
+                    if st.claims.try_claim(j, st.epoch, me) {
+                        if let Some(c) = self.ctr {
+                            c.inc_steals();
+                        }
+                        self.execute_stolen(kernel, t, &t.accesses);
+                        return true;
+                    }
+                    if let Some(c) = self.ctr {
+                        c.inc_steal_aborts();
+                    }
+                }
+            }
+            j += 1;
+        }
+        false
+    }
+
+    /// Compiled-path scan: walk victims' instruction streams from their
+    /// published cursors. Expected words are precompiled (one array shared
+    /// by all workers), so pricing a candidate is one masked acquire-load
+    /// per access with no simulation. Stale cursors are safe: everything
+    /// a victim already executed is claimed (the owner claims before
+    /// running), so re-scanning it merely wastes window budget.
+    #[allow(clippy::too_many_arguments)]
+    fn steal_scan_compiled<K>(
+        &mut self,
+        kernel: &K,
+        st: StealState<'a>,
+        tasks: &'a [TaskDesc],
+        arena: &'a [Access],
+        expected: &'a [u64],
+        programs: &'a [crate::compile::WorkerProgram],
+        cursors: &'a [crate::steal::Cursor],
+    ) -> bool
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        use crate::compile::SYNC_BIT;
+        let me = self.me.index();
+        let workers = programs.len();
+        let shared = self.shared;
+        // Victim preference: the policy's (doctor-seeded) order first,
+        // then round-robin from our successor. Duplicates only waste
+        // window budget.
+        let preferred = st.policy.victims.as_deref().unwrap_or(&[]).iter().copied();
+        let fallback = (0..workers).map(|i| ((me + 1 + i) % workers) as u32);
+        let mut budget = st.policy.window;
+        for v in preferred.chain(fallback) {
+            let v = v as usize;
+            if v == me || v >= workers || budget == 0 {
+                continue;
+            }
+            let prog = &programs[v];
+            let mut pc = cursors[v].0.load(std::sync::atomic::Ordering::Relaxed);
+            while pc < prog.code.len() && budget > 0 {
+                let code = prog.code[pc];
+                pc += 1;
+                if code & SYNC_BIT != 0 {
+                    continue;
+                }
+                budget -= 1;
+                let r = prog.runs[code as usize];
+                let ti = r.task as usize;
+                if st.claims.claimant(ti, st.epoch).is_some() {
+                    continue;
+                }
+                let range = r.start as usize..r.end as usize;
+                let acc = &arena[range.clone()];
+                let exp = &expected[range];
+                let ready = acc.iter().zip(exp).all(|(a, &e)| {
+                    let mask = if a.mode.writes() {
+                        WRITE_EPOCH_MASK
+                    } else {
+                        READ_EPOCH_MASK
+                    };
+                    shared[a.data.index()].satisfied(e, mask)
+                });
+                if !ready {
+                    continue;
+                }
+                if st.claims.try_claim(ti, st.epoch, me as u32) {
+                    if let Some(c) = self.ctr {
+                        c.inc_steals();
+                    }
+                    self.execute_stolen(kernel, &tasks[ti], acc);
+                    return true;
+                }
+                if let Some(c) = self.ctr {
+                    c.inc_steal_aborts();
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs a claimed foreign task in place: the body under the same
+    /// containment/recovery as an owned task, then the *publish-only*
+    /// halves of its terminates. No guard waits (readiness was verified
+    /// and is monotonic until these publications) and no private
+    /// declares — the thief's own walk registers this task as foreign
+    /// work when it reaches it, and the owner skips-but-syncs.
+    fn execute_stolen<K>(&mut self, kernel: &K, t: &TaskDesc, accesses: &[Access])
+    where
+        K: Fn(WorkerId, &TaskDesc) + Sync,
+    {
+        let ran = match self.rec {
+            None => {
+                let body = std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    if let Some(hook) = self.cfg.fault_hook.as_ref() {
+                        hook.before_task(self.me, t.id);
+                    }
+                    kernel(self.me, t)
+                });
+                let body_start = if self.measure || self.record || self.traced {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let outcome = std::panic::catch_unwind(body);
+                let body_span = body_start.map(|t0| {
+                    let t1 = Instant::now();
+                    if self.measure {
+                        self.task_time += t1.duration_since(t0);
+                    }
+                    if self.record {
+                        self.spans.push(rio_stf::validate::Span {
+                            task: t.id,
+                            start: t0.duration_since(self.epoch).as_nanos() as u64,
+                            end: t1.duration_since(self.epoch).as_nanos() as u64,
+                        });
+                    }
+                    (t0, t1)
+                });
+                if let Err(payload) = outcome {
+                    if let Some(c) = self.ctr {
+                        c.inc_aborts();
+                    }
+                    // The run is tearing down; the claim stays held so the
+                    // owner never re-runs the body, and the abort wakes
+                    // every waiter the missing terminates would have.
+                    self.abort.abort(
+                        AbortCause::Panic {
+                            task: t.id,
+                            worker: self.me,
+                            payload,
+                        },
+                        self.shared,
+                    );
+                    return;
+                }
+                if let (Some((t0, t1)), Some(tr)) = (body_span, self.tracer.as_mut()) {
+                    tr.task(t.id, t0, t1);
+                }
+                true
+            }
+            // Recovery is keyed on the task, not the worker: a stolen
+            // task retries, fails, poisons and skips exactly as it would
+            // on its owner (the poison bits are published before the
+            // terminates below, riding the same Release edges).
+            Some(rec) => self.exec_task_recovering(kernel, t, accesses, rec),
+        };
+        if ran {
+            self.tasks_executed += 1;
+            if let Some(c) = self.ctr {
+                c.inc_tasks();
+            }
+        }
+        // Publish every epoch advance this task owes the protocol — with
+        // the data object's own strategy (shared run-wide), so §10 wake
+        // elision behaves exactly as if the owner had terminated.
+        for a in accesses {
+            self.ops.terminates += 1;
+            let strategy = self.strategy_of(a.data.index());
+            let s = &self.shared[a.data.index()];
+            let elided = if a.mode.writes() {
+                publish_write(s, t.id, strategy)
+            } else {
+                publish_read(s, strategy)
+            };
+            if elided {
+                if let Some(c) = self.ctr {
+                    c.inc_wakes_elided();
+                }
+            }
         }
     }
 
@@ -785,6 +1279,7 @@ pub(crate) fn worker_loop<M, K>(
     epoch: Instant,
     ctr: Option<&WorkerCounters>,
     rec: Option<&RecoveryCtx>,
+    steal: Option<StealState<'_>>,
 ) -> WorkerReport
 where
     M: Mapping + ?Sized,
@@ -801,6 +1296,11 @@ where
         ctr,
         rec,
     );
+    ctx.steal = steal;
+    let cursor = steal.and_then(|st| match st.scan {
+        ScanSource::Flow { cursors, .. } => Some(&cursors[me.index()].0),
+        _ => None,
+    });
 
     let loop_start = Instant::now();
     // Returns `false` when the run aborted and the worker must stop.
@@ -813,6 +1313,17 @@ where
             t.id
         );
         if executor == me {
+            // Publish this worker's flow position so thieves know where
+            // the unclaimed frontier can start. Publishing on own tasks
+            // only keeps the armed-but-idle cost off the declare fast
+            // path and is still sound: every own task is claimed (by
+            // owner or thief) before the cursor passes it, and foreign
+            // tasks never wait on this worker's cursor. Relaxed:
+            // staleness only makes a scan start earlier and skip
+            // already-claimed entries.
+            if let Some(c) = cursor {
+                c.store(t.id.index(), std::sync::atomic::Ordering::Relaxed);
+            }
             ctx.exec_task(kernel, t, &t.accesses)
         } else {
             ctx.declare_task(t);
@@ -836,6 +1347,14 @@ where
                 }
             }
         }
+    }
+
+    // Release the min-cursor: once this worker's walk is over, every one
+    // of its own tasks is claimed (or the run aborted, after which no
+    // thief executes anything), so it must not pin other workers' scan
+    // start at its last own task.
+    if let Some(c) = cursor {
+        c.store(graph.len(), std::sync::atomic::Ordering::Relaxed);
     }
 
     ctx.finish(loop_start.elapsed())
@@ -1284,6 +1803,119 @@ mod poison_tests {
             crate::pruning::execute_graph_pruned_impl(&cfg, &g, &RoundRobin, |_, t| {
                 if t.id.0 == 7 {
                     panic!("pruned boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod steal_tests {
+    use super::execute_graph_impl as execute_graph;
+    use super::*;
+    use crate::wait::WaitStrategy;
+    use rio_stf::{Access, DataId, DataStore, RoundRobin};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// A figure that forces a steal: W0's first task is slow, W1's first
+    /// task waits on it, and W0 has ready independent work queued behind.
+    /// While blocked, W1 must find and claim that work.
+    fn steal_bait() -> TaskGraph {
+        let mut b = TaskGraph::builder(6);
+        b.task(&[Access::write(DataId(0))], 1, "slow"); // T1 → W0
+        b.task(&[Access::read(DataId(0))], 1, "blocked"); // T2 → W1
+        for d in 2..6u32 {
+            b.task(&[Access::write(DataId(d))], 1, "indep"); // T3..T6 alternate
+        }
+        b.build()
+    }
+
+    fn steal_cfg() -> RioConfig {
+        RioConfig::with_workers(2)
+            .wait(WaitStrategy::Park)
+            .stealing(crate::steal::StealPolicy::new().min_wait_before_steal(Duration::ZERO))
+    }
+
+    #[test]
+    fn blocked_worker_steals_ready_foreign_tasks() {
+        let g = steal_bait();
+        let hits = Mutex::new(Vec::new());
+        let report = execute_graph(&steal_cfg(), &g, &RoundRobin, |w, t| {
+            if t.kind == "slow" {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            hits.lock().unwrap().push((w, t.id));
+        });
+        let hits = hits.into_inner().unwrap();
+        assert_eq!(hits.len(), 6, "every task ran exactly once");
+        assert_eq!(report.tasks_executed(), 6);
+        // W0 sleeps 30ms on T1 while W1 (blocked on D0 with a zero steal
+        // fuse) scans forward and claims W0's ready independent tasks.
+        let t = report.counters.total();
+        assert!(t.steals >= 1, "expected at least one steal, got {t:?}");
+        let stolen: Vec<_> = hits
+            .iter()
+            .filter(|(w, id)| w.index() == 1 && (id.0 == 3 || id.0 == 5))
+            .collect();
+        assert!(
+            !stolen.is_empty(),
+            "W1 should have executed some of W0's tasks: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn compiled_run_steals_too() {
+        let g = steal_bait();
+        let flow = crate::executor::Executor::new(steal_cfg())
+            .mapping(&RoundRobin)
+            .compile(&g);
+        let count = AtomicU64::new(0);
+        let run = flow.run(|_, t| {
+            if t.kind == "slow" {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 6);
+        let t = run.counters.total();
+        assert!(t.steals >= 1, "expected at least one steal, got {t:?}");
+    }
+
+    #[test]
+    fn stealing_preserves_sequential_semantics_under_contention() {
+        // The 1000-task increment chain, now with stealing armed and an
+        // aggressive fuse: any double execution or missed claim breaks the
+        // final count.
+        let n = 1000u64;
+        let mut b = TaskGraph::builder(1);
+        for _ in 0..n {
+            b.task(&[Access::read_write(DataId(0))], 1, "inc");
+        }
+        let g = b.build();
+        let store = DataStore::from_vec(vec![0u64]);
+        let cfg = RioConfig::with_workers(4)
+            .wait(WaitStrategy::SpinYield)
+            .stealing(crate::steal::StealPolicy::new().min_wait_before_steal(Duration::ZERO));
+        execute_graph(&cfg, &g, &RoundRobin, |_, _| {
+            *store.write(DataId(0)) += 1;
+        });
+        assert_eq!(store.into_vec(), vec![n]);
+    }
+
+    #[test]
+    fn stolen_task_panic_still_aborts_the_run() {
+        let g = steal_bait();
+        let cfg = steal_cfg();
+        let result = std::panic::catch_unwind(|| {
+            execute_graph(&cfg, &g, &RoundRobin, |_, t| {
+                if t.kind == "slow" {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                if t.id.0 == 3 {
+                    panic!("boom in a likely-stolen task");
                 }
             });
         });

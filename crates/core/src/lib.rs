@@ -85,6 +85,7 @@ pub mod pruning;
 pub mod redux;
 pub mod report;
 pub mod status;
+pub mod steal;
 pub mod trace_api;
 pub mod tune;
 pub mod wait;
@@ -98,6 +99,7 @@ pub use hybrid::{validate_partial_mapping, HybridStats, PartialMapping};
 pub use pruning::PruneStats;
 pub use report::{ExecReport, OpCounts, WorkerReport};
 pub use status::StatusTable;
+pub use steal::StealPolicy;
 pub use trace_api::{Trace, TraceConfig, WorkerTrace};
 pub use tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
 pub use wait::{WaitPolicy, WaitStrategy};
@@ -130,6 +132,7 @@ pub mod prelude {
     pub use crate::pruning::PruneStats;
     pub use crate::report::{ExecReport, OpCounts, WorkerReport};
     pub use crate::status::StatusTable;
+    pub use crate::steal::StealPolicy;
     pub use crate::trace_api::{Trace, TraceConfig, WorkerTrace};
     pub use crate::tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
     pub use crate::wait::{WaitPolicy, WaitStrategy};

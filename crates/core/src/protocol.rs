@@ -517,6 +517,17 @@ impl SharedDataState {
         self.word.load(Ordering::Acquire)
     }
 
+    /// Is the epoch guard `word & mask == expected` satisfied *right
+    /// now*? One masked acquire-load — the non-blocking readiness probe
+    /// the steal layer ([`crate::steal`]) prices foreign tasks with.
+    /// Satisfaction is monotonic until the guarded task's own
+    /// `terminate_*` calls run, so a `true` stays `true` for whoever
+    /// claims the task.
+    #[inline]
+    pub fn satisfied(&self, expected: u64, mask: u64) -> bool {
+        self.word.load(Ordering::Acquire) & mask == expected
+    }
+
     /// Unparks this object's waiters if — and only if — there are any.
     /// The caller must already have published its state update with
     /// `SeqCst` (see the module-level wake-elision argument). Returns
@@ -596,7 +607,13 @@ impl SharedDataState {
                 if cx.abort.armed() {
                     return done(polls, 0, WaitVerdict::Aborted);
                 }
-                if polls.is_multiple_of(64) && expired() {
+                // Check the clock on *every* poll: each poll already paid
+                // for a `sched_yield` syscall, so the read costs nothing
+                // relative to it — and on an oversubscribed machine one
+                // yield can swallow a whole scheduling quantum, so an
+                // amortized check would let short deadlines (the steal
+                // layer's scan slices) blow past their budget unnoticed.
+                if expired() {
                     return done(polls, 0, WaitVerdict::DeadlineExceeded);
                 }
             },
@@ -863,15 +880,27 @@ pub fn terminate_read(
     local: &mut LocalDataState,
     strategy: WaitStrategy,
 ) -> bool {
-    let elided = if strategy == WaitStrategy::Park {
+    let elided = publish_read(shared, strategy);
+    declare_read(local);
+    elided
+}
+
+/// The shared half of [`terminate_read`] alone: publish the performed
+/// read without touching any private view. The steal layer's thief calls
+/// this — the body ran on the thief, but the *owner's* walk will declare
+/// the task into its private view, so the declare half must not run here.
+/// Wake-elision behaviour is identical to [`terminate_read`]'s: the
+/// strategy is the data object's (shared by every worker of the run), not
+/// the caller's.
+#[inline]
+pub fn publish_read(shared: &SharedDataState, strategy: WaitStrategy) -> bool {
+    if strategy == WaitStrategy::Park {
         shared.word.fetch_add(1, Ordering::SeqCst);
         !shared.wake_if_waiters()
     } else {
         shared.word.fetch_add(1, Ordering::Release);
         false
-    };
-    declare_read(local);
-    elided
+    }
 }
 
 /// Publishes a performed write (Algorithm 2, `terminate_write`) and updates
@@ -888,16 +917,24 @@ pub fn terminate_write(
     task: TaskId,
     strategy: WaitStrategy,
 ) -> bool {
+    let elided = publish_write(shared, task, strategy);
+    declare_write(local, task);
+    elided
+}
+
+/// The shared half of [`terminate_write`] alone: publish the performed
+/// write without touching any private view (see [`publish_read`] for why
+/// the steal layer needs the split).
+#[inline]
+pub fn publish_write(shared: &SharedDataState, task: TaskId, strategy: WaitStrategy) -> bool {
     let word = pack_epoch(task, 0);
-    let elided = if strategy == WaitStrategy::Park {
+    if strategy == WaitStrategy::Park {
         shared.word.store(word, Ordering::SeqCst);
         !shared.wake_if_waiters()
     } else {
         shared.word.store(word, Ordering::Release);
         false
-    };
-    declare_write(local, task);
-    elided
+    }
 }
 
 #[cfg(test)]

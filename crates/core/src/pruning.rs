@@ -219,6 +219,10 @@ where
                         start,
                         registry.map(|r| r.worker(w)),
                         rec,
+                        // Pruned visit lists elide irrelevant declares, so a
+                        // thief's overlay pricing would read stale private
+                        // views: the pruned path never steals.
+                        None,
                     )
                 })
             })

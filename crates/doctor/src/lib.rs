@@ -62,7 +62,7 @@ pub mod waits;
 pub use critical::CriticalPath;
 pub use durations::Durations;
 pub use quality::{MappingQuality, WorkerLoad};
-pub use report::{DoctorReport, RecoverySummary};
+pub use report::{DoctorReport, RecoverySummary, StealingSummary};
 pub use waits::BlockedObject;
 
 use rio_stf::deps::DepGraph;
@@ -118,6 +118,7 @@ pub fn diagnose(
         suggested,
         moves,
         recovery: None,
+        stealing: None,
     }
 }
 

@@ -24,9 +24,16 @@ pub fn graph(n: usize) -> TaskGraph {
 /// the one task pruning collapses completely (each worker's visit list is
 /// exactly its own tasks).
 pub fn graph_private_data(n: usize) -> TaskGraph {
+    graph_private_data_cost(n, 1)
+}
+
+/// [`graph_private_data`] with an explicit per-task body size, for
+/// experiments that compare protocol overhead against a realistic kernel
+/// granularity instead of an empty body.
+pub fn graph_private_data_cost(n: usize, cost: u64) -> TaskGraph {
     let mut b = TaskGraph::builder(n);
     for i in 0..n {
-        b.task(&[Access::write(DataId::from_index(i))], 1, "ind");
+        b.task(&[Access::write(DataId::from_index(i))], cost, "ind");
     }
     b.build()
 }
