@@ -1064,6 +1064,157 @@ pub fn steal(opt: &Options, grid: usize, cost: u64) -> (String, Vec<StealRow>) {
 }
 
 // ---------------------------------------------------------------------
+// NUMA placement — locality-weighted remap vs topology-blind mappings
+// ---------------------------------------------------------------------
+
+/// One `repro numa` row: a mapping of the Cholesky flow evaluated
+/// against the run's worker→node table.
+#[derive(Debug, Clone)]
+pub struct NumaRow {
+    /// Mapping under evaluation.
+    pub mapping: String,
+    /// Worker count.
+    pub workers: usize,
+    /// Node count of the (detected or mocked) topology.
+    pub nodes: usize,
+    /// Tasks in the flow.
+    pub tasks: usize,
+    /// Cross-worker dependency edges staying within one node.
+    pub intra_node_edges: u64,
+    /// Cross-worker dependency edges crossing a node boundary.
+    pub cross_node_edges: u64,
+    /// `intra + DEFAULT_CROSS_NODE_COST × cross` — the deterministic
+    /// metric the CI gate compares.
+    pub weighted_cost: u64,
+    /// Wall time of one real run under the topology (context, not gated).
+    pub wall_ns: f64,
+}
+
+/// `repro numa`: what the locality-weighted remap buys on a NUMA
+/// machine.
+///
+/// Three mappings of the same tiled-Cholesky flow — round-robin, the
+/// doctor's topology-blind remap, and the locality-weighted remap that
+/// penalizes cross-node dependency hops — are each scored with the
+/// node-aware mapping quality: cross-worker edges split into intra- vs
+/// cross-node, and the weighted cost
+/// `intra + DEFAULT_CROSS_NODE_COST × cross`. The score is a pure
+/// function of flow + mapping + node table (no clocks), so the
+/// `--assert-no-regress` CI gate is deterministic; one real run per
+/// mapping (workers bound to the topology: node-major placement, sharded
+/// parking, same-node-first stealing) supplies wall-time context.
+///
+/// Runs against the detected topology when the host really is
+/// multi-node; otherwise a mocked two-node split of the worker count, so
+/// the figure stays meaningful on single-node hosts and in CI
+/// (`RIO_TOPO_MOCK=NxC` overrides detection either way, see
+/// `rio_core::Topology`).
+pub fn numa(opt: &Options, grid: usize, cost: u64) -> (String, Vec<NumaRow>) {
+    use rio_workloads::cholesky;
+    let w = opt.threads.max(2);
+    let detected = rio_core::Topology::detected().clone();
+    let topo = if detected.num_nodes() > 1 {
+        detected
+    } else {
+        std::sync::Arc::new(rio_core::Topology::mock(2, w.div_ceil(2)))
+    };
+    let node_table = topo.node_assignment(w);
+    let graph = cholesky::graph(grid, cost);
+
+    // Hint-weighted diagnoses of the round-robin placement (trace-free —
+    // the remaps depend only on flow + cost hints + node table).
+    let counts = vec![0u64; w];
+    let plain = rio_doctor::diagnose_counters(&graph, &RoundRobin, w, &counts);
+    let weighted = rio_doctor::diagnose_counters_with_nodes(
+        &graph,
+        &RoundRobin,
+        w,
+        &counts,
+        Some(&node_table),
+    );
+
+    let empty = rio_trace::Trace::default();
+    let eval = |name: &str, mapping: &dyn rio_stf::Mapping| -> NumaRow {
+        let q = rio_doctor::quality::mapping_quality_with_nodes(
+            &graph,
+            mapping,
+            w,
+            &empty,
+            Some(&node_table),
+            rio_doctor::DEFAULT_CROSS_NODE_COST,
+        );
+        let mut wall = Duration::MAX;
+        for _ in 0..opt.reps.max(1) {
+            let cfg = RioConfig::with_workers(w)
+                .wait(WaitStrategy::Park)
+                .check_determinism(false)
+                .topology(topo.clone());
+            let t0 = Instant::now();
+            rio_core::Executor::new(cfg)
+                .mapping(mapping)
+                .run(&graph, |_, t| counter_kernel(t.cost));
+            wall = wall.min(t0.elapsed());
+        }
+        NumaRow {
+            mapping: name.to_string(),
+            workers: w,
+            nodes: topo.num_nodes(),
+            tasks: graph.len(),
+            intra_node_edges: q.intra_node_edges,
+            cross_node_edges: q.cross_node_edges,
+            weighted_cost: q.weighted_cost,
+            wall_ns: wall.as_nanos() as f64,
+        }
+    };
+
+    let rows = vec![
+        eval("round-robin", &RoundRobin),
+        eval("remap-unweighted", &plain.suggested_mapping()),
+        eval("remap-weighted", &weighted.suggested_mapping()),
+    ];
+
+    for r in &rows {
+        json::record(json::Record {
+            figure: "numa".into(),
+            workload: format!("cholesky/grid={grid}/nodes={}", r.nodes),
+            runtime: r.mapping.clone(),
+            threads: r.workers,
+            tasks: r.tasks,
+            // The deterministic locality metric, not a clock: regress
+            // comparisons of this figure never flake on host noise.
+            ns_per_task: r.weighted_cost as f64 / r.tasks.max(1) as f64,
+        });
+    }
+
+    let mut table = Table::new([
+        "mapping",
+        "nodes",
+        "intra-node",
+        "cross-node",
+        "weighted cost",
+        "wall",
+    ]);
+    for r in &rows {
+        table.row([
+            r.mapping.clone(),
+            r.nodes.to_string(),
+            r.intra_node_edges.to_string(),
+            r.cross_node_edges.to_string(),
+            r.weighted_cost.to_string(),
+            fmt_dur(Duration::from_nanos(r.wall_ns as u64)),
+        ]);
+    }
+    let out = opt.emit(
+        &format!(
+            "NUMA placement — cholesky grid {grid} (cost {cost}), {w} workers on {} node(s)",
+            topo.num_nodes()
+        ),
+        &table,
+    );
+    (out, rows)
+}
+
+// ---------------------------------------------------------------------
 // Fig. 8 — efficiency decomposition per experiment
 // ---------------------------------------------------------------------
 

@@ -21,10 +21,11 @@
 //!   counters    always-on counters overhead vs counters disabled
 //!   faults      recovery-policy overhead on a fault-free run vs disabled
 //!   steal       bounded work-stealing: imbalance recovery + idle overhead
+//!   numa        locality-weighted remap vs topology-blind mappings
 //!   doctor      diagnose Cholesky under round-robin, re-run the remap
 //!   tune        closed-loop trace -> diagnose -> remap -> recompile
 //!   regress     compare BENCH_repro.json runs against a baseline
-//!   baseline    fig6 + fig7 + compiled + park in one process (for --json)
+//!   baseline    every BENCH_repro.json figure in one process (for --json)
 //!   all         run everything
 //!
 //! Options:
@@ -57,6 +58,9 @@
 //!   --assert-improves  (tune) exit 1 if the loop fails to converge or the
 //!                      tuned run is not faster than the untuned baseline
 //!                      (RIO_TUNE_THRESHOLD percent of headroom, default 0)
+//!   --assert-no-regress (numa) exit 1 unless the locality-weighted remap
+//!                      strictly beats the topology-blind remap's weighted
+//!                      cross-node edge cost (deterministic, no clocks)
 //!
 //! regress gates with RIO_REGRESS_THRESHOLD percent (default 10).
 //! ```
@@ -188,6 +192,15 @@ fn main() {
                 assert_steal_faster(&rows);
             }
         }
+        "numa" => {
+            let grid = parse_usize(&args, "--grid", 8);
+            let cost = parse_usize(&args, "--cost", 4096) as u64;
+            let (_, rows) = figures::numa(&opt, grid, cost);
+            if args.iter().any(|a| a == "--assert-no-regress") {
+                write_json();
+                assert_numa_no_regress(&rows);
+            }
+        }
         "doctor" => {
             let grid = parse_usize(&args, "--grid", 8);
             let cost = parse_usize(&args, "--cost", 4096) as u64;
@@ -255,6 +268,7 @@ fn main() {
             figures::compiled(&opt, tpw, &workers);
             figures::park(&opt);
             figures::faults(&opt, tpw);
+            figures::numa(&opt, 8, 4096);
         }
         "all" => {
             figures::table1(&opt);
@@ -269,6 +283,7 @@ fn main() {
             figures::counters_overhead(&opt, tpw);
             figures::faults(&opt, tpw);
             figures::steal(&opt, 8, 4096);
+            figures::numa(&opt, 8, 4096);
             doctor::doctor(&opt, 8, 4096);
             tune::tune(&opt, 8, 4096);
             for e in 1..=4 {
@@ -280,8 +295,8 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|faults|steal|doctor|tune|regress|baseline|all> [options]");
-            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead --assert-improves");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|faults|steal|numa|doctor|tune|regress|baseline|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead --assert-improves --assert-no-regress");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
             } else {
@@ -428,6 +443,40 @@ fn assert_steal_faster(rows: &[figures::StealRow]) {
         std::process::exit(1);
     }
     eprintln!("stealing recovers >= {recovery:.1}% on imbalance, idle overhead <= {threshold:.2}%");
+}
+
+/// The CI gate behind `numa --assert-no-regress`, on the deterministic
+/// weighted-cost metric (no clocks, so no flake budget):
+///
+/// * the locality-weighted remap must *strictly* reduce the weighted
+///   cross-node edge cost vs the topology-blind remap;
+/// * and must not cost more than the untouched round-robin baseline.
+fn assert_numa_no_regress(rows: &[figures::NumaRow]) {
+    let cost_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.mapping == name)
+            .unwrap_or_else(|| panic!("numa figure produced no `{name}` row"))
+            .weighted_cost
+    };
+    let rr = cost_of("round-robin");
+    let unweighted = cost_of("remap-unweighted");
+    let weighted = cost_of("remap-weighted");
+    let mut ok = true;
+    if weighted >= unweighted {
+        eprintln!(
+            "REGRESSION: weighted remap cost {weighted} not strictly below \
+             topology-blind remap cost {unweighted}"
+        );
+        ok = false;
+    }
+    if weighted > rr {
+        eprintln!("REGRESSION: weighted remap cost {weighted} above round-robin cost {rr}");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!("weighted remap cost {weighted} < topology-blind {unweighted} (round-robin {rr})");
 }
 
 /// The CI gate behind `faults --assert-overhead`: arming a

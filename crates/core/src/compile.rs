@@ -66,7 +66,7 @@
 
 use std::time::Instant;
 
-use rio_stf::{ExecError, FlatAccesses, Mapping, TaskDesc, TaskGraph, WorkerId};
+use rio_stf::{ExecError, Mapping, TaskDesc, TaskGraph, WorkerId};
 
 use crate::config::RioConfig;
 use crate::executor::Execution;
@@ -165,6 +165,25 @@ impl CompileStats {
     }
 }
 
+/// One NUMA node's slice of the compiled flow: the access entries and
+/// precomputed expected epoch words of every `Run` instruction owned by a
+/// worker of that node, allocated by that node's workers' own pushes
+/// (first-toucher placement under a first-touch NUMA policy).
+///
+/// `expected[k]` is the packed word ([`crate::protocol::pack_epoch`])
+/// that `accesses[k]`'s `get_*` waits for — computed once by simulating
+/// the flow's declares at compile time (worker-independent: every
+/// worker's private view before a task equals the sequential replay of
+/// all earlier accesses, whether it declared or performed them). A
+/// [`RunInstr`]'s `start..end` indexes the arena of the *owning worker's
+/// node*. On a single-node topology the one arena is laid out exactly
+/// like the pre-PR 9 global arena ([`rio_stf::FlatAccesses`] order).
+#[derive(Debug, Default)]
+pub(crate) struct NodeArena {
+    pub(crate) accesses: Vec<rio_stf::Access>,
+    pub(crate) expected: Vec<u64>,
+}
+
 /// A flow compiled for a fixed `(graph, mapping, config)` triple —
 /// produced by [`crate::Executor::compile`], executed any number of times
 /// with [`CompiledFlow::run`]/[`CompiledFlow::try_run`].
@@ -176,19 +195,22 @@ impl CompileStats {
 /// per-run state — shared protocol tables, private views, reports — is
 /// allocated fresh on every run, so runs are independent: a run that
 /// aborts leaves the program intact.
+///
+/// With a multi-node [`RioConfig::topology`], each worker's access
+/// entries and expected words live in its node's [`NodeArena`] so the
+/// hot `get → kernel → terminate` walk streams node-local memory;
+/// without one there is a single arena in classic flat order.
 #[must_use = "a CompiledFlow does nothing until `.run()` is called"]
 pub struct CompiledFlow<'g> {
     cfg: RioConfig,
     graph: &'g TaskGraph,
-    flat: FlatAccesses,
-    /// The precomputed expected epoch word of every access, parallel to
-    /// the access arena: `expected[k]` is the packed word
-    /// ([`crate::protocol::pack_epoch`]) that arena entry `k`'s `get_*`
-    /// waits for. Computed once by simulating the flow's declares at
-    /// compile time (worker-independent: every worker's private view
-    /// before a task equals the sequential replay of all earlier
-    /// accesses, whether it declared or performed them).
-    expected: Vec<u64>,
+    /// One arena per NUMA node of the compiled topology (exactly one
+    /// without a topology).
+    arenas: Vec<NodeArena>,
+    /// The node each worker's `Run` offsets index into, parallel to
+    /// `programs` (node-major assignment from the topology; all zeros
+    /// without one).
+    node_of_worker: Vec<u32>,
     programs: Vec<WorkerProgram>,
     stats: CompileStats,
 }
@@ -309,11 +331,46 @@ pub(crate) fn try_compile<'g>(
         programs.push(prog);
     }
 
+    // Lay the access arena and expected words out per NUMA node. On the
+    // (default) single-node topology the one arena keeps the exact flat
+    // order — same offsets, same bytes as the historical global arena.
+    // With a multi-node topology each worker's Run slices are copied into
+    // its node's arena in program order and the Run offsets remapped, so
+    // the hot walk only ever streams node-local memory.
+    let node_of_worker = cfg.node_assignment();
+    let num_nodes = node_of_worker
+        .iter()
+        .map(|&n| n as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let arenas: Vec<NodeArena> = if num_nodes == 1 {
+        vec![NodeArena {
+            accesses: flat.arena().to_vec(),
+            expected,
+        }]
+    } else {
+        let mut arenas: Vec<NodeArena> = (0..num_nodes).map(|_| NodeArena::default()).collect();
+        for (w, prog) in programs.iter_mut().enumerate() {
+            let arena = &mut arenas[node_of_worker[w] as usize];
+            for r in &mut prog.runs {
+                let range = r.start as usize..r.end as usize;
+                let start = arena.accesses.len() as u32;
+                arena
+                    .accesses
+                    .extend_from_slice(&flat.arena()[range.clone()]);
+                arena.expected.extend_from_slice(&expected[range]);
+                r.start = start;
+                r.end = arena.accesses.len() as u32;
+            }
+        }
+        arenas
+    };
+
     Ok(CompiledFlow {
         cfg: cfg.clone(),
         graph,
-        flat,
-        expected,
+        arenas,
+        node_of_worker,
         programs,
         stats,
     })
@@ -409,8 +466,8 @@ impl<'g> CompiledFlow<'g> {
                                     epoch: steal_epoch,
                                     scan: crate::steal::ScanSource::Compiled {
                                         tasks: self.graph.tasks(),
-                                        arena: self.flat.arena(),
-                                        expected: &self.expected,
+                                        arenas: &self.arenas,
+                                        nodes: &self.node_of_worker,
                                         programs: &self.programs,
                                         cursors,
                                     },
@@ -436,7 +493,9 @@ impl<'g> CompiledFlow<'g> {
             report: ExecReport {
                 wall: start.elapsed(),
                 workers,
-                counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+                counters: registry
+                    .map(|r| r.snapshot().with_topology(cfg))
+                    .unwrap_or_default(),
             },
             outcome: recovery
                 .and_then(crate::protocol::RecoveryCtx::into_report)
@@ -476,8 +535,11 @@ impl<'g> CompiledFlow<'g> {
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
+        // Bind this thread to its node's parking shard (and optionally
+        // its core) before any protocol traffic.
+        crate::topo::enter_worker(&self.cfg, me.index());
         let tasks = self.graph.tasks();
-        let arena = self.flat.arena();
+        let arena = &self.arenas[self.node_of_worker[me.index()] as usize];
         let mut ctx = WorkerCtx::new(
             &self.cfg,
             self.graph.num_data(),
@@ -514,7 +576,12 @@ impl<'g> CompiledFlow<'g> {
                 let t = &tasks[r.task as usize];
                 ctx.tasks_visited += 1;
                 let range = r.start as usize..r.end as usize;
-                if !ctx.exec_task_pre(kernel, t, &arena[range.clone()], &self.expected[range]) {
+                if !ctx.exec_task_pre(
+                    kernel,
+                    t,
+                    &arena.accesses[range.clone()],
+                    &arena.expected[range],
+                ) {
                     break;
                 }
             }
@@ -846,14 +913,55 @@ mod tests {
         b.task(&[Access::write(DataId(0))], 1, "w2");
         let g = b.build();
         let flow = compile(cfg(2), &g);
+        // Single-node: one arena in exact flat order.
+        let expected = &flow.arenas[0].expected;
         // T1's write waits for the initial epoch (no write, no reads).
-        assert_eq!(flow.expected[0], pack_epoch(TaskId::NONE, 0));
+        assert_eq!(expected[0], pack_epoch(TaskId::NONE, 0));
         // The reads wait for T1's write (the high half; the low half of a
         // read's expected word is masked off at wait time).
-        assert_eq!(flow.expected[1] >> 32, 1);
-        assert_eq!(flow.expected[2] >> 32, 1);
+        assert_eq!(expected[1] >> 32, 1);
+        assert_eq!(expected[2] >> 32, 1);
         // T4's write waits for T1's write AND both reads.
-        assert_eq!(flow.expected[3], pack_epoch(TaskId(1), 2));
+        assert_eq!(expected[3], pack_epoch(TaskId(1), 2));
+    }
+
+    #[test]
+    fn node_arenas_partition_the_flat_arena() {
+        use crate::topo::Topology;
+        use std::sync::Arc;
+        // 2×2 mock topology, 4 workers: every Run's accesses live in the
+        // owning worker's node arena, offsets remapped; the run result is
+        // identical to the single-arena layout.
+        let mut b = TaskGraph::builder(4);
+        for i in 0..80u32 {
+            b.task(&[Access::read_write(DataId(i % 4))], 1, "inc");
+        }
+        let g = b.build();
+        let single = compile(cfg(4), &g);
+        assert_eq!(single.arenas.len(), 1, "no topology → one arena");
+        let numa = compile(cfg(4).topology(Arc::new(Topology::mock(2, 2))), &g);
+        assert_eq!(numa.arenas.len(), 2);
+        assert_eq!(numa.node_of_worker, vec![0, 0, 1, 1]);
+        // Arena slices hold exactly the task's accesses, as in the flat
+        // layout, and the expected words match the single-node compile.
+        let flat = g.flat_accesses();
+        for (w, prog) in numa.programs.iter().enumerate() {
+            let arena = &numa.arenas[numa.node_of_worker[w] as usize];
+            for (r, sr) in prog.runs.iter().zip(&single.programs[w].runs) {
+                assert_eq!(r.task, sr.task);
+                let range = r.start as usize..r.end as usize;
+                let srange = sr.start as usize..sr.end as usize;
+                assert_eq!(&arena.accesses[range.clone()], flat.of(r.task as usize));
+                assert_eq!(&arena.expected[range], &single.arenas[0].expected[srange]);
+            }
+        }
+        // Both arenas together cover exactly the owned Runs' accesses.
+        let total: usize = numa.arenas.iter().map(|a| a.accesses.len()).sum();
+        assert_eq!(total, flat.arena().len());
+        // And the run produces the same store.
+        let store = DataStore::filled(4, 0u64);
+        numa.run(|_, t| *store.write(t.accesses[0].data) += 1);
+        assert_eq!(store.into_vec(), vec![20; 4]);
     }
 
     #[test]

@@ -196,6 +196,7 @@ impl CounterRegistry {
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
             workers: self.workers.iter().map(WorkerCounters::row).collect(),
+            nodes: None,
         }
     }
 
@@ -302,9 +303,24 @@ impl CounterRow {
 pub struct CountersSnapshot {
     /// Per-worker rows, in worker order.
     pub workers: Vec<CounterRow>,
+    /// Node of each worker (parallel to `workers`) when the run was
+    /// configured with a multi-node [`crate::topo::Topology`]; `None` on
+    /// single-node runs. Drives the per-node grouping in
+    /// [`CountersSnapshot::table`].
+    pub nodes: Option<Vec<u32>>,
 }
 
 impl CountersSnapshot {
+    /// Tags the snapshot with the run's node-per-worker assignment when
+    /// the configured topology spans more than one node (single-node
+    /// snapshots stay untagged so the flat table is unchanged).
+    pub(crate) fn with_topology(mut self, cfg: &RioConfig) -> CountersSnapshot {
+        if cfg.num_nodes() > 1 {
+            self.nodes = Some(cfg.node_assignment());
+        }
+        self
+    }
+
     /// Sum of every worker's row.
     pub fn total(&self) -> CounterRow {
         let mut t = CounterRow::default();
@@ -328,7 +344,10 @@ impl CountersSnapshot {
     }
 
     /// Renders the snapshot as a [`rio_metrics::Table`]: one row per
-    /// worker plus a total row.
+    /// worker plus a total row. On a snapshot tagged with a multi-node
+    /// topology ([`CountersSnapshot::nodes`]) the worker rows are grouped
+    /// by node, each group followed by an `N<n>` subtotal row; untagged
+    /// (single-node) snapshots render the historical flat table.
     ///
     /// Numeric columns right-align (the table layer's numeric heuristic);
     /// the recovery and steal counters — `retries`, `poisoned`, `steals`,
@@ -372,8 +391,38 @@ impl CountersSnapshot {
                 dash(r.steal_aborts),
             ]
         };
-        for (w, r) in self.workers.iter().enumerate() {
-            t.row(row(format!("W{w}"), r));
+        let multi_node = self
+            .nodes
+            .as_ref()
+            .filter(|nodes| nodes.len() >= self.workers.len())
+            .filter(|nodes| {
+                nodes
+                    .iter()
+                    .take(self.workers.len())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+                    > 1
+            });
+        match multi_node {
+            None => {
+                for (w, r) in self.workers.iter().enumerate() {
+                    t.row(row(format!("W{w}"), r));
+                }
+            }
+            Some(nodes) => {
+                let node_ids: std::collections::BTreeSet<u32> =
+                    nodes.iter().take(self.workers.len()).copied().collect();
+                for node in node_ids {
+                    let mut sub = CounterRow::default();
+                    for (w, r) in self.workers.iter().enumerate() {
+                        if nodes[w] == node {
+                            sub.merge(r);
+                            t.row(row(format!("W{w}"), r));
+                        }
+                    }
+                    t.row(row(format!("N{node}"), &sub));
+                }
+            }
         }
         let total = self.total();
         t.row(row("total".to_string(), &total));
@@ -446,6 +495,7 @@ mod tests {
                     ..CounterRow::default()
                 },
             ],
+            nodes: None,
         };
         assert_eq!(snap.tasks_per_worker(), vec![7, 3]);
     }
@@ -510,6 +560,47 @@ mod tests {
         assert!(text.contains("W0"));
         assert!(text.contains("total"));
         assert!(text.contains('7'));
+    }
+
+    #[test]
+    fn multi_node_snapshot_groups_rows_with_subtotals() {
+        let reg = CounterRegistry::new(4);
+        for w in 0..4 {
+            for _ in 0..=w {
+                reg.worker(w).inc_tasks();
+            }
+        }
+        // Untagged (single-node): flat table, no node rows.
+        let flat = reg.snapshot().table().render();
+        assert!(!flat.contains("N0"), "single-node table stays flat");
+        // Tagged with a 2-node assignment: grouped with subtotals.
+        let mut snap = reg.snapshot();
+        snap.nodes = Some(vec![0, 0, 1, 1]);
+        let text = snap.table().render();
+        assert!(text.contains("N0"));
+        assert!(text.contains("N1"));
+        let lines: Vec<&str> = text.lines().collect();
+        let pos = |label: &str| {
+            lines
+                .iter()
+                .position(|l| l.split_whitespace().next() == Some(label))
+                .unwrap_or_else(|| panic!("row {label} missing:\n{text}"))
+        };
+        // Node-major order: W0, W1, N0 subtotal, W2, W3, N1 subtotal.
+        assert!(pos("W0") < pos("W1"));
+        assert!(pos("W1") < pos("N0"));
+        assert!(pos("N0") < pos("W2"));
+        assert!(pos("W3") < pos("N1"));
+        assert!(pos("N1") < pos("total"));
+        // Subtotals add up: N0 = 1 + 2 tasks, N1 = 3 + 4 tasks.
+        let n0 = lines[pos("N0")];
+        assert!(n0.contains('3'), "N0 subtotal tasks: {n0}");
+        let n1 = lines[pos("N1")];
+        assert!(n1.contains('7'), "N1 subtotal tasks: {n1}");
+        // A tagged snapshot whose workers all share one node stays flat.
+        let mut snap = reg.snapshot();
+        snap.nodes = Some(vec![0; 4]);
+        assert!(!snap.table().render().contains("N0"));
     }
 
     #[test]

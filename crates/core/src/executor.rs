@@ -305,7 +305,16 @@ impl<'a> Executor<'a> {
     /// to [`Executor::apply`] to get an executor that runs under it —
     /// or let [`Executor::tuned_run`] drive the whole loop.
     pub fn plan(&self, graph: &TaskGraph, run: &Execution) -> TuningPlan {
-        Tuner::new(graph, self.cfg.workers).plan(self.mapping.unwrap_or(&RoundRobin), run)
+        Tuner::new(graph, self.cfg.workers)
+            .nodes(self.worker_nodes())
+            .plan(self.mapping.unwrap_or(&RoundRobin), run)
+    }
+
+    /// The configured topology's worker→node table, or `None` when the
+    /// run is single-node (no topology set, or one node), so planning
+    /// stays byte-identical to the topology-blind path.
+    fn worker_nodes(&self) -> Option<Vec<u32>> {
+        (self.cfg.num_nodes() > 1).then(|| self.cfg.node_assignment())
     }
 
     /// A new executor with `plan` baked in: the plan's remap replaces
@@ -374,7 +383,9 @@ impl<'a> Executor<'a> {
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
         opts.validate();
-        let tuner = Tuner::new(graph, self.cfg.workers).options(opts.clone());
+        let tuner = Tuner::new(graph, self.cfg.workers)
+            .options(opts.clone())
+            .nodes(self.worker_nodes());
         let mut iterations = Vec::new();
         let mut applied: Option<TuningPlan> = None;
         let mut converged = false;

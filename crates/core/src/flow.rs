@@ -265,7 +265,9 @@ impl Rio {
             ExecReport {
                 wall,
                 workers: workers.into_iter().map(|(r, _)| r).collect(),
-                counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+                counters: registry
+                    .map(|r| r.snapshot().with_topology(cfg))
+                    .unwrap_or_default(),
             },
             recovery.and_then(RecoveryCtx::into_report).into(),
         ))

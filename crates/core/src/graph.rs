@@ -223,7 +223,9 @@ where
         ExecReport {
             wall: start.elapsed(),
             workers,
-            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+            counters: registry
+                .map(|r| r.snapshot().with_topology(cfg))
+                .unwrap_or_default(),
         },
         recovery.and_then(RecoveryCtx::into_report),
     ))
@@ -789,11 +791,11 @@ impl<'a> WorkerCtx<'a> {
             } => self.steal_scan_flow(kernel, st, tasks, owners, expected, offsets, cursors),
             ScanSource::Compiled {
                 tasks,
-                arena,
-                expected,
+                arenas,
+                nodes,
                 programs,
                 cursors,
-            } => self.steal_scan_compiled(kernel, st, tasks, arena, expected, programs, cursors),
+            } => self.steal_scan_compiled(kernel, st, tasks, arenas, nodes, programs, cursors),
         }
     }
 
@@ -877,8 +879,8 @@ impl<'a> WorkerCtx<'a> {
     }
 
     /// Compiled-path scan: walk victims' instruction streams from their
-    /// published cursors. Expected words are precompiled (one array shared
-    /// by all workers), so pricing a candidate is one masked acquire-load
+    /// published cursors. Expected words are precompiled (in the victim's
+    /// node arena), so pricing a candidate is one masked acquire-load
     /// per access with no simulation. Stale cursors are safe: everything
     /// a victim already executed is claimed (the owner claims before
     /// running), so re-scanning it merely wastes window budget.
@@ -888,8 +890,8 @@ impl<'a> WorkerCtx<'a> {
         kernel: &K,
         st: StealState<'a>,
         tasks: &'a [TaskDesc],
-        arena: &'a [Access],
-        expected: &'a [u64],
+        arenas: &'a [crate::compile::NodeArena],
+        nodes: &'a [u32],
         programs: &'a [crate::compile::WorkerProgram],
         cursors: &'a [crate::steal::Cursor],
     ) -> bool
@@ -901,16 +903,27 @@ impl<'a> WorkerCtx<'a> {
         let workers = programs.len();
         let shared = self.shared;
         // Victim preference: the policy's (doctor-seeded) order first,
-        // then round-robin from our successor. Duplicates only waste
-        // window budget.
+        // then a same-node-first round-robin from our successor — a
+        // stolen body touches the victim's arena and epoch words, so
+        // same-node victims are cheaper on a multi-socket machine (and
+        // on a single node the split is a no-op: every worker is in the
+        // `same` half). Duplicates only waste window budget.
+        let my_node = nodes.get(me).copied().unwrap_or(0);
+        let node_of = move |v: u32| nodes.get(v as usize).copied().unwrap_or(0);
         let preferred = st.policy.victims.as_deref().unwrap_or(&[]).iter().copied();
-        let fallback = (0..workers).map(|i| ((me + 1 + i) % workers) as u32);
+        let same = (0..workers)
+            .map(move |i| ((me + 1 + i) % workers) as u32)
+            .filter(move |&v| node_of(v) == my_node);
+        let cross = (0..workers)
+            .map(move |i| ((me + 1 + i) % workers) as u32)
+            .filter(move |&v| node_of(v) != my_node);
         let mut budget = st.policy.window;
-        for v in preferred.chain(fallback) {
+        for v in preferred.chain(same).chain(cross) {
             let v = v as usize;
             if v == me || v >= workers || budget == 0 {
                 continue;
             }
+            let varena = &arenas[nodes.get(v).copied().unwrap_or(0) as usize];
             let prog = &programs[v];
             let mut pc = cursors[v].0.load(std::sync::atomic::Ordering::Relaxed);
             while pc < prog.code.len() && budget > 0 {
@@ -926,8 +939,8 @@ impl<'a> WorkerCtx<'a> {
                     continue;
                 }
                 let range = r.start as usize..r.end as usize;
-                let acc = &arena[range.clone()];
-                let exp = &expected[range];
+                let acc = &varena.accesses[range.clone()];
+                let exp = &varena.expected[range];
                 let ready = acc.iter().zip(exp).all(|(a, &e)| {
                     let mask = if a.mode.writes() {
                         WRITE_EPOCH_MASK
@@ -1285,6 +1298,9 @@ where
     M: Mapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    // Bind this thread to its node's parking shard (and optionally its
+    // core) before any protocol traffic.
+    crate::topo::enter_worker(cfg, me.index());
     let mut ctx = WorkerCtx::new(
         cfg,
         graph.num_data(),

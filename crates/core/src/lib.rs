@@ -86,6 +86,7 @@ pub mod redux;
 pub mod report;
 pub mod status;
 pub mod steal;
+pub mod topo;
 pub mod trace_api;
 pub mod tune;
 pub mod wait;
@@ -100,6 +101,7 @@ pub use pruning::PruneStats;
 pub use report::{ExecReport, OpCounts, WorkerReport};
 pub use status::StatusTable;
 pub use steal::StealPolicy;
+pub use topo::{NodeId, Topology};
 pub use trace_api::{Trace, TraceConfig, WorkerTrace};
 pub use tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
 pub use wait::{WaitPolicy, WaitStrategy};
@@ -133,6 +135,7 @@ pub mod prelude {
     pub use crate::report::{ExecReport, OpCounts, WorkerReport};
     pub use crate::status::StatusTable;
     pub use crate::steal::StealPolicy;
+    pub use crate::topo::{NodeId, Topology};
     pub use crate::trace_api::{Trace, TraceConfig, WorkerTrace};
     pub use crate::tune::{TuneIteration, TuneOptions, TunedRun, Tuner, TuningPlan};
     pub use crate::wait::{WaitPolicy, WaitStrategy};

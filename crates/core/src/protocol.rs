@@ -73,9 +73,28 @@
 //!   `S` visible to its next re-check) or still holds the bucket lock (the
 //!   unpark blocks until the waiter parks, then notifies).
 //!
+//! **Node-sharded extension** (DESIGN.md §15). The parking table is
+//! sharded per NUMA node, so "the waiter's bucket" is no longer unique:
+//! a waiter parks in its *own node's* shard. Two more SeqCst accesses
+//! extend the argument — the waiter's shard-mask `fetch_or` `M` on the
+//! object's `node_mask` (issued *before* `I`), and the terminator's mask
+//! load `LM` (issued *after* `L`):
+//!
+//! * if `L` reads ≥ 1 for some parked waiter, that waiter's `I` precedes
+//!   `L` in the SeqCst total order, hence `M` (before `I`) precedes `LM`
+//!   (after `L`) — the terminator's mask includes the waiter's shard bit
+//!   and the unpark walks that shard's bucket, restoring the single-table
+//!   argument verbatim;
+//! * shard bits are never cleared during a run ([`SharedDataState`] is
+//!   per-run state), so a stale bit only costs a spurious extra bucket
+//!   visit, never a lost wake. A zero mask with a non-zero counter cannot
+//!   occur under this order, but [`crate::park::unpark_shards`] falls
+//!   back to walking every shard anyway.
+//!
 //! Abort broadcast and spurious-wake storms bypass the waiters check and
-//! unpark *every* bucket — they are cold paths whose job is to guarantee
-//! that every wait terminates (abort, watchdog deadline) no matter what.
+//! unpark *every* bucket of *every* shard — they are cold paths whose job
+//! is to guarantee that every wait terminates (abort, watchdog deadline)
+//! no matter what.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -475,6 +494,12 @@ pub struct SharedDataState {
     /// Number of workers parked (or about to park) on this object. A
     /// terminate only unparks when this is non-zero.
     waiters: AtomicU32,
+    /// Parking shards (bit `n` = node shard `n`, see
+    /// [`crate::park::MAX_NODE_SHARDS`]) that ever held a waiter of this
+    /// object. Advertised *before* the waiter increments `waiters` so a
+    /// terminate that observes the counter also observes the shard bit
+    /// (module docs, node-sharded extension); never cleared within a run.
+    node_mask: AtomicU32,
 }
 
 impl Default for SharedDataState {
@@ -482,6 +507,7 @@ impl Default for SharedDataState {
         SharedDataState {
             word: AtomicU64::new(pack_epoch(TaskId::NONE, 0)),
             waiters: AtomicU32::new(0),
+            node_mask: AtomicU32::new(0),
         }
     }
 }
@@ -495,6 +521,7 @@ impl std::fmt::Debug for SharedDataState {
             .field("last_executed_write", &write.0)
             .field("epoch_word", &format_args!("{word:#018x}"))
             .field("waiters", &self.waiters.load(Ordering::Relaxed))
+            .field("node_mask", &self.node_mask.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -536,7 +563,12 @@ impl SharedDataState {
     #[inline]
     fn wake_if_waiters(&self) -> bool {
         if self.waiters.load(Ordering::SeqCst) != 0 {
-            park::unpark_all(self.word.as_ptr());
+            // Any waiter the counter load observed advertised its shard
+            // bit first (module docs, node-sharded extension), so this
+            // mask covers every parked waiter; unpark_shards falls back
+            // to all shards on a zero mask regardless.
+            let mask = self.node_mask.load(Ordering::SeqCst);
+            park::unpark_shards(self.word.as_ptr(), mask);
             true
         } else {
             false
@@ -619,9 +651,15 @@ impl SharedDataState {
             },
             WaitStrategy::Park => {
                 // Announce before parking; terminates elide their wake
-                // only when this counter is zero.
+                // only when this counter is zero. The shard bit goes
+                // first: a terminate that observes the counter must also
+                // observe which shard to wake (module docs, node-sharded
+                // extension). The shard index is read once and used for
+                // both the bit and the bucket, so they always agree.
+                let shard = park::current_shard();
+                self.node_mask.fetch_or(1u32 << shard, Ordering::SeqCst);
                 self.waiters.fetch_add(1, Ordering::SeqCst);
-                let bucket = park::bucket_for(self.word.as_ptr());
+                let bucket = park::bucket_for_shard(self.word.as_ptr(), shard);
                 let mut parks: u64 = 0;
                 let mut guard = bucket.lock.lock();
                 let result = loop {

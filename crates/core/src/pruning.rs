@@ -239,7 +239,9 @@ where
         ExecReport {
             wall: start.elapsed(),
             workers,
-            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+            counters: registry
+                .map(|r| r.snapshot().with_topology(cfg))
+                .unwrap_or_default(),
         },
         stats,
         recovery.and_then(crate::protocol::RecoveryCtx::into_report),

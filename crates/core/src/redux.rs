@@ -294,7 +294,9 @@ impl ReduxRio {
         ExecReport {
             wall: start.elapsed(),
             workers,
-            counters: registry.map(|r| r.snapshot()).unwrap_or_default(),
+            counters: registry
+                .map(|r| r.snapshot().with_topology(cfg))
+                .unwrap_or_default(),
         }
     }
 }

@@ -312,11 +312,16 @@ pub(crate) enum ScanSource<'a> {
         cursors: &'a [Cursor],
     },
     /// Compiled programs: scan victims' instruction streams from their
-    /// published cursors; expected words are precompiled.
+    /// published cursors; expected words are precompiled. A victim's
+    /// `Run` offsets index the arena of *its* node
+    /// ([`crate::compile::NodeArena`], one per topology node), so a
+    /// thief prices task `t` of victim `v` against
+    /// `arenas[nodes[v]]`.
     Compiled {
         tasks: &'a [rio_stf::TaskDesc],
-        arena: &'a [rio_stf::Access],
-        expected: &'a [u64],
+        arenas: &'a [crate::compile::NodeArena],
+        /// Node of every worker, parallel to `programs`.
+        nodes: &'a [u32],
         programs: &'a [crate::compile::WorkerProgram],
         cursors: &'a [Cursor],
     },

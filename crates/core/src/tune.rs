@@ -199,6 +199,7 @@ pub struct Tuner<'g> {
     graph: &'g TaskGraph,
     workers: usize,
     opts: TuneOptions,
+    nodes: Option<Vec<u32>>,
 }
 
 impl<'g> Tuner<'g> {
@@ -209,6 +210,7 @@ impl<'g> Tuner<'g> {
             graph,
             workers,
             opts: TuneOptions::default(),
+            nodes: None,
         }
     }
 
@@ -216,6 +218,17 @@ impl<'g> Tuner<'g> {
     pub fn options(mut self, opts: TuneOptions) -> Tuner<'g> {
         opts.validate();
         self.opts = opts;
+        self
+    }
+
+    /// Supplies the NUMA placement of the run's workers (`nodes[w]` =
+    /// worker `w`'s node, e.g. [`crate::Topology::node_assignment`]).
+    /// When set (and naming more than one node), the diagnosis splits
+    /// cross-worker edges by node and the remap penalizes cross-node
+    /// dependency hops, steering chains onto one node; otherwise planning
+    /// is byte-identical to the topology-blind path.
+    pub fn nodes(mut self, nodes: Option<Vec<u32>>) -> Tuner<'g> {
+        self.nodes = nodes;
         self
     }
 
@@ -232,7 +245,13 @@ impl<'g> Tuner<'g> {
     /// object's recorded wait events decide its policy individually.
     #[cfg(feature = "trace")]
     fn plan_from_trace(&self, mapping: &dyn Mapping, trace: &rio_trace::Trace) -> TuningPlan {
-        let report = rio_doctor::diagnose(self.graph, mapping, self.workers, trace);
+        let report = rio_doctor::diagnose_with_nodes(
+            self.graph,
+            mapping,
+            self.workers,
+            trace,
+            self.nodes.as_deref(),
+        );
         TuningPlan {
             mapping: report.suggested_mapping(),
             policies: self.policies_from_trace(trace),
@@ -286,7 +305,13 @@ impl<'g> Tuner<'g> {
     /// trace path, but requires nothing beyond the always-on counters.
     fn plan_from_counters(&self, mapping: &dyn Mapping, counters: &CountersSnapshot) -> TuningPlan {
         let tasks = counters.tasks_per_worker();
-        let report = rio_doctor::diagnose_counters(self.graph, mapping, self.workers, &tasks);
+        let report = rio_doctor::diagnose_counters_with_nodes(
+            self.graph,
+            mapping,
+            self.workers,
+            &tasks,
+            self.nodes.as_deref(),
+        );
         let total = counters.total();
         let policy = if total.waited() && total.park_fraction() == 0.0 {
             WaitPolicy::hot(self.opts.hot_spin_limit)

@@ -1,0 +1,127 @@
+//! Property: NUMA placement never changes results (DESIGN.md §15).
+//!
+//! The node-sharded parking table and the node-local compiled arenas are
+//! pure layout: which bucket a waiter parks in and which arena slice a
+//! worker scans must not affect what the run computes. For random small
+//! flows and mock topology shapes {1×N, 2×N, 4×N}, a run under the
+//! topology produces byte-identical per-datum stores and the identical
+//! per-datum *writer* order as the topology-blind baseline, under every
+//! wait strategy, on both the interpreted and the compiled path.
+//!
+//! (Only writers are compared: readers within one epoch are legitimately
+//! unordered even between two identical baseline runs. Since every
+//! writer mutates its object deterministically from the previous value,
+//! identical stores ⟺ identical writer order — the two assertions
+//! cross-check each other.)
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use rio_core::{Executor, RioConfig, Topology, WaitStrategy};
+use rio_stf::{Access, DataId, DataStore, RoundRobin, TaskGraph};
+
+const NUM_DATA: usize = 5;
+
+/// Decodes one task per seed: 1–3 distinct objects, each accessed
+/// read / write / read-write, with a small random cost hint.
+fn graph_from(seeds: &[u64]) -> TaskGraph {
+    let mut b = TaskGraph::builder(NUM_DATA);
+    for &s in seeds {
+        let mut acc: Vec<Access> = Vec::new();
+        let n = 1 + (s % 3) as usize;
+        let mut x = s / 3;
+        for _ in 0..n {
+            let d = DataId((x % NUM_DATA as u64) as u32);
+            x /= NUM_DATA as u64;
+            if acc.iter().any(|a| a.data == d) {
+                continue;
+            }
+            acc.push(match x % 3 {
+                0 => Access::read(d),
+                1 => Access::write(d),
+                _ => Access::read_write(d),
+            });
+            x /= 3;
+        }
+        b.task(&acc, 1 + s % 7, "p");
+    }
+    b.build()
+}
+
+/// Runs `g` under `cfg` with a kernel that mutates every written object
+/// deterministically from its previous value and the writer's id,
+/// recording the per-datum writer order. Returns (stores, order).
+fn observe(cfg: RioConfig, g: &TaskGraph, compiled: bool) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let store = DataStore::new_with(NUM_DATA, |i| i as u64);
+    let order: Vec<Mutex<Vec<u64>>> = (0..NUM_DATA).map(|_| Mutex::new(Vec::new())).collect();
+    let kernel = |_w, t: &rio_stf::TaskDesc| {
+        for d in t.writes() {
+            let mut w = store.write(d);
+            *w = (*w ^ t.id.0)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t.id.0);
+            order[d.index()].lock().unwrap().push(t.id.0);
+        }
+    };
+    let ex = Executor::new(cfg).mapping(&RoundRobin);
+    if compiled {
+        ex.compile(g).run(kernel);
+    } else {
+        ex.run(g, kernel);
+    }
+    (
+        store.into_vec(),
+        order.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Global (topology-blind) vs node-sharded parking and single-arena
+    /// vs node-arena compiled flows: identical results for every mock
+    /// shape, wait strategy and execution path.
+    #[test]
+    fn topology_never_changes_results(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        workers in 2usize..5,
+    ) {
+        let g = graph_from(&seeds);
+        for wait in [WaitStrategy::Spin, WaitStrategy::SpinYield, WaitStrategy::Park] {
+            for compiled in [false, true] {
+                let base_cfg = RioConfig::with_workers(workers).wait(wait);
+                let (base_store, base_order) = observe(base_cfg.clone(), &g, compiled);
+                for nodes in [1usize, 2, 4] {
+                    let topo = Arc::new(Topology::mock(nodes, workers.div_ceil(nodes)));
+                    let cfg = base_cfg.clone().topology(topo);
+                    let (store, order) = observe(cfg, &g, compiled);
+                    prop_assert_eq!(
+                        &store, &base_store,
+                        "stores diverge under {} / {} nodes / compiled={}",
+                        wait, nodes, compiled
+                    );
+                    prop_assert_eq!(
+                        &order, &base_order,
+                        "writer order diverges under {} / {} nodes / compiled={}",
+                        wait, nodes, compiled
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The single-node topology must be bit-for-bit the pre-topology layout:
+/// one compiled arena, flat counters table, and the default parking
+/// shard — asserted here end-to-end by running with an explicit 1×N mock
+/// and checking the run is complete and correct (the layout-level
+/// assertions live in the unit tests of `compile`, `park` and
+/// `counters`).
+#[test]
+fn single_node_topology_is_the_identity() {
+    let g = graph_from(&(0..64).map(|i| i * 0x9E37_79B9).collect::<Vec<u64>>());
+    let base = observe(RioConfig::with_workers(4), &g, true);
+    let topo = Arc::new(Topology::mock(1, 4));
+    let one = observe(RioConfig::with_workers(4).topology(topo), &g, true);
+    assert_eq!(base, one);
+}

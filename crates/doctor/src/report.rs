@@ -123,8 +123,36 @@ impl DoctorReport {
     /// edges already decide *which* data blocks; the heaviest worker is
     /// where ready-but-queued tasks accumulate.)
     pub fn steal_victims(&self) -> Vec<u32> {
+        self.steal_victims_with_nodes(&[])
+    }
+
+    /// [`DoctorReport::steal_victims`] with a topology tie-break: workers
+    /// still rank by busy time descending, but ties resolve by topology
+    /// distance from the heaviest worker (same NUMA node first, then node
+    /// index ascending) before falling back to worker id. `nodes[w]` is
+    /// worker `w`'s node; workers past the slice's end (or an empty
+    /// slice) count as node 0, which reduces this to the flat ordering.
+    pub fn steal_victims_with_nodes(&self, nodes: &[u32]) -> Vec<u32> {
+        let node_of = |w: u32| nodes.get(w as usize).copied().unwrap_or(0);
         let mut v: Vec<&crate::quality::WorkerLoad> = self.quality.per_worker.iter().collect();
-        v.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns).then(a.worker.cmp(&b.worker)));
+        let home = v
+            .iter()
+            .max_by(|a, b| a.busy_ns.cmp(&b.busy_ns).then(b.worker.cmp(&a.worker)))
+            .map(|w| node_of(w.worker))
+            .unwrap_or(0);
+        let dist = |w: u32| {
+            let n = node_of(w);
+            // Same node as the heaviest worker beats every other node;
+            // among foreign nodes, lower index first (a deterministic
+            // stand-in for a real distance matrix).
+            (n != home, n)
+        };
+        v.sort_by(|a, b| {
+            b.busy_ns
+                .cmp(&a.busy_ns)
+                .then_with(|| dist(a.worker).cmp(&dist(b.worker)))
+                .then(a.worker.cmp(&b.worker))
+        });
         v.into_iter().map(|w| w.worker).collect()
     }
 
@@ -195,6 +223,17 @@ impl DoctorReport {
                 self.quality.cross_edges, self.quality.total_edges
             ),
         ]);
+        if self.quality.cross_node_edges > 0 {
+            s.row([
+                "edge locality".to_string(),
+                format!(
+                    "{} intra-node / {} cross-node (weighted cost {})",
+                    self.quality.intra_node_edges,
+                    self.quality.cross_node_edges,
+                    self.quality.weighted_cost
+                ),
+            ]);
+        }
         s.row([
             "measured durations".to_string(),
             format!("{} / {} tasks", self.measured_tasks, self.tasks),
@@ -311,6 +350,17 @@ impl DoctorReport {
         let _ = writeln!(o, "  \"imbalance\": {:.3},", self.quality.imbalance);
         let _ = writeln!(o, "  \"cross_edges\": {},", self.quality.cross_edges);
         let _ = writeln!(o, "  \"total_edges\": {},", self.quality.total_edges);
+        let _ = writeln!(
+            o,
+            "  \"intra_node_edges\": {},",
+            self.quality.intra_node_edges
+        );
+        let _ = writeln!(
+            o,
+            "  \"cross_node_edges\": {},",
+            self.quality.cross_node_edges
+        );
+        let _ = writeln!(o, "  \"weighted_cost\": {},", self.quality.weighted_cost);
         o.push_str("  \"per_worker\": [\n");
         for (i, w) in self.quality.per_worker.iter().enumerate() {
             let comma = if i + 1 == self.quality.per_worker.len() {
@@ -505,6 +555,46 @@ mod tests {
         let r = sample_report();
         // W0 is busy 1500ns, W1 1000ns → W0 first.
         assert_eq!(r.steal_victims(), vec![0, 1]);
+    }
+
+    #[test]
+    fn steal_victim_ties_break_by_topology_distance_then_worker_id() {
+        // Four equally-busy workers on two nodes. Heaviest-by-tie-break
+        // is W0 (node 0), so the node-aware order keeps node 0 first.
+        let mut r = sample_report();
+        r.quality.per_worker = (0..4)
+            .map(|w| crate::quality::WorkerLoad {
+                worker: w,
+                tasks: 1,
+                busy_ns: 1_000,
+                wait_ns: 0,
+                park_ns: 0,
+            })
+            .collect();
+        // Without nodes (or all node 0) the tie-break is pure worker id,
+        // matching the pre-topology ordering exactly.
+        assert_eq!(r.steal_victims(), vec![0, 1, 2, 3]);
+        assert_eq!(r.steal_victims_with_nodes(&[0, 0, 0, 0]), vec![0, 1, 2, 3]);
+        // Interleaved nodes [0, 1, 0, 1]: same-node peers of the
+        // heaviest worker come before cross-node ones.
+        assert_eq!(r.steal_victims_with_nodes(&[0, 1, 0, 1]), vec![0, 2, 1, 3]);
+        // Busy time still dominates: a hot cross-node worker outranks a
+        // cold same-node one.
+        r.quality.per_worker[1].busy_ns = 9_000;
+        assert_eq!(r.steal_victims_with_nodes(&[0, 1, 0, 1]), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn locality_line_appears_only_with_cross_node_edges() {
+        let mut r = sample_report();
+        assert!(!r.render().contains("edge locality"));
+        assert!(r.to_json().contains("\"cross_node_edges\": 0"));
+        r.quality.intra_node_edges = 3;
+        r.quality.cross_node_edges = 2;
+        r.quality.weighted_cost = 3 + 2 * 4;
+        let text = r.render();
+        assert!(text.contains("3 intra-node / 2 cross-node (weighted cost 11)"));
+        assert!(r.to_json().contains("\"weighted_cost\": 11"));
     }
 
     #[test]

@@ -437,6 +437,88 @@ fn the_seeded_recovery_corpus_is_unchanged_under_steal_storms() {
     );
 }
 
+/// ISSUE satellite (NUMA): the same ≥100-seed fault + steal-storm corpus
+/// re-run under a mocked two-node topology — node-sharded parking,
+/// node-local compiled-path arenas, same-node-first victim order — must
+/// produce *identical* containment fingerprints to the topology-blind
+/// runs: same blamed task, same retry count, same poisoned data, same
+/// skipped cone, same store, same completeness. Placement is pure layout;
+/// it must never change what the protocol decides.
+#[test]
+fn the_fault_and_steal_corpus_fingerprints_survive_a_two_node_topology() {
+    use std::sync::Arc;
+
+    const SEEDS: u64 = 100;
+    const TASKS: usize = 64;
+    const WORKERS: usize = 8;
+
+    /// Everything containment decided in one run, comparable across
+    /// topologies.
+    #[derive(Debug, PartialEq)]
+    struct Fingerprint {
+        complete: bool,
+        blamed: Option<(TaskId, u32, &'static str)>,
+        poisoned: Vec<DataId>,
+        skipped: Vec<TaskId>,
+        store: Vec<u64>,
+    }
+
+    let policy = RecoveryPolicy::default()
+        .backoff(Duration::from_micros(10))
+        .max_backoff(Duration::from_micros(100));
+    let storm = StealPolicy::new()
+        .min_wait_before_steal(Duration::ZERO)
+        .window(1 << 16)
+        .max_steals(1 << 16);
+
+    let run_one = |seed: u64, topo: Option<Arc<Topology>>| -> Fingerprint {
+        let plan = FaultPlan::seeded_recovery(seed, TASKS, WORKERS);
+        let g = chain_graph(TASKS);
+        let store = DataStore::from_vec(vec![0u64]);
+        let mut cfg = RioConfig::with_workers(WORKERS)
+            .wait(WaitStrategy::Park)
+            .fault_hook(plan.handle())
+            .recovery(policy.clone())
+            .stealing(storm.clone());
+        if let Some(t) = topo {
+            cfg = cfg.topology(t);
+        }
+        let t0 = Instant::now();
+        let run = Executor::new(cfg)
+            .watchdog(BACKSTOP)
+            .try_run(&g, |_, t| {
+                let d = t.accesses[0].data;
+                *store.write(d) += 1;
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: corpus run errored: {e}"));
+        assert!(
+            t0.elapsed() < BACKSTOP,
+            "seed {seed}: run took too long — possible lost wakeup"
+        );
+        let partial = run.outcome.partial();
+        Fingerprint {
+            complete: run.outcome.is_complete(),
+            blamed: partial.map(|p| {
+                let f = &p.failed[0];
+                (f.task, f.retries, f.detail.kind())
+            }),
+            poisoned: partial.map(|p| p.poisoned.clone()).unwrap_or_default(),
+            skipped: partial.map(|p| p.skipped.clone()).unwrap_or_default(),
+            store: store.into_vec(),
+        }
+    };
+
+    let topo = Arc::new(Topology::mock(2, WORKERS / 2));
+    for seed in 0..SEEDS {
+        let flat = run_one(seed, None);
+        let numa = run_one(seed, Some(topo.clone()));
+        assert_eq!(
+            flat, numa,
+            "seed {seed}: containment fingerprint changed under a 2-node topology"
+        );
+    }
+}
+
 /// ISSUE satellite: multi-tenant isolation. Two independent `Executor`s
 /// run concurrently on separate stores; one tenant suffers a seeded
 /// panic storm (half the rounds aborting, half degrading under a
