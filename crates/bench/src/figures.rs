@@ -1597,6 +1597,215 @@ pub fn costmodel(opt: &Options) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Telemetry overhead — armed-but-idle live telemetry vs all-off
+// ---------------------------------------------------------------------
+
+/// One row of the `repro telemetry` overhead measurement.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Worker count of the row.
+    pub workers: usize,
+    /// Total tasks.
+    pub tasks: usize,
+    /// ns/task with live telemetry armed: flight recorder on, an external
+    /// counter registry, the run registered in a `RunRegistry` behind a
+    /// bound (idle) scrape listener.
+    pub armed_ns: f64,
+    /// ns/task with telemetry off: counters and flight recorder disabled,
+    /// nothing registered.
+    pub off_ns: f64,
+}
+
+impl TelemetryRow {
+    /// Overhead of arming telemetry in percent (positive = armed slower).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.armed_ns - self.off_ns) * 100.0 / self.off_ns
+    }
+}
+
+/// What `repro telemetry` produced beyond its table.
+#[derive(Debug, Clone)]
+pub struct TelemetryOutcome {
+    /// The measured overhead rows (one per configuration).
+    pub rows: Vec<TelemetryRow>,
+    /// With `check = true`: the last mid-run scrape body, already
+    /// validated — the binary writes it to `TELEMETRY_scrape.txt` as the
+    /// CI artifact.
+    pub scrape: Option<String>,
+}
+
+/// `repro telemetry`: the cost of the full live-telemetry stack, armed
+/// but idle, on the fig7 interpreted row — flight recorder + external
+/// counter registry + run registry + bound scrape listener, vs
+/// everything off. Nobody scrapes during the timed reps (that is the
+/// steady state: a Prometheus server polls every few seconds, not every
+/// task), so the gate prices exactly what arming costs every run.
+/// `repro telemetry --assert-overhead` gates CI on
+/// `RIO_TELEMETRY_THRESHOLD` percent (default 2).
+///
+/// With `check = true` a second, untimed run is scraped *while it
+/// executes*: each scrape must parse as a valid `0.0.4` exposition and
+/// the summed `rio_tasks_total` across scrapes must be monotone — the
+/// end-to-end proof that mid-run sampling of single-writer counters
+/// works through the HTTP layer (DESIGN.md §16).
+pub fn telemetry(
+    opt: &Options,
+    tasks_per_worker: usize,
+    check: bool,
+) -> (String, TelemetryOutcome) {
+    use rio_telemetry::registry::RunRegistry;
+    use rio_telemetry::server::{scrape, ScrapeServer};
+    use rio_telemetry::{parse_exposition, validate_exposition};
+    use std::sync::Arc;
+
+    let task_size = 1u64 << 8;
+    let w = opt.threads.max(1);
+    let n = independent::tasks_for_workers(tasks_per_worker, w);
+    let graph = independent::graph_private_data(n);
+
+    let run_off = || {
+        let cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .check_determinism(false)
+            .counters(false)
+            .flight(false);
+        let t0 = Instant::now();
+        rio_core::Executor::new(cfg)
+            .mapping(&RoundRobin)
+            .run(&graph, |_, _| counter_kernel(task_size));
+        t0.elapsed()
+    };
+
+    // The armed environment outlives the reps: registry, listener and
+    // registration are per-process costs, the per-run cost is the flight
+    // ring + shared counters the config carries.
+    let runs = Arc::new(RunRegistry::new());
+    let server = ScrapeServer::serve(Arc::clone(&runs)).expect("bind loopback listener");
+    let counters = Arc::new(rio_core::CounterRegistry::new(w));
+    let _guard = runs.register(
+        &format!("independent-private/tpw={tasks_per_worker}"),
+        Arc::clone(&counters),
+    );
+    let run_armed = || {
+        let cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .check_determinism(false)
+            .counter_registry(Arc::clone(&counters))
+            .flight(true);
+        let t0 = Instant::now();
+        rio_core::Executor::new(cfg)
+            .mapping(&RoundRobin)
+            .run(&graph, |_, _| counter_kernel(task_size));
+        t0.elapsed()
+    };
+
+    let mut armed = Duration::MAX;
+    let mut off = Duration::MAX;
+    for _ in 0..opt.reps.max(1) {
+        off = off.min(run_off());
+        armed = armed.min(run_armed());
+    }
+    let per_task = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+    let row = TelemetryRow {
+        workers: w,
+        tasks: n,
+        armed_ns: per_task(armed),
+        off_ns: per_task(off),
+    };
+    for (runtime, ns) in [
+        ("rio_telemetry_armed", row.armed_ns),
+        ("rio_telemetry_off", row.off_ns),
+    ] {
+        json::record(json::Record {
+            figure: "telemetry".into(),
+            workload: format!("independent-private/tpw={tasks_per_worker}"),
+            runtime: runtime.into(),
+            threads: w,
+            tasks: n,
+            ns_per_task: ns,
+        });
+    }
+
+    // The --check pass: scrape the live endpoint while a run executes.
+    let scrape_body = check.then(|| {
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done_flag = Arc::clone(&done);
+        let cfg = RioConfig::with_workers(w)
+            .wait(WaitStrategy::Park)
+            .check_determinism(false)
+            .counter_registry(Arc::clone(&counters))
+            .flight(true);
+        let graph = independent::graph_private_data(n);
+        let runner = std::thread::spawn(move || {
+            rio_core::Executor::new(cfg)
+                .mapping(&RoundRobin)
+                .run(&graph, |_, _| counter_kernel(task_size));
+            done_flag.store(true, std::sync::atomic::Ordering::Release);
+        });
+        let mut last = -1.0f64;
+        let mut scrapes = 0u32;
+        let body = loop {
+            let finished = done.load(std::sync::atomic::Ordering::Acquire);
+            let body = scrape(server.addr()).expect("mid-run scrape");
+            validate_exposition(&body).expect("mid-run exposition is valid");
+            let tasks: f64 = parse_exposition(&body)
+                .expect("mid-run exposition parses")
+                .iter()
+                .filter(|s| s.name == "rio_tasks_total")
+                .map(|s| s.value)
+                .sum();
+            assert!(
+                tasks >= last,
+                "scraped counters regressed under load: {tasks} < {last}"
+            );
+            last = tasks;
+            scrapes += 1;
+            // At least two scrapes even when the run outpaces the first
+            // one, so monotonicity is always exercised.
+            if finished && scrapes >= 2 {
+                break body;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        runner.join().expect("checked run");
+        eprintln!("telemetry --check: {scrapes} live scrapes, all valid and monotone");
+        body
+    });
+
+    let mut table = Table::new([
+        "workers",
+        "tasks",
+        "telemetry_armed",
+        "telemetry_off",
+        "overhead",
+    ]);
+    table.row([
+        row.workers.to_string(),
+        row.tasks.to_string(),
+        format!("{:.1}ns", row.armed_ns),
+        format!("{:.1}ns", row.off_ns),
+        format!("{:+.2}%", row.overhead_pct()),
+    ]);
+    let out = opt.emit(
+        &format!(
+            "Telemetry overhead — {tasks_per_worker} independent tasks per worker, \
+             task size {task_size}, armed-but-idle live telemetry vs all-off"
+        ),
+        &table,
+    );
+    (
+        out,
+        TelemetryOutcome {
+            rows: vec![row],
+            scrape: scrape_body,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1659,6 +1868,21 @@ mod tests {
         assert!(rows[0].interpreted_ns > 0.0);
         assert!(rows[0].pruned_ns > 0.0);
         assert!(rows[0].compiled_ns > 0.0);
+    }
+
+    #[test]
+    fn telemetry_figure_measures_and_checks() {
+        let opt = quick_opt();
+        let (out, outcome) = telemetry(&opt, 64, true);
+        assert!(out.contains("telemetry_armed"));
+        assert_eq!(outcome.rows.len(), 1);
+        assert_eq!(outcome.rows[0].workers, 2);
+        assert_eq!(outcome.rows[0].tasks, 128);
+        assert!(outcome.rows[0].armed_ns > 0.0);
+        assert!(outcome.rows[0].off_ns > 0.0);
+        let scrape = outcome.scrape.expect("check=true keeps the last scrape");
+        assert!(scrape.contains("rio_tasks_total"));
+        assert!(scrape.contains("workload=\"independent-private/tpw=64\""));
     }
 
     #[test]

@@ -9,12 +9,20 @@
 //! ```json
 //! {"figure": "fig7", "workload": "independent-private/tpw=8192",
 //!  "runtime": "rio_compiled", "threads": 4, "tasks": 32768,
-//!  "ns_per_task": 132.4}
+//!  "ns_per_task": 132.4, "schema": 2, "commit": "3448856",
+//!  "timestamp": "2026-08-08T12:34:56Z"}
 //! ```
 //!
 //! Overhead ratios are derived by pairing records: same
 //! `(figure, workload, threads, tasks)`, different `runtime` (e.g.
 //! `rio / seq`, `rio_compiled / rio`).
+//!
+//! Since schema 2 every record also carries run provenance: the
+//! [`SCHEMA_VERSION`], the abbreviated git commit the binary was run
+//! from (`"unknown"` outside a git checkout), and the UTC wall-clock
+//! time of the write in ISO 8601. The regress parser matches fields by
+//! key, so baselines written before schema 2 and records written after
+//! both parse — provenance never participates in row identity.
 //!
 //! The sink is disabled by default so library users and the figure tests
 //! see no global state; [`enable`] (called by the binary when `--json`
@@ -40,6 +48,80 @@ pub struct Record {
     pub tasks: usize,
     /// Minimum-over-reps wall time divided by `tasks`, in nanoseconds.
     pub ns_per_task: f64,
+}
+
+/// Version of the record schema. History:
+///
+/// * 1 — the original six fields (implicit: schema-1 records carry no
+///   `schema` key).
+/// * 2 — added `schema`, `commit` and `timestamp` provenance.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Run provenance stamped onto every record of one `to_json` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The record [`SCHEMA_VERSION`].
+    pub schema: u32,
+    /// Abbreviated git commit of the working tree, or `"unknown"`.
+    pub commit: String,
+    /// UTC timestamp of the write, ISO 8601 (`2026-08-08T12:34:56Z`).
+    pub timestamp: String,
+}
+
+impl RunMeta {
+    /// Provenance for a write happening now, in this checkout.
+    pub fn current() -> RunMeta {
+        RunMeta {
+            schema: SCHEMA_VERSION,
+            commit: commit_hash(),
+            timestamp: iso8601_utc(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+            ),
+        }
+    }
+}
+
+/// The abbreviated commit of the enclosing checkout (cached; `"unknown"`
+/// when git is unavailable or the cwd is not a repository).
+fn commit_hash() -> String {
+    static COMMIT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    COMMIT
+        .get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        })
+        .clone()
+}
+
+/// Seconds since the Unix epoch → `YYYY-MM-DDThh:mm:ssZ`, hand-rolled
+/// (no chrono in the tree). Days-to-civil via the standard
+/// era-of-400-years arithmetic.
+fn iso8601_utc(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // civil_from_days, epoch 1970-01-01.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11], March-based
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
 }
 
 static SINK: Mutex<Option<Vec<Record>>> = Mutex::new(None);
@@ -73,21 +155,31 @@ pub fn take() -> Vec<Record> {
         .unwrap_or_default()
 }
 
-/// Serializes records as a JSON array, one object per line.
+/// Serializes records as a JSON array, one object per line, stamped with
+/// the current run's provenance ([`RunMeta::current`]).
 pub fn to_json(records: &[Record]) -> String {
+    to_json_with(records, &RunMeta::current())
+}
+
+/// [`to_json`] with explicit provenance (tests pin it to fixed values).
+pub fn to_json_with(records: &[Record], meta: &RunMeta) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         writeln!(
             out,
             "  {{\"figure\": {}, \"workload\": {}, \"runtime\": {}, \
-             \"threads\": {}, \"tasks\": {}, \"ns_per_task\": {:.3}}}{sep}",
+             \"threads\": {}, \"tasks\": {}, \"ns_per_task\": {:.3}, \
+             \"schema\": {}, \"commit\": {}, \"timestamp\": {}}}{sep}",
             escape(&r.figure),
             escape(&r.workload),
             escape(&r.runtime),
             r.threads,
             r.tasks,
             r.ns_per_task,
+            meta.schema,
+            escape(&meta.commit),
+            escape(&meta.timestamp),
         )
         .expect("writing to a String cannot fail");
     }
@@ -146,18 +238,46 @@ mod tests {
         }
     }
 
+    fn meta() -> RunMeta {
+        RunMeta {
+            schema: SCHEMA_VERSION,
+            commit: "abc1234".into(),
+            timestamp: "2026-08-08T12:34:56Z".into(),
+        }
+    }
+
     #[test]
     fn serialization_matches_the_schema() {
-        let json = to_json(&[rec("rio", 123.456), rec("rio_compiled", 61.5)]);
+        let json = to_json_with(&[rec("rio", 123.456), rec("rio_compiled", 61.5)], &meta());
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert!(json.contains(
             "{\"figure\": \"fig7\", \"workload\": \"independent-private/tpw=64\", \
-             \"runtime\": \"rio\", \"threads\": 4, \"tasks\": 256, \"ns_per_task\": 123.456}"
+             \"runtime\": \"rio\", \"threads\": 4, \"tasks\": 256, \"ns_per_task\": 123.456, \
+             \"schema\": 2, \"commit\": \"abc1234\", \"timestamp\": \"2026-08-08T12:34:56Z\"}"
         ));
         assert!(json.contains("\"runtime\": \"rio_compiled\""));
         // Exactly one separator between the two objects.
         assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn current_meta_is_well_formed() {
+        let m = RunMeta::current();
+        assert_eq!(m.schema, SCHEMA_VERSION);
+        assert!(!m.commit.is_empty());
+        // 2026-08-08T12:34:56Z shape: 20 chars, T at 10, trailing Z.
+        assert_eq!(m.timestamp.len(), 20, "timestamp {:?}", m.timestamp);
+        assert_eq!(&m.timestamp[10..11], "T");
+        assert!(m.timestamp.ends_with('Z'));
+    }
+
+    #[test]
+    fn iso8601_conversion_handles_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_utc(1_786_147_200), "2026-08-08T00:00:00Z");
+        assert_eq!(iso8601_utc(1_786_190_096), "2026-08-08T11:54:56Z");
     }
 
     #[test]

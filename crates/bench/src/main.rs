@@ -19,6 +19,7 @@
 //!   compiled    interpreted vs pruned vs compiled management cost
 //!   park        uncontended Park terminate: wake elision vs always-wake
 //!   counters    always-on counters overhead vs counters disabled
+//!   telemetry   live-telemetry (flight + registry + listener) overhead
 //!   faults      recovery-policy overhead on a fault-free run vs disabled
 //!   steal       bounded work-stealing: imbalance recovery + idle overhead
 //!   numa        locality-weighted remap vs topology-blind mappings
@@ -51,10 +52,16 @@
 //!                      RIO_STEAL_RECOVERY percent of the steal-off wall on
 //!                      the imbalanced row (default 15) or costs more than
 //!                      RIO_STEAL_THRESHOLD percent armed-but-idle (default 2)
+//!   --check            (telemetry) scrape the live endpoint during a run,
+//!                      validate every exposition, and write the last
+//!                      scrape to TELEMETRY_scrape.txt
 //!   --assert-overhead  (counters) exit 1 if counters cost more than
 //!                      RIO_COUNTERS_THRESHOLD percent (default 1)
 //!                      (faults) exit 1 if arming recovery costs more than
 //!                      RIO_RECOVERY_THRESHOLD percent (default 1)
+//!                      (telemetry) exit 1 if arming the live-telemetry
+//!                      stack costs more than RIO_TELEMETRY_THRESHOLD
+//!                      percent (default 2)
 //!   --assert-improves  (tune) exit 1 if the loop fails to converge or the
 //!                      tuned run is not faster than the untuned baseline
 //!                      (RIO_TUNE_THRESHOLD percent of headroom, default 0)
@@ -176,6 +183,22 @@ fn main() {
                 assert_counters_cheap(&rows);
             }
         }
+        "telemetry" => {
+            let check = args.iter().any(|a| a == "--check");
+            let (_, outcome) = figures::telemetry(&opt, tpw, check);
+            if let Some(scrape) = &outcome.scrape {
+                let path = std::path::Path::new("TELEMETRY_scrape.txt");
+                if let Err(e) = std::fs::write(path, scrape) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote the last live scrape to {}", path.display());
+            }
+            if args.iter().any(|a| a == "--assert-overhead") {
+                write_json();
+                assert_telemetry_cheap(&outcome.rows);
+            }
+        }
         "faults" => {
             let (_, rows) = figures::faults(&opt, tpw);
             if args.iter().any(|a| a == "--assert-overhead") {
@@ -281,6 +304,7 @@ fn main() {
             figures::compiled(&opt, tpw, &workers);
             figures::park(&opt);
             figures::counters_overhead(&opt, tpw);
+            figures::telemetry(&opt, tpw, false);
             figures::faults(&opt, tpw);
             figures::steal(&opt, 8, 4096);
             figures::numa(&opt, 8, 4096);
@@ -295,8 +319,8 @@ fn main() {
             figures::walks(&opt);
         }
         _ => {
-            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|faults|steal|numa|doctor|tune|regress|baseline|all> [options]");
-            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --assert-faster --assert-overhead --assert-improves --assert-no-regress");
+            eprintln!("usage: repro <fig2|...|table1|protocol|patterns|walks|mapping|costmodel|compiled|park|counters|telemetry|faults|steal|numa|doctor|tune|regress|baseline|all> [options]");
+            eprintln!("options: --threads N --tasks N --reps N --exp N --n N --tpw N --workers LIST --grid N --cost N --baseline FILE --current FILE --csv --quick --json --check --assert-faster --assert-overhead --assert-improves --assert-no-regress");
             std::process::exit(if cmd == "help" || cmd == "--help" {
                 0
             } else {
@@ -504,6 +528,36 @@ fn assert_recovery_cheap(rows: &[figures::FaultsRow]) {
     }
     eprintln!(
         "recovery overhead <= {threshold:.2}% on all {} rows",
+        rows.len()
+    );
+}
+
+/// The CI gate behind `telemetry --assert-overhead`: arming the live
+/// telemetry stack — flight recorder, shared counter registry, run
+/// registry, bound scrape listener — must stay below
+/// `RIO_TELEMETRY_THRESHOLD` percent (default 2) of the all-off walltime
+/// on every measured row.
+fn assert_telemetry_cheap(rows: &[figures::TelemetryRow]) {
+    let threshold: f64 = std::env::var("RIO_TELEMETRY_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let mut ok = true;
+    for r in rows {
+        let pct = r.overhead_pct();
+        if pct > threshold {
+            eprintln!(
+                "REGRESSION: telemetry overhead {:+.2}% > {:.2}% at {} workers / {} tasks",
+                pct, threshold, r.workers, r.tasks
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "telemetry overhead <= {threshold:.2}% on all {} rows",
         rows.len()
     );
 }

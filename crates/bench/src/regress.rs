@@ -230,6 +230,34 @@ mod tests {
     }
 
     #[test]
+    fn parse_tolerates_schema_1_rows_without_provenance() {
+        // A baseline written before schema 2 has no schema/commit/
+        // timestamp keys; it must keep parsing to the same Record.
+        let old = "  {\"figure\": \"fig7\", \"workload\": \"independent-private/tpw=64\", \
+                   \"runtime\": \"rio\", \"threads\": 4, \"tasks\": 256, \
+                   \"ns_per_task\": 123.456},";
+        let parsed = parse(old);
+        assert_eq!(parsed, vec![rec("fig7", "rio", 123.456)]);
+    }
+
+    #[test]
+    fn parse_tolerates_schema_2_provenance_fields() {
+        // And a schema-2 row's provenance is carried but ignored: field
+        // lookup is by key, and row identity never includes it — so an
+        // old baseline compares cleanly against a new run.
+        let new = "  {\"figure\": \"fig7\", \"workload\": \"independent-private/tpw=64\", \
+                   \"runtime\": \"rio\", \"threads\": 4, \"tasks\": 256, \
+                   \"ns_per_task\": 123.456, \"schema\": 2, \"commit\": \"abc1234\", \
+                   \"timestamp\": \"2026-08-08T12:34:56Z\"}";
+        let parsed = parse(new);
+        assert_eq!(parsed, vec![rec("fig7", "rio", 123.456)]);
+        // Mixed-schema comparison: identical numbers pass the gate.
+        let cmp = compare(&parse(new), &parsed, DEFAULT_THRESHOLD_PCT);
+        assert!(cmp.passed());
+        assert_eq!(cmp.rows.len(), 1);
+    }
+
+    #[test]
     fn parse_skips_garbage_lines() {
         assert!(parse("[\n]\n").is_empty());
         assert!(parse("not json at all").is_empty());

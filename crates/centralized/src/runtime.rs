@@ -132,6 +132,8 @@ impl<'g> Engine<'g> {
                 last_completed: TaskId(slot.last_completed.load(Ordering::Relaxed)),
                 tasks_executed: slot.executed.load(Ordering::Relaxed),
                 waiting_on: None,
+                steals_since_tick: 0,
+                retries_since_tick: 0,
             })
             .collect()
     }
@@ -273,6 +275,7 @@ fn master_loop(cfg: &CentralConfig, engine: &Engine<'_>) -> MasterReport {
                                 waited: t0.elapsed(),
                                 site: StallSite::MasterThrottle { in_flight, window },
                                 workers: engine.progress_snapshot(),
+                                flight: Default::default(),
                             })));
                             break;
                         }
@@ -388,6 +391,7 @@ where
                         waited: cfg.watchdog.unwrap_or_default(),
                         site: StallSite::IdleWorker,
                         workers: engine.progress_snapshot(),
+                        flight: Default::default(),
                     })));
                     break;
                 }

@@ -428,6 +428,8 @@ impl<'g> CompiledFlow<'g> {
         let status = &StatusTable::new(cfg.workers);
         let registry = crate::counters::CounterRegistry::for_run(cfg);
         let registry = registry.as_deref();
+        let flight = crate::flight::FlightRecorder::for_run(cfg);
+        let flight = flight.as_ref();
         let recovery = cfg
             .recovery
             .clone()
@@ -457,7 +459,6 @@ impl<'g> CompiledFlow<'g> {
                     let prog = &self.programs[w];
                     s.spawn(move || {
                         let me = WorkerId::from_index(w);
-                        let ctr = registry.map(|r| r.worker(w));
                         let steal = match (cfg.stealing.as_ref(), steal_claims, steal_cursors) {
                             (Some(policy), Some(claims), Some(cursors)) => {
                                 Some(crate::steal::StealState {
@@ -476,7 +477,8 @@ impl<'g> CompiledFlow<'g> {
                             _ => None,
                         };
                         self.run_program(
-                            prog, shared, kernel, me, abort, status, start, ctr, rec, steal,
+                            prog, shared, kernel, me, abort, status, start, registry, flight, rec,
+                            steal,
                         )
                     })
                 })
@@ -499,6 +501,13 @@ impl<'g> CompiledFlow<'g> {
             },
             outcome: recovery
                 .and_then(crate::protocol::RecoveryCtx::into_report)
+                .map(|mut p| {
+                    // Workers joined: the dump is exact recording order.
+                    if let Some(f) = flight {
+                        p.flight = f.dump();
+                    }
+                    p
+                })
                 .into(),
             ..Execution::default()
         };
@@ -528,7 +537,8 @@ impl<'g> CompiledFlow<'g> {
         abort: &AbortFlag,
         status: &StatusTable,
         epoch: Instant,
-        ctr: Option<&crate::counters::WorkerCounters>,
+        registry: Option<&crate::counters::CounterRegistry>,
+        flight: Option<&crate::flight::FlightRecorder>,
         rec: Option<&crate::protocol::RecoveryCtx>,
         steal: Option<crate::steal::StealState<'_>>,
     ) -> crate::report::WorkerReport
@@ -548,7 +558,8 @@ impl<'g> CompiledFlow<'g> {
             abort,
             status,
             epoch,
-            ctr,
+            registry,
+            flight,
             rec,
         );
         ctx.steal = steal;

@@ -176,6 +176,21 @@ pub struct RioConfig {
     /// line (gated <1% on the fig7 interpreted row by `repro counters`).
     /// Disable only for peak-overhead measurements.
     pub counters: bool,
+    /// Always-on flight recorder ([`crate::flight`]): a tiny fixed-size
+    /// per-worker ring of recent protocol events (task start/end, park,
+    /// steal claim, poison, abort, retry), dumped into
+    /// [`rio_stf::StallDiagnostic`] and [`rio_stf::PartialReport`] as a
+    /// postmortem bundle when a run stalls or degrades. On by default —
+    /// recording is a few relaxed stores per event on a worker-owned
+    /// cache line (gated with the rest of the telemetry layer under
+    /// `RIO_TELEMETRY_THRESHOLD` by `repro telemetry`).
+    pub flight: bool,
+    /// Slots per worker in the flight-recorder ring (rounded up to a
+    /// power of two). The default
+    /// ([`crate::flight::DEFAULT_FLIGHT_CAPACITY`]) keeps a dump small
+    /// enough to read in a terminal while still spanning several task
+    /// cycles per worker.
+    pub flight_capacity: usize,
     /// Graceful-degradation policy ([`RecoveryPolicy`]): retry failed
     /// task bodies with backoff, then skip-but-sync into a
     /// [`rio_stf::PartialReport`]. `None` (the default) keeps the PR 2
@@ -297,6 +312,19 @@ impl RioConfig {
         self
     }
 
+    /// Enables/disables the always-on flight recorder (builder style).
+    pub fn flight(mut self, on: bool) -> RioConfig {
+        self.flight = on;
+        self
+    }
+
+    /// Sets the per-worker flight-recorder ring capacity (builder
+    /// style); rounded up to a power of two by the recorder.
+    pub fn flight_capacity(mut self, slots: usize) -> RioConfig {
+        self.flight_capacity = slots;
+        self
+    }
+
     /// Installs a graceful-degradation policy (builder style). See
     /// [`RecoveryPolicy`].
     pub fn recovery(mut self, policy: RecoveryPolicy) -> RioConfig {
@@ -386,6 +414,8 @@ impl Default for RioConfig {
             record_spans: false,
             trace: None,
             counters: true,
+            flight: true,
+            flight_capacity: crate::flight::DEFAULT_FLIGHT_CAPACITY,
             recovery: None,
             stealing: None,
             counter_registry: None,

@@ -124,6 +124,20 @@ impl WorkerCounters {
         bump(&self.steal_aborts, 1);
     }
 
+    /// Current steal count (cheap `Relaxed` load; any thread may sample).
+    /// The progress watchdog records this at every completion tick so a
+    /// stall report can show the delta since the worker last progressed.
+    #[inline]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Current retry count (cheap `Relaxed` load; any thread may sample).
+    #[inline]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time sample of this worker's counters.
     pub fn row(&self) -> CounterRow {
         CounterRow {
@@ -295,6 +309,25 @@ impl CounterRow {
     pub fn waited(&self) -> bool {
         self.spins + self.parks > 0
     }
+
+    /// Every counter as a `(name, value)` pair, in table-column order —
+    /// the iteration surface consumers that render *all* counters
+    /// (e.g. the Prometheus exporter in `rio-telemetry`) build on, so
+    /// adding a counter extends them without a matching code change.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("tasks", self.tasks),
+            ("syncs", self.syncs),
+            ("spins", self.spins),
+            ("parks", self.parks),
+            ("wakes_elided", self.wakes_elided),
+            ("aborts", self.aborts),
+            ("retries", self.retries),
+            ("poisoned", self.poisoned),
+            ("steals", self.steals),
+            ("steal_aborts", self.steal_aborts),
+        ]
+    }
 }
 
 /// A sampled [`CounterRegistry`]: one [`CounterRow`] per worker. Attached
@@ -391,6 +424,18 @@ impl CountersSnapshot {
                 dash(r.steal_aborts),
             ]
         };
+        // An all-zero subtotal means "no worker of this node did
+        // anything": the whole row reads as feature-idle, same dash
+        // convention as the opt-in columns above.
+        let subtotal_row = |label: String, r: &CounterRow| {
+            if *r == CounterRow::default() {
+                let mut cells = vec![label];
+                cells.resize(11, "-".to_string());
+                cells
+            } else {
+                row(label, r)
+            }
+        };
         let multi_node = self
             .nodes
             .as_ref()
@@ -420,7 +465,7 @@ impl CountersSnapshot {
                             t.row(row(format!("W{w}"), r));
                         }
                     }
-                    t.row(row(format!("N{node}"), &sub));
+                    t.row(subtotal_row(format!("N{node}"), &sub));
                 }
             }
         }
@@ -601,6 +646,37 @@ mod tests {
         let mut snap = reg.snapshot();
         snap.nodes = Some(vec![0; 4]);
         assert!(!snap.table().render().contains("N0"));
+    }
+
+    #[test]
+    fn all_zero_subtotal_rows_render_as_dashes() {
+        // Node 1's workers did nothing: its subtotal row is the idle
+        // steady state end to end, so every numeric column dashes —
+        // the same convention as the idle opt-in columns.
+        let reg = CounterRegistry::new(4);
+        reg.worker(0).inc_tasks();
+        reg.worker(1).inc_syncs();
+        let mut snap = reg.snapshot();
+        snap.nodes = Some(vec![0, 0, 1, 1]);
+        let text = snap.table().render();
+        let line_of = |label: &str| {
+            text.lines()
+                .find(|l| l.split_whitespace().next() == Some(label))
+                .unwrap_or_else(|| panic!("row {label} missing:\n{text}"))
+        };
+        let n1 = line_of("N1");
+        assert!(
+            !n1.contains('0'),
+            "all-zero subtotal renders no zeros: {n1}"
+        );
+        assert_eq!(
+            n1.split_whitespace().filter(|c| *c == "-").count(),
+            10,
+            "every numeric column of the idle subtotal dashes: {n1}"
+        );
+        // A subtotal with any activity still renders numerically.
+        let n0 = line_of("N0");
+        assert!(n0.contains('1'), "active subtotal keeps its numbers: {n0}");
     }
 
     #[test]

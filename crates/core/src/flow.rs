@@ -44,7 +44,7 @@
 use std::time::{Duration, Instant};
 
 use rio_stf::store::{ReadGuard, WriteGuard};
-use rio_stf::{Access, DataId, DataStore, ExecError, Mapping, TaskId, WorkerId};
+use rio_stf::{Access, DataId, DataStore, ExecError, FlightEventKind, Mapping, TaskId, WorkerId};
 
 use crate::config::RioConfig;
 use crate::executor::RunOutcome;
@@ -161,6 +161,8 @@ impl Rio {
         let status = &StatusTable::new(cfg.workers);
         let registry = crate::counters::CounterRegistry::for_run(cfg);
         let registry = registry.as_deref();
+        let flight = crate::flight::FlightRecorder::for_run(cfg);
+        let flight = flight.as_ref();
         let recovery = cfg
             .recovery
             .clone()
@@ -200,6 +202,9 @@ impl Rio {
                                 .as_ref()
                                 .map(|tc| WorkerTracer::new(tc, w as u32, start)),
                             ctr: registry.map(|r| r.worker(w)),
+                            registry,
+                            ring: flight.map(|f| f.ring(w)),
+                            flight,
                             rec,
                         };
                         let loop_start = Instant::now();
@@ -269,7 +274,16 @@ impl Rio {
                     .map(|r| r.snapshot().with_topology(cfg))
                     .unwrap_or_default(),
             },
-            recovery.and_then(RecoveryCtx::into_report).into(),
+            recovery
+                .and_then(RecoveryCtx::into_report)
+                .map(|mut p| {
+                    // Workers joined: the dump is exact recording order.
+                    if let Some(f) = flight {
+                        p.flight = f.dump();
+                    }
+                    p
+                })
+                .into(),
         ))
     }
 }
@@ -310,6 +324,9 @@ pub struct FlowCtx<'a, T> {
     spans: Vec<rio_stf::validate::Span>,
     tracer: Option<WorkerTracer>,
     ctr: Option<&'a crate::counters::WorkerCounters>,
+    registry: Option<&'a crate::counters::CounterRegistry>,
+    ring: Option<&'a crate::flight::FlightRing>,
+    flight: Option<&'a crate::flight::FlightRecorder>,
     rec: Option<&'a RecoveryCtx>,
 }
 
@@ -327,6 +344,15 @@ impl<'a, T> FlowCtx<'a, T> {
     /// Id the *next* submitted task will receive.
     pub fn next_task_id(&self) -> TaskId {
         self.next_task
+    }
+
+    /// Appends one event to this worker's flight ring (no-op with the
+    /// recorder disabled).
+    #[inline]
+    fn flight_event(&self, kind: FlightEventKind, task: TaskId, data: Option<DataId>) {
+        if let Some(r) = self.ring {
+            r.record(kind, task, data);
+        }
     }
 
     /// Submits the next task of the flow.
@@ -401,6 +427,9 @@ impl<'a, T> FlowCtx<'a, T> {
                         c.add_spins(wo.polls);
                         c.add_parks(wo.parks);
                     }
+                    if wo.parks > 0 {
+                        self.flight_event(FlightEventKind::Park, id, Some(a.data));
+                    }
                     if let Some(t0) = wait_start {
                         let t1 = Instant::now();
                         if self.measure {
@@ -421,7 +450,18 @@ impl<'a, T> FlowCtx<'a, T> {
                             .map(|t0| t0.elapsed())
                             .or(self.watchdog)
                             .unwrap_or_default();
-                        let diag = stall_diagnostic(self.me, id, a, l, s, waited, self.status);
+                        self.flight_event(FlightEventKind::Abort, id, Some(a.data));
+                        let diag = stall_diagnostic(
+                            self.me,
+                            id,
+                            a,
+                            l,
+                            s,
+                            waited,
+                            self.status,
+                            self.registry,
+                            self.flight,
+                        );
                         if let Some(c) = self.ctr {
                             c.inc_aborts();
                         }
@@ -437,13 +477,14 @@ impl<'a, T> FlowCtx<'a, T> {
             // Degraded mode: a poisoned input means the body is skipped
             // outright (the gets above admitted every access, so upstream
             // poison is visible here).
+            self.flight_event(FlightEventKind::TaskStart, id, None);
             let skip = self
                 .rec
                 .is_some_and(|rec| accesses.iter().any(|a| rec.is_poisoned(a.data)));
             let ran = if skip {
                 let rec = self.rec.unwrap();
                 rec.record_skipped(id);
-                crate::graph::poison_writes(rec, accesses, self.ctr);
+                crate::graph::poison_writes(rec, id, accesses, self.ctr, self.ring);
                 false
             } else {
                 let view = TaskView {
@@ -470,10 +511,11 @@ impl<'a, T> FlowCtx<'a, T> {
                                 retries: 0,
                                 detail: rio_stf::FailureDetail::TaskFailed { payload },
                             });
-                            crate::graph::poison_writes(rec, accesses, self.ctr);
+                            crate::graph::poison_writes(rec, id, accesses, self.ctr, self.ring);
                             false
                         }
                         None => {
+                            self.flight_event(FlightEventKind::Abort, id, None);
                             if let Some(c) = self.ctr {
                                 c.inc_aborts();
                             }
@@ -508,9 +550,12 @@ impl<'a, T> FlowCtx<'a, T> {
                 if let Some(c) = self.ctr {
                     c.inc_tasks();
                 }
+                self.flight_event(FlightEventKind::TaskEnd, id, None);
             }
             if wd {
-                self.status.completed(self.me, id, self.tasks_executed);
+                let (steals, retries) = self.ctr.map_or((0, 0), |c| (c.steals(), c.retries()));
+                self.status
+                    .completed(self.me, id, self.tasks_executed, steals, retries);
             }
 
             // Skip-but-sync: terminates run regardless of `ran`.

@@ -16,13 +16,15 @@
 use std::time::{Duration, Instant};
 
 use rio_stf::{
-    ExecError, Mapping, PartialReport, StallDiagnostic, StallSite, TaskDesc, TaskGraph, WorkerId,
+    ExecError, FlightEventKind, Mapping, PartialReport, StallDiagnostic, StallSite, TaskDesc,
+    TaskGraph, WorkerId,
 };
 
 use rio_stf::Access;
 
 use crate::config::RioConfig;
 use crate::counters::{CounterRegistry, WorkerCounters};
+use crate::flight::{FlightRecorder, FlightRing};
 use crate::protocol::{
     apply_sync, declare_batch, declare_read, declare_write, expected_read_word,
     expected_write_word, get_read_word_cx, get_write_word_cx, publish_read, publish_write,
@@ -38,7 +40,11 @@ use crate::wait::WaitStrategy;
 
 /// Builds the stall diagnostic for a `get_*` whose watchdog deadline
 /// expired: the blocked worker, the private-vs-shared counters of the
-/// blocked data object, and every worker's progress snapshot.
+/// blocked data object, every worker's progress snapshot (with
+/// steal/retry deltas since its last tick when `registry` is armed), and
+/// the flight-recorder bundle — the last protocol events of every worker
+/// leading up to the stall.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn stall_diagnostic(
     me: WorkerId,
     task: rio_stf::TaskId,
@@ -47,6 +53,8 @@ pub(crate) fn stall_diagnostic(
     shared: &SharedDataState,
     waited: Duration,
     status: &StatusTable,
+    registry: Option<&CounterRegistry>,
+    flight: Option<&FlightRecorder>,
 ) -> Box<StallDiagnostic> {
     // One coherent load: both shared counters are decoded from the same
     // packed epoch word, so the dump can never pair a new write id with a
@@ -66,7 +74,8 @@ pub(crate) fn stall_diagnostic(
             shared_last_executed_write: shared_write,
             shared_epoch_word: word,
         },
-        workers: status.snapshot(),
+        workers: status.snapshot_with(registry),
+        flight: flight.map(FlightRecorder::dump).unwrap_or_default(),
     })
 }
 
@@ -127,6 +136,8 @@ where
     let status = &StatusTable::new(cfg.workers);
     let registry = CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let flight = FlightRecorder::for_run(cfg);
+    let flight = flight.as_ref();
     let recovery = cfg
         .recovery
         .clone()
@@ -184,7 +195,6 @@ where
             .map(|w| {
                 s.spawn(move || {
                     let me = WorkerId::from_index(w);
-                    let ctr = registry.map(|r| r.worker(w));
                     let steal = match (cfg.stealing.as_ref(), steal_claims, steal_pre) {
                         (
                             Some(policy),
@@ -205,8 +215,8 @@ where
                         _ => None,
                     };
                     worker_loop(
-                        cfg, graph, mapping, shared, kernel, me, None, abort, status, start, ctr,
-                        rec, steal,
+                        cfg, graph, mapping, shared, kernel, me, None, abort, status, start,
+                        registry, flight, rec, steal,
                     )
                 })
             })
@@ -227,7 +237,15 @@ where
                 .map(|r| r.snapshot().with_topology(cfg))
                 .unwrap_or_default(),
         },
-        recovery.and_then(RecoveryCtx::into_report),
+        recovery.and_then(RecoveryCtx::into_report).map(|mut p| {
+            // Workers joined above, so this dump is exact: the degraded
+            // run's report carries the protocol history that led to every
+            // skip and failure, not just the final tallies.
+            if let Some(f) = flight {
+                p.flight = f.dump();
+            }
+            p
+        }),
     ))
 }
 
@@ -263,6 +281,14 @@ pub(crate) struct WorkerCtx<'a> {
     tracer: Option<WorkerTracer>,
     /// Always-on counter line of this worker (`None` when disabled).
     ctr: Option<&'a WorkerCounters>,
+    /// The run's whole counter registry, for diagnostics that snapshot
+    /// *every* worker (stall dumps render steal/retry deltas per worker).
+    registry: Option<&'a CounterRegistry>,
+    /// This worker's flight-recorder ring (`None` when disabled): the
+    /// single-writer event log the hot path appends to.
+    ring: Option<&'a FlightRing>,
+    /// The run's whole flight recorder, dumped into stall diagnostics.
+    flight: Option<&'a FlightRecorder>,
     /// Recovery state shared by every worker of the run (`None` when no
     /// [`crate::config::RecoveryPolicy`] is installed — the abort-on-panic
     /// fast path costs exactly one branch per executed task).
@@ -288,9 +314,12 @@ impl<'a> WorkerCtx<'a> {
         abort: &'a AbortFlag,
         status: &'a StatusTable,
         epoch: Instant,
-        ctr: Option<&'a WorkerCounters>,
+        registry: Option<&'a CounterRegistry>,
+        flight: Option<&'a FlightRecorder>,
         rec: Option<&'a RecoveryCtx>,
     ) -> WorkerCtx<'a> {
+        let ctr = registry.map(|r| r.worker(me.index()));
+        let ring = flight.map(|f| f.ring(me.index()));
         let tracer = cfg
             .trace
             .as_ref()
@@ -319,6 +348,9 @@ impl<'a> WorkerCtx<'a> {
             traced: tracer.is_some(),
             tracer,
             ctr,
+            registry,
+            ring,
+            flight,
             rec,
             steal: None,
             measure: cfg.measure_time,
@@ -349,6 +381,28 @@ impl<'a> WorkerCtx<'a> {
         self.policies
             .and_then(|p| p.get(data))
             .map_or(self.cfg.wait, |p| p.strategy)
+    }
+
+    /// Appends one event to this worker's flight ring (no-op with the
+    /// recorder disabled). Single-writer: only `self` ever records here.
+    #[inline]
+    fn flight_event(
+        &self,
+        kind: FlightEventKind,
+        task: rio_stf::TaskId,
+        data: Option<rio_stf::DataId>,
+    ) {
+        if let Some(r) = self.ring {
+            r.record(kind, task, data);
+        }
+    }
+
+    /// The worker's live steal/retry counters, for a progress tick
+    /// ([`StatusTable::completed`]): a later stall diagnostic subtracts
+    /// them from the then-live values to show activity since this tick.
+    #[inline]
+    fn tick_counters(&self) -> (u64, u64) {
+        self.ctr.map_or((0, 0), |c| (c.steals(), c.retries()))
     }
 
     /// Executes one task mapped to this worker: acquire every access in
@@ -473,6 +527,9 @@ impl<'a> WorkerCtx<'a> {
                     c.add_spins(wo.polls);
                     c.add_parks(wo.parks);
                 }
+                if wo.parks > 0 {
+                    self.flight_event(FlightEventKind::Park, t.id, Some(a.data));
+                }
                 if let Some(t0) = wait_start {
                     let t1 = Instant::now();
                     if self.measure {
@@ -491,8 +548,21 @@ impl<'a> WorkerCtx<'a> {
                         .map(|t0| t0.elapsed())
                         .or(self.cfg.watchdog)
                         .unwrap_or_default();
+                    // Record the abort *before* dumping, so the stalling
+                    // worker's own ring shows it as the final event.
+                    self.flight_event(FlightEventKind::Abort, t.id, Some(a.data));
                     let l = &self.locals[data];
-                    let diag = stall_diagnostic(self.me, t.id, a, l, s, waited, self.status);
+                    let diag = stall_diagnostic(
+                        self.me,
+                        t.id,
+                        a,
+                        l,
+                        s,
+                        waited,
+                        self.status,
+                        self.registry,
+                        self.flight,
+                    );
                     if let Some(c) = self.ctr {
                         c.inc_aborts();
                     }
@@ -502,6 +572,7 @@ impl<'a> WorkerCtx<'a> {
             }
         }
 
+        self.flight_event(FlightEventKind::TaskStart, t.id, None);
         let ran = match self.rec {
             None => {
                 // Abort semantics (no recovery policy): the first panic
@@ -534,6 +605,7 @@ impl<'a> WorkerCtx<'a> {
                     (t0, t1)
                 });
                 if let Err(payload) = outcome {
+                    self.flight_event(FlightEventKind::Abort, t.id, None);
                     if let Some(c) = self.ctr {
                         c.inc_aborts();
                     }
@@ -559,11 +631,14 @@ impl<'a> WorkerCtx<'a> {
             if let Some(c) = self.ctr {
                 c.inc_tasks();
             }
+            self.flight_event(FlightEventKind::TaskEnd, t.id, None);
         }
         // Skipped and permanently-failed tasks still report watchdog
         // progress: the worker is alive and the flow is advancing.
         if self.wd {
-            self.status.completed(self.me, t.id, self.tasks_executed);
+            let (steals, retries) = self.tick_counters();
+            self.status
+                .completed(self.me, t.id, self.tasks_executed, steals, retries);
         }
 
         // Skip-but-sync: the terminates below run regardless of `ran`. A
@@ -619,11 +694,13 @@ impl<'a> WorkerCtx<'a> {
         // bit rides the protocol's own Release/Acquire edge).
         if accesses.iter().any(|a| rec.is_poisoned(a.data)) {
             rec.record_skipped(t.id);
-            poison_writes(rec, accesses, self.ctr);
+            poison_writes(rec, t.id, accesses, self.ctr, self.ring);
             return false;
         }
         let timed = self.measure || self.record || self.traced;
-        match run_body_with_recovery(self.cfg, rec, kernel, self.me, t, accesses, self.ctr, timed) {
+        match run_body_with_recovery(
+            self.cfg, rec, kernel, self.me, t, accesses, self.ctr, self.ring, timed,
+        ) {
             Some(span) => {
                 if let Some((t0, t1)) = span {
                     if self.measure {
@@ -664,7 +741,9 @@ impl<'a> WorkerCtx<'a> {
         }
         // The flow is advancing even though the owner ran nothing.
         if self.wd {
-            self.status.completed(self.me, t.id, self.tasks_executed);
+            let (steals, retries) = self.tick_counters();
+            self.status
+                .completed(self.me, t.id, self.tasks_executed, steals, retries);
         }
     }
 
@@ -865,6 +944,7 @@ impl<'a> WorkerCtx<'a> {
                         if let Some(c) = self.ctr {
                             c.inc_steals();
                         }
+                        self.flight_event(FlightEventKind::Steal, t.id, None);
                         self.execute_stolen(kernel, t, &t.accesses);
                         return true;
                     }
@@ -956,6 +1036,7 @@ impl<'a> WorkerCtx<'a> {
                     if let Some(c) = self.ctr {
                         c.inc_steals();
                     }
+                    self.flight_event(FlightEventKind::Steal, tasks[ti].id, None);
                     self.execute_stolen(kernel, &tasks[ti], acc);
                     return true;
                 }
@@ -977,6 +1058,7 @@ impl<'a> WorkerCtx<'a> {
     where
         K: Fn(WorkerId, &TaskDesc) + Sync,
     {
+        self.flight_event(FlightEventKind::TaskStart, t.id, None);
         let ran = match self.rec {
             None => {
                 let body = std::panic::AssertUnwindSafe(|| {
@@ -1007,6 +1089,7 @@ impl<'a> WorkerCtx<'a> {
                     (t0, t1)
                 });
                 if let Err(payload) = outcome {
+                    self.flight_event(FlightEventKind::Abort, t.id, None);
                     if let Some(c) = self.ctr {
                         c.inc_aborts();
                     }
@@ -1039,6 +1122,7 @@ impl<'a> WorkerCtx<'a> {
             if let Some(c) = self.ctr {
                 c.inc_tasks();
             }
+            self.flight_event(FlightEventKind::TaskEnd, t.id, None);
         }
         // Publish every epoch advance this task owes the protocol — with
         // the data object's own strategy (shared run-wide), so §10 wake
@@ -1106,12 +1190,23 @@ impl<'a> WorkerCtx<'a> {
 
 /// Poisons every datum `accesses` writes, crediting newly-set bits to
 /// the worker's `poisoned` counter (re-poisoning an already-poisoned
-/// datum is counted once, by whoever set the bit first).
-pub(crate) fn poison_writes(rec: &RecoveryCtx, accesses: &[Access], ctr: Option<&WorkerCounters>) {
+/// datum is counted once, by whoever set the bit first). Each newly-set
+/// bit is also recorded in the worker's flight ring, attributed to
+/// `task` — the producer whose failure (or poisoned input) spread it.
+pub(crate) fn poison_writes(
+    rec: &RecoveryCtx,
+    task: rio_stf::TaskId,
+    accesses: &[Access],
+    ctr: Option<&WorkerCounters>,
+    ring: Option<&FlightRing>,
+) {
     let mut newly = 0u64;
     for a in accesses {
         if a.mode.writes() && rec.poison(a.data) {
             newly += 1;
+            if let Some(r) = ring {
+                r.record(FlightEventKind::Poison, task, Some(a.data));
+            }
         }
     }
     if let Some(c) = ctr {
@@ -1141,6 +1236,7 @@ pub(crate) fn run_body_with_recovery<K>(
     t: &TaskDesc,
     accesses: &[Access],
     ctr: Option<&WorkerCounters>,
+    ring: Option<&FlightRing>,
     timed: bool,
 ) -> Option<Option<(Instant, Instant)>>
 where
@@ -1170,6 +1266,7 @@ where
             t,
             accesses,
             ctr,
+            ring,
             payload,
             first_start,
             t0,
@@ -1192,6 +1289,7 @@ fn retry_after_failure<K>(
     t: &TaskDesc,
     accesses: &[Access],
     ctr: Option<&WorkerCounters>,
+    ring: Option<&FlightRing>,
     mut payload: Box<dyn std::any::Any + Send>,
     first_start: Option<Instant>,
     first_t0: Option<Instant>,
@@ -1229,12 +1327,15 @@ where
                 detail,
             });
             rec.add_retry_ns(recover_ns);
-            poison_writes(rec, accesses, ctr);
+            poison_writes(rec, t.id, accesses, ctr, ring);
             return None;
         }
         attempt += 1;
         if let Some(c) = ctr {
             c.inc_retries();
+        }
+        if let Some(r) = ring {
+            r.record(FlightEventKind::Retry, t.id, None);
         }
         let backoff = policy.backoff_for(attempt);
         if !backoff.is_zero() {
@@ -1290,7 +1391,8 @@ pub(crate) fn worker_loop<M, K>(
     abort: &AbortFlag,
     status: &StatusTable,
     epoch: Instant,
-    ctr: Option<&WorkerCounters>,
+    registry: Option<&CounterRegistry>,
+    flight: Option<&FlightRecorder>,
     rec: Option<&RecoveryCtx>,
     steal: Option<StealState<'_>>,
 ) -> WorkerReport
@@ -1309,7 +1411,8 @@ where
         abort,
         status,
         epoch,
-        ctr,
+        registry,
+        flight,
         rec,
     );
     ctx.steal = steal;

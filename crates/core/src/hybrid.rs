@@ -36,7 +36,10 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use rio_stf::{ExecError, Mapping, MappingError, TaskDesc, TaskGraph, TaskId, WorkerId};
+use rio_stf::{
+    DataId, ExecError, FlightEventKind, Mapping, MappingError, TaskDesc, TaskGraph, TaskId,
+    WorkerId,
+};
 
 use crate::config::RioConfig;
 use crate::graph::{poison_writes, run_body_with_recovery, stall_diagnostic};
@@ -204,6 +207,8 @@ where
     let claims = &claims;
     let registry = crate::counters::CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let flight = crate::flight::FlightRecorder::for_run(cfg);
+    let flight = flight.as_ref();
     let recovery = cfg
         .recovery
         .clone()
@@ -226,7 +231,8 @@ where
                         abort,
                         status,
                         start,
-                        registry.map(|r| r.worker(w)),
+                        registry,
+                        flight,
                         rec,
                     )
                 })
@@ -257,7 +263,13 @@ where
                 .unwrap_or_default(),
         },
         stats,
-        recovery.and_then(RecoveryCtx::into_report),
+        recovery.and_then(RecoveryCtx::into_report).map(|mut p| {
+            // Workers joined: the dump is exact recording order.
+            if let Some(f) = flight {
+                p.flight = f.dump();
+            }
+            p
+        }),
     ))
 }
 
@@ -273,13 +285,21 @@ fn hybrid_worker_loop<P, K>(
     abort: &AbortFlag,
     status: &StatusTable,
     epoch: Instant,
-    ctr: Option<&crate::counters::WorkerCounters>,
+    registry: Option<&crate::counters::CounterRegistry>,
+    flight: Option<&crate::flight::FlightRecorder>,
     rec: Option<&RecoveryCtx>,
 ) -> (WorkerReport, u64, u64)
 where
     P: PartialMapping + ?Sized,
     K: Fn(WorkerId, &TaskDesc) + Sync,
 {
+    let ctr = registry.map(|r| r.worker(me.index()));
+    let ring = flight.map(|f| f.ring(me.index()));
+    let flight_event = |kind: FlightEventKind, task: TaskId, data: Option<DataId>| {
+        if let Some(r) = ring {
+            r.record(kind, task, data);
+        }
+    };
     let mut locals = vec![LocalDataState::default(); graph.num_data()];
     let mut ops = OpCounts::default();
     let mut task_time = Duration::ZERO;
@@ -369,6 +389,9 @@ where
                         c.add_spins(wo.polls);
                         c.add_parks(wo.parks);
                     }
+                    if wo.parks > 0 {
+                        flight_event(FlightEventKind::Park, t.id, Some(a.data));
+                    }
                     if let Some(t0) = wait_start {
                         let t1 = Instant::now();
                         if measure {
@@ -387,7 +410,9 @@ where
                             .map(|t0| t0.elapsed())
                             .or(cfg.watchdog)
                             .unwrap_or_default();
-                        let diag = stall_diagnostic(me, t.id, a, l, s, waited, status);
+                        flight_event(FlightEventKind::Abort, t.id, Some(a.data));
+                        let diag =
+                            stall_diagnostic(me, t.id, a, l, s, waited, status, registry, flight);
                         if let Some(c) = ctr {
                             c.inc_aborts();
                         }
@@ -397,6 +422,7 @@ where
                 }
             }
 
+            flight_event(FlightEventKind::TaskStart, t.id, None);
             let ran = match rec {
                 None => {
                     // Abort semantics (no recovery policy): the first
@@ -422,6 +448,7 @@ where
                         (t0, t1)
                     });
                     if let Err(payload) = outcome {
+                        flight_event(FlightEventKind::Abort, t.id, None);
                         if let Some(c) = ctr {
                             c.inc_aborts();
                         }
@@ -455,12 +482,22 @@ where
                 // visible here.
                 Some(rec) if t.accesses.iter().any(|a| rec.is_poisoned(a.data)) => {
                     rec.record_skipped(t.id);
-                    poison_writes(rec, &t.accesses, ctr);
+                    poison_writes(rec, t.id, &t.accesses, ctr, ring);
                     false
                 }
                 Some(rec) => {
                     let timed = measure || record || traced;
-                    match run_body_with_recovery(cfg, rec, kernel, me, t, &t.accesses, ctr, timed) {
+                    match run_body_with_recovery(
+                        cfg,
+                        rec,
+                        kernel,
+                        me,
+                        t,
+                        &t.accesses,
+                        ctr,
+                        ring,
+                        timed,
+                    ) {
                         Some(span) => {
                             if let Some((t0, t1)) = span {
                                 if measure {
@@ -488,9 +525,11 @@ where
                 if let Some(c) = ctr {
                     c.inc_tasks();
                 }
+                flight_event(FlightEventKind::TaskEnd, t.id, None);
             }
             if wd {
-                status.completed(me, t.id, tasks_executed);
+                let (steals, retries) = ctr.map_or((0, 0), |c| (c.steals(), c.retries()));
+                status.completed(me, t.id, tasks_executed, steals, retries);
             }
 
             // Skip-but-sync: terminates run regardless of `ran`, so a

@@ -76,6 +76,7 @@ pub mod compile;
 pub mod config;
 pub mod counters;
 pub mod executor;
+pub mod flight;
 pub mod flow;
 pub mod graph;
 pub mod hybrid;
@@ -95,6 +96,7 @@ pub use compile::{CompileStats, CompiledFlow};
 pub use config::{RecoveryPolicy, RioConfig};
 pub use counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
 pub use executor::{Execution, Executor, RunOutcome};
+pub use flight::{FlightRecorder, FlightRing};
 pub use flow::{FlowCtx, Rio, TaskView};
 pub use hybrid::{validate_partial_mapping, HybridStats, PartialMapping};
 pub use pruning::PruneStats;
@@ -127,6 +129,7 @@ pub mod prelude {
     pub use crate::config::{RecoveryPolicy, RioConfig};
     pub use crate::counters::{CounterRegistry, CounterRow, CountersSnapshot, WorkerCounters};
     pub use crate::executor::{Execution, Executor, RunOutcome};
+    pub use crate::flight::{FlightRecorder, FlightRing};
     pub use crate::flow::{FlowCtx, Rio, TaskView};
     pub use crate::hybrid::{
         validate_partial_mapping, HybridStats, PartialFn, PartialMapping, Total, Unmapped,
@@ -141,8 +144,9 @@ pub mod prelude {
     pub use crate::wait::{WaitPolicy, WaitStrategy};
     pub use rio_stf::{
         validate_mapping, Access, AccessMode, DataId, DataStore, ExecError, FailedTask,
-        FailureDetail, Mapping, MappingError, PartialReport, RoundRobin, StallDiagnostic,
-        StallSite, TableMapping, TaskDesc, TaskGraph, TaskId, WorkerId, WorkerSnapshot,
+        FailureDetail, FlightEvent, FlightEventKind, FlightLog, Mapping, MappingError,
+        PartialReport, RoundRobin, StallDiagnostic, StallSite, TableMapping, TaskDesc, TaskGraph,
+        TaskId, WorkerFlight, WorkerId, WorkerSnapshot,
     };
 }
 

@@ -381,6 +381,9 @@ impl RecoveryCtx {
             poisoned,
             skipped,
             retry_time: Duration::from_nanos(self.retry_ns.into_inner()),
+            // The run shell attaches the flight-recorder dump after the
+            // workers joined; the recovery context never sees the rings.
+            flight: Default::default(),
         })
     }
 }

@@ -194,6 +194,8 @@ where
     let status = &StatusTable::new(cfg.workers);
     let registry = crate::counters::CounterRegistry::for_run(cfg);
     let registry = registry.as_deref();
+    let flight = crate::flight::FlightRecorder::for_run(cfg);
+    let flight = flight.as_ref();
     let recovery = cfg
         .recovery
         .clone()
@@ -217,7 +219,8 @@ where
                         abort,
                         status,
                         start,
-                        registry.map(|r| r.worker(w)),
+                        registry,
+                        flight,
                         rec,
                         // Pruned visit lists elide irrelevant declares, so a
                         // thief's overlay pricing would read stale private
@@ -244,7 +247,15 @@ where
                 .unwrap_or_default(),
         },
         stats,
-        recovery.and_then(crate::protocol::RecoveryCtx::into_report),
+        recovery
+            .and_then(crate::protocol::RecoveryCtx::into_report)
+            .map(|mut p| {
+                // Workers joined: the dump is exact recording order.
+                if let Some(f) = flight {
+                    p.flight = f.dump();
+                }
+                p
+            }),
     ))
 }
 

@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rio_stf::{DataId, TaskId, WorkerId, WorkerSnapshot};
 
+use crate::counters::CounterRegistry;
+
 /// `waiting_on` sentinel: not blocked on any data object.
 const NO_DATA: u64 = u64::MAX;
 
@@ -27,6 +29,12 @@ struct WorkerStatus {
     executed: AtomicU64,
     /// `DataId.0` of the object currently waited on, or [`NO_DATA`].
     waiting_on: AtomicU64,
+    /// The worker's steal counter at its last progress tick — a stall
+    /// diagnostic subtracts this from the live counter to show activity
+    /// *since* the worker last completed anything.
+    steals_at_tick: AtomicU64,
+    /// The worker's retry counter at its last progress tick.
+    retries_at_tick: AtomicU64,
 }
 
 impl Default for WorkerStatus {
@@ -35,6 +43,8 @@ impl Default for WorkerStatus {
             last_completed: AtomicU64::new(TaskId::NONE.0),
             executed: AtomicU64::new(0),
             waiting_on: AtomicU64::new(NO_DATA),
+            steals_at_tick: AtomicU64::new(0),
+            retries_at_tick: AtomicU64::new(0),
         }
     }
 }
@@ -54,12 +64,24 @@ impl StatusTable {
     }
 
     /// Records that `worker` completed the body of `task`, its
-    /// `executed`-th so far.
+    /// `executed`-th so far. `steals`/`retries` are the worker's live
+    /// counter values at this tick (pass 0 without counters): a later
+    /// stall diagnostic renders the *delta* since this tick, so a report
+    /// distinguishes "stuck waiting" from a steal/retry storm.
     #[inline]
-    pub fn completed(&self, worker: WorkerId, task: TaskId, executed: u64) {
+    pub fn completed(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        executed: u64,
+        steals: u64,
+        retries: u64,
+    ) {
         let slot = &self.slots[worker.index()];
         slot.last_completed.store(task.0, Ordering::Relaxed);
         slot.executed.store(executed, Ordering::Relaxed);
+        slot.steals_at_tick.store(steals, Ordering::Relaxed);
+        slot.retries_at_tick.store(retries, Ordering::Relaxed);
     }
 
     /// Marks `worker` as blocked on `data`.
@@ -81,16 +103,32 @@ impl StatusTable {
     /// A point-in-time snapshot of every worker's progress, for a stall
     /// diagnostic. Relaxed loads: the dump is advisory, not a fence.
     pub fn snapshot(&self) -> Vec<WorkerSnapshot> {
+        self.snapshot_with(None)
+    }
+
+    /// Like [`StatusTable::snapshot`], but with the run's counter
+    /// registry: each worker's row also carries its steal/retry counter
+    /// deltas since its last progress tick. Saturating — a tick stored
+    /// after the live counters were sampled must read as "no activity",
+    /// never wrap.
+    pub fn snapshot_with(&self, registry: Option<&CounterRegistry>) -> Vec<WorkerSnapshot> {
         self.slots
             .iter()
             .enumerate()
             .map(|(w, slot)| {
                 let waiting = slot.waiting_on.load(Ordering::Relaxed);
+                let ctr = registry.filter(|r| w < r.len()).map(|r| r.worker(w));
+                let since = |live: u64, at_tick: &AtomicU64| {
+                    live.saturating_sub(at_tick.load(Ordering::Relaxed))
+                };
                 WorkerSnapshot {
                     worker: WorkerId::from_index(w),
                     last_completed: TaskId(slot.last_completed.load(Ordering::Relaxed)),
                     tasks_executed: slot.executed.load(Ordering::Relaxed),
                     waiting_on: (waiting != NO_DATA).then_some(DataId(waiting as u32)),
+                    steals_since_tick: ctr.map_or(0, |c| since(c.steals(), &slot.steals_at_tick)),
+                    retries_since_tick: ctr
+                        .map_or(0, |c| since(c.retries(), &slot.retries_at_tick)),
                 }
             })
             .collect()
@@ -117,7 +155,7 @@ mod tests {
     #[test]
     fn updates_are_visible_in_the_snapshot() {
         let t = StatusTable::new(2);
-        t.completed(WorkerId(0), TaskId(7), 4);
+        t.completed(WorkerId(0), TaskId(7), 4, 0, 0);
         t.begin_wait(WorkerId(1), DataId(3));
         let snap = t.snapshot();
         assert_eq!(snap[0].last_completed, TaskId(7));
@@ -125,6 +163,40 @@ mod tests {
         assert_eq!(snap[1].waiting_on, Some(DataId(3)));
         t.end_wait(WorkerId(1));
         assert_eq!(t.snapshot()[1].waiting_on, None);
+    }
+
+    #[test]
+    fn counter_deltas_measure_activity_since_the_last_tick() {
+        let reg = CounterRegistry::new(2);
+        let t = StatusTable::new(2);
+        // W0 ticks with 2 steals / 1 retry recorded, then keeps stealing
+        // and retrying without completing anything: the snapshot shows
+        // the storm as a delta.
+        reg.worker(0).inc_steals();
+        reg.worker(0).inc_steals();
+        reg.worker(0).inc_retries();
+        t.completed(
+            WorkerId(0),
+            TaskId(3),
+            1,
+            reg.worker(0).steals(),
+            reg.worker(0).retries(),
+        );
+        for _ in 0..5 {
+            reg.worker(0).inc_steals();
+        }
+        reg.worker(0).inc_retries();
+        let snap = t.snapshot_with(Some(&reg));
+        assert_eq!(snap[0].steals_since_tick, 5);
+        assert_eq!(snap[0].retries_since_tick, 1);
+        // W1 never ticked: its whole history counts as "since tick".
+        reg.worker(1).inc_retries();
+        let snap = t.snapshot_with(Some(&reg));
+        assert_eq!(snap[1].retries_since_tick, 1);
+        // Without a registry the deltas stay zero.
+        let plain = t.snapshot();
+        assert_eq!(plain[0].steals_since_tick, 0);
+        assert_eq!(plain[0].retries_since_tick, 0);
     }
 
     #[test]

@@ -506,6 +506,7 @@ mod tests {
             poisoned: vec![DataId(0)],
             skipped: vec![rio_stf::TaskId(2)],
             retry_time: Duration::from_micros(7),
+            flight: Default::default(),
         };
         let degraded = sample_report().with_recovery(Some(&partial), 3);
         let rec = degraded.recovery.as_ref().unwrap();

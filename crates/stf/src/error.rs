@@ -24,6 +24,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::flight::FlightLog;
 use crate::graph::GraphError;
 use crate::ids::{DataId, TaskId, WorkerId};
 
@@ -229,6 +230,10 @@ pub struct PartialReport {
     /// Wall-clock time spent inside retry backoff sleeps and failed
     /// attempts, summed over all workers (for doctor attribution).
     pub retry_time: Duration,
+    /// Flight-recorder dump: the last protocol events of every worker at
+    /// the moment the run finished degraded. Empty when the recorder was
+    /// disabled.
+    pub flight: FlightLog,
 }
 
 impl PartialReport {
@@ -254,6 +259,9 @@ impl fmt::Display for PartialReport {
         )?;
         for ft in &self.failed {
             write!(f, "\n  {ft}")?;
+        }
+        if !self.flight.is_empty() {
+            write!(f, "\n{}", self.flight)?;
         }
         Ok(())
     }
@@ -339,6 +347,15 @@ pub struct WorkerSnapshot {
     pub tasks_executed: u64,
     /// The data object this worker was blocked on, if it was blocked.
     pub waiting_on: Option<DataId>,
+    /// Steals this worker performed since its last progress tick
+    /// (0 when the runtime does not track counters). A stall report with
+    /// large deltas here shows a worker that kept *doing* things without
+    /// completing its own tasks — a steal storm, not a dead wait.
+    pub steals_since_tick: u64,
+    /// Retry attempts since the last progress tick — distinguishes a
+    /// retry storm (recovery churning on a failing task) from a worker
+    /// that is simply blocked.
+    pub retries_since_tick: u64,
 }
 
 impl fmt::Display for WorkerSnapshot {
@@ -350,6 +367,13 @@ impl fmt::Display for WorkerSnapshot {
         )?;
         if let Some(d) = self.waiting_on {
             write!(f, ", blocked on {d}")?;
+        }
+        if self.steals_since_tick > 0 || self.retries_since_tick > 0 {
+            write!(
+                f,
+                ", since tick: +{} steals, +{} retries",
+                self.steals_since_tick, self.retries_since_tick
+            )?;
         }
         Ok(())
     }
@@ -368,6 +392,10 @@ pub struct StallDiagnostic {
     /// Snapshot of every worker's progress (may be empty when the runtime
     /// does not track per-worker progress).
     pub workers: Vec<WorkerSnapshot>,
+    /// Flight-recorder dump: the last protocol events of every worker at
+    /// the moment the watchdog fired. Empty when the recorder was
+    /// disabled.
+    pub flight: FlightLog,
 }
 
 impl fmt::Display for StallDiagnostic {
@@ -379,6 +407,9 @@ impl fmt::Display for StallDiagnostic {
         )?;
         for w in &self.workers {
             write!(f, "\n  {w}")?;
+        }
+        if !self.flight.is_empty() {
+            write!(f, "\n{}", self.flight)?;
         }
         Ok(())
     }
@@ -493,7 +524,20 @@ mod tests {
                 last_completed: TaskId(7),
                 tasks_executed: 4,
                 waiting_on: Some(DataId(4)),
+                steals_since_tick: 0,
+                retries_since_tick: 3,
             }],
+            flight: FlightLog {
+                workers: vec![crate::flight::WorkerFlight {
+                    worker: WorkerId(0),
+                    events: vec![crate::flight::FlightEvent {
+                        seq: 11,
+                        kind: crate::flight::FlightEventKind::Park,
+                        task: TaskId(9),
+                        data: Some(DataId(4)),
+                    }],
+                }],
+            },
         };
         let text = ExecError::Stalled(Box::new(d)).to_string();
         assert!(
@@ -509,6 +553,14 @@ mod tests {
         assert!(
             text.contains("blocked on D4"),
             "snapshot is rendered: {text}"
+        );
+        assert!(
+            text.contains("+3 retries"),
+            "per-worker counter deltas since the last tick are rendered: {text}"
+        );
+        assert!(
+            text.contains("#11 park T9 D4"),
+            "the flight bundle is rendered: {text}"
         );
     }
 
@@ -579,6 +631,7 @@ mod tests {
             poisoned: vec![DataId(0), DataId(4)],
             skipped: vec![TaskId(5)],
             retry_time: Duration::from_millis(1),
+            flight: FlightLog::default(),
         };
         assert!(!r.is_empty());
         assert!(r.is_poisoned(DataId(4)));

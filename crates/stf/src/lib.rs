@@ -33,6 +33,9 @@
 //! * [`error`] — the structured failure model shared by the runtimes
 //!   ([`ExecError`]: task panics, stalls, invalid mappings) and the
 //!   pre-flight [`validate_mapping`] check.
+//! * [`flight`] — flight-recorder event types ([`FlightLog`]): the
+//!   postmortem bundle of recent per-worker protocol events carried by
+//!   [`StallDiagnostic`] and [`PartialReport`].
 //! * [`fault`] — fault-injection hook points ([`FaultHook`]) consumed by
 //!   the runtimes' `fault-inject` features and driven by `rio-faults`.
 //!
@@ -45,6 +48,7 @@ pub mod access;
 pub mod deps;
 pub mod error;
 pub mod fault;
+pub mod flight;
 pub mod graph;
 pub mod ids;
 pub mod mapping;
@@ -59,6 +63,7 @@ pub use error::{
     WorkerSnapshot,
 };
 pub use fault::{FaultHook, HookHandle};
+pub use flight::{FlightEvent, FlightEventKind, FlightLog, WorkerFlight};
 pub use graph::{FlatAccesses, GraphBuilder, GraphError, GraphStats, TaskGraph};
 pub use ids::{DataId, TaskId, WorkerId};
 pub use mapping::{validate_mapping, BlockMapping, Mapping, RoundRobin, TableMapping};

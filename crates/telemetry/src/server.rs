@@ -1,0 +1,272 @@
+//! A minimal scrape listener: hand-rolled HTTP/1.1 over `std::net`, no
+//! dependencies, one thread.
+//!
+//! [`ScrapeServer::serve`] binds an ephemeral loopback port and answers
+//! every `GET` with the [`RunRegistry`]'s current exposition under
+//! `Content-Type: text/plain; version=0.0.4`. The accept loop runs on one
+//! background thread and handles requests serially — a scrape endpoint
+//! sees one Prometheus server polling every few seconds, not traffic.
+//! Shutdown (explicit or on drop) flips a flag and self-connects to wake
+//! the blocked `accept`.
+//!
+//! [`scrape`] is the matching client, used by tests and by
+//! `repro telemetry --check` to validate the endpoint mid-run.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::prom::CONTENT_TYPE;
+use crate::registry::RunRegistry;
+
+/// The background scrape listener. Dropping it shuts the listener down
+/// and joins the serving thread.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `127.0.0.1:0` (kernel-assigned port) and starts serving
+    /// `registry`'s exposition. The bound address is [`ScrapeServer::addr`].
+    pub fn serve(registry: Arc<RunRegistry>) -> io::Result<ScrapeServer> {
+        ScrapeServer::bind("127.0.0.1:0", registry)
+    }
+
+    /// Like [`ScrapeServer::serve`] on an explicit bind address
+    /// (e.g. `"0.0.0.0:9091"` to accept scrapes from off-host).
+    pub fn bind(addr: &str, registry: Arc<RunRegistry>) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("rio-scrape".into())
+            .spawn(move || accept_loop(listener, registry, stop_flag))?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address scrapes should target.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocked accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<RunRegistry>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // A wedged client must not stall the endpoint forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_request(stream, &registry);
+    }
+}
+
+fn handle_request(mut stream: TcpStream, registry: &RunRegistry) -> io::Result<()> {
+    // Read until the end of the request head (we ignore any body: scrapes
+    // are GETs), with a small cap so a garbage client can't balloon us.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            break;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&byte[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, _path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+
+    let response = if method == "GET" {
+        // Serve the exposition on every path: Prometheus defaults to
+        // /metrics but a curl of / should show the same thing.
+        let body = registry.render();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        let body = "scrape endpoint: GET only\n";
+        format!(
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    let _ = stream.shutdown(Shutdown::Write);
+    Ok(())
+}
+
+/// Scrapes `addr` once and returns the exposition body. Fails on any
+/// non-200 status or a missing `0.0.4` Content-Type — the same checks
+/// `repro telemetry --check` applies to the live endpoint.
+pub fn scrape(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let err = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| err("response without header terminator".into()))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(err(format!("non-200 scrape response: {status}")));
+    }
+    let content_type = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Type: "))
+        .unwrap_or("");
+    if content_type != CONTENT_TYPE {
+        return Err(err(format!("unexpected Content-Type: {content_type:?}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::{parse_exposition, validate_exposition};
+    use rio_core::{CounterRegistry, Executor, RioConfig};
+    use rio_stf::RoundRobin;
+
+    #[test]
+    fn serves_the_registry_with_the_prometheus_content_type() {
+        let registry = Arc::new(RunRegistry::new());
+        let counters = Arc::new(CounterRegistry::new(1));
+        counters.worker(0).inc_tasks();
+        let _guard = registry.register("smoke", Arc::clone(&counters));
+        let server = ScrapeServer::serve(Arc::clone(&registry)).unwrap();
+        let body = scrape(server.addr()).unwrap();
+        validate_exposition(&body).unwrap();
+        assert!(body.contains("rio_run_active"));
+        assert!(body.contains("workload=\"smoke\""));
+    }
+
+    #[test]
+    fn non_get_requests_are_rejected() {
+        let server = ScrapeServer::serve(Arc::new(RunRegistry::new())).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = ScrapeServer::serve(Arc::new(RunRegistry::new())).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is released: a fresh bind to it succeeds.
+        TcpListener::bind(addr).unwrap();
+    }
+
+    /// Satellite: scraping *during* a run sees valid expositions whose
+    /// counters only ever grow — the single-writer sampling discipline
+    /// (DESIGN.md §16) observed end to end through the HTTP layer.
+    #[test]
+    fn scrape_under_load_sees_monotone_counters() {
+        let registry = Arc::new(RunRegistry::new());
+        let server = ScrapeServer::serve(Arc::clone(&registry)).unwrap();
+        let counters = Arc::new(CounterRegistry::new(2));
+        let guard = registry.register("independent", Arc::clone(&counters));
+
+        let done = Arc::new(AtomicBool::new(false));
+        let done_flag = Arc::clone(&done);
+        let cfg = RioConfig::with_workers(2).counter_registry(Arc::clone(&counters));
+        let runner = std::thread::spawn(move || {
+            let g = rio_workloads::independent::graph_private_data(4000);
+            Executor::new(cfg).mapping(&RoundRobin).run(&g, |_, t| {
+                std::hint::black_box(t);
+                rio_workloads::counter::counter_kernel(2000);
+            });
+            done_flag.store(true, Ordering::Release);
+        });
+
+        let tasks_total = |body: &str| -> f64 {
+            parse_exposition(body)
+                .unwrap()
+                .iter()
+                .filter(|s| s.name == "rio_tasks_total")
+                .map(|s| s.value)
+                .sum()
+        };
+        let mut last = -1.0f64;
+        let mut scrapes = 0u32;
+        loop {
+            let finished = done.load(Ordering::Acquire);
+            let body = scrape(server.addr()).unwrap();
+            validate_exposition(&body).unwrap();
+            let tasks = tasks_total(&body);
+            assert!(
+                tasks >= last,
+                "counters regressed under load: {tasks} < {last}"
+            );
+            last = tasks;
+            scrapes += 1;
+            // At least two scrapes even if the run beats the first one,
+            // so the monotonicity claim is always exercised.
+            if finished && scrapes >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        runner.join().unwrap();
+        assert_eq!(last, 4000.0, "the final scrape sees every task");
+
+        drop(guard);
+        let body = scrape(server.addr()).unwrap();
+        let active = parse_exposition(&body)
+            .unwrap()
+            .into_iter()
+            .find(|s| s.name == "rio_run_active")
+            .unwrap();
+        assert_eq!(active.value, 0.0, "guard drop marks the run completed");
+    }
+}
